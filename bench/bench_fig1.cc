@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Figure 1 regeneration: the headline NTT comparison. One bar per
+ * system — OpenFHE on 32 cores (as reported by RPU), our AVX-512 on a
+ * single core, MQX on a single core, MQX-SOL scaled to 192 cores of
+ * EPYC 9965S, and the RPU ASIC — at a representative NTT size (2^14,
+ * the average of the paper's sizes).
+ *
+ * Reference systems are encoded in the paper's absolute scale; they are
+ * rescaled to host units through the AVX-512 anchor (bench_common.h) so
+ * that measured-vs-reference ratios reproduce the figure's shape.
+ */
+#include "bench_common.h"
+
+using namespace mqx;
+using namespace mqx::bench;
+
+int
+main()
+{
+    printHostHeader("Figure 1: NTT performance comparison (lower is better)");
+    const auto& prime = ntt::defaultBenchPrime();
+    const size_t n = 1u << 14;
+
+    if (!backendAvailable(Backend::Avx512)) {
+        std::printf("AVX-512 unavailable; Figure 1 needs the AVX-512 and "
+                    "MQX tiers.\n");
+        return 0;
+    }
+
+    double anchor = hostAnchorFactor(prime);
+    double avx512 = measureNtt(Tier::Avx512, prime, n);
+    double mqx = measureNtt(Tier::MqxPisa, prime, n);
+    double scalar = measureNtt(Tier::Scalar, prime, n);
+
+    const double host_fm_ghz = 2.1;
+    const sol::CpuSpec& target = sol::amdEpyc9965S();
+    double mqx_sol = sol::solRuntimeSingleCore(mqx, host_fm_ghz, target);
+
+    double openfhe32 = sol::openFhe32CoreReference().at(n) * anchor;
+    double rpu = sol::rpuReference().at(n) * anchor;
+
+    TextTable table("NTT at n = 2^14, ns per butterfly (host units)");
+    table.setHeader({"system", "ns/bfly", "vs OpenFHE-32c"});
+    auto row = [&](const std::string& name, double v) {
+        table.addRow({name, formatFixed(v, 3), formatSpeedup(openfhe32 / v)});
+    };
+    row("OpenFHE (32-core EPYC 7502, ref*)", openfhe32);
+    row("Scalar, 1 core (measured)", scalar);
+    row("AVX-512, 1 core (measured)", avx512);
+    row("MQX, 1 core (measured, PISA)", mqx);
+    row("MQX-SOL, 192-core EPYC 9965S (Eq. 13)", mqx_sol);
+    row("RPU ASIC (ref*)", rpu);
+    table.print();
+    std::printf("* references rescaled to host units via the AVX-512 "
+                "anchor (factor %.4f)\n\n",
+                anchor);
+
+    TextTable claims("Figure 1 claims: paper vs measured");
+    claims.setHeader({"claim", "paper", "measured"});
+    claims.addRow({"AVX-512 (1 core) vs OpenFHE (32 cores)", "3.8x",
+                   formatSpeedup(openfhe32 / avx512)});
+    claims.addRow({"MQX (1 core) vs AVX-512", "3.7x (AMD) / 2.1x (Intel)",
+                   formatSpeedup(avx512 / mqx)});
+    claims.addRow({"RPU vs OpenFHE-32c", "545-1485x",
+                   formatSpeedup(openfhe32 / rpu)});
+    claims.addRow({"MQX-SOL (192c) vs RPU", "~2.5x (near-ASIC)",
+                   formatSpeedup(rpu / mqx_sol)});
+    claims.print();
+    return 0;
+}

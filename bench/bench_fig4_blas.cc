@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Figure 4 regeneration: BLAS operation runtime per element (ns) on a
+ * single core for vector add / vector sub / point-wise vector mul /
+ * axpy, across GMP, BigUInt, OpenFHE-like, scalar, AVX2, AVX-512, MQX.
+ *
+ * Paper protocol (Section 5.1): vector length 1024, average of the
+ * final 500 of 1000 iterations, data movement included. The paper's
+ * aggregate claims (4a Intel / 4b AMD) are printed next to the measured
+ * counterparts.
+ */
+#include "bench_common.h"
+
+#include "blas/blas.h"
+
+using namespace mqx;
+using namespace mqx::bench;
+
+namespace {
+
+constexpr size_t kLen = 1024; // "the vector length is set to 1,024"
+
+double
+measureBlas(Tier tier, blas::Op op, const Modulus& m, const ntt::NttPrime& p)
+{
+    auto a_u = randomResidues(kLen, p.q, 0xa);
+    auto b_u = randomResidues(kLen, p.q, 0xb);
+    double scale = tierIsSlowBaseline(tier) ? 0.1 : 1.0;
+
+    if (tier == Tier::OpenFheLike) {
+        baseline::OpenFheLikeBlas kernel(p.q);
+        std::vector<U128> c(kLen);
+        auto y = b_u;
+        Measurement meas = runBlasProtocol(
+            [&] {
+                switch (op) {
+                  case blas::Op::VectorAdd:
+                    kernel.vadd(a_u, b_u, c);
+                    break;
+                  case blas::Op::VectorSub:
+                    kernel.vsub(a_u, b_u, c);
+                    break;
+                  case blas::Op::VectorMul:
+                    kernel.vmul(a_u, b_u, c);
+                    break;
+                  case blas::Op::Axpy:
+                    kernel.axpy(a_u[0], a_u, y);
+                    break;
+                }
+            },
+            scale);
+        return nsPerElement(meas, kLen);
+    }
+    if (tier == Tier::BigInt) {
+        baseline::BigUIntKernels kernel(p.q);
+        auto a = baseline::BigUIntKernels::fromU128(a_u);
+        auto b = baseline::BigUIntKernels::fromU128(b_u);
+        std::vector<BigUInt> c(kLen);
+        auto y = b;
+        Measurement meas = runBlasProtocol(
+            [&] {
+                switch (op) {
+                  case blas::Op::VectorAdd:
+                    kernel.vadd(a, b, c);
+                    break;
+                  case blas::Op::VectorSub:
+                    kernel.vsub(a, b, c);
+                    break;
+                  case blas::Op::VectorMul:
+                    kernel.vmul(a, b, c);
+                    break;
+                  case blas::Op::Axpy:
+                    kernel.axpy(a[0], a, y);
+                    break;
+                }
+            },
+            scale);
+        return nsPerElement(meas, kLen);
+    }
+#if MQX_WITH_GMP
+    if (tier == Tier::Gmp) {
+        baseline::GmpKernels kernel(p.q);
+        std::vector<U128> c(kLen);
+        auto y = b_u;
+        Measurement meas = runBlasProtocol(
+            [&] {
+                switch (op) {
+                  case blas::Op::VectorAdd:
+                    kernel.vadd(a_u, b_u, c);
+                    break;
+                  case blas::Op::VectorSub:
+                    kernel.vsub(a_u, b_u, c);
+                    break;
+                  case blas::Op::VectorMul:
+                    kernel.vmul(a_u, b_u, c);
+                    break;
+                  case blas::Op::Axpy:
+                    kernel.axpy(a_u[0], a_u, y);
+                    break;
+                }
+            },
+            scale);
+        return nsPerElement(meas, kLen);
+    }
+#endif
+
+    Backend be = tierBackend(tier);
+    ResidueVector a = ResidueVector::fromU128(a_u);
+    ResidueVector b = ResidueVector::fromU128(b_u);
+    ResidueVector c(kLen);
+    Measurement meas = runBlasProtocol(
+        [&] { blas::runOp(op, be, m, a.span(), b.span(), c.span()); }, scale);
+    return nsPerElement(meas, kLen);
+}
+
+} // namespace
+
+int
+main()
+{
+    printHostHeader(
+        "Figure 4: BLAS operations, runtime per element (single core)");
+    const auto& prime = ntt::defaultBenchPrime();
+    Modulus m(prime.q);
+
+    const blas::Op ops[] = {blas::Op::VectorAdd, blas::Op::VectorSub,
+                            blas::Op::VectorMul, blas::Op::Axpy};
+    auto tiers = availableTiers();
+
+    TextTable table("Measured ns/element (length 1024)");
+    std::vector<std::string> header = {"operation"};
+    for (Tier t : tiers)
+        header.push_back(tierName(t));
+    table.setHeader(header);
+
+    // measured[tier][op]
+    std::vector<std::vector<double>> measured(
+        tiers.size(), std::vector<double>(4, 0.0));
+    for (size_t oi = 0; oi < 4; ++oi) {
+        std::vector<std::string> row = {blas::opName(ops[oi])};
+        for (size_t ti = 0; ti < tiers.size(); ++ti) {
+            measured[ti][oi] = measureBlas(tiers[ti], ops[oi], m, prime);
+            row.push_back(formatFixed(measured[ti][oi], 2));
+        }
+        table.addRow(row);
+    }
+    table.print();
+    std::printf("\n");
+
+    auto tierIndex = [&](Tier t) -> int {
+        for (size_t i = 0; i < tiers.size(); ++i) {
+            if (tiers[i] == t)
+                return static_cast<int>(i);
+        }
+        return -1;
+    };
+    // Geomean speedup across the four ops.
+    auto speedup = [&](Tier slow, Tier fast) -> double {
+        int si = tierIndex(slow), fi = tierIndex(fast);
+        if (si < 0 || fi < 0)
+            return 0.0;
+        std::vector<double> r;
+        for (size_t oi = 0; oi < 4; ++oi)
+            r.push_back(measured[static_cast<size_t>(si)][oi] /
+                        measured[static_cast<size_t>(fi)][oi]);
+        return geomean(r);
+    };
+    // "the slowest of our implementations" for the GMP-slowdown claim.
+    auto slowestOurs = [&]() -> Tier {
+        Tier worst = Tier::Scalar;
+        double worst_v = 0.0;
+        for (Tier t : {Tier::Scalar, Tier::Avx2}) {
+            int i = tierIndex(t);
+            if (i < 0)
+                continue;
+            double v = measured[static_cast<size_t>(i)][2]; // vmul
+            if (v > worst_v) {
+                worst_v = v;
+                worst = t;
+            }
+        }
+        return worst;
+    }();
+
+    TextTable claims("Aggregate speedups: paper (Fig. 4) vs measured");
+    claims.setHeader({"claim", "paper", "measured"});
+    claims.addRow({"AVX-512 vs AVX2 (avg of 4 ops)",
+                   "2.2x (Intel) / 1.6x (AMD)",
+                   formatSpeedup(speedup(Tier::Avx2, Tier::Avx512))});
+    claims.addRow({"MQX vs AVX-512 (avg of 4 ops)",
+                   "2.2x (Intel) / 3.2x (AMD)",
+                   formatSpeedup(speedup(Tier::Avx512, Tier::MqxPisa))});
+    claims.addRow({"GMP vs slowest of ours",
+                   "18.4x (Intel) / 17.3x (AMD) slower",
+                   formatSpeedup(speedup(Tier::Gmp, slowestOurs))});
+    claims.addRow({"BigUInt vs slowest of ours", "(same band as GMP)",
+                   formatSpeedup(speedup(Tier::BigInt, slowestOurs))});
+    claims.print();
+    return 0;
+}

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Figure 5 regeneration: NTT runtime per butterfly (ns) on a single
+ * core, for every tier the paper plots — GMP, OpenFHE(-like), scalar,
+ * AVX2, AVX-512, MQX — across NTT sizes 2^10..2^18, plus the
+ * paper-derived reference series for both of the paper's CPUs.
+ *
+ * The paper's corresponding figures are 5a (Intel Xeon 8352Y) and 5b
+ * (AMD EPYC 9654). We measure on the host CPU and compare the *ratios*
+ * (who wins, by what factor) against both reference tables.
+ */
+#include "bench_common.h"
+
+using namespace mqx;
+using namespace mqx::bench;
+
+int
+main()
+{
+    printHostHeader("Figure 5: NTT runtime per butterfly (single core)");
+    const auto& prime = ntt::defaultBenchPrime();
+    std::printf("modulus  : %s (%d bits, 2-adicity %d)\n\n",
+                toHexString(prime.q).c_str(), prime.bits, prime.two_adicity);
+
+    const auto sizes = sol::paperNttSizes();
+    auto tiers = availableTiers();
+
+    TextTable table("Measured ns/butterfly (host CPU)");
+    std::vector<std::string> header = {"n"};
+    for (Tier t : tiers)
+        header.push_back(tierName(t));
+    table.setHeader(header);
+
+    std::vector<std::vector<double>> measured(
+        tiers.size(), std::vector<double>(sizes.size(), 0.0));
+    for (size_t si = 0; si < sizes.size(); ++si) {
+        size_t n = sizes[si];
+        std::vector<std::string> row = {std::to_string(n)};
+        for (size_t ti = 0; ti < tiers.size(); ++ti) {
+            double ns = measureNtt(tiers[ti], prime, n);
+            measured[ti][si] = ns;
+            row.push_back(formatFixed(ns, 1));
+        }
+        table.addRow(row);
+        std::fprintf(stderr, "  measured n=%zu\n", n);
+    }
+    table.print();
+    std::printf("\n");
+
+    // Paper reference series (ratio-derived; see sol/reference_data.cc).
+    for (const char* cpu : {"EPYC 9654 (Fig. 5b)", "Xeon 8352Y (Fig. 5a)"}) {
+        bool epyc = cpu[0] == 'E';
+        TextTable ref(std::string("Paper-derived reference ns/butterfly, ") +
+                      cpu);
+        std::vector<std::string> h = {"n"};
+        for (const auto& tier : sol::paperTiers())
+            h.push_back(tier);
+        ref.setHeader(h);
+        for (size_t n : sizes) {
+            std::vector<std::string> row = {std::to_string(n)};
+            for (const auto& tier : sol::paperTiers()) {
+                const auto& series = epyc ? sol::paperEpycSeries(tier)
+                                          : sol::paperXeonSeries(tier);
+                row.push_back(formatFixed(series.at(n), 1));
+            }
+            ref.addRow(row);
+        }
+        ref.print();
+        std::printf("\n");
+    }
+
+    // Headline ratios: paper claim vs measured (geomean across sizes).
+    auto tierIndex = [&](Tier t) -> int {
+        for (size_t i = 0; i < tiers.size(); ++i) {
+            if (tiers[i] == t)
+                return static_cast<int>(i);
+        }
+        return -1;
+    };
+    auto ratioOf = [&](Tier slow, Tier fast) -> double {
+        int si = tierIndex(slow), fi = tierIndex(fast);
+        if (si < 0 || fi < 0)
+            return 0.0;
+        std::vector<double> r;
+        for (size_t k = 0; k < sizes.size(); ++k)
+            r.push_back(measured[static_cast<size_t>(si)][k] /
+                        measured[static_cast<size_t>(fi)][k]);
+        return geomean(r);
+    };
+
+    TextTable claims("Headline speedups: paper claim vs measured (host)");
+    claims.setHeader({"claim", "paper", "measured"});
+    claims.addRow({"Scalar vs OpenFHE(-like)", "11x (AMD) / 13.5x (Intel)",
+                   formatSpeedup(ratioOf(Tier::OpenFheLike, Tier::Scalar))});
+    claims.addRow({"AVX2 vs Scalar", "1.2x (AMD) / ~1x (Intel)",
+                   formatSpeedup(ratioOf(Tier::Scalar, Tier::Avx2))});
+    claims.addRow({"AVX-512 vs AVX2", "1.7x (AMD) / 2.4x vs scalar (Intel)",
+                   formatSpeedup(ratioOf(Tier::Avx2, Tier::Avx512))});
+    claims.addRow({"MQX vs AVX-512", "3.7x (AMD) / 2.1x (Intel)",
+                   formatSpeedup(ratioOf(Tier::Avx512, Tier::MqxPisa))});
+    claims.addRow({"AVX-512 vs GMP", "53x (Intel)",
+                   formatSpeedup(ratioOf(Tier::Gmp, Tier::Avx512))});
+    claims.addRow({"AVX-512 vs BigUInt (GMP substitute)", "(same band)",
+                   formatSpeedup(ratioOf(Tier::BigInt, Tier::Avx512))});
+    claims.addRow({"MQX vs OpenFHE(-like)", "86.5x (AMD) / 66.9x (Intel)",
+                   formatSpeedup(ratioOf(Tier::OpenFheLike, Tier::MqxPisa))});
+    claims.print();
+    return 0;
+}

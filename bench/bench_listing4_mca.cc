@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Listing 4 regeneration: resource-pressure-by-instruction tables for
+ * double-word modular addition with AVX-512 and with MQX, on the
+ * simplified Sunny Cove port model (Fig. 3). Traces are recorded from
+ * the shipped kernel templates, so the listing cannot drift from the
+ * code. Also prints the mulmod and butterfly comparisons that motivate
+ * Fig. 6.
+ */
+#include "bench_common.h"
+
+#include "mca/kernel_traces.h"
+#include "mca/pressure.h"
+
+using namespace mqx;
+using namespace mqx::bench;
+
+int
+main()
+{
+    printHostHeader("Listing 4: machine-code analysis on simplified "
+                    "Sunny Cove (Fig. 3)");
+    Modulus m(ntt::defaultBenchPrime().q);
+
+    for (auto [kernel, name] :
+         {std::pair{mca::Kernel::AddMod, "double-word modular addition"},
+          std::pair{mca::Kernel::MulMod, "double-word modular multiply"}}) {
+        auto avx = mca::analyzeTrace(
+            mca::traceKernel(kernel, mca::TraceFlavor::Avx512, m));
+        auto mqx = mca::analyzeTrace(
+            mca::traceKernel(kernel, mca::TraceFlavor::MqxFull, m));
+        std::printf("---- %s ----\n\n", name);
+        std::fputs(mca::renderPressureTable("AVX-512", avx).c_str(), stdout);
+        std::printf("%s\n\n", mca::summarizeAnalysis(avx).c_str());
+        std::fputs(mca::renderPressureTable("MQX", mqx).c_str(), stdout);
+        std::printf("%s\n\n", mca::summarizeAnalysis(mqx).c_str());
+        std::printf("static bottleneck improvement (AVX-512 / MQX): %s\n\n",
+                    formatSpeedup(avx.rthroughput / mqx.rthroughput).c_str());
+    }
+
+    // Butterfly roll-up across all Fig. 6 flavors.
+    TextTable table("NTT butterfly: static model by MQX flavor");
+    table.setHeader({"flavor", "instrs", "uops", "bottleneck cyc",
+                     "norm vs AVX-512"});
+    auto base = mca::analyzeTrace(mca::traceKernel(
+        mca::Kernel::Butterfly, mca::TraceFlavor::Avx512, m));
+    for (auto flavor :
+         {mca::TraceFlavor::Avx512, mca::TraceFlavor::MqxMulOnly,
+          mca::TraceFlavor::MqxCarryOnly, mca::TraceFlavor::MqxFull,
+          mca::TraceFlavor::MqxMulhiCarry, mca::TraceFlavor::MqxPredicated}) {
+        auto a = mca::analyzeTrace(
+            mca::traceKernel(mca::Kernel::Butterfly, flavor, m));
+        table.addRow({mca::flavorName(flavor), std::to_string(a.rows.size()),
+                      std::to_string(a.total_uops),
+                      formatFixed(a.rthroughput, 1),
+                      formatFixed(a.rthroughput / base.rthroughput, 2)});
+    }
+    table.print();
+    return 0;
+}

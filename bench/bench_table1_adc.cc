@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Table 1 microbenchmark: add-with-carry three ways. The paper's Table 1
+ * shows the same double-word carry step as (i) one scalar ADC, (ii) a
+ * six-instruction AVX-512 sequence, and (iii) a single MQX vpadcq. This
+ * bench measures the throughput of each formulation over a stream of
+ * 8-lane adds (ns per 8-lane adc step) — scalar processes the 8 lanes
+ * serially, AVX-512 uses the Table-1 emulation, MQX uses the PISA proxy.
+ */
+#include "bench_common.h"
+
+#include "mqxisa/mqx_isa.h"
+
+using namespace mqx;
+using namespace mqx::bench;
+
+namespace {
+
+constexpr size_t kLanes = 8;
+constexpr size_t kSteps = 4096; // chained adc steps per iteration
+
+/** Scalar column of Table 1: per-lane addc64 chain. */
+double
+measureScalarAdc()
+{
+    std::vector<uint64_t> a(kLanes), b(kLanes);
+    SplitMix64 rng(1);
+    for (size_t i = 0; i < kLanes; ++i) {
+        a[i] = rng.next();
+        b[i] = rng.next();
+    }
+    volatile uint64_t sink = 0;
+    Measurement m = runBlasProtocol([&] {
+        uint64_t acc[kLanes];
+        uint64_t carry[kLanes] = {0};
+        for (size_t i = 0; i < kLanes; ++i)
+            acc[i] = a[i];
+        for (size_t s = 0; s < kSteps; ++s) {
+            for (size_t i = 0; i < kLanes; ++i)
+                carry[i] = addc64(acc[i], b[i], carry[i], acc[i]);
+        }
+        uint64_t x = 0;
+        for (size_t i = 0; i < kLanes; ++i)
+            x ^= acc[i] ^ carry[i];
+        sink = x;
+    });
+    (void)sink;
+    return m.mean_ns / kSteps;
+}
+
+} // namespace
+
+// AVX-512 and MQX variants live behind the library's batch hooks when
+// AVX-512 is compiled in; the adc streams are implemented here directly
+// via the BLAS vadd kernels' building blocks is not possible without
+// intrinsics in this TU, so we route through mqxAdcBatch-style loops
+// exported by the library.
+#include "blas/blas.h"
+
+int
+main()
+{
+    printHostHeader("Table 1: add-with-carry formulations");
+
+    TextTable table("ns per 8-lane add-with-carry step (lower is better)");
+    table.setHeader({"formulation", "instructions", "ns/step"});
+
+    double scalar = measureScalarAdc();
+    table.addRow({"scalar addc64 x8 (Table 1 left)", "1 ADC per word",
+                  formatFixed(scalar, 2)});
+
+    // Vectorized adc throughput is measured through the modular-add
+    // kernels, whose inner loop is dominated by the carry sequences:
+    // AVX-512 = Listing-2 compares+masked ops, MQX = vpadcq proxies.
+    const auto& prime = ntt::defaultBenchPrime();
+    Modulus m(prime.q);
+    const size_t len = 4096;
+    auto a_u = randomResidues(len, prime.q, 2);
+    auto b_u = randomResidues(len, prime.q, 3);
+    ResidueVector a = ResidueVector::fromU128(a_u);
+    ResidueVector b = ResidueVector::fromU128(b_u);
+    ResidueVector c(len);
+
+    auto measureVadd = [&](Backend be) {
+        Measurement meas = runBlasProtocol(
+            [&] { blas::vadd(be, m, a.span(), b.span(), c.span()); });
+        return meas.mean_ns / (static_cast<double>(len) / 8.0);
+    };
+
+    if (backendAvailable(Backend::Avx512)) {
+        table.addRow({"AVX-512 modadd128 (Listing 2 path)",
+                      "6-instr adc emulation (Table 1 middle)",
+                      formatFixed(measureVadd(Backend::Avx512), 2)});
+    }
+    if (backendAvailable(Backend::MqxPisa)) {
+        table.addRow({"MQX modadd128 (Listing 3 path, PISA)",
+                      "single vpadcq (Table 1 right)",
+                      formatFixed(measureVadd(Backend::MqxPisa), 2)});
+    }
+    table.print();
+    std::printf("\nExpected shape: the MQX row approaches the scalar ADC "
+                "cost per step while covering 8 lanes;\nthe AVX-512 row "
+                "pays the multi-instruction emulation.\n");
+    return 0;
+}

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Machine-code analysis walkthrough (Fig. 3 / Listing 4): print the
+ * exact instruction traces of the shipped modular-addition kernels and
+ * their port-pressure analysis on the simplified Sunny Cove model —
+ * the at-a-glance explanation of *why* MQX helps: 21 instructions
+ * collapse to about a third, and the port-5 compare pressure vanishes.
+ */
+#include <cstdio>
+
+#include "mca/kernel_traces.h"
+#include "mca/pressure.h"
+#include "ntt/prime.h"
+
+int
+main()
+{
+    using namespace mqx;
+
+    Modulus m(ntt::defaultBenchPrime().q);
+
+    std::printf("Instruction traces recorded from the shipped kernels\n");
+    std::printf("(modulus: 124 bits; trace excludes loads/stores and\n");
+    std::printf("per-call constants, matching Listing 4's scope)\n\n");
+
+    for (auto flavor : {mca::TraceFlavor::Avx512, mca::TraceFlavor::MqxFull,
+                        mca::TraceFlavor::MqxPredicated}) {
+        auto trace = mca::traceKernel(mca::Kernel::AddMod, flavor, m);
+        std::printf("-- addmod128, %s (%zu instructions) --\n",
+                    mca::flavorName(flavor).c_str(), trace.size());
+        auto analysis = mca::analyzeTrace(trace);
+        std::fputs(mca::renderPressureTable(mca::flavorName(flavor),
+                                            analysis)
+                       .c_str(),
+                   stdout);
+        std::printf("%s\n\n", mca::summarizeAnalysis(analysis).c_str());
+    }
+
+    // The proposed-instruction inventory.
+    std::printf("proposed MQX instructions in the model:\n");
+    for (const auto& d : mca::instrTable()) {
+        if (d.proposed) {
+            std::printf("  %-10s uops=%d lat=%d ports=0x%02x\n",
+                        d.mnemonic.c_str(), d.uops, d.latency, d.ports);
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * PISA in practice (Section 4.2): what the proxy methodology looks like
+ * from a user's perspective. Prints the Table-3 proxy registry, runs one
+ * Table-5 validation pair end to end on this machine, and reports the
+ * Eq.-12 relative error — the sanity check that grounds every MQX
+ * projection in the benches.
+ */
+#include <cstdio>
+
+#include "bench_util/protocol.h"
+#include "bench_util/rng.h"
+#include "core/backend.h"
+#include "ntt/ntt.h"
+#include "pisa/pisa.h"
+
+int
+main()
+{
+    using namespace mqx;
+
+    std::printf("Table 3: MQX -> AVX-512 proxy instructions\n");
+    for (const auto& p : pisa::mqxProxyTable())
+        std::printf("  %-22s -> %-24s (%s)\n", p.target.c_str(),
+                    p.proxy.c_str(), p.note.c_str());
+    std::printf("\n");
+
+    pisa::ValidationPair pair = pisa::ValidationPair::Avx512MaskAdd;
+    if (!backendAvailable(Backend::Avx512)) {
+        if (backendAvailable(Backend::Avx2)) {
+            pair = pisa::ValidationPair::Avx2WideningMul;
+        } else {
+            std::printf("No SIMD backend on this host; nothing to "
+                        "validate.\n");
+            return 0;
+        }
+    }
+    auto mapping = pisa::validationMapping(pair);
+    std::printf("Validating PISA on an existing pair (Table 5):\n");
+    std::printf("  target %s, proxy %s\n\n", mapping.target.c_str(),
+                mapping.proxy.c_str());
+
+    const size_t n = 1u << 12;
+    ntt::NttPlan plan(ntt::defaultBenchPrime(), n);
+    auto input = randomResidues(n, plan.modulus().value(), 0xeaf);
+    ResidueVector in = ResidueVector::fromU128(input);
+    ResidueVector out(n), scratch(n);
+
+    Measurement target = runNttProtocol([&] {
+        pisa::runValidationNtt(pair, false, plan, in.span(), out.span(),
+                               scratch.span());
+    });
+    Measurement proxy = runNttProtocol([&] {
+        pisa::runValidationNtt(pair, true, plan, in.span(), out.span(),
+                               scratch.span());
+    });
+
+    double eps = pisa::relativeErrorPct(target.mean_ns, proxy.mean_ns);
+    std::printf("NTT n = %zu: target %.1f us, proxy %.1f us\n", n,
+                target.mean_ns / 1e3, proxy.mean_ns / 1e3);
+    std::printf("relative error (Eq. 12): %.2f%%  "
+                "(paper observed |eps| < 8%% on its six cases)\n",
+                eps);
+    std::printf("\nThe proxy build computes *wrong values by design* — "
+                "PISA only borrows its schedule.\n");
+    return 0;
+}

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Quickstart: 128-bit modular arithmetic and a forward/inverse NTT in a
+ * dozen lines of the public API.
+ *
+ *   1. find an NTT-friendly prime (q = c * 2^e + 1, here 124 bits),
+ *   2. do some double-word modular arithmetic with Modulus,
+ *   3. build an NttPlan and transform a vector with the best backend
+ *      available on this machine.
+ */
+#include <cstdio>
+
+#include "core/cpu_features.h"
+#include "mod/modulus.h"
+#include "ntt/ntt.h"
+#include "ntt/prime.h"
+
+int
+main()
+{
+    using namespace mqx;
+
+    std::printf("mqxlib quickstart (version %s)\n", versionString().c_str());
+    std::printf("host: %s\n\n", hostCpuFeatures().brand.c_str());
+
+    // 1. An NTT-friendly 124-bit prime supporting transforms up to 2^32.
+    const ntt::NttPrime& prime = ntt::defaultBenchPrime();
+    std::printf("prime q  = %s\n", toString(prime.q).c_str());
+    std::printf("         = %s (%d bits, 2-adicity %d)\n\n",
+                toHexString(prime.q).c_str(), prime.bits, prime.two_adicity);
+
+    // 2. Double-word modular arithmetic (Barrett reduction under the
+    //    hood; schoolbook product by default).
+    Modulus q(prime.q);
+    U128 a = u128FromString("123456789012345678901234567890");
+    U128 b = u128FromString("987654321098765432109876543210");
+    std::printf("a * b mod q = %s\n", toString(q.mul(a, b)).c_str());
+    std::printf("a + b mod q = %s\n", toString(q.add(a, b)).c_str());
+    U128 inv = q.inverse(a);
+    std::printf("a^-1 mod q  = %s\n", toString(inv).c_str());
+    std::printf("a * a^-1    = %s (check)\n\n",
+                toString(q.mul(a, inv)).c_str());
+
+    // 3. A 1024-point NTT with the best available backend.
+    const size_t n = 1024;
+    ntt::NttPlan plan(prime, n);
+    ntt::Engine engine(plan); // picks Scalar/AVX2/AVX-512 automatically
+    std::printf("NTT backend: %s, n = %zu, omega = %s...\n",
+                backendName(engine.backend()).c_str(), n,
+                toHexString(plan.omega()).substr(0, 14).c_str());
+
+    std::vector<U128> data(n);
+    for (size_t i = 0; i < n; ++i)
+        data[i] = U128{static_cast<uint64_t>(i + 1)};
+
+    auto transformed = engine.forward(data);
+    auto recovered = engine.inverse(transformed);
+    std::printf("inverse(forward(x)) == x : %s\n",
+                recovered == data ? "yes" : "NO (bug!)");
+    return 0;
+}

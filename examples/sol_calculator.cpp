@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Speed-of-light calculator (Eq. 13) — the customization hook the
+ * paper's artifact appendix describes ("Users can customize the
+ * parameters in Equation 13 to match their specific CPUs").
+ *
+ * Usage:
+ *   sol_calculator                      # project onto the paper's CPUs
+ *   sol_calculator t_ns fm c2 fmax [bw] # custom projection
+ *     t_ns  measured single-core runtime (ns)
+ *     fm    measured operating frequency (GHz)
+ *     c2    target core count
+ *     fmax  target all-core boost (GHz)
+ *     bw    optional target memory bandwidth (GB/s) for the roofline
+ */
+#include <cstdio>
+#include <cstdlib>
+
+#include "sol/reference_data.h"
+#include "sol/sol_model.h"
+
+int
+main(int argc, char** argv)
+{
+    using namespace mqx;
+
+    if (argc >= 5) {
+        double t_ns = std::atof(argv[1]);
+        double fm = std::atof(argv[2]);
+        int c2 = std::atoi(argv[3]);
+        double fmax = std::atof(argv[4]);
+        double sol = sol::solRuntime(t_ns, 1, c2, fm, fmax);
+        std::printf("t_sol = t_m * (c1/c2) * (fm/fmax)\n");
+        std::printf("      = %.4g * (1/%d) * (%.2f/%.2f) = %.6g ns\n", t_ns,
+                    c2, fm, fmax, sol);
+        if (argc >= 6) {
+            sol::CpuSpec custom;
+            custom.name = "custom";
+            custom.cores = c2;
+            custom.allcore_boost_ghz = fmax;
+            custom.mem_bw_gbs = std::atof(argv[5]);
+            double mem = sol::memoryBoundNsPerButterfly(custom);
+            std::printf("memory ceiling (80 B/butterfly): %.6g ns/bfly\n",
+                        mem);
+            std::printf("roofline-clamped SOL: %.6g ns\n",
+                        sol > mem ? sol : mem);
+        }
+        return 0;
+    }
+
+    std::printf("No custom parameters given; projecting the paper's\n"
+                "single-core MQX series onto the Section-6 target CPUs.\n\n");
+    for (const auto* target : {&sol::intelXeon6980P(), &sol::amdEpyc9965S()}) {
+        bool intel = target == &sol::intelXeon6980P();
+        const auto& series = intel ? sol::paperXeonSeries("MQX")
+                                   : sol::paperEpycSeries("MQX");
+        double fm = intel ? sol::intelXeon8352Y().max_boost_ghz
+                          : sol::amdEpyc9654().max_boost_ghz;
+        std::printf("%s (%d cores @ %.2f GHz all-core):\n",
+                    target->name.c_str(), target->cores,
+                    target->allcore_boost_ghz);
+        for (size_t n : sol::paperNttSizes()) {
+            double sol_t =
+                sol::solRuntimeSingleCore(series.at(n), fm, *target);
+            std::printf("  n = %6zu : %7.3f ns/bfly -> SOL %7.4f ns/bfly\n",
+                        n, series.at(n), sol_t);
+        }
+        std::printf("\n");
+    }
+    std::printf("Usage for custom CPUs: sol_calculator t_ns fm c2 fmax [bw]\n");
+    return 0;
+}

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * BigUInt baseline kernel implementation.
+ */
+#include "baseline/biguint_kernels.h"
+
+#include "mod/modulus.h"
+
+namespace mqx {
+namespace baseline {
+
+BigUIntKernels::BigUIntKernels(const U128& q) : q_(BigUInt::fromU128(q)) {}
+
+BigUIntKernels::BigUIntKernels(const ntt::NttPrime& prime, size_t n)
+    : q_(BigUInt::fromU128(prime.q)), n_(n)
+{
+    checkArg(n >= 2 && (n & (n - 1)) == 0,
+             "BigUIntKernels: n must be a power of two");
+    for (size_t t = n; t > 1; t >>= 1)
+        ++logn_;
+
+    Modulus fast(prime.q);
+    U128 omega = ntt::rootOfUnity(fast, U128{static_cast<uint64_t>(n)});
+    U128 omega_inv = fast.inverse(omega);
+    n_inv_ = BigUInt::fromU128(fast.inverse(U128{static_cast<uint64_t>(n)}));
+
+    pow_fwd_.resize(n);
+    pow_inv_.resize(n);
+    U128 acc_f{1}, acc_i{1};
+    for (size_t i = 0; i < n; ++i) {
+        pow_fwd_[i] = BigUInt::fromU128(acc_f);
+        pow_inv_[i] = BigUInt::fromU128(acc_i);
+        acc_f = fast.mul(acc_f, omega);
+        acc_i = fast.mul(acc_i, omega_inv);
+    }
+}
+
+void
+BigUIntKernels::transform(std::vector<BigUInt>& data,
+                          const std::vector<BigUInt>& pow) const
+{
+    size_t n = n_;
+    for (size_t i = 0; i < n; ++i) {
+        size_t r = 0;
+        for (int b = 0; b < logn_; ++b)
+            r |= ((i >> b) & 1) << (logn_ - 1 - b);
+        if (r > i)
+            std::swap(data[i], data[r]);
+    }
+    for (size_t len = 2; len <= n; len <<= 1) {
+        size_t step = n / len;
+        for (size_t i = 0; i < n; i += len) {
+            for (size_t j = 0; j < len / 2; ++j) {
+                const BigUInt& w = pow[step * j];
+                BigUInt u = data[i + j];
+                BigUInt v = BigUInt::mulMod(data[i + j + len / 2], w, q_);
+                data[i + j] = BigUInt::addMod(u, v, q_);
+                data[i + j + len / 2] = BigUInt::subMod(u, v, q_);
+            }
+        }
+    }
+}
+
+void
+BigUIntKernels::nttForward(std::vector<BigUInt>& data) const
+{
+    checkArg(n_ != 0, "BigUIntKernels: constructed without NTT tables");
+    checkArg(data.size() == n_, "BigUIntKernels::nttForward: size mismatch");
+    transform(data, pow_fwd_);
+}
+
+void
+BigUIntKernels::nttInverse(std::vector<BigUInt>& data) const
+{
+    checkArg(n_ != 0, "BigUIntKernels: constructed without NTT tables");
+    checkArg(data.size() == n_, "BigUIntKernels::nttInverse: size mismatch");
+    transform(data, pow_inv_);
+    for (auto& x : data)
+        x = BigUInt::mulMod(x, n_inv_, q_);
+}
+
+void
+BigUIntKernels::vadd(const std::vector<BigUInt>& a,
+                     const std::vector<BigUInt>& b,
+                     std::vector<BigUInt>& c) const
+{
+    checkArg(a.size() == b.size() && a.size() == c.size(),
+             "BigUIntKernels::vadd: length mismatch");
+    for (size_t i = 0; i < a.size(); ++i)
+        c[i] = BigUInt::addMod(a[i], b[i], q_);
+}
+
+void
+BigUIntKernels::vsub(const std::vector<BigUInt>& a,
+                     const std::vector<BigUInt>& b,
+                     std::vector<BigUInt>& c) const
+{
+    checkArg(a.size() == b.size() && a.size() == c.size(),
+             "BigUIntKernels::vsub: length mismatch");
+    for (size_t i = 0; i < a.size(); ++i)
+        c[i] = BigUInt::subMod(a[i], b[i], q_);
+}
+
+void
+BigUIntKernels::vmul(const std::vector<BigUInt>& a,
+                     const std::vector<BigUInt>& b,
+                     std::vector<BigUInt>& c) const
+{
+    checkArg(a.size() == b.size() && a.size() == c.size(),
+             "BigUIntKernels::vmul: length mismatch");
+    for (size_t i = 0; i < a.size(); ++i)
+        c[i] = BigUInt::mulMod(a[i], b[i], q_);
+}
+
+void
+BigUIntKernels::axpy(const BigUInt& alpha, const std::vector<BigUInt>& x,
+                     std::vector<BigUInt>& y) const
+{
+    checkArg(x.size() == y.size(), "BigUIntKernels::axpy: length mismatch");
+    for (size_t i = 0; i < x.size(); ++i)
+        y[i] = BigUInt::addMod(BigUInt::mulMod(alpha, x[i], q_), y[i], q_);
+}
+
+std::vector<BigUInt>
+BigUIntKernels::fromU128(const std::vector<U128>& values)
+{
+    std::vector<BigUInt> out(values.size());
+    for (size_t i = 0; i < values.size(); ++i)
+        out[i] = BigUInt::fromU128(values[i]);
+    return out;
+}
+
+std::vector<U128>
+BigUIntKernels::toU128(const std::vector<BigUInt>& values)
+{
+    std::vector<U128> out(values.size());
+    for (size_t i = 0; i < values.size(); ++i)
+        out[i] = values[i].toU128();
+    return out;
+}
+
+} // namespace baseline
+} // namespace mqx

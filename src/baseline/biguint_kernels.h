@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Arbitrary-precision baseline kernels over BigUInt — the from-scratch
+ * GMP substitute (paper Sections 5.3/5.4 benchmark GMP as the
+ * arbitrary-precision baseline; DESIGN.md documents the substitution).
+ * Cost profile: dynamic limb vectors, schoolbook multiply, Knuth-D
+ * division for every modular reduction.
+ */
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "bigint/biguint.h"
+#include "ntt/prime.h"
+
+namespace mqx {
+namespace baseline {
+
+/** NTT + BLAS over BigUInt arithmetic. */
+class BigUIntKernels
+{
+  public:
+    /** BLAS-only construction (no NTT tables). */
+    explicit BigUIntKernels(const U128& q);
+
+    /** NTT construction with precomputed root powers. */
+    BigUIntKernels(const ntt::NttPrime& prime, size_t n);
+
+    /** In-place forward NTT, natural order in and out. */
+    void nttForward(std::vector<BigUInt>& data) const;
+
+    /** In-place inverse NTT. */
+    void nttInverse(std::vector<BigUInt>& data) const;
+
+    void vadd(const std::vector<BigUInt>& a, const std::vector<BigUInt>& b,
+              std::vector<BigUInt>& c) const;
+    void vsub(const std::vector<BigUInt>& a, const std::vector<BigUInt>& b,
+              std::vector<BigUInt>& c) const;
+    void vmul(const std::vector<BigUInt>& a, const std::vector<BigUInt>& b,
+              std::vector<BigUInt>& c) const;
+    void axpy(const BigUInt& alpha, const std::vector<BigUInt>& x,
+              std::vector<BigUInt>& y) const;
+
+    /** Convert a residue vector into BigUInt form. */
+    static std::vector<BigUInt> fromU128(const std::vector<U128>& values);
+
+    /** Convert back (values must fit 128 bits). */
+    static std::vector<U128> toU128(const std::vector<BigUInt>& values);
+
+  private:
+    void transform(std::vector<BigUInt>& data,
+                   const std::vector<BigUInt>& pow) const;
+
+    BigUInt q_;
+    size_t n_ = 0;
+    int logn_ = 0;
+    std::vector<BigUInt> pow_fwd_;
+    std::vector<BigUInt> pow_inv_;
+    BigUInt n_inv_;
+};
+
+} // namespace baseline
+} // namespace mqx

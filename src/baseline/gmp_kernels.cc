@@ -1,0 +1,298 @@
+/**
+ * @file
+ * GMP baseline implementation (mpz_t arithmetic).
+ */
+#include "baseline/gmp_kernels.h"
+
+#if MQX_WITH_GMP
+
+#include <gmp.h>
+
+#include "mod/modulus.h"
+
+namespace mqx {
+namespace baseline {
+
+namespace {
+
+void
+setU128(mpz_t out, const U128& v)
+{
+    mpz_set_ui(out, static_cast<unsigned long>(v.hi));
+    mpz_mul_2exp(out, out, 64);
+    mpz_add_ui(out, out, static_cast<unsigned long>(v.lo));
+}
+
+U128
+getU128(const mpz_t v)
+{
+    mpz_t hi, lo;
+    mpz_init(hi);
+    mpz_init(lo);
+    mpz_fdiv_q_2exp(hi, v, 64);
+    mpz_fdiv_r_2exp(lo, v, 64);
+    U128 r = U128::fromParts(mpz_get_ui(hi), mpz_get_ui(lo));
+    mpz_clear(hi);
+    mpz_clear(lo);
+    return r;
+}
+
+} // namespace
+
+/** mpz_t is an array type and cannot live in std::vector directly. */
+struct MpzHolder
+{
+    mpz_t v;
+};
+
+struct GmpKernels::Impl
+{
+    mpz_t q;
+    size_t n = 0;
+    int logn = 0;
+    std::vector<MpzHolder> pow_fwd;
+    std::vector<MpzHolder> pow_inv;
+    mpz_t n_inv;
+    // Scratch residues reused across calls.
+    mutable mpz_t t0, t1;
+
+    explicit Impl(const U128& modulus)
+    {
+        mpz_init(q);
+        setU128(q, modulus);
+        mpz_init(n_inv);
+        mpz_init2(t0, 256);
+        mpz_init2(t1, 256);
+    }
+
+    ~Impl()
+    {
+        mpz_clear(q);
+        mpz_clear(n_inv);
+        mpz_clear(t0);
+        mpz_clear(t1);
+        for (auto& p : pow_fwd)
+            mpz_clear(p.v);
+        for (auto& p : pow_inv)
+            mpz_clear(p.v);
+    }
+};
+
+GmpKernels::GmpKernels(const U128& q) : impl_(new Impl(q)) {}
+
+GmpKernels::GmpKernels(const ntt::NttPrime& prime, size_t n)
+    : impl_(new Impl(prime.q))
+{
+    checkArg(n >= 2 && (n & (n - 1)) == 0,
+             "GmpKernels: n must be a power of two");
+    impl_->n = n;
+    for (size_t t = n; t > 1; t >>= 1)
+        ++impl_->logn;
+
+    Modulus fast(prime.q);
+    U128 omega = ntt::rootOfUnity(fast, U128{static_cast<uint64_t>(n)});
+    U128 omega_inv = fast.inverse(omega);
+    setU128(impl_->n_inv, fast.inverse(U128{static_cast<uint64_t>(n)}));
+
+    impl_->pow_fwd.resize(n);
+    impl_->pow_inv.resize(n);
+    U128 acc_f{1}, acc_i{1};
+    for (size_t i = 0; i < n; ++i) {
+        mpz_init2(impl_->pow_fwd[i].v, 130);
+        mpz_init2(impl_->pow_inv[i].v, 130);
+        setU128(impl_->pow_fwd[i].v, acc_f);
+        setU128(impl_->pow_inv[i].v, acc_i);
+        acc_f = fast.mul(acc_f, omega);
+        acc_i = fast.mul(acc_i, omega_inv);
+    }
+}
+
+GmpKernels::~GmpKernels() { delete impl_; }
+
+namespace {
+
+void
+gmpTransform(const GmpKernels::Impl* impl, std::vector<MpzHolder>& data,
+             const std::vector<MpzHolder>& pow)
+{
+    size_t n = impl->n;
+    for (size_t i = 0; i < n; ++i) {
+        size_t r = 0;
+        for (int b = 0; b < impl->logn; ++b)
+            r |= ((i >> b) & 1) << (impl->logn - 1 - b);
+        if (r > i)
+            mpz_swap(data[i].v, data[r].v);
+    }
+    for (size_t len = 2; len <= n; len <<= 1) {
+        size_t step = n / len;
+        for (size_t i = 0; i < n; i += len) {
+            for (size_t j = 0; j < len / 2; ++j) {
+                size_t lo = i + j, hi_idx = i + j + len / 2;
+                // v = data[hi] * w mod q
+                mpz_mul(impl->t0, data[hi_idx].v, pow[step * j].v);
+                mpz_mod(impl->t0, impl->t0, impl->q);
+                // data[hi] = u - v mod q; data[lo] = u + v mod q
+                mpz_sub(impl->t1, data[lo].v, impl->t0);
+                if (mpz_sgn(impl->t1) < 0)
+                    mpz_add(impl->t1, impl->t1, impl->q);
+                mpz_add(data[lo].v, data[lo].v, impl->t0);
+                if (mpz_cmp(data[lo].v, impl->q) >= 0)
+                    mpz_sub(data[lo].v, data[lo].v, impl->q);
+                mpz_swap(data[hi_idx].v, impl->t1);
+            }
+        }
+    }
+}
+
+std::vector<MpzHolder>
+toMpz(const std::vector<U128>& values)
+{
+    std::vector<MpzHolder> out(values.size());
+    for (size_t i = 0; i < values.size(); ++i) {
+        mpz_init2(out[i].v, 130);
+        setU128(out[i].v, values[i]);
+    }
+    return out;
+}
+
+void
+fromMpz(std::vector<MpzHolder>& work, std::vector<U128>& values)
+{
+    for (size_t i = 0; i < values.size(); ++i) {
+        values[i] = getU128(work[i].v);
+        mpz_clear(work[i].v);
+    }
+}
+
+} // namespace
+
+void
+GmpKernels::nttForward(std::vector<U128>& data) const
+{
+    checkArg(impl_->n != 0, "GmpKernels: constructed without NTT tables");
+    checkArg(data.size() == impl_->n, "GmpKernels::nttForward: size mismatch");
+    std::vector<MpzHolder> work = toMpz(data);
+    gmpTransform(impl_, work, impl_->pow_fwd);
+    fromMpz(work, data);
+}
+
+void
+GmpKernels::nttInverse(std::vector<U128>& data) const
+{
+    checkArg(impl_->n != 0, "GmpKernels: constructed without NTT tables");
+    checkArg(data.size() == impl_->n, "GmpKernels::nttInverse: size mismatch");
+    std::vector<MpzHolder> work = toMpz(data);
+    gmpTransform(impl_, work, impl_->pow_inv);
+    for (auto& x : work) {
+        mpz_mul(impl_->t0, x.v, impl_->n_inv);
+        mpz_mod(x.v, impl_->t0, impl_->q);
+    }
+    fromMpz(work, data);
+}
+
+void
+GmpKernels::vadd(const std::vector<U128>& a, const std::vector<U128>& b,
+                 std::vector<U128>& c) const
+{
+    checkArg(a.size() == b.size() && a.size() == c.size(),
+             "GmpKernels::vadd: length mismatch");
+    for (size_t i = 0; i < a.size(); ++i) {
+        setU128(impl_->t0, a[i]);
+        setU128(impl_->t1, b[i]);
+        mpz_add(impl_->t0, impl_->t0, impl_->t1);
+        mpz_mod(impl_->t0, impl_->t0, impl_->q);
+        c[i] = getU128(impl_->t0);
+    }
+}
+
+void
+GmpKernels::vsub(const std::vector<U128>& a, const std::vector<U128>& b,
+                 std::vector<U128>& c) const
+{
+    checkArg(a.size() == b.size() && a.size() == c.size(),
+             "GmpKernels::vsub: length mismatch");
+    for (size_t i = 0; i < a.size(); ++i) {
+        setU128(impl_->t0, a[i]);
+        setU128(impl_->t1, b[i]);
+        mpz_sub(impl_->t0, impl_->t0, impl_->t1);
+        mpz_mod(impl_->t0, impl_->t0, impl_->q);
+        c[i] = getU128(impl_->t0);
+    }
+}
+
+void
+GmpKernels::vmul(const std::vector<U128>& a, const std::vector<U128>& b,
+                 std::vector<U128>& c) const
+{
+    checkArg(a.size() == b.size() && a.size() == c.size(),
+             "GmpKernels::vmul: length mismatch");
+    for (size_t i = 0; i < a.size(); ++i) {
+        setU128(impl_->t0, a[i]);
+        setU128(impl_->t1, b[i]);
+        mpz_mul(impl_->t0, impl_->t0, impl_->t1);
+        mpz_mod(impl_->t0, impl_->t0, impl_->q);
+        c[i] = getU128(impl_->t0);
+    }
+}
+
+void
+GmpKernels::axpy(const U128& alpha, const std::vector<U128>& x,
+                 std::vector<U128>& y) const
+{
+    checkArg(x.size() == y.size(), "GmpKernels::axpy: length mismatch");
+    mpz_t a;
+    mpz_init2(a, 130);
+    setU128(a, alpha);
+    for (size_t i = 0; i < x.size(); ++i) {
+        setU128(impl_->t0, x[i]);
+        mpz_mul(impl_->t0, impl_->t0, a);
+        setU128(impl_->t1, y[i]);
+        mpz_add(impl_->t0, impl_->t0, impl_->t1);
+        mpz_mod(impl_->t0, impl_->t0, impl_->q);
+        y[i] = getU128(impl_->t0);
+    }
+    mpz_clear(a);
+}
+
+U128
+GmpKernels::mulModOracle(const U128& a, const U128& b, const U128& q)
+{
+    mpz_t ta, tb, tq;
+    mpz_init(ta);
+    mpz_init(tb);
+    mpz_init(tq);
+    setU128(ta, a);
+    setU128(tb, b);
+    setU128(tq, q);
+    mpz_mul(ta, ta, tb);
+    mpz_mod(ta, ta, tq);
+    U128 r = getU128(ta);
+    mpz_clear(ta);
+    mpz_clear(tb);
+    mpz_clear(tq);
+    return r;
+}
+
+U128
+GmpKernels::addModOracle(const U128& a, const U128& b, const U128& q)
+{
+    mpz_t ta, tb, tq;
+    mpz_init(ta);
+    mpz_init(tb);
+    mpz_init(tq);
+    setU128(ta, a);
+    setU128(tb, b);
+    setU128(tq, q);
+    mpz_add(ta, ta, tb);
+    mpz_mod(ta, ta, tq);
+    U128 r = getU128(ta);
+    mpz_clear(ta);
+    mpz_clear(tb);
+    mpz_clear(tq);
+    return r;
+}
+
+} // namespace baseline
+} // namespace mqx
+
+#endif // MQX_WITH_GMP

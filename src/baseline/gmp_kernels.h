@@ -1,0 +1,65 @@
+/**
+ * @file
+ * GMP baseline kernels — the paper's literal arbitrary-precision
+ * baseline ("configured to perform exact integer arithmetic", Section
+ * 5.3). Only built when GMP is found; BigUIntKernels is the always-
+ * available substitute, and the test suite cross-checks the two.
+ */
+#pragma once
+
+#include "core/config.h"
+
+#if MQX_WITH_GMP
+
+#include <cstddef>
+#include <vector>
+
+#include "ntt/prime.h"
+#include "u128/u128.h"
+
+namespace mqx {
+namespace baseline {
+
+/**
+ * NTT + BLAS over mpz_t arithmetic. Residues are held as a persistent
+ * mpz_t workspace so per-op allocations match steady-state GMP usage.
+ */
+class GmpKernels
+{
+  public:
+    explicit GmpKernels(const U128& q);
+    GmpKernels(const ntt::NttPrime& prime, size_t n);
+    ~GmpKernels();
+
+    GmpKernels(const GmpKernels&) = delete;
+    GmpKernels& operator=(const GmpKernels&) = delete;
+
+    /** In-place forward NTT over a U128 vector (converted internally). */
+    void nttForward(std::vector<U128>& data) const;
+
+    /** In-place inverse NTT. */
+    void nttInverse(std::vector<U128>& data) const;
+
+    void vadd(const std::vector<U128>& a, const std::vector<U128>& b,
+              std::vector<U128>& c) const;
+    void vsub(const std::vector<U128>& a, const std::vector<U128>& b,
+              std::vector<U128>& c) const;
+    void vmul(const std::vector<U128>& a, const std::vector<U128>& b,
+              std::vector<U128>& c) const;
+    void axpy(const U128& alpha, const std::vector<U128>& x,
+              std::vector<U128>& y) const;
+
+    /** Oracle hooks for the test suite. */
+    static U128 mulModOracle(const U128& a, const U128& b, const U128& q);
+    static U128 addModOracle(const U128& a, const U128& b, const U128& q);
+
+    struct Impl; ///< pimpl keeps gmp.h out of this header
+
+  private:
+    Impl* impl_;
+};
+
+} // namespace baseline
+} // namespace mqx
+
+#endif // MQX_WITH_GMP

@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Generic division-based 128-bit backend implementation.
+ */
+#include "baseline/openfhe_like.h"
+
+#include "core/config.h"
+
+namespace mqx {
+namespace baseline {
+
+OpenFheLikeModulus::OpenFheLikeModulus(const U128& q) : q_(q)
+{
+    checkArg(q >= U128{2}, "OpenFheLikeModulus: modulus must be >= 2");
+    qbits_ = q.bits();
+}
+
+U128
+OpenFheLikeModulus::addMod(const U128& a, const U128& b) const
+{
+    // Generic path: works for any a, b < q; overflow cannot occur for
+    // q < 2^127, which the 124-bit Barrett regime guarantees upstream.
+    U128 s = a + b;
+    if (s >= q_ || s < a)
+        s -= q_;
+    return s;
+}
+
+U128
+OpenFheLikeModulus::subMod(const U128& a, const U128& b) const
+{
+    if (a < b)
+        return a + q_ - b;
+    return a - b;
+}
+
+U128
+OpenFheLikeModulus::mulMod(const U128& a, const U128& b) const
+{
+    // Full double-width product followed by shift-subtract reduction —
+    // the structure of a generic big-integer Mod (no precomputation,
+    // no Barrett). This is the cost profile the paper's baselines pay.
+    U256 r = mulFull128(a, b);
+    const U256 q256 = U256::fromU128(q_);
+    while (r >= q256) {
+        int shift = r.bits() - qbits_;
+        U256 t = q256 << shift;
+        if (t > r)
+            t >>= 1;
+        r -= t;
+    }
+    return r.low128();
+}
+
+U128
+OpenFheLikeModulus::powMod(const U128& base, const U128& exponent) const
+{
+    U128 result{1};
+    U128 b = base;
+    if (b >= q_)
+        b = mod128(b, q_);
+    for (int i = exponent.bits() - 1; i >= 0; --i) {
+        result = mulMod(result, result);
+        if (exponent.bit(i))
+            result = mulMod(result, b);
+    }
+    return result;
+}
+
+OpenFheLikeNtt::OpenFheLikeNtt(const ntt::NttPrime& prime, size_t n)
+    : mod_(prime.q), n_(n)
+{
+    checkArg(n >= 2 && (n & (n - 1)) == 0,
+             "OpenFheLikeNtt: n must be a power of two");
+    logn_ = 0;
+    for (size_t t = n; t > 1; t >>= 1)
+        ++logn_;
+
+    // Root setup reuses the optimized library path (setup cost is not
+    // part of any measured kernel).
+    Modulus fast(prime.q);
+    U128 omega = ntt::rootOfUnity(fast, U128{static_cast<uint64_t>(n)});
+    U128 omega_inv = fast.inverse(omega);
+    n_inv_ = fast.inverse(U128{static_cast<uint64_t>(n)});
+
+    pow_fwd_.resize(n);
+    pow_inv_.resize(n);
+    U128 acc_f{1}, acc_i{1};
+    for (size_t i = 0; i < n; ++i) {
+        pow_fwd_[i] = acc_f;
+        pow_inv_[i] = acc_i;
+        acc_f = fast.mul(acc_f, omega);
+        acc_i = fast.mul(acc_i, omega_inv);
+    }
+}
+
+void
+OpenFheLikeNtt::transform(std::vector<U128>& data,
+                          const std::vector<U128>& pow) const
+{
+    // Bit-reversal permutation then iterative DIT butterflies.
+    size_t n = n_;
+    for (size_t i = 0; i < n; ++i) {
+        size_t r = 0;
+        for (int b = 0; b < logn_; ++b)
+            r |= ((i >> b) & 1) << (logn_ - 1 - b);
+        if (r > i)
+            std::swap(data[i], data[r]);
+    }
+    for (size_t len = 2; len <= n; len <<= 1) {
+        size_t step = n / len;
+        for (size_t i = 0; i < n; i += len) {
+            for (size_t j = 0; j < len / 2; ++j) {
+                const U128& w = pow[step * j];
+                U128 u = data[i + j];
+                U128 v = mod_.mulMod(data[i + j + len / 2], w);
+                data[i + j] = mod_.addMod(u, v);
+                data[i + j + len / 2] = mod_.subMod(u, v);
+            }
+        }
+    }
+}
+
+void
+OpenFheLikeNtt::forward(std::vector<U128>& data) const
+{
+    checkArg(data.size() == n_, "OpenFheLikeNtt::forward: size mismatch");
+    transform(data, pow_fwd_);
+}
+
+void
+OpenFheLikeNtt::inverse(std::vector<U128>& data) const
+{
+    checkArg(data.size() == n_, "OpenFheLikeNtt::inverse: size mismatch");
+    transform(data, pow_inv_);
+    for (auto& x : data)
+        x = mod_.mulMod(x, n_inv_);
+}
+
+void
+OpenFheLikeBlas::vadd(const std::vector<U128>& a, const std::vector<U128>& b,
+                      std::vector<U128>& c) const
+{
+    checkArg(a.size() == b.size() && a.size() == c.size(),
+             "OpenFheLikeBlas::vadd: length mismatch");
+    for (size_t i = 0; i < a.size(); ++i)
+        c[i] = mod_.addMod(a[i], b[i]);
+}
+
+void
+OpenFheLikeBlas::vsub(const std::vector<U128>& a, const std::vector<U128>& b,
+                      std::vector<U128>& c) const
+{
+    checkArg(a.size() == b.size() && a.size() == c.size(),
+             "OpenFheLikeBlas::vsub: length mismatch");
+    for (size_t i = 0; i < a.size(); ++i)
+        c[i] = mod_.subMod(a[i], b[i]);
+}
+
+void
+OpenFheLikeBlas::vmul(const std::vector<U128>& a, const std::vector<U128>& b,
+                      std::vector<U128>& c) const
+{
+    checkArg(a.size() == b.size() && a.size() == c.size(),
+             "OpenFheLikeBlas::vmul: length mismatch");
+    for (size_t i = 0; i < a.size(); ++i)
+        c[i] = mod_.mulMod(a[i], b[i]);
+}
+
+void
+OpenFheLikeBlas::axpy(const U128& alpha, const std::vector<U128>& x,
+                      std::vector<U128>& y) const
+{
+    checkArg(x.size() == y.size(), "OpenFheLikeBlas::axpy: length mismatch");
+    for (size_t i = 0; i < x.size(); ++i)
+        y[i] = mod_.addMod(mod_.mulMod(alpha, x[i]), y[i]);
+}
+
+} // namespace baseline
+} // namespace mqx

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Deterministic pseudo-random generators for workload construction.
+ *
+ * Benchmarks and tests need reproducible residue vectors; SplitMix64 is
+ * small, fast, and has no global state, so every workload carries its own
+ * seeded stream.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "u128/u128.h"
+
+namespace mqx {
+
+/** SplitMix64: tiny, statistically solid, fully deterministic. */
+class SplitMix64
+{
+  public:
+    explicit constexpr SplitMix64(uint64_t seed) : state_(seed) {}
+
+    constexpr uint64_t
+    next()
+    {
+        uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return z ^ (z >> 31);
+    }
+
+    /** Uniform 128-bit value. */
+    constexpr U128
+    nextU128()
+    {
+        uint64_t lo = next();
+        uint64_t hi = next();
+        return U128::fromParts(hi, lo);
+    }
+
+    /**
+     * Uniform value in [0, bound). Uses rejection sampling on the
+     * top-aligned range so the distribution is exact.
+     */
+    U128
+    nextBelow(const U128& bound)
+    {
+        checkArg(!bound.isZero(), "nextBelow: zero bound");
+        int b = bound.bits();
+        for (;;) {
+            U128 candidate = nextU128() >> (128 - b);
+            if (candidate < bound)
+                return candidate;
+        }
+    }
+
+  private:
+    uint64_t state_;
+};
+
+/** A vector of uniformly random residues in [0, q). */
+inline std::vector<U128>
+randomResidues(size_t count, const U128& q, uint64_t seed)
+{
+    SplitMix64 rng(seed);
+    std::vector<U128> out(count);
+    for (auto& v : out)
+        v = rng.nextBelow(q);
+    return out;
+}
+
+} // namespace mqx

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * TextTable implementation.
+ */
+#include "bench_util/tables.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace mqx {
+
+void
+TextTable::setHeader(std::vector<std::string> header)
+{
+    header_ = std::move(header);
+}
+
+void
+TextTable::addRow(std::vector<std::string> row)
+{
+    rows_.push_back(std::move(row));
+}
+
+void
+TextTable::addRule()
+{
+    rows_.emplace_back();
+}
+
+std::string
+TextTable::render() const
+{
+    std::vector<size_t> widths;
+    auto grow = [&](const std::vector<std::string>& row) {
+        if (row.size() > widths.size())
+            widths.resize(row.size(), 0);
+        for (size_t i = 0; i < row.size(); ++i)
+            widths[i] = std::max(widths[i], row[i].size());
+    };
+    grow(header_);
+    for (const auto& r : rows_)
+        grow(r);
+
+    size_t total = 0;
+    for (size_t w : widths)
+        total += w + 3;
+
+    std::ostringstream out;
+    if (!title_.empty())
+        out << title_ << "\n";
+    auto emit = [&](const std::vector<std::string>& row) {
+        for (size_t i = 0; i < row.size(); ++i) {
+            out << row[i];
+            for (size_t pad = row[i].size(); pad < widths[i] + 3 &&
+                 i + 1 < row.size(); ++pad)
+                out << ' ';
+        }
+        out << "\n";
+    };
+    if (!header_.empty()) {
+        emit(header_);
+        out << std::string(total, '-') << "\n";
+    }
+    for (const auto& r : rows_) {
+        if (r.empty())
+            out << std::string(total, '-') << "\n";
+        else
+            emit(r);
+    }
+    return out.str();
+}
+
+std::string
+TextTable::renderCsv() const
+{
+    std::ostringstream out;
+    auto emit = [&](const std::vector<std::string>& row) {
+        for (size_t i = 0; i < row.size(); ++i) {
+            if (i)
+                out << ',';
+            out << row[i];
+        }
+        out << "\n";
+    };
+    if (!header_.empty())
+        emit(header_);
+    for (const auto& r : rows_) {
+        if (!r.empty())
+            emit(r);
+    }
+    return out.str();
+}
+
+void
+TextTable::print() const
+{
+    std::fputs(render().c_str(), stdout);
+    std::fflush(stdout);
+}
+
+std::string
+formatFixed(double v, int digits)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+    return buf;
+}
+
+std::string
+formatSpeedup(double v)
+{
+    char buf[64];
+    if (v >= 100.0)
+        std::snprintf(buf, sizeof(buf), "%.0fx", v);
+    else
+        std::snprintf(buf, sizeof(buf), "%.1fx", v);
+    return buf;
+}
+
+double
+geomean(const std::vector<double>& values)
+{
+    double log_sum = 0.0;
+    int n = 0;
+    for (double v : values) {
+        if (v > 0.0) {
+            log_sum += std::log(v);
+            ++n;
+        }
+    }
+    return n ? std::exp(log_sum / n) : 0.0;
+}
+
+} // namespace mqx

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Plain-text table rendering for the figure/table regeneration harnesses.
+ *
+ * Every bench binary prints the same rows/series the paper reports; this
+ * tiny formatter keeps those tables aligned and consistent (and emits an
+ * optional CSV form for plotting).
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mqx {
+
+/** Column-aligned text table with an optional CSV dump. */
+class TextTable
+{
+  public:
+    /** @param title printed above the table. */
+    explicit TextTable(std::string title) : title_(std::move(title)) {}
+
+    /** Set the header row. */
+    void setHeader(std::vector<std::string> header);
+
+    /** Append a data row (cells already formatted). */
+    void addRow(std::vector<std::string> row);
+
+    /** Append a horizontal rule. */
+    void addRule();
+
+    /** Render aligned text. */
+    std::string render() const;
+
+    /** Render comma-separated values (no title, no rules). */
+    std::string renderCsv() const;
+
+    /** Print render() to stdout. */
+    void print() const;
+
+  private:
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_; // empty row == rule
+};
+
+/** Format @p v with @p digits fractional digits. */
+std::string formatFixed(double v, int digits);
+
+/** Format a ratio as e.g. "3.8x". */
+std::string formatSpeedup(double v);
+
+/** Geometric mean of @p values (ignores non-positive entries). */
+double geomean(const std::vector<double>& values);
+
+} // namespace mqx

@@ -1,0 +1,412 @@
+/**
+ * @file
+ * BigUInt implementation: schoolbook multiplication and Knuth Algorithm D
+ * division over 64-bit limbs, built on the carry/widening primitives in
+ * u128.h so the same code compiles with or without native __int128.
+ */
+#include "bigint/biguint.h"
+
+#include <algorithm>
+#include <array>
+
+namespace mqx {
+
+namespace {
+
+/**
+ * Divide the 128-bit value hi:lo by a 64-bit divisor, assuming hi < d so
+ * the quotient fits in 64 bits. Used by Algorithm D's qhat estimate.
+ */
+void
+div128by64(uint64_t hi, uint64_t lo, uint64_t d, uint64_t& q, uint64_t& r)
+{
+#if MQX_HAVE_INT128
+    unsigned __int128 n = (static_cast<unsigned __int128>(hi) << 64) | lo;
+    q = static_cast<uint64_t>(n / d);
+    r = static_cast<uint64_t>(n % d);
+#else
+    // Portable restoring division, one bit at a time.
+    uint64_t quo = 0, rem = hi;
+    for (int i = 63; i >= 0; --i) {
+        uint64_t top = rem >> 63;
+        rem = (rem << 1) | ((lo >> i) & 1);
+        if (top || rem >= d) {
+            rem -= d;
+            quo |= uint64_t{1} << i;
+        }
+    }
+    q = quo;
+    r = rem;
+#endif
+}
+
+int
+countLeadingZeros64(uint64_t x)
+{
+    return x ? __builtin_clzll(x) : 64;
+}
+
+} // namespace
+
+BigUInt::BigUInt(uint64_t value)
+{
+    if (value)
+        limbs_.push_back(value);
+}
+
+BigUInt
+BigUInt::fromU128(const U128& v)
+{
+    BigUInt r;
+    if (v.hi) {
+        r.limbs_ = {v.lo, v.hi};
+    } else if (v.lo) {
+        r.limbs_ = {v.lo};
+    }
+    return r;
+}
+
+U128
+BigUInt::toU128() const
+{
+    return U128::fromParts(limb(1), limb(0));
+}
+
+int
+BigUInt::bits() const
+{
+    if (limbs_.empty())
+        return 0;
+    return static_cast<int>(64 * (limbs_.size() - 1)) +
+           bitLength64(limbs_.back());
+}
+
+void
+BigUInt::normalize()
+{
+    while (!limbs_.empty() && limbs_.back() == 0)
+        limbs_.pop_back();
+}
+
+int
+BigUInt::compare(const BigUInt& a, const BigUInt& b)
+{
+    if (a.limbs_.size() != b.limbs_.size())
+        return a.limbs_.size() < b.limbs_.size() ? -1 : 1;
+    for (size_t i = a.limbs_.size(); i-- > 0;) {
+        if (a.limbs_[i] != b.limbs_[i])
+            return a.limbs_[i] < b.limbs_[i] ? -1 : 1;
+    }
+    return 0;
+}
+
+BigUInt
+operator+(const BigUInt& a, const BigUInt& b)
+{
+    BigUInt r;
+    size_t n = std::max(a.limbs_.size(), b.limbs_.size());
+    r.limbs_.resize(n + 1, 0);
+    uint64_t carry = 0;
+    for (size_t i = 0; i < n; ++i)
+        carry = addc64(a.limb(i), b.limb(i), carry, r.limbs_[i]);
+    r.limbs_[n] = carry;
+    r.normalize();
+    return r;
+}
+
+BigUInt
+operator-(const BigUInt& a, const BigUInt& b)
+{
+    checkArg(a >= b, "BigUInt subtraction underflow");
+    BigUInt r;
+    r.limbs_.resize(a.limbs_.size(), 0);
+    uint64_t borrow = 0;
+    for (size_t i = 0; i < a.limbs_.size(); ++i)
+        borrow = subb64(a.limbs_[i], b.limb(i), borrow, r.limbs_[i]);
+    r.normalize();
+    return r;
+}
+
+BigUInt
+operator*(const BigUInt& a, const BigUInt& b)
+{
+    if (a.isZero() || b.isZero())
+        return BigUInt{};
+    BigUInt r;
+    r.limbs_.assign(a.limbs_.size() + b.limbs_.size(), 0);
+    for (size_t i = 0; i < a.limbs_.size(); ++i) {
+        uint64_t carry = 0;
+        for (size_t j = 0; j < b.limbs_.size(); ++j) {
+            uint64_t p_hi = 0, p_lo = 0;
+            mulWide64(a.limbs_[i], b.limbs_[j], p_hi, p_lo);
+            uint64_t c1 = addc64(r.limbs_[i + j], p_lo, 0, r.limbs_[i + j]);
+            uint64_t c2 = addc64(r.limbs_[i + j], carry, 0, r.limbs_[i + j]);
+            carry = p_hi + c1 + c2; // cannot overflow: p_hi <= 2^64 - 2
+        }
+        r.limbs_[i + b.limbs_.size()] += carry;
+    }
+    r.normalize();
+    return r;
+}
+
+BigUInt
+operator<<(const BigUInt& a, int s)
+{
+    checkArg(s >= 0, "BigUInt shift amount must be non-negative");
+    if (a.isZero() || s == 0)
+        return a;
+    size_t word = static_cast<size_t>(s) / 64;
+    int bitoff = s % 64;
+    BigUInt r;
+    r.limbs_.assign(a.limbs_.size() + word + 1, 0);
+    for (size_t i = 0; i < a.limbs_.size(); ++i) {
+        r.limbs_[i + word] |= a.limbs_[i] << bitoff;
+        if (bitoff)
+            r.limbs_[i + word + 1] |= a.limbs_[i] >> (64 - bitoff);
+    }
+    r.normalize();
+    return r;
+}
+
+BigUInt
+operator>>(const BigUInt& a, int s)
+{
+    checkArg(s >= 0, "BigUInt shift amount must be non-negative");
+    if (a.isZero() || s == 0)
+        return a;
+    size_t word = static_cast<size_t>(s) / 64;
+    int bitoff = s % 64;
+    if (word >= a.limbs_.size())
+        return BigUInt{};
+    BigUInt r;
+    r.limbs_.assign(a.limbs_.size() - word, 0);
+    for (size_t i = 0; i < r.limbs_.size(); ++i) {
+        r.limbs_[i] = a.limbs_[i + word] >> bitoff;
+        if (bitoff && i + word + 1 < a.limbs_.size())
+            r.limbs_[i] |= a.limbs_[i + word + 1] << (64 - bitoff);
+    }
+    r.normalize();
+    return r;
+}
+
+void
+BigUInt::divmod(const BigUInt& a, const BigUInt& b,
+                BigUInt& quotient, BigUInt& remainder)
+{
+    checkArg(!b.isZero(), "BigUInt division by zero");
+    if (compare(a, b) < 0) {
+        quotient = BigUInt{};
+        remainder = a;
+        return;
+    }
+
+    // Single-limb divisor: straightforward limb-by-limb division.
+    if (b.limbs_.size() == 1) {
+        uint64_t d = b.limbs_[0];
+        BigUInt q;
+        q.limbs_.assign(a.limbs_.size(), 0);
+        uint64_t rem = 0;
+        for (size_t i = a.limbs_.size(); i-- > 0;)
+            div128by64(rem, a.limbs_[i], d, q.limbs_[i], rem);
+        q.normalize();
+        quotient = std::move(q);
+        remainder = BigUInt{rem};
+        return;
+    }
+
+    // Knuth TAOCP vol. 2, Algorithm 4.3.1 D.
+    size_t n = b.limbs_.size();
+    size_t m = a.limbs_.size() - n;
+    int shift = countLeadingZeros64(b.limbs_.back());
+
+    BigUInt v = b << shift;            // normalized divisor, top bit set
+    BigUInt ub = a << shift;
+    std::vector<uint64_t> u(ub.limbs_);
+    u.resize(a.limbs_.size() + 1, 0);  // u has m + n + 1 limbs
+
+    BigUInt q;
+    q.limbs_.assign(m + 1, 0);
+
+    const uint64_t v1 = v.limbs_[n - 1];
+    const uint64_t v2 = v.limbs_[n - 2];
+
+    for (size_t j = m + 1; j-- > 0;) {
+        // Estimate qhat = (u[j+n]B + u[j+n-1]) / v1, clamped to B - 1.
+        uint64_t qhat = 0, rhat = 0;
+        if (u[j + n] == v1) {
+            qhat = ~uint64_t{0};
+            // rhat = u[j+n]B + u[j+n-1] - qhat*v1 = u[j+n-1] + v1
+            uint64_t overflow = addc64(u[j + n - 1], v1, 0, rhat);
+            if (overflow)
+                goto multiply_subtract; // rhat >= B: qhat is certainly ok
+        } else {
+            div128by64(u[j + n], u[j + n - 1], v1, qhat, rhat);
+        }
+        // Correct qhat down (at most twice) while
+        // qhat * v2 > rhat * B + u[j+n-2].
+        for (int fix = 0; fix < 2; ++fix) {
+            uint64_t p_hi = 0, p_lo = 0;
+            mulWide64(qhat, v2, p_hi, p_lo);
+            if (p_hi > rhat || (p_hi == rhat && p_lo > u[j + n - 2])) {
+                --qhat;
+                uint64_t overflow = addc64(rhat, v1, 0, rhat);
+                if (overflow)
+                    break;
+            } else {
+                break;
+            }
+        }
+
+      multiply_subtract:
+        // u[j .. j+n] -= qhat * v
+        uint64_t borrow = 0, mul_carry = 0;
+        for (size_t i = 0; i < n; ++i) {
+            uint64_t p_hi = 0, p_lo = 0;
+            mulWide64(qhat, v.limbs_[i], p_hi, p_lo);
+            uint64_t lo_sum = 0;
+            uint64_t c = addc64(p_lo, mul_carry, 0, lo_sum);
+            mul_carry = p_hi + c;
+            borrow = subb64(u[j + i], lo_sum, borrow, u[j + i]);
+        }
+        borrow = subb64(u[j + n], mul_carry, borrow, u[j + n]);
+
+        if (borrow) {
+            // qhat was one too large (rare); add the divisor back.
+            --qhat;
+            uint64_t carry = 0;
+            for (size_t i = 0; i < n; ++i)
+                carry = addc64(u[j + i], v.limbs_[i], carry, u[j + i]);
+            u[j + n] += carry;
+        }
+        q.limbs_[j] = qhat;
+    }
+
+    q.normalize();
+    BigUInt r;
+    r.limbs_.assign(u.begin(), u.begin() + static_cast<long>(n));
+    r.normalize();
+    quotient = std::move(q);
+    remainder = r >> shift;
+}
+
+BigUInt
+operator/(const BigUInt& a, const BigUInt& b)
+{
+    BigUInt q, r;
+    BigUInt::divmod(a, b, q, r);
+    return q;
+}
+
+BigUInt
+operator%(const BigUInt& a, const BigUInt& b)
+{
+    BigUInt q, r;
+    BigUInt::divmod(a, b, q, r);
+    return r;
+}
+
+BigUInt
+BigUInt::addMod(const BigUInt& a, const BigUInt& b, const BigUInt& m)
+{
+    return (a + b) % m;
+}
+
+BigUInt
+BigUInt::subMod(const BigUInt& a, const BigUInt& b, const BigUInt& m)
+{
+    if (a >= b)
+        return (a - b) % m;
+    return (a + m - b) % m;
+}
+
+BigUInt
+BigUInt::mulMod(const BigUInt& a, const BigUInt& b, const BigUInt& m)
+{
+    return (a * b) % m;
+}
+
+BigUInt
+BigUInt::powMod(const BigUInt& a, const BigUInt& e, const BigUInt& m)
+{
+    checkArg(!m.isZero(), "BigUInt::powMod: zero modulus");
+    BigUInt result{1};
+    result = result % m;
+    BigUInt base = a % m;
+    int nbits = e.bits();
+    for (int i = nbits - 1; i >= 0; --i) {
+        result = mulMod(result, result, m);
+        size_t w = static_cast<size_t>(i) / 64;
+        if ((e.limb(w) >> (i % 64)) & 1)
+            result = mulMod(result, base, m);
+    }
+    return result;
+}
+
+BigUInt
+BigUInt::fromString(const std::string& text)
+{
+    checkArg(!text.empty(), "BigUInt::fromString: empty string");
+    BigUInt v;
+    if (text.size() > 2 && text[0] == '0' && (text[1] == 'x' || text[1] == 'X')) {
+        for (size_t i = 2; i < text.size(); ++i) {
+            char c = text[i];
+            uint64_t digit = 0;
+            if (c >= '0' && c <= '9')
+                digit = static_cast<uint64_t>(c - '0');
+            else if (c >= 'a' && c <= 'f')
+                digit = static_cast<uint64_t>(c - 'a' + 10);
+            else if (c >= 'A' && c <= 'F')
+                digit = static_cast<uint64_t>(c - 'A' + 10);
+            else
+                throw InvalidArgument("BigUInt::fromString: bad hex digit");
+            v = (v << 4) + BigUInt{digit};
+        }
+        return v;
+    }
+    for (char c : text) {
+        checkArg(c >= '0' && c <= '9', "BigUInt::fromString: bad decimal digit");
+        v = v * BigUInt{10} + BigUInt{static_cast<uint64_t>(c - '0')};
+    }
+    return v;
+}
+
+std::string
+BigUInt::toString() const
+{
+    if (isZero())
+        return "0";
+    std::string digits;
+    BigUInt cur = *this;
+    const BigUInt ten{10};
+    while (!cur.isZero()) {
+        BigUInt q, r;
+        divmod(cur, ten, q, r);
+        digits.push_back(static_cast<char>('0' + r.limb(0)));
+        cur = std::move(q);
+    }
+    return std::string(digits.rbegin(), digits.rend());
+}
+
+std::string
+BigUInt::toHexString() const
+{
+    static constexpr std::array<char, 16> kDigits = {
+        '0', '1', '2', '3', '4', '5', '6', '7',
+        '8', '9', 'a', 'b', 'c', 'd', 'e', 'f'};
+    if (isZero())
+        return "0x0";
+    std::string out = "0x";
+    bool seen = false;
+    for (size_t i = limbs_.size(); i-- > 0;) {
+        for (int nib = 15; nib >= 0; --nib) {
+            uint64_t d = (limbs_[i] >> (nib * 4)) & 0xf;
+            if (d)
+                seen = true;
+            if (seen)
+                out.push_back(kDigits[static_cast<size_t>(d)]);
+        }
+    }
+    return out;
+}
+
+} // namespace mqx

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Arbitrary-precision unsigned integers.
+ *
+ * BigUInt is the repository's from-scratch stand-in for GMP, the
+ * arbitrary-precision baseline the paper benchmarks against (Section 5.3,
+ * 5.4). It is deliberately a *generic* multi-precision design — dynamic
+ * limb vectors, schoolbook multiplication, Knuth Algorithm D division —
+ * because the baseline's cost profile (allocation, generality, division-
+ * based reduction) is exactly what the paper's optimized kernels are
+ * measured against. When real GMP is available the test suite uses it as
+ * an oracle for BigUInt and the benches report both.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "u128/u128.h"
+
+namespace mqx {
+
+/**
+ * Dynamically-sized unsigned integer with 64-bit limbs (little-endian
+ * limb order). The zero value is represented by an empty limb vector.
+ */
+class BigUInt
+{
+  public:
+    BigUInt() = default;
+
+    /*implicit*/ BigUInt(uint64_t value);
+
+    /** Build from a 128-bit value. */
+    static BigUInt fromU128(const U128& v);
+
+    /** Parse decimal or 0x-prefixed hex. @throws InvalidArgument. */
+    static BigUInt fromString(const std::string& text);
+
+    /** Value truncated to 128 bits. */
+    U128 toU128() const;
+
+    bool isZero() const { return limbs_.empty(); }
+
+    /** Number of significant bits (0 for zero). */
+    int bits() const;
+
+    /** Limb count (zero has none). */
+    size_t limbCount() const { return limbs_.size(); }
+
+    /** Limb @p i, 0 beyond the top. */
+    uint64_t limb(size_t i) const { return i < limbs_.size() ? limbs_[i] : 0; }
+
+    /** Three-way comparison: negative, zero, or positive. */
+    static int compare(const BigUInt& a, const BigUInt& b);
+
+    friend bool operator==(const BigUInt& a, const BigUInt& b) { return compare(a, b) == 0; }
+    friend bool operator!=(const BigUInt& a, const BigUInt& b) { return compare(a, b) != 0; }
+    friend bool operator<(const BigUInt& a, const BigUInt& b) { return compare(a, b) < 0; }
+    friend bool operator>(const BigUInt& a, const BigUInt& b) { return compare(a, b) > 0; }
+    friend bool operator<=(const BigUInt& a, const BigUInt& b) { return compare(a, b) <= 0; }
+    friend bool operator>=(const BigUInt& a, const BigUInt& b) { return compare(a, b) >= 0; }
+
+    friend BigUInt operator+(const BigUInt& a, const BigUInt& b);
+
+    /** @throws InvalidArgument if b > a (unsigned underflow). */
+    friend BigUInt operator-(const BigUInt& a, const BigUInt& b);
+
+    friend BigUInt operator*(const BigUInt& a, const BigUInt& b);
+    friend BigUInt operator<<(const BigUInt& a, int s);
+    friend BigUInt operator>>(const BigUInt& a, int s);
+
+    BigUInt& operator+=(const BigUInt& b) { *this = *this + b; return *this; }
+    BigUInt& operator-=(const BigUInt& b) { *this = *this - b; return *this; }
+    BigUInt& operator*=(const BigUInt& b) { *this = *this * b; return *this; }
+    BigUInt& operator<<=(int s) { *this = *this << s; return *this; }
+    BigUInt& operator>>=(int s) { *this = *this >> s; return *this; }
+
+    /**
+     * Quotient and remainder (Knuth Algorithm D for multi-limb divisors).
+     * @throws InvalidArgument on division by zero.
+     */
+    static void divmod(const BigUInt& a, const BigUInt& b,
+                       BigUInt& quotient, BigUInt& remainder);
+
+    friend BigUInt operator/(const BigUInt& a, const BigUInt& b);
+    friend BigUInt operator%(const BigUInt& a, const BigUInt& b);
+
+    /** (a + b) mod m; inputs need not be reduced. */
+    static BigUInt addMod(const BigUInt& a, const BigUInt& b, const BigUInt& m);
+
+    /** (a - b) mod m for reduced inputs a, b < m. */
+    static BigUInt subMod(const BigUInt& a, const BigUInt& b, const BigUInt& m);
+
+    /** (a * b) mod m via full product + division (baseline-style). */
+    static BigUInt mulMod(const BigUInt& a, const BigUInt& b, const BigUInt& m);
+
+    /** a^e mod m, square-and-multiply. */
+    static BigUInt powMod(const BigUInt& a, const BigUInt& e, const BigUInt& m);
+
+    std::string toString() const;
+    std::string toHexString() const;
+
+  private:
+    void normalize();
+
+    std::vector<uint64_t> limbs_;
+};
+
+} // namespace mqx

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * BLAS-style point-wise kernels over Z_q residue vectors (paper
+ * Section 2.3 / 5.3): vector addition, vector subtraction, point-wise
+ * vector multiplication, and axpy. Each is available on every backend
+ * tier the paper evaluates.
+ *
+ * Vectors use the split hi/lo layout (core/residue_span.h); lengths are
+ * arbitrary (the paper benchmarks length 1024).
+ */
+#pragma once
+
+#include "core/backend.h"
+#include "core/residue_span.h"
+#include "mod/modulus.h"
+
+namespace mqx {
+namespace blas {
+
+/** The four benchmarked operations (Fig. 4). */
+enum class Op
+{
+    VectorAdd,
+    VectorSub,
+    VectorMul,
+    Axpy,
+};
+
+/** Figure-4 label for @p op. */
+std::string opName(Op op);
+
+/** c[i] = a[i] + b[i] mod q. @throws BackendUnavailable, InvalidArgument. */
+void vadd(Backend backend, const Modulus& m, DConstSpan a, DConstSpan b,
+          DSpan c);
+
+/** c[i] = a[i] - b[i] mod q. */
+void vsub(Backend backend, const Modulus& m, DConstSpan a, DConstSpan b,
+          DSpan c);
+
+/** c[i] = a[i] * b[i] mod q (point-wise). */
+void vmul(Backend backend, const Modulus& m, DConstSpan a, DConstSpan b,
+          DSpan c, MulAlgo algo = MulAlgo::Schoolbook);
+
+/** y[i] = alpha * x[i] + y[i] mod q. */
+void axpy(Backend backend, const Modulus& m, const U128& alpha, DConstSpan x,
+          DSpan y, MulAlgo algo = MulAlgo::Schoolbook);
+
+/**
+ * y = A x mod q (BLAS-2 gemv; Section 2.3 frames point-wise vector
+ * multiplication as its special case). @p matrix is row-major
+ * rows x cols in split hi/lo layout.
+ */
+void gemv(Backend backend, const Modulus& m, DConstSpan matrix, DConstSpan x,
+          DSpan y, size_t rows, size_t cols,
+          MulAlgo algo = MulAlgo::Schoolbook);
+
+/**
+ * Run @p op through the common 3-operand shape used by the benchmark
+ * harness (axpy takes a[0] as alpha and writes into c, which must hold a
+ * copy of b).
+ */
+void runOp(Op op, Backend backend, const Modulus& m, DConstSpan a,
+           DConstSpan b, DSpan c, MulAlgo algo = MulAlgo::Schoolbook);
+
+} // namespace blas
+} // namespace mqx

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Internal per-backend BLAS entry points (one TU per ISA). Not public.
+ */
+#pragma once
+
+#include "core/backend.h"
+#include "core/residue_span.h"
+#include "mod/modulus.h"
+
+namespace mqx {
+namespace blas {
+namespace backends {
+
+// Scalar (native 128-bit words).
+void vaddScalar(const Modulus&, DConstSpan, DConstSpan, DSpan);
+void vsubScalar(const Modulus&, DConstSpan, DConstSpan, DSpan);
+void vmulScalar(const Modulus&, DConstSpan, DConstSpan, DSpan, MulAlgo);
+void axpyScalar(const Modulus&, const U128&, DConstSpan, DSpan, MulAlgo);
+void gemvScalar(const Modulus&, DConstSpan, DConstSpan, DSpan, size_t,
+                size_t, MulAlgo);
+
+// Portable 8-lane model.
+void vaddPortable(const Modulus&, DConstSpan, DConstSpan, DSpan);
+void vsubPortable(const Modulus&, DConstSpan, DConstSpan, DSpan);
+void vmulPortable(const Modulus&, DConstSpan, DConstSpan, DSpan, MulAlgo);
+void axpyPortable(const Modulus&, const U128&, DConstSpan, DSpan, MulAlgo);
+void gemvPortable(const Modulus&, DConstSpan, DConstSpan, DSpan, size_t,
+                  size_t, MulAlgo);
+
+// AVX2.
+void vaddAvx2(const Modulus&, DConstSpan, DConstSpan, DSpan);
+void vsubAvx2(const Modulus&, DConstSpan, DConstSpan, DSpan);
+void vmulAvx2(const Modulus&, DConstSpan, DConstSpan, DSpan, MulAlgo);
+void axpyAvx2(const Modulus&, const U128&, DConstSpan, DSpan, MulAlgo);
+void gemvAvx2(const Modulus&, DConstSpan, DConstSpan, DSpan, size_t, size_t,
+              MulAlgo);
+
+// AVX-512.
+void vaddAvx512(const Modulus&, DConstSpan, DConstSpan, DSpan);
+void vsubAvx512(const Modulus&, DConstSpan, DConstSpan, DSpan);
+void vmulAvx512(const Modulus&, DConstSpan, DConstSpan, DSpan, MulAlgo);
+void axpyAvx512(const Modulus&, const U128&, DConstSpan, DSpan, MulAlgo);
+void gemvAvx512(const Modulus&, DConstSpan, DConstSpan, DSpan, size_t,
+                size_t, MulAlgo);
+
+// MQX (full feature set); pisa selects the proxy timing mode.
+void vaddMqx(bool pisa, const Modulus&, DConstSpan, DConstSpan, DSpan);
+void vsubMqx(bool pisa, const Modulus&, DConstSpan, DConstSpan, DSpan);
+void vmulMqx(bool pisa, const Modulus&, DConstSpan, DConstSpan, DSpan,
+             MulAlgo);
+void axpyMqx(bool pisa, const Modulus&, const U128&, DConstSpan, DSpan,
+             MulAlgo);
+void gemvMqx(bool pisa, const Modulus&, DConstSpan, DConstSpan, DSpan,
+             size_t, size_t, MulAlgo);
+
+} // namespace backends
+} // namespace blas
+} // namespace mqx

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Portable-ISA BLAS kernels (plain C++ model of the SIMD dataflow).
+ */
+#include "blas/blas_backends.h"
+
+#include "simd/batch_impl.h"
+#include "simd/isa_portable.h"
+
+namespace mqx {
+namespace blas {
+namespace backends {
+
+void
+vaddPortable(const Modulus& m, DConstSpan a, DConstSpan b, DSpan c)
+{
+    simd::vaddImpl<simd::PortableIsa>(m, a, b, c);
+}
+
+void
+vsubPortable(const Modulus& m, DConstSpan a, DConstSpan b, DSpan c)
+{
+    simd::vsubImpl<simd::PortableIsa>(m, a, b, c);
+}
+
+void
+vmulPortable(const Modulus& m, DConstSpan a, DConstSpan b, DSpan c,
+             MulAlgo algo)
+{
+    simd::vmulImpl<simd::PortableIsa>(m, a, b, c, algo);
+}
+
+void
+axpyPortable(const Modulus& m, const U128& alpha, DConstSpan x, DSpan y,
+             MulAlgo algo)
+{
+    simd::axpyImpl<simd::PortableIsa>(m, alpha, x, y, algo);
+}
+
+
+void
+gemvPortable(const Modulus& m, DConstSpan matrix, DConstSpan x, DSpan y,
+         size_t rows, size_t cols, MulAlgo algo)
+{
+    simd::gemvImpl<simd::PortableIsa>(m, matrix, x, y, rows, cols, algo);
+}
+
+} // namespace backends
+} // namespace blas
+} // namespace mqx

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Cache-line-aligned storage for SIMD-friendly residue arrays.
+ */
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <utility>
+
+namespace mqx {
+
+/**
+ * Minimal aligned dynamic array. Vector registers load 64 bytes at a
+ * time; keeping residue arrays 64-byte aligned makes every SIMD load an
+ * aligned full-line access. Only the operations the kernels need are
+ * provided (no incremental growth).
+ */
+template <typename T, size_t Alignment = 64>
+class AlignedVec
+{
+  public:
+    AlignedVec() = default;
+
+    explicit AlignedVec(size_t count) { reset(count); }
+
+    AlignedVec(const AlignedVec& other) { copyFrom(other); }
+
+    AlignedVec(AlignedVec&& other) noexcept
+        : data_(std::exchange(other.data_, nullptr)),
+          size_(std::exchange(other.size_, 0))
+    {
+    }
+
+    AlignedVec&
+    operator=(const AlignedVec& other)
+    {
+        if (this != &other)
+            copyFrom(other);
+        return *this;
+    }
+
+    AlignedVec&
+    operator=(AlignedVec&& other) noexcept
+    {
+        if (this != &other) {
+            release();
+            data_ = std::exchange(other.data_, nullptr);
+            size_ = std::exchange(other.size_, 0);
+        }
+        return *this;
+    }
+
+    ~AlignedVec() { release(); }
+
+    /** Discard contents and allocate @p count zero-initialized elements. */
+    void
+    reset(size_t count)
+    {
+        release();
+        if (count) {
+            data_ = static_cast<T*>(::operator new[](
+                count * sizeof(T), std::align_val_t{Alignment}));
+            for (size_t i = 0; i < count; ++i)
+                new (data_ + i) T{};
+            size_ = count;
+        }
+    }
+
+    size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+    T* data() { return data_; }
+    const T* data() const { return data_; }
+    T& operator[](size_t i) { return data_[i]; }
+    const T& operator[](size_t i) const { return data_[i]; }
+    T* begin() { return data_; }
+    T* end() { return data_ + size_; }
+    const T* begin() const { return data_; }
+    const T* end() const { return data_ + size_; }
+
+  private:
+    void
+    release()
+    {
+        if (data_) {
+            for (size_t i = size_; i-- > 0;)
+                data_[i].~T();
+            ::operator delete[](data_, std::align_val_t{Alignment});
+            data_ = nullptr;
+            size_ = 0;
+        }
+    }
+
+    void
+    copyFrom(const AlignedVec& other)
+    {
+        reset(other.size_);
+        for (size_t i = 0; i < size_; ++i)
+            data_[i] = other.data_[i];
+    }
+
+    T* data_ = nullptr;
+    size_t size_ = 0;
+};
+
+} // namespace mqx

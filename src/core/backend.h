@@ -1,0 +1,58 @@
+/**
+ * @file
+ * The backend taxonomy shared by every kernel family (NTT, BLAS, raw
+ * modular ops). Mirrors the implementation tiers of the paper's
+ * evaluation (Section 5): scalar, AVX2, AVX-512, and MQX — the latter in
+ * both functional-emulation and PISA performance-projection modes.
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mqx {
+
+/** Kernel implementation tiers. */
+enum class Backend
+{
+    Scalar,     ///< optimized scalar (native 128-bit, Section 3.1)
+    Portable,   ///< plain-C++ 8-lane model of the SIMD kernels
+    Avx2,       ///< 4-way AVX2 (Section 3.2)
+    Avx512,     ///< 8-way AVX-512 (Listing 2)
+    MqxEmulate, ///< MQX with Table-2 scalar emulation: bit-exact, slow
+    MqxPisa,    ///< MQX with Table-3 proxy instructions: timing-faithful,
+                ///< numerically wrong by design — benchmarking only
+};
+
+/**
+ * MQX feature ablation variants (paper Fig. 6). "Base" in the figure is
+ * plain AVX-512, i.e. Backend::Avx512.
+ */
+enum class MqxVariant
+{
+    MulOnly,        ///< +M: widening multiply only
+    CarryOnly,      ///< +C: adc/sbb only
+    Full,           ///< +M,C: the proposed MQX
+    MulhiCarry,     ///< +Mh,C: multiply-high instead of widening multiply
+    FullPredicated, ///< +M,C,P: MQX plus predicated adc/sbb
+};
+
+/** Fig. 6 label for a variant (e.g. "+M,C"). */
+std::string mqxVariantName(MqxVariant v);
+
+/** Human-readable backend name (matches the paper's figure legends). */
+std::string backendName(Backend b);
+
+/** All backends that produce correct results (excludes MqxPisa). */
+std::vector<Backend> correctBackends();
+
+/**
+ * True if @p b can run on this process (compiled in and supported by
+ * the host CPU).
+ */
+bool backendAvailable(Backend b);
+
+/** Best available correct backend for production dispatch. */
+Backend bestBackend();
+
+} // namespace mqx

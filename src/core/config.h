@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Build configuration, feature-detection macros, and common error types
+ * shared by every mqxlib module.
+ */
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#define MQX_VERSION_MAJOR 1
+#define MQX_VERSION_MINOR 0
+#define MQX_VERSION_PATCH 0
+
+/** Native 128-bit integer support (GCC/Clang on 64-bit targets). */
+#if defined(__SIZEOF_INT128__)
+#define MQX_HAVE_INT128 1
+#else
+#define MQX_HAVE_INT128 0
+#endif
+
+#if defined(__GNUC__) || defined(__clang__)
+#define MQX_FORCE_INLINE inline __attribute__((always_inline))
+#define MQX_NO_INLINE __attribute__((noinline))
+#define MQX_RESTRICT __restrict__
+#else
+#define MQX_FORCE_INLINE inline
+#define MQX_NO_INLINE
+#define MQX_RESTRICT
+#endif
+
+/**
+ * Set by the build system on translation units compiled with AVX-512 /
+ * AVX2 code-generation flags; the compiler defines the feature macros.
+ */
+#if defined(__AVX512F__) && defined(__AVX512DQ__)
+#define MQX_TU_HAS_AVX512 1
+#else
+#define MQX_TU_HAS_AVX512 0
+#endif
+#if defined(__AVX2__)
+#define MQX_TU_HAS_AVX2 1
+#else
+#define MQX_TU_HAS_AVX2 0
+#endif
+
+namespace mqx {
+
+/**
+ * Thrown when a caller passes parameters the library cannot work with
+ * (invalid modulus, non-power-of-two NTT size, mismatched vector lengths).
+ * This is always a usage error, never an internal library bug.
+ */
+class InvalidArgument : public std::invalid_argument
+{
+  public:
+    using std::invalid_argument::invalid_argument;
+};
+
+/**
+ * Thrown when an operation is requested for a backend that is not
+ * available (not compiled in, or the host CPU lacks the instructions).
+ */
+class BackendUnavailable : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/** Throw InvalidArgument with @p msg if @p ok is false. */
+inline void
+checkArg(bool ok, const char* msg)
+{
+    if (!ok)
+        throw InvalidArgument(msg);
+}
+
+/** Library version as "major.minor.patch". */
+inline std::string
+versionString()
+{
+    return std::to_string(MQX_VERSION_MAJOR) + "." +
+           std::to_string(MQX_VERSION_MINOR) + "." +
+           std::to_string(MQX_VERSION_PATCH);
+}
+
+} // namespace mqx

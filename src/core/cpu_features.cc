@@ -1,0 +1,74 @@
+/**
+ * @file
+ * CPUID-based feature detection.
+ */
+#include "core/cpu_features.h"
+
+#include <array>
+#include <cstring>
+
+#if defined(__x86_64__) || defined(_M_X64) || defined(__i386__)
+#include <cpuid.h>
+#define MQX_HOST_IS_X86 1
+#else
+#define MQX_HOST_IS_X86 0
+#endif
+
+namespace mqx {
+
+namespace {
+
+CpuFeatures
+detect()
+{
+    CpuFeatures f;
+#if MQX_HOST_IS_X86
+    unsigned eax = 0, ebx = 0, ecx = 0, edx = 0;
+    if (__get_cpuid(0, &eax, &ebx, &ecx, &edx)) {
+        char vendor[13] = {};
+        std::memcpy(vendor + 0, &ebx, 4);
+        std::memcpy(vendor + 4, &edx, 4);
+        std::memcpy(vendor + 8, &ecx, 4);
+        f.vendor = vendor;
+    }
+    unsigned max_leaf = eax;
+    if (max_leaf >= 7 && __get_cpuid_count(7, 0, &eax, &ebx, &ecx, &edx)) {
+        f.avx2 = (ebx >> 5) & 1;
+        f.avx512f = (ebx >> 16) & 1;
+        f.avx512dq = (ebx >> 17) & 1;
+        f.avx512bw = (ebx >> 30) & 1;
+        f.avx512vl = (ebx >> 31) & 1;
+    }
+    // Brand string from extended leaves 0x80000002..4.
+    std::array<unsigned, 12> brand{};
+    bool have_brand = true;
+    for (unsigned i = 0; i < 3; ++i) {
+        if (!__get_cpuid(0x80000002u + i, &brand[4 * i + 0], &brand[4 * i + 1],
+                         &brand[4 * i + 2], &brand[4 * i + 3])) {
+            have_brand = false;
+            break;
+        }
+    }
+    if (have_brand) {
+        char text[49] = {};
+        std::memcpy(text, brand.data(), 48);
+        f.brand = text;
+        // Trim leading spaces Intel pads with.
+        size_t start = f.brand.find_first_not_of(' ');
+        if (start != std::string::npos)
+            f.brand = f.brand.substr(start);
+    }
+#endif
+    return f;
+}
+
+} // namespace
+
+const CpuFeatures&
+hostCpuFeatures()
+{
+    static const CpuFeatures features = detect();
+    return features;
+}
+
+} // namespace mqx

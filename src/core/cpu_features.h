@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Host CPU feature detection (CPUID). Runtime dispatch uses this so that
+ * binaries containing AVX-512 code paths stay safe on older CPUs.
+ */
+#pragma once
+
+#include <string>
+
+namespace mqx {
+
+/** The SIMD features and identity of the host CPU. */
+struct CpuFeatures
+{
+    bool avx2 = false;
+    bool avx512f = false;
+    bool avx512dq = false;
+    bool avx512bw = false;
+    bool avx512vl = false;
+    std::string vendor;
+    std::string brand;
+
+    /** True when the full AVX-512 subset the kernels use is present. */
+    bool
+    hasAvx512() const
+    {
+        return avx512f && avx512dq && avx512bw && avx512vl;
+    }
+};
+
+/** Detected once per process. */
+const CpuFeatures& hostCpuFeatures();
+
+} // namespace mqx

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Split hi/lo residue-vector storage and views.
+ *
+ * All SIMD kernels consume 128-bit residues as two parallel uint64_t
+ * arrays — one of high words, one of low words — so that a vector
+ * register holds eight high (or low) words at once (paper Section 3.2:
+ * "we divide the 128-bit input vector into two 64-bit vectors").
+ */
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/aligned.h"
+#include "u128/u128.h"
+
+namespace mqx {
+
+/** Mutable split hi/lo view over a residue vector (non-owning). */
+struct DSpan
+{
+    uint64_t* hi = nullptr;
+    uint64_t* lo = nullptr;
+    size_t n = 0;
+};
+
+/** Const split hi/lo view. */
+struct DConstSpan
+{
+    const uint64_t* hi = nullptr;
+    const uint64_t* lo = nullptr;
+    size_t n = 0;
+
+    DConstSpan() = default;
+    /*implicit*/ DConstSpan(const DSpan& s) : hi(s.hi), lo(s.lo), n(s.n) {}
+    DConstSpan(const uint64_t* h, const uint64_t* l, size_t count)
+        : hi(h), lo(l), n(count)
+    {
+    }
+};
+
+/** Owning split residue vector with 64-byte-aligned halves. */
+class ResidueVector
+{
+  public:
+    ResidueVector() = default;
+    explicit ResidueVector(size_t n) : hi_(n), lo_(n) {}
+
+    /** Split an array-of-U128 into hi/lo halves. */
+    static ResidueVector
+    fromU128(const std::vector<U128>& values)
+    {
+        ResidueVector rv(values.size());
+        for (size_t i = 0; i < values.size(); ++i)
+            rv.set(i, values[i]);
+        return rv;
+    }
+
+    /** Reassemble into array-of-U128 form. */
+    std::vector<U128>
+    toU128() const
+    {
+        std::vector<U128> out(size());
+        for (size_t i = 0; i < size(); ++i)
+            out[i] = at(i);
+        return out;
+    }
+
+    size_t size() const { return hi_.size(); }
+
+    U128 at(size_t i) const { return U128::fromParts(hi_[i], lo_[i]); }
+
+    void
+    set(size_t i, const U128& v)
+    {
+        hi_[i] = v.hi;
+        lo_[i] = v.lo;
+    }
+
+    DSpan span() { return DSpan{hi_.data(), lo_.data(), hi_.size()}; }
+
+    DConstSpan
+    span() const
+    {
+        return DConstSpan{hi_.data(), lo_.data(), hi_.size()};
+    }
+
+  private:
+    AlignedVec<uint64_t> hi_;
+    AlignedVec<uint64_t> lo_;
+};
+
+} // namespace mqx

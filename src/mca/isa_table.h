@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Instruction descriptors for the machine-code analysis model.
+ *
+ * The model is the simplified Sunny Cove microarchitecture of the
+ * paper's Figure 3: six scheduler ports relevant to these kernels.
+ * Port assignments for 512-bit integer operations follow published
+ * Ice Lake/Sunny Cove scheduling (uops.info-style data, simplified):
+ * 512-bit VALU ops issue on ports 0 and 5, compares-into-mask and
+ * shuffles on port 5, mask (k-register) ALU ops on port 0, 64-bit
+ * vector multiplies on port 0, loads on ports 2/3, stores on port 4.
+ *
+ * MQX instructions are assigned the same ports as their Table-3 proxy
+ * instructions — the central PISA assumption ("each MQX instruction maps
+ * to the same execution port as its proxy ISA counterpart").
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mqx {
+namespace mca {
+
+/** Scheduler ports of the simplified Sunny Cove model (Fig. 3). */
+enum Port : unsigned
+{
+    kPort0 = 1u << 0, ///< ALU / VALU / VFMA / 64-bit vector multiply
+    kPort1 = 1u << 1, ///< ALU / VALU (<= 256-bit) / MULH
+    kPort2 = 1u << 2, ///< load AGU
+    kPort3 = 1u << 3, ///< load AGU
+    kPort4 = 1u << 4, ///< store data
+    kPort5 = 1u << 5, ///< ALU / VALU / shuffle / mask compare
+};
+
+/** Number of modeled ports. */
+inline constexpr int kNumPorts = 6;
+
+/** Static description of one instruction class. */
+struct InstrDesc
+{
+    std::string mnemonic;  ///< assembly mnemonic (e.g. "vpaddq")
+    unsigned ports = 0;    ///< bitmask of ports its uop may issue to
+    int uops = 1;          ///< fused-domain uop count
+    int latency = 1;       ///< result latency in cycles
+    bool proposed = false; ///< true for MQX instructions (not in silicon)
+};
+
+/**
+ * Look up an instruction class by mnemonic.
+ * @throws InvalidArgument for unknown mnemonics.
+ */
+const InstrDesc& instrDesc(const std::string& mnemonic);
+
+/** All modeled instruction classes (for documentation/tests). */
+const std::vector<InstrDesc>& instrTable();
+
+} // namespace mca
+} // namespace mqx

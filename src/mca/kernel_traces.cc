@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Kernel tracing via the recording ISA policy.
+ */
+#include "mca/kernel_traces.h"
+
+#include "simd/dw_kernels.h"
+
+namespace mqx {
+namespace mca {
+
+TraceSink&
+TraceSink::instance()
+{
+    static TraceSink sink;
+    return sink;
+}
+
+std::string
+kernelName(Kernel k)
+{
+    switch (k) {
+      case Kernel::AddMod:
+        return "addmod128";
+      case Kernel::SubMod:
+        return "submod128";
+      case Kernel::MulMod:
+        return "mulmod128";
+      case Kernel::Butterfly:
+        return "ntt-butterfly";
+    }
+    return "unknown";
+}
+
+std::string
+flavorName(TraceFlavor f)
+{
+    switch (f) {
+      case TraceFlavor::Avx512:
+        return "AVX-512";
+      case TraceFlavor::MqxMulOnly:
+        return "+M";
+      case TraceFlavor::MqxCarryOnly:
+        return "+C";
+      case TraceFlavor::MqxFull:
+        return "+M,C";
+      case TraceFlavor::MqxMulhiCarry:
+        return "+Mh,C";
+      case TraceFlavor::MqxPredicated:
+        return "+M,C,P";
+    }
+    return "unknown";
+}
+
+namespace {
+
+template <TraceFeatures F>
+std::vector<TracedInstr>
+traceWith(Kernel kernel, const Modulus& m)
+{
+    using Isa = TraceIsa<F>;
+    simd::ModCtx<Isa> ctx = simd::makeModCtx<Isa>(m);
+    simd::DV<Isa> a{}, b{}, w{};
+    TraceSink::instance().clear(); // ctx setup is not part of the body
+    switch (kernel) {
+      case Kernel::AddMod:
+        simd::addModV<Isa>(ctx, a, b);
+        break;
+      case Kernel::SubMod:
+        simd::subModV<Isa>(ctx, a, b);
+        break;
+      case Kernel::MulMod:
+        simd::mulModV<Isa>(ctx, a, b);
+        break;
+      case Kernel::Butterfly: {
+        auto u = simd::addModV<Isa>(ctx, a, b);
+        (void)u;
+        auto d = simd::subModV<Isa>(ctx, a, b);
+        simd::mulModV<Isa>(ctx, d, w);
+        break;
+      }
+    }
+    return TraceSink::instance().take();
+}
+
+} // namespace
+
+std::vector<TracedInstr>
+traceKernel(Kernel kernel, TraceFlavor flavor, const Modulus& m)
+{
+    switch (flavor) {
+      case TraceFlavor::Avx512:
+        return traceWith<kTraceAvx512>(kernel, m);
+      case TraceFlavor::MqxMulOnly:
+        return traceWith<kTraceMqxMulOnly>(kernel, m);
+      case TraceFlavor::MqxCarryOnly:
+        return traceWith<kTraceMqxCarryOnly>(kernel, m);
+      case TraceFlavor::MqxFull:
+        return traceWith<kTraceMqxFull>(kernel, m);
+      case TraceFlavor::MqxMulhiCarry:
+        return traceWith<kTraceMqxMulhi>(kernel, m);
+      case TraceFlavor::MqxPredicated:
+        return traceWith<kTraceMqxPred>(kernel, m);
+    }
+    throw InvalidArgument("traceKernel: unknown flavor");
+}
+
+} // namespace mca
+} // namespace mqx

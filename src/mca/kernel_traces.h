@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Instruction traces of the shipped kernels, obtained by running the
+ * real kernel templates with the recording TraceIsa policy.
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/backend.h"
+#include "mca/trace_isa.h"
+#include "mod/modulus.h"
+
+namespace mqx {
+namespace mca {
+
+/** Which kernel to trace. */
+enum class Kernel
+{
+    AddMod, ///< double-word modular addition (Listing 2 / Listing 3)
+    SubMod,
+    MulMod,    ///< schoolbook product + Barrett
+    Butterfly, ///< one NTT butterfly: add + sub + mul
+};
+
+/** Which instruction-set flavor to trace. */
+enum class TraceFlavor
+{
+    Avx512,        ///< Fig. 6 "Base"
+    MqxMulOnly,    ///< +M
+    MqxCarryOnly,  ///< +C
+    MqxFull,       ///< +M,C
+    MqxMulhiCarry, ///< +Mh,C
+    MqxPredicated, ///< +M,C,P
+};
+
+std::string kernelName(Kernel k);
+std::string flavorName(TraceFlavor f);
+
+/**
+ * Trace @p kernel under @p flavor for the given modulus (the modulus
+ * only affects Barrett shift constants, not the instruction sequence).
+ * Register-register kernel body only: loads/stores and per-call
+ * constant setup are excluded, matching Listing 4's scope.
+ */
+std::vector<TracedInstr> traceKernel(Kernel kernel, TraceFlavor flavor,
+                                     const Modulus& m);
+
+} // namespace mca
+} // namespace mqx

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Explicit instantiations of the double-word modular arithmetic templates
+ * for the two supported word widths. Keeps the template code compiled and
+ * warning-checked even in builds that only use one width.
+ */
+#include "mod/dword_ops.h"
+
+namespace mqx {
+namespace mod {
+
+template struct DW<uint32_t>;
+template struct DW<uint64_t>;
+template class Barrett<uint32_t>;
+template class Barrett<uint64_t>;
+
+template DW<uint32_t> addMod<uint32_t>(const DW<uint32_t>&, const DW<uint32_t>&,
+                                       const DW<uint32_t>&);
+template DW<uint64_t> addMod<uint64_t>(const DW<uint64_t>&, const DW<uint64_t>&,
+                                       const DW<uint64_t>&);
+template DW<uint32_t> subMod<uint32_t>(const DW<uint32_t>&, const DW<uint32_t>&,
+                                       const DW<uint32_t>&);
+template DW<uint64_t> subMod<uint64_t>(const DW<uint64_t>&, const DW<uint64_t>&,
+                                       const DW<uint64_t>&);
+template DW<uint32_t> mulModSchool<uint32_t>(const DW<uint32_t>&,
+                                             const DW<uint32_t>&,
+                                             const Barrett<uint32_t>&);
+template DW<uint64_t> mulModSchool<uint64_t>(const DW<uint64_t>&,
+                                             const DW<uint64_t>&,
+                                             const Barrett<uint64_t>&);
+template DW<uint32_t> mulModKaratsuba<uint32_t>(const DW<uint32_t>&,
+                                                const DW<uint32_t>&,
+                                                const Barrett<uint32_t>&);
+template DW<uint64_t> mulModKaratsuba<uint64_t>(const DW<uint64_t>&,
+                                                const DW<uint64_t>&,
+                                                const Barrett<uint64_t>&);
+
+} // namespace mod
+} // namespace mqx

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Out-of-line Modulus operations (exponentiation, inversion, reduction).
+ */
+#include "mod/modulus.h"
+
+namespace mqx {
+
+U128
+Modulus::pow(const U128& base, const U128& exponent) const
+{
+    U128 b = reduce(base);
+    U128 result{1};
+    if (q_ == U128{1})
+        return U128{0};
+    for (int i = exponent.bits() - 1; i >= 0; --i) {
+        result = mul(result, result);
+        if (exponent.bit(i))
+            result = mul(result, b);
+    }
+    return result;
+}
+
+U128
+Modulus::inverse(const U128& a) const
+{
+    checkArg(!a.isZero(), "Modulus::inverse: zero has no inverse");
+    // Fermat's little theorem: a^(q-2) mod q for prime q.
+    U128 e = q_ - U128{2};
+    U128 inv = pow(a, e);
+    checkArg(mul(inv, reduce(a)) == U128{1},
+             "Modulus::inverse: modulus is not prime");
+    return inv;
+}
+
+U128
+Modulus::reduce(const U128& x) const
+{
+    if (x < q_)
+        return x;
+    return mod128(x, q_);
+}
+
+} // namespace mqx

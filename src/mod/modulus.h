@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Public convenience wrapper around one modulus: validated construction,
+ * precomputed Barrett parameters, and both scalar variants of the paper's
+ * double-word modular arithmetic.
+ *
+ * The paper implements two scalar versions (Section 3.1): one computing
+ * in native 128-bit values ("used for benchmarking, as it allows the
+ * compiler to exploit specialized assembly instructions such as add with
+ * carry") and one using only 64-bit words (Listing 1; "essential for
+ * SIMD-vectorized implementations"). Modulus exposes both; they are
+ * bit-identical and the test suite checks that.
+ */
+#pragma once
+
+#include "mod/dword_ops.h"
+#include "u128/u128.h"
+
+namespace mqx {
+
+/** Which double-word multiplication algorithm to use (Section 5.5). */
+enum class MulAlgo
+{
+    Schoolbook, ///< Eq. 8: four word multiplies (paper default — faster on CPUs)
+    Karatsuba,  ///< Eq. 9: three word multiplies, more additions
+};
+
+/**
+ * A fixed modulus q with all precomputation required by the kernels.
+ * Copyable value type; cheap to pass by const reference.
+ */
+class Modulus
+{
+  public:
+    /**
+     * @param q modulus, 2 <= q < 2^124 (Barrett headroom, Section 2.1).
+     * @throws InvalidArgument outside that range.
+     */
+    explicit Modulus(const U128& q)
+        : q_(q), barrett_(mod::Barrett<uint64_t>::make(mod::toDw(q)))
+    {
+    }
+
+    const U128& value() const { return q_; }
+    int bits() const { return barrett_.qbits(); }
+    const mod::Barrett<uint64_t>& barrett() const { return barrett_; }
+
+    /** mu = floor(2^(2 bits(q)) / q). */
+    U128 mu() const { return mod::fromDw(barrett_.mu()); }
+
+    // -- Word-only variant (Listing 1 shape; translates to SIMD) --------
+
+    U128
+    addWords(const U128& a, const U128& b) const
+    {
+        return mod::fromDw(mod::addMod(mod::toDw(a), mod::toDw(b),
+                                       mod::toDw(q_)));
+    }
+
+    U128
+    subWords(const U128& a, const U128& b) const
+    {
+        return mod::fromDw(mod::subMod(mod::toDw(a), mod::toDw(b),
+                                       mod::toDw(q_)));
+    }
+
+    U128
+    mulWords(const U128& a, const U128& b,
+             MulAlgo algo = MulAlgo::Schoolbook) const
+    {
+        auto da = mod::toDw(a), db = mod::toDw(b);
+        return mod::fromDw(algo == MulAlgo::Schoolbook
+                               ? mod::mulModSchool(da, db, barrett_)
+                               : mod::mulModKaratsuba(da, db, barrett_));
+    }
+
+    // -- Native variant (unsigned __int128 when available) ---------------
+
+    /** c = a + b mod q for a, b < q. */
+    U128
+    add(const U128& a, const U128& b) const
+    {
+#if MQX_HAVE_INT128
+        unsigned __int128 s = a.toNative() + b.toNative();
+        unsigned __int128 qn = q_.toNative();
+        if (s >= qn)
+            s -= qn;
+        return U128::fromNative(s);
+#else
+        return addWords(a, b);
+#endif
+    }
+
+    /** c = a - b mod q for a, b < q. */
+    U128
+    sub(const U128& a, const U128& b) const
+    {
+#if MQX_HAVE_INT128
+        unsigned __int128 an = a.toNative(), bn = b.toNative();
+        unsigned __int128 d = an - bn;
+        if (an < bn)
+            d += q_.toNative();
+        return U128::fromNative(d);
+#else
+        return subWords(a, b);
+#endif
+    }
+
+    /** c = a * b mod q for a, b < q (Barrett; schoolbook by default). */
+    U128
+    mul(const U128& a, const U128& b,
+        MulAlgo algo = MulAlgo::Schoolbook) const
+    {
+        return mulWords(a, b, algo);
+    }
+
+    /** a^e mod q, square-and-multiply over the scalar mulmod. */
+    U128 pow(const U128& base, const U128& exponent) const;
+
+    /** Multiplicative inverse via Fermat (q must be prime). */
+    U128 inverse(const U128& a) const;
+
+    /** Reduce an arbitrary 128-bit value into [0, q). */
+    U128 reduce(const U128& x) const;
+
+  private:
+    U128 q_;
+    mod::Barrett<uint64_t> barrett_;
+};
+
+} // namespace mqx

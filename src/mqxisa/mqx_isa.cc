@@ -1,0 +1,68 @@
+/**
+ * @file
+ * MQX support code: the opaque PISA globals and an instruction-level
+ * batch API that lets ISA-flag-free code (the test suite) exercise the
+ * Table-2 emulation semantics.
+ */
+#include "mqxisa/mqx_isa.h"
+
+#include "mqxisa/isa_mqx.h"
+
+namespace mqx {
+namespace mqxisa {
+
+// Opaque zeros: never written, but the compiler must assume they could
+// be, which pins the PISA proxy instructions in place (Section 4.2's
+// "carefully inspect the compiler-generated assembly" requirement).
+volatile uint8_t g_pisa_opaque_zero_mask = 0;
+uint64_t g_pisa_opaque_zero_vec[8] = {0, 0, 0, 0, 0, 0, 0, 0};
+
+void
+mqxAdcBatch8(const uint64_t a[8], const uint64_t b[8], uint8_t carry_in,
+             uint64_t out[8], uint8_t* carry_out)
+{
+    __m512i va = _mm512_loadu_si512(reinterpret_cast<const __m512i*>(a));
+    __m512i vb = _mm512_loadu_si512(reinterpret_cast<const __m512i*>(b));
+    __mmask8 co = 0;
+    __m512i r = MqxIsa<MqxMode::Emulate>::adc(va, vb, carry_in, co);
+    _mm512_storeu_si512(reinterpret_cast<__m512i*>(out), r);
+    *carry_out = co;
+}
+
+void
+mqxSbbBatch8(const uint64_t a[8], const uint64_t b[8], uint8_t borrow_in,
+             uint64_t out[8], uint8_t* borrow_out)
+{
+    __m512i va = _mm512_loadu_si512(reinterpret_cast<const __m512i*>(a));
+    __m512i vb = _mm512_loadu_si512(reinterpret_cast<const __m512i*>(b));
+    __mmask8 bo = 0;
+    __m512i r = MqxIsa<MqxMode::Emulate>::sbb(va, vb, borrow_in, bo);
+    _mm512_storeu_si512(reinterpret_cast<__m512i*>(out), r);
+    *borrow_out = bo;
+}
+
+void
+mqxMulWideBatch8(const uint64_t a[8], const uint64_t b[8], uint64_t hi[8],
+                 uint64_t lo[8])
+{
+    __m512i va = _mm512_loadu_si512(reinterpret_cast<const __m512i*>(a));
+    __m512i vb = _mm512_loadu_si512(reinterpret_cast<const __m512i*>(b));
+    __m512i vh, vl;
+    MqxIsa<MqxMode::Emulate>::mulWide(va, vb, vh, vl);
+    _mm512_storeu_si512(reinterpret_cast<__m512i*>(hi), vh);
+    _mm512_storeu_si512(reinterpret_cast<__m512i*>(lo), vl);
+}
+
+void
+mqxPredicatedSbbBatch8(const uint64_t a[8], const uint64_t b[8],
+                       uint8_t borrow_in, uint8_t predicate, uint64_t out[8])
+{
+    __m512i va = _mm512_loadu_si512(reinterpret_cast<const __m512i*>(a));
+    __m512i vb = _mm512_loadu_si512(reinterpret_cast<const __m512i*>(b));
+    __m512i r = MqxIsa<MqxMode::Emulate, kMqxPredicated>::pSbb(
+        va, vb, borrow_in, predicate);
+    _mm512_storeu_si512(reinterpret_cast<__m512i*>(out), r);
+}
+
+} // namespace mqxisa
+} // namespace mqx

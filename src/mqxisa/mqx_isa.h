@@ -1,0 +1,44 @@
+/**
+ * @file
+ * ISA-flag-free surface of the MQX extension.
+ *
+ * Code that is not compiled with AVX-512 flags (tests, examples) cannot
+ * include isa_mqx.h. This header exposes the instruction-level Table-2
+ * emulation through plain-array batch calls so those clients can verify
+ * and demonstrate MQX semantics. The full policy type lives in
+ * mqxisa/isa_mqx.h for AVX-512-flagged TUs.
+ */
+#pragma once
+
+#include <cstdint>
+
+namespace mqx {
+namespace mqxisa {
+
+/**
+ * _mm512_adc_epi64 emulation over plain arrays: per lane i,
+ * out[i] = a[i] + b[i] + carry_in[i]; carry_out bit i set on overflow
+ * (Table 2). carry_in/carry_out are 8-bit lane masks.
+ */
+void mqxAdcBatch8(const uint64_t a[8], const uint64_t b[8], uint8_t carry_in,
+                  uint64_t out[8], uint8_t* carry_out);
+
+/** _mm512_sbb_epi64 emulation (Table 2). */
+void mqxSbbBatch8(const uint64_t a[8], const uint64_t b[8], uint8_t borrow_in,
+                  uint64_t out[8], uint8_t* borrow_out);
+
+/** _mm512_mul_epi64 widening-multiply emulation (Table 2). */
+void mqxMulWideBatch8(const uint64_t a[8], const uint64_t b[8],
+                      uint64_t hi[8], uint64_t lo[8]);
+
+/**
+ * Predicated subtract-with-borrow (+P variant, Section 5.5): per lane,
+ * out[i] = predicate[i] ? a[i] - b[i] - borrow_in[i] : a[i]; no borrow
+ * out.
+ */
+void mqxPredicatedSbbBatch8(const uint64_t a[8], const uint64_t b[8],
+                            uint8_t borrow_in, uint8_t predicate,
+                            uint64_t out[8]);
+
+} // namespace mqxisa
+} // namespace mqx

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Negacyclic NTT implementation.
+ */
+#include "ntt/negacyclic.h"
+
+#include "blas/blas.h"
+#include "ntt/reference_ntt.h"
+
+namespace mqx {
+namespace ntt {
+
+NegacyclicEngine::NegacyclicEngine(const NttPrime& prime, size_t n,
+                                   Backend backend)
+    : plan_(prime, n), backend_(backend), twist_(n), untwist_(n), buf_a_(n),
+      buf_b_(n), buf_c_(n), scratch_(n)
+{
+    const Modulus& m = plan_.modulus();
+    // psi: primitive 2n-th root with psi^2 == omega. rootOfUnity gives a
+    // 2n-order element; square it and, since both psi^2 and omega
+    // generate the same cyclic group of order n, re-derive the plan's
+    // omega as a power of psi^2 is unnecessary — instead pick psi as a
+    // square root of the plan's omega directly: psi = r^((order
+    // alignment)). Simplest robust approach: search k odd with
+    // r^k == candidate such that candidate^2 == omega, i.e. candidate =
+    // r * omega^j where r^2 * omega^(2j) == omega. We use the standard
+    // trick: r has order 2n, r^2 has order n, so omega = (r^2)^t for
+    // some t coprime to n; then psi = r^t satisfies psi^2 = omega and
+    // psi has order 2n (t odd).
+    U128 r = rootOfUnity(m, U128{static_cast<uint64_t>(2 * n)});
+    U128 r2 = m.mul(r, r);
+    // Find t: omega = r2^t by baby-step enumeration (setup path; n is a
+    // power of two and this is O(n) worst case).
+    U128 acc{1};
+    uint64_t t = 0;
+    bool found = false;
+    for (uint64_t i = 0; i < 2 * n; ++i) {
+        if (acc == plan_.omega()) {
+            t = i;
+            found = true;
+            break;
+        }
+        acc = m.mul(acc, r2);
+    }
+    checkArg(found, "NegacyclicEngine: omega not in <r^2> (internal)");
+    if ((t & 1) == 0)
+        t += n; // r2 has order n: exponent t + n gives the same omega,
+                // and one of t, t+n is odd (n even for n >= 2)
+    psi_ = m.pow(r, U128{t});
+    checkArg(m.mul(psi_, psi_) == plan_.omega(),
+             "NegacyclicEngine: psi^2 != omega (internal)");
+
+    U128 psi_inv = m.inverse(psi_);
+    U128 acc_f{1}, acc_i{1};
+    for (size_t i = 0; i < n; ++i) {
+        twist_.set(i, acc_f);
+        untwist_.set(i, acc_i);
+        acc_f = m.mul(acc_f, psi_);
+        acc_i = m.mul(acc_i, psi_inv);
+    }
+}
+
+NegacyclicEngine::NegacyclicEngine(const NttPrime& prime, size_t n)
+    : NegacyclicEngine(prime, n, bestBackend())
+{
+}
+
+std::vector<U128>
+NegacyclicEngine::forward(const std::vector<U128>& input)
+{
+    checkArg(input.size() == plan_.n(),
+             "NegacyclicEngine::forward: size mismatch");
+    ResidueVector in = ResidueVector::fromU128(input);
+    // Twist then cyclic forward.
+    blas::vmul(backend_, plan_.modulus(), in.span(), twist_.span(),
+               buf_a_.span());
+    ntt::forward(plan_, backend_, buf_a_.span(), buf_b_.span(),
+                 scratch_.span());
+    return buf_b_.toU128();
+}
+
+std::vector<U128>
+NegacyclicEngine::inverse(const std::vector<U128>& input)
+{
+    checkArg(input.size() == plan_.n(),
+             "NegacyclicEngine::inverse: size mismatch");
+    ResidueVector in = ResidueVector::fromU128(input);
+    ntt::inverse(plan_, backend_, in.span(), buf_a_.span(), scratch_.span());
+    blas::vmul(backend_, plan_.modulus(), buf_a_.span(), untwist_.span(),
+               buf_b_.span());
+    return buf_b_.toU128();
+}
+
+std::vector<U128>
+NegacyclicEngine::polymulNegacyclic(const std::vector<U128>& f,
+                                    const std::vector<U128>& g)
+{
+    checkArg(f.size() == plan_.n() && g.size() == plan_.n(),
+             "NegacyclicEngine::polymulNegacyclic: size mismatch");
+    auto tf = forward(f);
+    auto tg = forward(g);
+    const Modulus& m = plan_.modulus();
+    ResidueVector ta = ResidueVector::fromU128(tf);
+    ResidueVector tb = ResidueVector::fromU128(tg);
+    blas::vmul(backend_, m, ta.span(), tb.span(), buf_c_.span());
+    return inverse(buf_c_.toU128());
+}
+
+std::vector<U128>
+negacyclicConvolution(const Modulus& modulus, const std::vector<U128>& f,
+                      const std::vector<U128>& g)
+{
+    checkArg(f.size() == g.size() && !f.empty(),
+             "negacyclicConvolution: length mismatch");
+    size_t n = f.size();
+    std::vector<U128> full = schoolbookPolyMul(modulus, f, g);
+    full.resize(2 * n - 1, U128{0});
+    std::vector<U128> out(n, U128{0});
+    for (size_t i = 0; i < full.size(); ++i) {
+        if (i < n)
+            out[i] = modulus.add(out[i], full[i]);
+        else
+            out[i - n] = modulus.sub(out[i - n], full[i]); // x^n = -1
+    }
+    return out;
+}
+
+} // namespace ntt
+} // namespace mqx

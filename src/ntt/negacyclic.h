@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Negacyclic (twisted) NTT: polynomial products in Z_q[x]/(x^n + 1).
+ *
+ * The paper's kernels compute cyclic transforms; RLWE-based FHE schemes
+ * (the workload motivating Section 1) actually multiply in the
+ * negacyclic ring. The classic reduction: with psi a primitive 2n-th
+ * root of unity (psi^2 = omega_n),
+ *
+ *     negacyclic_conv(f, g)[k]
+ *         = psi^-k * INTT( NTT(psi^i f_i) .* NTT(psi^j g_j) )[k],
+ *
+ * so a negacyclic product costs one cyclic pipeline plus two twist
+ * passes, which are plain point-wise multiplies — reusing the paper's
+ * BLAS kernels. Requires 2n | q - 1 (one extra factor of two of
+ * 2-adicity).
+ */
+#pragma once
+
+#include "core/backend.h"
+#include "ntt/ntt.h"
+
+namespace mqx {
+namespace ntt {
+
+/**
+ * Negacyclic transform engine over one (q, n). Owns the cyclic plan and
+ * the psi twist tables.
+ */
+class NegacyclicEngine
+{
+  public:
+    /**
+     * @throws InvalidArgument unless n is a power of two and 2n divides
+     * q - 1 (i.e. the prime's 2-adicity is at least log2(n) + 1).
+     */
+    NegacyclicEngine(const NttPrime& prime, size_t n, Backend backend);
+    NegacyclicEngine(const NttPrime& prime, size_t n);
+
+    const NttPlan& plan() const { return plan_; }
+    Backend backend() const { return backend_; }
+    U128 psi() const { return psi_; }
+
+    /**
+     * Forward negacyclic transform: twist by psi^i then cyclic forward.
+     * Output in bit-reversed order (same convention as ntt::forward).
+     */
+    std::vector<U128> forward(const std::vector<U128>& input);
+
+    /** Inverse: cyclic inverse then untwist by psi^-i. */
+    std::vector<U128> inverse(const std::vector<U128>& input);
+
+    /** f * g mod (x^n + 1, q). */
+    std::vector<U128> polymulNegacyclic(const std::vector<U128>& f,
+                                        const std::vector<U128>& g);
+
+  private:
+    NttPlan plan_;
+    Backend backend_;
+    U128 psi_;
+    ResidueVector twist_;    ///< psi^i
+    ResidueVector untwist_;  ///< psi^-i
+    ResidueVector buf_a_, buf_b_, buf_c_, scratch_;
+};
+
+/**
+ * Reference negacyclic convolution via schoolbook + x^n = -1 reduction
+ * (for tests and verification).
+ */
+std::vector<U128> negacyclicConvolution(const Modulus& modulus,
+                                        const std::vector<U128>& f,
+                                        const std::vector<U128>& g);
+
+} // namespace ntt
+} // namespace mqx

@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Public NTT dispatch and the convenience Engine.
+ */
+#include "ntt/ntt.h"
+
+#include "core/config.h"
+#include "ntt/ntt_backends.h"
+
+namespace mqx {
+namespace ntt {
+
+namespace {
+
+void
+requireAvailable(Backend backend)
+{
+    if (!backendAvailable(backend)) {
+        throw BackendUnavailable("NTT backend not available on this host: " +
+                                 backendName(backend));
+    }
+}
+
+} // namespace
+
+void
+forward(const NttPlan& plan, Backend backend, DConstSpan in, DSpan out,
+        DSpan scratch, MulAlgo algo)
+{
+    requireAvailable(backend);
+    switch (backend) {
+      case Backend::Scalar:
+        backends::forwardScalar(plan, in, out, scratch, algo);
+        return;
+      case Backend::Portable:
+        backends::forwardPortable(plan, in, out, scratch, algo);
+        return;
+      case Backend::Avx2:
+#if MQX_BUILD_AVX2
+        backends::forwardAvx2(plan, in, out, scratch, algo);
+        return;
+#else
+        break;
+#endif
+      case Backend::Avx512:
+#if MQX_BUILD_AVX512
+        backends::forwardAvx512(plan, in, out, scratch, algo);
+        return;
+#else
+        break;
+#endif
+      case Backend::MqxEmulate:
+#if MQX_BUILD_AVX512
+        backends::forwardMqxImpl(plan, MqxVariant::Full, false, in, out,
+                                 scratch, algo);
+        return;
+#else
+        break;
+#endif
+      case Backend::MqxPisa:
+#if MQX_BUILD_AVX512
+        backends::forwardMqxImpl(plan, MqxVariant::Full, true, in, out,
+                                 scratch, algo);
+        return;
+#else
+        break;
+#endif
+    }
+    throw BackendUnavailable("NTT backend not compiled in: " +
+                             backendName(backend));
+}
+
+void
+inverse(const NttPlan& plan, Backend backend, DConstSpan in, DSpan out,
+        DSpan scratch, MulAlgo algo)
+{
+    requireAvailable(backend);
+    switch (backend) {
+      case Backend::Scalar:
+        backends::inverseScalar(plan, in, out, scratch, algo);
+        return;
+      case Backend::Portable:
+        backends::inversePortable(plan, in, out, scratch, algo);
+        return;
+      case Backend::Avx2:
+#if MQX_BUILD_AVX2
+        backends::inverseAvx2(plan, in, out, scratch, algo);
+        return;
+#else
+        break;
+#endif
+      case Backend::Avx512:
+#if MQX_BUILD_AVX512
+        backends::inverseAvx512(plan, in, out, scratch, algo);
+        return;
+#else
+        break;
+#endif
+      case Backend::MqxEmulate:
+#if MQX_BUILD_AVX512
+        backends::inverseMqxImpl(plan, MqxVariant::Full, false, in, out,
+                                 scratch, algo);
+        return;
+#else
+        break;
+#endif
+      case Backend::MqxPisa:
+#if MQX_BUILD_AVX512
+        backends::inverseMqxImpl(plan, MqxVariant::Full, true, in, out,
+                                 scratch, algo);
+        return;
+#else
+        break;
+#endif
+    }
+    throw BackendUnavailable("NTT backend not compiled in: " +
+                             backendName(backend));
+}
+
+void
+forwardMqx(const NttPlan& plan, MqxVariant variant, bool pisa, DConstSpan in,
+           DSpan out, DSpan scratch, MulAlgo algo)
+{
+    requireAvailable(Backend::MqxEmulate);
+#if MQX_BUILD_AVX512
+    backends::forwardMqxImpl(plan, variant, pisa, in, out, scratch, algo);
+#else
+    (void)plan;
+    (void)variant;
+    (void)pisa;
+    (void)in;
+    (void)out;
+    (void)scratch;
+    (void)algo;
+    throw BackendUnavailable("MQX backend not compiled in");
+#endif
+}
+
+void
+inverseMqx(const NttPlan& plan, MqxVariant variant, bool pisa, DConstSpan in,
+           DSpan out, DSpan scratch, MulAlgo algo)
+{
+    requireAvailable(Backend::MqxEmulate);
+#if MQX_BUILD_AVX512
+    backends::inverseMqxImpl(plan, variant, pisa, in, out, scratch, algo);
+#else
+    (void)plan;
+    (void)variant;
+    (void)pisa;
+    (void)in;
+    (void)out;
+    (void)scratch;
+    (void)algo;
+    throw BackendUnavailable("MQX backend not compiled in");
+#endif
+}
+
+Engine::Engine(const NttPlan& plan, Backend backend)
+    : plan_(plan), backend_(backend), buf_a_(plan.n()), buf_b_(plan.n()),
+      buf_c_(plan.n()), scratch_(plan.n())
+{
+    requireAvailable(backend_);
+}
+
+Engine::Engine(const NttPlan& plan) : Engine(plan, bestBackend()) {}
+
+std::vector<U128>
+Engine::forward(const std::vector<U128>& input)
+{
+    checkArg(input.size() == plan_.n(), "Engine::forward: size mismatch");
+    ResidueVector in = ResidueVector::fromU128(input);
+    ntt::forward(plan_, backend_, in.span(), buf_a_.span(), scratch_.span());
+    return buf_a_.toU128();
+}
+
+std::vector<U128>
+Engine::inverse(const std::vector<U128>& input)
+{
+    checkArg(input.size() == plan_.n(), "Engine::inverse: size mismatch");
+    ResidueVector in = ResidueVector::fromU128(input);
+    ntt::inverse(plan_, backend_, in.span(), buf_a_.span(), scratch_.span());
+    return buf_a_.toU128();
+}
+
+std::vector<U128>
+Engine::forwardNatural(const std::vector<U128>& input)
+{
+    checkArg(input.size() == plan_.n(),
+             "Engine::forwardNatural: size mismatch");
+    ResidueVector in = ResidueVector::fromU128(input);
+    ntt::forward(plan_, backend_, in.span(), buf_a_.span(), scratch_.span());
+    DSpan s = buf_a_.span();
+    bitReversePermute(s);
+    return buf_a_.toU128();
+}
+
+std::vector<U128>
+Engine::polymulCyclic(const std::vector<U128>& f, const std::vector<U128>& g)
+{
+    checkArg(f.size() == plan_.n() && g.size() == plan_.n(),
+             "Engine::polymulCyclic: size mismatch");
+    ResidueVector fin = ResidueVector::fromU128(f);
+    ResidueVector gin = ResidueVector::fromU128(g);
+    ntt::forward(plan_, backend_, fin.span(), buf_a_.span(), scratch_.span());
+    ntt::forward(plan_, backend_, gin.span(), buf_b_.span(), scratch_.span());
+    // Point-wise multiply in the (bit-reversed) transformed domain.
+    const Modulus& m = plan_.modulus();
+    for (size_t i = 0; i < plan_.n(); ++i)
+        buf_c_.set(i, m.mul(buf_a_.at(i), buf_b_.at(i)));
+    ntt::inverse(plan_, backend_, buf_c_.span(), buf_a_.span(),
+                 scratch_.span());
+    return buf_a_.toU128();
+}
+
+} // namespace ntt
+} // namespace mqx

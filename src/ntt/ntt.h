@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Public NTT API: per-backend transforms plus the high-level Engine.
+ *
+ * Ordering convention (see plan.h): forward() maps natural order to
+ * bit-reversed order; inverse() maps bit-reversed back to natural. The
+ * two compose to the identity with no explicit permutation, and
+ * point-wise products between forward outputs are order-consistent, so
+ * the polynomial-multiplication path never bit-reverses. Call
+ * bitReversePermute() on the forward output if natural-order evaluations
+ * are needed (the reference transforms produce natural order).
+ */
+#pragma once
+
+#include "core/backend.h"
+#include "ntt/plan.h"
+
+namespace mqx {
+namespace ntt {
+
+/**
+ * Forward NTT with the chosen backend.
+ *
+ * @param in      input, natural order (not modified)
+ * @param out     result, bit-reversed order
+ * @param scratch working buffer, same size; clobbered
+ * @throws BackendUnavailable if @p backend cannot run on this host.
+ */
+void forward(const NttPlan& plan, Backend backend, DConstSpan in, DSpan out,
+             DSpan scratch, MulAlgo algo = MulAlgo::Schoolbook);
+
+/** Inverse NTT (bit-reversed in, natural out, scaled by n^-1). */
+void inverse(const NttPlan& plan, Backend backend, DConstSpan in, DSpan out,
+             DSpan scratch, MulAlgo algo = MulAlgo::Schoolbook);
+
+/**
+ * Forward NTT with an explicit MQX feature variant (Fig. 6 ablation).
+ * @param pisa true = PISA proxy timing mode (results are wrong by
+ *             design), false = bit-exact Table-2 emulation.
+ */
+void forwardMqx(const NttPlan& plan, MqxVariant variant, bool pisa,
+                DConstSpan in, DSpan out, DSpan scratch,
+                MulAlgo algo = MulAlgo::Schoolbook);
+
+/** Inverse counterpart of forwardMqx. */
+void inverseMqx(const NttPlan& plan, MqxVariant variant, bool pisa,
+                DConstSpan in, DSpan out, DSpan scratch,
+                MulAlgo algo = MulAlgo::Schoolbook);
+
+/**
+ * Convenience wrapper owning the plan and work buffers. This is the
+ * friendly entry point used by the examples; performance-critical code
+ * should call forward()/inverse() on preallocated buffers.
+ */
+class Engine
+{
+  public:
+    /** @param backend defaults to the best available on this host. */
+    Engine(const NttPlan& plan, Backend backend);
+    explicit Engine(const NttPlan& plan);
+
+    const NttPlan& plan() const { return plan_; }
+    Backend backend() const { return backend_; }
+
+    /** Forward transform; returns bit-reversed-order evaluations. */
+    std::vector<U128> forward(const std::vector<U128>& input);
+
+    /** Inverse transform of bit-reversed-order evaluations. */
+    std::vector<U128> inverse(const std::vector<U128>& input);
+
+    /** Forward transform with natural-order output (extra permutation). */
+    std::vector<U128> forwardNatural(const std::vector<U128>& input);
+
+    /**
+     * Cyclic polynomial multiplication via the convolution theorem:
+     * INTT(NTT(f) .* NTT(g)).
+     */
+    std::vector<U128> polymulCyclic(const std::vector<U128>& f,
+                                    const std::vector<U128>& g);
+
+  private:
+    NttPlan plan_;
+    Backend backend_;
+    ResidueVector buf_a_, buf_b_, buf_c_, scratch_;
+};
+
+} // namespace ntt
+} // namespace mqx

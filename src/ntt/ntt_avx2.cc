@@ -1,0 +1,30 @@
+/**
+ * @file
+ * AVX2 instantiation of the Pease NTT (compiled with -mavx2).
+ */
+#include "ntt/ntt_backends.h"
+
+#include "ntt/pease_impl.h"
+#include "simd/isa_avx2.h"
+
+namespace mqx {
+namespace ntt {
+namespace backends {
+
+void
+forwardAvx2(const NttPlan& plan, DConstSpan in, DSpan out, DSpan scratch,
+            MulAlgo algo)
+{
+    peaseForwardImpl<simd::Avx2Isa>(plan, in, out, scratch, algo);
+}
+
+void
+inverseAvx2(const NttPlan& plan, DConstSpan in, DSpan out, DSpan scratch,
+            MulAlgo algo)
+{
+    peaseInverseImpl<simd::Avx2Isa>(plan, in, out, scratch, algo);
+}
+
+} // namespace backends
+} // namespace ntt
+} // namespace mqx

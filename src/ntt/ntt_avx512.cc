@@ -1,0 +1,30 @@
+/**
+ * @file
+ * AVX-512 instantiation of the Pease NTT (compiled with AVX-512 flags).
+ */
+#include "ntt/ntt_backends.h"
+
+#include "ntt/pease_impl.h"
+#include "simd/isa_avx512.h"
+
+namespace mqx {
+namespace ntt {
+namespace backends {
+
+void
+forwardAvx512(const NttPlan& plan, DConstSpan in, DSpan out, DSpan scratch,
+              MulAlgo algo)
+{
+    peaseForwardImpl<simd::Avx512Isa>(plan, in, out, scratch, algo);
+}
+
+void
+inverseAvx512(const NttPlan& plan, DConstSpan in, DSpan out, DSpan scratch,
+              MulAlgo algo)
+{
+    peaseInverseImpl<simd::Avx512Isa>(plan, in, out, scratch, algo);
+}
+
+} // namespace backends
+} // namespace ntt
+} // namespace mqx

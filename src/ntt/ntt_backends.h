@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Internal per-backend NTT entry points. Each lives in a translation
+ * unit compiled with the matching ISA flags; the public dispatcher in
+ * ntt.cc routes to them. Not part of the public API.
+ */
+#pragma once
+
+#include "core/backend.h"
+#include "ntt/plan.h"
+
+namespace mqx {
+namespace ntt {
+namespace backends {
+
+void forwardScalar(const NttPlan&, DConstSpan, DSpan, DSpan, MulAlgo);
+void inverseScalar(const NttPlan&, DConstSpan, DSpan, DSpan, MulAlgo);
+
+void forwardPortable(const NttPlan&, DConstSpan, DSpan, DSpan, MulAlgo);
+void inversePortable(const NttPlan&, DConstSpan, DSpan, DSpan, MulAlgo);
+
+void forwardAvx2(const NttPlan&, DConstSpan, DSpan, DSpan, MulAlgo);
+void inverseAvx2(const NttPlan&, DConstSpan, DSpan, DSpan, MulAlgo);
+
+void forwardAvx512(const NttPlan&, DConstSpan, DSpan, DSpan, MulAlgo);
+void inverseAvx512(const NttPlan&, DConstSpan, DSpan, DSpan, MulAlgo);
+
+void forwardMqxImpl(const NttPlan&, MqxVariant, bool pisa, DConstSpan, DSpan,
+                    DSpan, MulAlgo);
+void inverseMqxImpl(const NttPlan&, MqxVariant, bool pisa, DConstSpan, DSpan,
+                    DSpan, MulAlgo);
+
+} // namespace backends
+} // namespace ntt
+} // namespace mqx

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * MQX instantiations of the Pease NTT: every Fig. 6 feature variant, in
+ * both Table-2 emulation and PISA proxy modes.
+ */
+#include "ntt/ntt_backends.h"
+
+#include "mqxisa/isa_mqx.h"
+#include "ntt/pease_impl.h"
+
+namespace mqx {
+namespace ntt {
+namespace backends {
+
+namespace {
+
+using mqxisa::kMqxCarryOnly;
+using mqxisa::kMqxFull;
+using mqxisa::kMqxMulhi;
+using mqxisa::kMqxMulOnly;
+using mqxisa::kMqxPredicated;
+using mqxisa::MqxIsa;
+using mqxisa::MqxMode;
+
+template <MqxMode Mode>
+void
+forwardWithVariant(const NttPlan& plan, MqxVariant variant, DConstSpan in,
+                   DSpan out, DSpan scratch, MulAlgo algo)
+{
+    switch (variant) {
+      case MqxVariant::MulOnly:
+        peaseForwardImpl<MqxIsa<Mode, kMqxMulOnly>>(plan, in, out, scratch,
+                                                    algo);
+        break;
+      case MqxVariant::CarryOnly:
+        peaseForwardImpl<MqxIsa<Mode, kMqxCarryOnly>>(plan, in, out, scratch,
+                                                      algo);
+        break;
+      case MqxVariant::Full:
+        peaseForwardImpl<MqxIsa<Mode, kMqxFull>>(plan, in, out, scratch,
+                                                 algo);
+        break;
+      case MqxVariant::MulhiCarry:
+        peaseForwardImpl<MqxIsa<Mode, kMqxMulhi>>(plan, in, out, scratch,
+                                                  algo);
+        break;
+      case MqxVariant::FullPredicated:
+        peaseForwardImpl<MqxIsa<Mode, kMqxPredicated>>(plan, in, out, scratch,
+                                                       algo);
+        break;
+    }
+}
+
+template <MqxMode Mode>
+void
+inverseWithVariant(const NttPlan& plan, MqxVariant variant, DConstSpan in,
+                   DSpan out, DSpan scratch, MulAlgo algo)
+{
+    switch (variant) {
+      case MqxVariant::MulOnly:
+        peaseInverseImpl<MqxIsa<Mode, kMqxMulOnly>>(plan, in, out, scratch,
+                                                    algo);
+        break;
+      case MqxVariant::CarryOnly:
+        peaseInverseImpl<MqxIsa<Mode, kMqxCarryOnly>>(plan, in, out, scratch,
+                                                      algo);
+        break;
+      case MqxVariant::Full:
+        peaseInverseImpl<MqxIsa<Mode, kMqxFull>>(plan, in, out, scratch,
+                                                 algo);
+        break;
+      case MqxVariant::MulhiCarry:
+        peaseInverseImpl<MqxIsa<Mode, kMqxMulhi>>(plan, in, out, scratch,
+                                                  algo);
+        break;
+      case MqxVariant::FullPredicated:
+        peaseInverseImpl<MqxIsa<Mode, kMqxPredicated>>(plan, in, out, scratch,
+                                                       algo);
+        break;
+    }
+}
+
+} // namespace
+
+void
+forwardMqxImpl(const NttPlan& plan, MqxVariant variant, bool pisa,
+               DConstSpan in, DSpan out, DSpan scratch, MulAlgo algo)
+{
+    if (pisa)
+        forwardWithVariant<MqxMode::Pisa>(plan, variant, in, out, scratch,
+                                          algo);
+    else
+        forwardWithVariant<MqxMode::Emulate>(plan, variant, in, out, scratch,
+                                             algo);
+}
+
+void
+inverseMqxImpl(const NttPlan& plan, MqxVariant variant, bool pisa,
+               DConstSpan in, DSpan out, DSpan scratch, MulAlgo algo)
+{
+    if (pisa)
+        inverseWithVariant<MqxMode::Pisa>(plan, variant, in, out, scratch,
+                                          algo);
+    else
+        inverseWithVariant<MqxMode::Emulate>(plan, variant, in, out, scratch,
+                                             algo);
+}
+
+} // namespace backends
+} // namespace ntt
+} // namespace mqx

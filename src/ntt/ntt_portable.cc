@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Portable (plain C++) instantiation of the Pease NTT; correctness
+ * fallback for hosts without AVX.
+ */
+#include "ntt/ntt_backends.h"
+
+#include "ntt/pease_impl.h"
+#include "simd/isa_portable.h"
+
+namespace mqx {
+namespace ntt {
+namespace backends {
+
+void
+forwardPortable(const NttPlan& plan, DConstSpan in, DSpan out, DSpan scratch,
+                MulAlgo algo)
+{
+    peaseForwardImpl<simd::PortableIsa>(plan, in, out, scratch, algo);
+}
+
+void
+inversePortable(const NttPlan& plan, DConstSpan in, DSpan out, DSpan scratch,
+                MulAlgo algo)
+{
+    peaseInverseImpl<simd::PortableIsa>(plan, in, out, scratch, algo);
+}
+
+} // namespace backends
+} // namespace ntt
+} // namespace mqx

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Optimized scalar Pease NTT (paper Section 3.1 tier).
+ *
+ * Uses the native-128-bit scalar modular arithmetic — "used for
+ * benchmarking, as it allows the compiler to exploit specialized
+ * assembly instructions such as add with carry" — in the same
+ * constant-geometry dataflow as the SIMD backends.
+ */
+#include "ntt/ntt_backends.h"
+
+#include "ntt/pease_impl.h"
+
+namespace mqx {
+namespace ntt {
+namespace backends {
+
+namespace {
+
+void
+forwardStageScalar(const Modulus& m, const mod::Barrett<uint64_t>& br,
+                   const uint64_t* src_hi, const uint64_t* src_lo,
+                   uint64_t* dst_hi, uint64_t* dst_lo, const uint64_t* tw_hi,
+                   const uint64_t* tw_lo, size_t h, MulAlgo algo)
+{
+    for (size_t j = 0; j < h; ++j) {
+        U128 a = U128::fromParts(src_hi[j], src_lo[j]);
+        U128 b = U128::fromParts(src_hi[j + h], src_lo[j + h]);
+        U128 w = U128::fromParts(tw_hi[j], tw_lo[j]);
+        U128 u = m.add(a, b);
+        mod::DW<uint64_t> d = mod::toDw(m.sub(a, b));
+        mod::DW<uint64_t> dw = mod::toDw(w);
+        auto v = algo == MulAlgo::Schoolbook ? mod::mulModSchool(d, dw, br)
+                                             : mod::mulModKaratsuba(d, dw, br);
+        dst_hi[2 * j] = u.hi;
+        dst_lo[2 * j] = u.lo;
+        dst_hi[2 * j + 1] = v.hi;
+        dst_lo[2 * j + 1] = v.lo;
+    }
+}
+
+void
+inverseStageScalar(const Modulus& m, const mod::Barrett<uint64_t>& br,
+                   const uint64_t* src_hi, const uint64_t* src_lo,
+                   uint64_t* dst_hi, uint64_t* dst_lo, const uint64_t* tw_hi,
+                   const uint64_t* tw_lo, size_t h, MulAlgo algo)
+{
+    for (size_t j = 0; j < h; ++j) {
+        U128 u = U128::fromParts(src_hi[2 * j], src_lo[2 * j]);
+        mod::DW<uint64_t> v{src_hi[2 * j + 1], src_lo[2 * j + 1]};
+        mod::DW<uint64_t> w{tw_hi[j], tw_lo[j]};
+        auto tm = algo == MulAlgo::Schoolbook ? mod::mulModSchool(v, w, br)
+                                              : mod::mulModKaratsuba(v, w, br);
+        U128 t = mod::fromDw(tm);
+        U128 x0 = m.add(u, t);
+        U128 x1 = m.sub(u, t);
+        dst_hi[j] = x0.hi;
+        dst_lo[j] = x0.lo;
+        dst_hi[j + h] = x1.hi;
+        dst_lo[j + h] = x1.lo;
+    }
+}
+
+} // namespace
+
+void
+forwardScalar(const NttPlan& plan, DConstSpan in, DSpan out, DSpan scratch,
+              MulAlgo algo)
+{
+    detail::validateNttArgs(plan, in, out, scratch);
+    const size_t h = plan.half();
+    const int m = plan.logn();
+    const Modulus& mod = plan.modulus();
+    const auto& br = mod.barrett();
+
+    DSpan bufs[2] = {out, scratch};
+    int target = (m % 2 == 1) ? 0 : 1;
+    const uint64_t* src_hi = in.hi;
+    const uint64_t* src_lo = in.lo;
+    for (int s = 0; s < m; ++s) {
+        DSpan dst = bufs[target];
+        forwardStageScalar(mod, br, src_hi, src_lo, dst.hi, dst.lo,
+                           plan.twiddleHi(s), plan.twiddleLo(s), h, algo);
+        src_hi = dst.hi;
+        src_lo = dst.lo;
+        target ^= 1;
+    }
+}
+
+void
+inverseScalar(const NttPlan& plan, DConstSpan in, DSpan out, DSpan scratch,
+              MulAlgo algo)
+{
+    detail::validateNttArgs(plan, in, out, scratch);
+    const size_t h = plan.half();
+    const int m = plan.logn();
+    const Modulus& mod = plan.modulus();
+    const auto& br = mod.barrett();
+
+    DSpan bufs[2] = {out, scratch};
+    int target = (m % 2 == 1) ? 0 : 1;
+    const uint64_t* src_hi = in.hi;
+    const uint64_t* src_lo = in.lo;
+    for (int s = m - 1; s >= 0; --s) {
+        DSpan dst = bufs[target];
+        inverseStageScalar(mod, br, src_hi, src_lo, dst.hi, dst.lo,
+                           plan.twiddleInvHi(s), plan.twiddleInvLo(s), h,
+                           algo);
+        src_hi = dst.hi;
+        src_lo = dst.lo;
+        target ^= 1;
+    }
+
+    const mod::DW<uint64_t> dn = mod::toDw(plan.nInv());
+    for (size_t i = 0; i < plan.n(); ++i) {
+        mod::DW<uint64_t> x{out.hi[i], out.lo[i]};
+        auto r = algo == MulAlgo::Schoolbook ? mod::mulModSchool(x, dn, br)
+                                             : mod::mulModKaratsuba(x, dn, br);
+        out.hi[i] = r.hi;
+        out.lo[i] = r.lo;
+    }
+}
+
+} // namespace backends
+} // namespace ntt
+} // namespace mqx

@@ -1,0 +1,205 @@
+/**
+ * @file
+ * The Pease constant-geometry NTT, templated over a SIMD ISA policy.
+ *
+ * Forward stage s (of log2 n), butterfly j in [0, n/2):
+ *     u = x[j] + x[j + n/2]
+ *     v = (x[j] - x[j + n/2]) * w[s][j],  w[s][j] = omega^((j >> s) << s)
+ *     y[2j] = u;  y[2j+1] = v
+ *
+ * Reads are contiguous at stride n/2, writes are the perfect shuffle —
+ * in SIMD the two result vectors are interleaved with
+ * unpack/permutex2var-style shuffles (paper Section 3.2) and stored as
+ * two contiguous blocks. Output ends up in bit-reversed order.
+ *
+ * The inverse runs the transposed stages in reverse order with inverse
+ * twiddles (reads interleaved pairs, writes strided halves) and applies
+ * one final scaling pass by n^-1; it consumes the forward's bit-reversed
+ * output and restores natural order.
+ *
+ * Out-of-place ping-pong: the caller provides `out` and `scratch`
+ * buffers; the stage parity is arranged so the final stage always lands
+ * in `out`. Neither may alias the input.
+ */
+#pragma once
+
+#include "ntt/plan.h"
+#include "simd/dw_kernels.h"
+
+namespace mqx {
+namespace ntt {
+
+namespace detail {
+
+/** Scalar butterfly tail shared by every backend. */
+inline void
+forwardButterflyScalar(const mod::Barrett<uint64_t>& br,
+                       const mod::DW<uint64_t>& q, const uint64_t* src_hi,
+                       const uint64_t* src_lo, uint64_t* dst_hi,
+                       uint64_t* dst_lo, const uint64_t* tw_hi,
+                       const uint64_t* tw_lo, size_t j, size_t h,
+                       MulAlgo algo)
+{
+    mod::DW<uint64_t> a{src_hi[j], src_lo[j]};
+    mod::DW<uint64_t> b{src_hi[j + h], src_lo[j + h]};
+    mod::DW<uint64_t> w{tw_hi[j], tw_lo[j]};
+    auto u = mod::addMod(a, b, q);
+    auto d = mod::subMod(a, b, q);
+    auto v = algo == MulAlgo::Schoolbook ? mod::mulModSchool(d, w, br)
+                                         : mod::mulModKaratsuba(d, w, br);
+    dst_hi[2 * j] = u.hi;
+    dst_lo[2 * j] = u.lo;
+    dst_hi[2 * j + 1] = v.hi;
+    dst_lo[2 * j + 1] = v.lo;
+}
+
+inline void
+inverseButterflyScalar(const mod::Barrett<uint64_t>& br,
+                       const mod::DW<uint64_t>& q, const uint64_t* src_hi,
+                       const uint64_t* src_lo, uint64_t* dst_hi,
+                       uint64_t* dst_lo, const uint64_t* tw_hi,
+                       const uint64_t* tw_lo, size_t j, size_t h,
+                       MulAlgo algo)
+{
+    mod::DW<uint64_t> u{src_hi[2 * j], src_lo[2 * j]};
+    mod::DW<uint64_t> v{src_hi[2 * j + 1], src_lo[2 * j + 1]};
+    mod::DW<uint64_t> w{tw_hi[j], tw_lo[j]};
+    auto t = algo == MulAlgo::Schoolbook ? mod::mulModSchool(v, w, br)
+                                         : mod::mulModKaratsuba(v, w, br);
+    auto x0 = mod::addMod(u, t, q);
+    auto x1 = mod::subMod(u, t, q);
+    dst_hi[j] = x0.hi;
+    dst_lo[j] = x0.lo;
+    dst_hi[j + h] = x1.hi;
+    dst_lo[j + h] = x1.lo;
+}
+
+inline void
+validateNttArgs(const NttPlan& plan, DConstSpan in, DSpan out, DSpan scratch)
+{
+    checkArg(in.n == plan.n() && out.n == plan.n() && scratch.n == plan.n(),
+             "ntt: buffer sizes must equal the plan size");
+    checkArg(in.hi != out.hi && in.hi != scratch.hi && out.hi != scratch.hi,
+             "ntt: in/out/scratch must be distinct buffers");
+}
+
+} // namespace detail
+
+/** Forward Pease NTT (natural order in, bit-reversed out). */
+template <class Isa>
+void
+peaseForwardImpl(const NttPlan& plan, DConstSpan in, DSpan out, DSpan scratch,
+                 MulAlgo algo = MulAlgo::Schoolbook)
+{
+    detail::validateNttArgs(plan, in, out, scratch);
+    const size_t h = plan.half();
+    const int m = plan.logn();
+    const Modulus& mod = plan.modulus();
+    simd::ModCtx<Isa> ctx = simd::makeModCtx<Isa>(mod);
+    const auto& br = mod.barrett();
+    const mod::DW<uint64_t> q = mod::toDw(mod.value());
+
+    DSpan bufs[2] = {out, scratch};
+    int target = (m % 2 == 1) ? 0 : 1;
+    const uint64_t* src_hi = in.hi;
+    const uint64_t* src_lo = in.lo;
+
+    for (int s = 0; s < m; ++s) {
+        DSpan dst = bufs[target];
+        const uint64_t* tw_hi = plan.twiddleHi(s);
+        const uint64_t* tw_lo = plan.twiddleLo(s);
+        size_t j = 0;
+        for (; j + Isa::kLanes <= h; j += Isa::kLanes) {
+            auto a = simd::loadDv<Isa>(src_hi, src_lo, j);
+            auto b = simd::loadDv<Isa>(src_hi, src_lo, j + h);
+            auto w = simd::loadDv<Isa>(tw_hi, tw_lo, j);
+            auto u = simd::addModV<Isa>(ctx, a, b);
+            auto v = simd::mulModV<Isa>(ctx, simd::subModV<Isa>(ctx, a, b),
+                                        w, algo);
+            typename Isa::V blk0, blk1;
+            Isa::interleave2(u.hi, v.hi, blk0, blk1);
+            Isa::storeu(dst.hi + 2 * j, blk0);
+            Isa::storeu(dst.hi + 2 * j + Isa::kLanes, blk1);
+            Isa::interleave2(u.lo, v.lo, blk0, blk1);
+            Isa::storeu(dst.lo + 2 * j, blk0);
+            Isa::storeu(dst.lo + 2 * j + Isa::kLanes, blk1);
+        }
+        for (; j < h; ++j) {
+            detail::forwardButterflyScalar(br, q, src_hi, src_lo, dst.hi,
+                                           dst.lo, tw_hi, tw_lo, j, h, algo);
+        }
+        src_hi = dst.hi;
+        src_lo = dst.lo;
+        target ^= 1;
+    }
+}
+
+/** Inverse Pease NTT (bit-reversed in, natural out, scaled by n^-1). */
+template <class Isa>
+void
+peaseInverseImpl(const NttPlan& plan, DConstSpan in, DSpan out, DSpan scratch,
+                 MulAlgo algo = MulAlgo::Schoolbook)
+{
+    detail::validateNttArgs(plan, in, out, scratch);
+    const size_t h = plan.half();
+    const int m = plan.logn();
+    const Modulus& mod = plan.modulus();
+    simd::ModCtx<Isa> ctx = simd::makeModCtx<Isa>(mod);
+    const auto& br = mod.barrett();
+    const mod::DW<uint64_t> q = mod::toDw(mod.value());
+
+    DSpan bufs[2] = {out, scratch};
+    int target = (m % 2 == 1) ? 0 : 1;
+    const uint64_t* src_hi = in.hi;
+    const uint64_t* src_lo = in.lo;
+
+    for (int s = m - 1; s >= 0; --s) {
+        DSpan dst = bufs[target];
+        const uint64_t* tw_hi = plan.twiddleInvHi(s);
+        const uint64_t* tw_lo = plan.twiddleInvLo(s);
+        size_t j = 0;
+        for (; j + Isa::kLanes <= h; j += Isa::kLanes) {
+            auto blk0h = Isa::loadu(src_hi + 2 * j);
+            auto blk1h = Isa::loadu(src_hi + 2 * j + Isa::kLanes);
+            auto blk0l = Isa::loadu(src_lo + 2 * j);
+            auto blk1l = Isa::loadu(src_lo + 2 * j + Isa::kLanes);
+            simd::DV<Isa> u, v;
+            Isa::deinterleave2(blk0h, blk1h, u.hi, v.hi);
+            Isa::deinterleave2(blk0l, blk1l, u.lo, v.lo);
+            auto w = simd::loadDv<Isa>(tw_hi, tw_lo, j);
+            auto t = simd::mulModV<Isa>(ctx, v, w, algo);
+            auto x0 = simd::addModV<Isa>(ctx, u, t);
+            auto x1 = simd::subModV<Isa>(ctx, u, t);
+            simd::storeDv<Isa>(dst.hi, dst.lo, j, x0);
+            simd::storeDv<Isa>(dst.hi, dst.lo, j + h, x1);
+        }
+        for (; j < h; ++j) {
+            detail::inverseButterflyScalar(br, q, src_hi, src_lo, dst.hi,
+                                           dst.lo, tw_hi, tw_lo, j, h, algo);
+        }
+        src_hi = dst.hi;
+        src_lo = dst.lo;
+        target ^= 1;
+    }
+
+    // Final scaling by n^-1 (deferred from the per-stage halving).
+    const U128 n_inv = plan.nInv();
+    simd::DV<Isa> vninv{Isa::set1(n_inv.hi), Isa::set1(n_inv.lo)};
+    size_t i = 0;
+    for (; i + Isa::kLanes <= plan.n(); i += Isa::kLanes) {
+        auto x = simd::loadDv<Isa>(out.hi, out.lo, i);
+        simd::storeDv<Isa>(out.hi, out.lo, i,
+                           simd::mulModV<Isa>(ctx, x, vninv, algo));
+    }
+    mod::DW<uint64_t> dn = mod::toDw(n_inv);
+    for (; i < plan.n(); ++i) {
+        mod::DW<uint64_t> x{out.hi[i], out.lo[i]};
+        auto r = algo == MulAlgo::Schoolbook ? mod::mulModSchool(x, dn, br)
+                                             : mod::mulModKaratsuba(x, dn, br);
+        out.hi[i] = r.hi;
+        out.lo[i] = r.lo;
+    }
+}
+
+} // namespace ntt
+} // namespace mqx

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * NttPlan construction: root finding and twiddle table precomputation.
+ */
+#include "ntt/plan.h"
+
+namespace mqx {
+namespace ntt {
+
+NttPlan::NttPlan(const Modulus& modulus, size_t n) : mod_(modulus), n_(n)
+{
+    checkArg(n >= 2 && (n & (n - 1)) == 0,
+             "NttPlan: n must be a power of two >= 2");
+    logn_ = 0;
+    for (size_t t = n; t > 1; t >>= 1)
+        ++logn_;
+    checkArg(isPrime(mod_.value()), "NttPlan: modulus must be prime");
+
+    omega_ = rootOfUnity(mod_, U128{static_cast<uint64_t>(n)});
+    omega_inv_ = mod_.inverse(omega_);
+    n_inv_ = mod_.inverse(mod_.reduce(U128{static_cast<uint64_t>(n)}));
+
+    // Power tables pow[i] = omega^i and powInv[i] = omega^-i, i < n/2,
+    // then the per-stage tables index them with (j >> s) << s.
+    size_t h = half();
+    std::vector<U128> pow_fwd(h), pow_inv(h);
+    U128 acc_f{1}, acc_i{1};
+    for (size_t i = 0; i < h; ++i) {
+        pow_fwd[i] = acc_f;
+        pow_inv[i] = acc_i;
+        acc_f = mod_.mul(acc_f, omega_);
+        acc_i = mod_.mul(acc_i, omega_inv_);
+    }
+
+    size_t stages = static_cast<size_t>(logn_);
+    fwd_hi_.reset(stages * h);
+    fwd_lo_.reset(stages * h);
+    inv_hi_.reset(stages * h);
+    inv_lo_.reset(stages * h);
+    for (size_t s = 0; s < stages; ++s) {
+        for (size_t j = 0; j < h; ++j) {
+            size_t e = (j >> s) << s;
+            size_t idx = s * h + j;
+            fwd_hi_[idx] = pow_fwd[e].hi;
+            fwd_lo_[idx] = pow_fwd[e].lo;
+            inv_hi_[idx] = pow_inv[e].hi;
+            inv_lo_[idx] = pow_inv[e].lo;
+        }
+    }
+}
+
+size_t
+NttPlan::twiddleBytes() const
+{
+    return 4 * static_cast<size_t>(logn_) * half() * sizeof(uint64_t);
+}
+
+void
+bitReversePermute(DSpan data)
+{
+    size_t n = data.n;
+    if (n < 2)
+        return;
+    int logn = 0;
+    for (size_t t = n; t > 1; t >>= 1)
+        ++logn;
+    for (size_t i = 0; i < n; ++i) {
+        size_t r = 0;
+        for (int b = 0; b < logn; ++b)
+            r |= ((i >> b) & 1) << (logn - 1 - b);
+        if (r > i) {
+            std::swap(data.hi[i], data.hi[r]);
+            std::swap(data.lo[i], data.lo[r]);
+        }
+    }
+}
+
+} // namespace ntt
+} // namespace mqx

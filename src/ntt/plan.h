@@ -1,0 +1,112 @@
+/**
+ * @file
+ * NTT plans: validated parameters plus every precomputed table the
+ * kernels need (twiddle factors per Pease stage, inverse twiddles,
+ * n^-1, Barrett constants).
+ *
+ * Dataflow (paper Section 3.2): we use the Pease constant-geometry
+ * radix-2 NTT. Every stage has identical wiring — butterfly j reads
+ * positions (j, j + n/2) and writes (2j, 2j + 1):
+ *
+ *     u = x[j] + x[j + n/2]                 (mod q)
+ *     v = (x[j] - x[j + n/2]) * w[s][j]     (mod q)
+ *     y[2j] = u;  y[2j+1] = v
+ *
+ * with stage-s twiddle w[s][j] = omega^((j >> s) << s). After log2(n)
+ * stages the output is in bit-reversed order. The inverse transform runs
+ * the transposed stages in reverse order with inverse twiddles and a
+ * final scale by n^-1, consuming bit-reversed input and producing
+ * natural order — so inverse(forward(x)) == x with no explicit
+ * permutation, and pointwise products in the transformed domain are
+ * order-consistent (the convolution path needs no bit reversal either).
+ *
+ * Data layout: residue vectors are stored as split hi/lo uint64_t
+ * arrays ("the vectorized implementation passes in two 512-bit vectors
+ * per input" — Section 3.2). Twiddles are stored the same way, flattened
+ * per stage, so SIMD kernels stream them with aligned loads.
+ */
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/aligned.h"
+#include "core/residue_span.h"
+#include "mod/modulus.h"
+#include "ntt/prime.h"
+#include "u128/u128.h"
+
+namespace mqx {
+namespace ntt {
+
+using mqx::DConstSpan;
+using mqx::DSpan;
+using mqx::ResidueVector;
+
+/**
+ * Immutable per-(q, n) precomputation shared by all backends.
+ */
+class NttPlan
+{
+  public:
+    /**
+     * @param modulus prime modulus (primality is verified)
+     * @param n       transform size, power of two, 2 <= n, n | q - 1
+     * @throws InvalidArgument when the parameters cannot support an NTT.
+     */
+    NttPlan(const Modulus& modulus, size_t n);
+
+    /** Convenience: plan from an NttPrime. */
+    NttPlan(const NttPrime& prime, size_t n) : NttPlan(Modulus(prime.q), n) {}
+
+    const Modulus& modulus() const { return mod_; }
+    size_t n() const { return n_; }
+    int logn() const { return logn_; }
+    U128 omega() const { return omega_; }
+    U128 omegaInv() const { return omega_inv_; }
+    U128 nInv() const { return n_inv_; }
+
+    /** Forward twiddle w[s][j] = omega^((j >> s) << s), j < n/2. */
+    U128
+    twiddle(int stage, size_t j) const
+    {
+        size_t idx = static_cast<size_t>(stage) * half() + j;
+        return U128::fromParts(fwd_hi_[idx], fwd_lo_[idx]);
+    }
+
+    /** Inverse twiddle w^-1[s][j]. */
+    U128
+    twiddleInv(int stage, size_t j) const
+    {
+        size_t idx = static_cast<size_t>(stage) * half() + j;
+        return U128::fromParts(inv_hi_[idx], inv_lo_[idx]);
+    }
+
+    /** SIMD-layout twiddle rows (length n/2 each). */
+    const uint64_t* twiddleHi(int s) const { return fwd_hi_.data() + static_cast<size_t>(s) * half(); }
+    const uint64_t* twiddleLo(int s) const { return fwd_lo_.data() + static_cast<size_t>(s) * half(); }
+    const uint64_t* twiddleInvHi(int s) const { return inv_hi_.data() + static_cast<size_t>(s) * half(); }
+    const uint64_t* twiddleInvLo(int s) const { return inv_lo_.data() + static_cast<size_t>(s) * half(); }
+
+    size_t half() const { return n_ / 2; }
+
+    /** Bytes of twiddle storage (for the paper's L2 discussion, §5.4). */
+    size_t twiddleBytes() const;
+
+  private:
+    Modulus mod_;
+    size_t n_ = 0;
+    int logn_ = 0;
+    U128 omega_{};
+    U128 omega_inv_{};
+    U128 n_inv_{};
+    AlignedVec<uint64_t> fwd_hi_, fwd_lo_;
+    AlignedVec<uint64_t> inv_hi_, inv_lo_;
+};
+
+/** In-place bit-reversal permutation of a split-layout vector. */
+void bitReversePermute(DSpan data);
+
+} // namespace ntt
+} // namespace mqx

@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Miller-Rabin primality testing and NTT-friendly prime search.
+ */
+#include "ntt/prime.h"
+
+#include "bench_util/rng.h"
+
+namespace mqx {
+namespace ntt {
+
+namespace {
+
+/** Trial division by a handful of small primes to reject cheaply. */
+bool
+passesSmallPrimeSieve(const U128& n)
+{
+    static constexpr uint64_t kSmall[] = {3,  5,  7,  11, 13, 17, 19, 23,
+                                          29, 31, 37, 41, 43, 47, 53, 59};
+    for (uint64_t p : kSmall) {
+        if (n == U128{p})
+            return true;
+        if (mod128(n, U128{p}).isZero())
+            return false;
+    }
+    return true;
+}
+
+/** One Miller-Rabin round with witness a (2 <= a <= n - 2). */
+bool
+millerRabinRound(const Modulus& m, const U128& n_minus_1, const U128& d,
+                 int r, const U128& a)
+{
+    U128 x = m.pow(a, d);
+    if (x == U128{1} || x == n_minus_1)
+        return true;
+    for (int i = 1; i < r; ++i) {
+        x = m.mul(x, x);
+        if (x == n_minus_1)
+            return true;
+    }
+    return false;
+}
+
+} // namespace
+
+bool
+isPrime(const U128& n, int rounds, uint64_t seed)
+{
+    if (n < U128{2})
+        return false;
+    if (n == U128{2} || n == U128{3})
+        return true;
+    if ((n.lo & 1) == 0)
+        return false;
+    if (!passesSmallPrimeSieve(n))
+        return false;
+
+    // Write n - 1 = d * 2^r with d odd.
+    U128 n_minus_1 = n - U128{1};
+    U128 d = n_minus_1;
+    int r = 0;
+    while ((d.lo & 1) == 0) {
+        d >>= 1;
+        ++r;
+    }
+
+    Modulus m(n);
+    SplitMix64 rng(seed ^ n.lo ^ (n.hi << 1));
+    // Fixed small witnesses first (cheap, catches most composites),
+    // then random witnesses.
+    static constexpr uint64_t kFixed[] = {2, 3, 5, 7, 11, 13, 17, 19, 23,
+                                          29, 31, 37};
+    for (uint64_t a : kFixed) {
+        if (n <= U128{a + 1})
+            break;
+        if (!millerRabinRound(m, n_minus_1, d, r, U128{a}))
+            return false;
+    }
+    for (int i = 0; i < rounds; ++i) {
+        U128 a = rng.nextBelow(n - U128{3}) + U128{2}; // [2, n-2]
+        if (!millerRabinRound(m, n_minus_1, d, r, a))
+            return false;
+    }
+    return true;
+}
+
+std::vector<NttPrime>
+findNttPrimes(int bits, int two_adicity, int count)
+{
+    checkArg(bits <= 124, "findNttPrime: bits must be <= 124 (Barrett)");
+    checkArg(two_adicity >= 1 && bits >= two_adicity + 2,
+             "findNttPrime: need bits >= two_adicity + 2");
+    checkArg(count >= 1, "findNttPrimes: count must be >= 1");
+
+    // q = c * 2^e + 1 with exactly `bits` bits: c in
+    // [2^(bits-1-e), 2^(bits-e) - 1], c odd so 2-adicity is exactly e.
+    int e = two_adicity;
+    U128 c_lo = U128{1} << (bits - 1 - e);
+    U128 c_hi = (U128{1} << (bits - e)) - U128{1};
+    // Deterministic scan from the top of the range downwards: the same
+    // (bits, e) always yields the same primes.
+    std::vector<NttPrime> found;
+    U128 c = c_hi;
+    if ((c.lo & 1) == 0)
+        c -= U128{1};
+    while (c >= c_lo) {
+        U128 q = (c << e) + U128{1};
+        if (isPrime(q)) {
+            NttPrime p;
+            p.q = q;
+            p.bits = q.bits();
+            p.two_adicity = e;
+            found.push_back(p);
+            if (static_cast<int>(found.size()) == count)
+                return found;
+        }
+        c -= U128{2};
+    }
+    throw InvalidArgument("findNttPrimes: not enough primes in range");
+}
+
+NttPrime
+findNttPrime(int bits, int two_adicity)
+{
+    return findNttPrimes(bits, two_adicity, 1).front();
+}
+
+U128
+rootOfUnity(const Modulus& modulus, const U128& order)
+{
+    const U128& q = modulus.value();
+    checkArg(!order.isZero(), "rootOfUnity: zero order");
+    if (order == U128{1})
+        return U128{1};
+    U128 q_minus_1 = q - U128{1};
+    // order must divide q - 1 (power-of-two orders only).
+    checkArg((order & (order - U128{1})).isZero(),
+             "rootOfUnity: order must be a power of two");
+    U128 quot, rem;
+    divmod128(q_minus_1, order, quot, rem);
+    checkArg(rem.isZero(), "rootOfUnity: order does not divide q - 1");
+
+    U128 half_order = order >> 1;
+    SplitMix64 rng(0x9e3779b9u ^ q.lo);
+    for (int attempt = 0; attempt < 256; ++attempt) {
+        U128 g = rng.nextBelow(q - U128{3}) + U128{2}; // [2, q-2]
+        // Euler's criterion: g is a quadratic non-residue iff
+        // g^((q-1)/2) == -1. For a non-residue, g^((q-1)/order) has
+        // order exactly `order` (its order/2-th power is -1 != 1).
+        U128 legendre = modulus.pow(g, q_minus_1 >> 1);
+        if (legendre != q_minus_1)
+            continue;
+        U128 root = modulus.pow(g, quot);
+        // Defensive check (also catches a composite q).
+        U128 check = modulus.pow(root, half_order);
+        checkArg(check == q_minus_1, "rootOfUnity: modulus is not prime");
+        return root;
+    }
+    throw InvalidArgument("rootOfUnity: no quadratic non-residue found");
+}
+
+const NttPrime&
+defaultBenchPrime()
+{
+    // 124-bit prime with 2-adicity 32: supports every NTT size the paper
+    // evaluates (2^10 .. 2^18) with huge headroom. Computed once.
+    static const NttPrime prime = findNttPrime(124, 32);
+    return prime;
+}
+
+const NttPrime&
+smallTestPrime()
+{
+    // 66-bit double-word prime: exercises the hi-word paths while keeping
+    // test-side oracle arithmetic fast.
+    static const NttPrime prime = findNttPrime(66, 20);
+    return prime;
+}
+
+} // namespace ntt
+} // namespace mqx

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * NTT-friendly prime generation and roots of unity.
+ *
+ * A size-n power-of-two NTT over Z_q needs a primitive n-th root of
+ * unity, which exists iff n | q - 1. We therefore search for primes of
+ * the form q = c * 2^e + 1 ("NTT-friendly" primes with 2-adicity e).
+ *
+ * Finding a 2^e-order element needs no factorization of q - 1: for any
+ * quadratic non-residue g (checked via Euler's criterion,
+ * g^((q-1)/2) == -1), the element g^((q-1)/2^e) has order exactly 2^e.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mod/modulus.h"
+#include "u128/u128.h"
+
+namespace mqx {
+namespace ntt {
+
+/**
+ * Miller-Rabin primality test.
+ *
+ * @param n       candidate, must satisfy the Barrett range (< 2^124)
+ * @param rounds  random witness rounds (error probability <= 4^-rounds)
+ * @param seed    witness stream seed (deterministic for fixed inputs)
+ */
+bool isPrime(const U128& n, int rounds = 40, uint64_t seed = 0x5eed);
+
+/** An NTT-friendly prime q = c * 2^e + 1. */
+struct NttPrime
+{
+    U128 q;          ///< the prime
+    int bits = 0;    ///< bit width of q
+    int two_adicity = 0; ///< e: largest power of two dividing q - 1
+};
+
+/**
+ * Deterministically find a prime with exactly @p bits bits and 2-adicity
+ * of at least @p two_adicity (so NTTs up to size 2^two_adicity work).
+ *
+ * @throws InvalidArgument if bits < two_adicity + 2 or bits > 124.
+ */
+NttPrime findNttPrime(int bits, int two_adicity);
+
+/**
+ * Deterministically find @p count distinct NTT-friendly primes (the
+ * residue basis of an RNS decomposition, Section 1 of the paper).
+ * Scans the same candidate sequence as findNttPrime, so the first
+ * element equals findNttPrime(bits, two_adicity).
+ */
+std::vector<NttPrime> findNttPrimes(int bits, int two_adicity, int count);
+
+/**
+ * A primitive root of unity of order @p order (a power of two dividing
+ * the 2-adicity of q - 1) in Z_q for prime q.
+ *
+ * @throws InvalidArgument if order does not divide q - 1 or a root
+ * cannot be found (q not prime).
+ */
+U128 rootOfUnity(const Modulus& modulus, const U128& order);
+
+/** The default 124-bit benchmark prime used across benches and examples. */
+const NttPrime& defaultBenchPrime();
+
+/** A smaller 66-bit double-word prime for fast tests. */
+const NttPrime& smallTestPrime();
+
+} // namespace ntt
+} // namespace mqx

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Reference O(n^2) transforms.
+ */
+#include "ntt/reference_ntt.h"
+
+namespace mqx {
+namespace ntt {
+
+std::vector<U128>
+referenceNtt(const NttPlan& plan, const std::vector<U128>& input)
+{
+    checkArg(input.size() == plan.n(), "referenceNtt: size mismatch");
+    const Modulus& m = plan.modulus();
+    size_t n = plan.n();
+    std::vector<U128> out(n);
+    // Precompute omega^k row seeds to keep this O(n^2) multiplications.
+    for (size_t k = 0; k < n; ++k) {
+        U128 w_k = plan.modulus().pow(plan.omega(), U128{static_cast<uint64_t>(k)});
+        U128 acc{0};
+        U128 w{1};
+        for (size_t j = 0; j < n; ++j) {
+            acc = m.add(acc, m.mul(input[j], w));
+            w = m.mul(w, w_k);
+        }
+        out[k] = acc;
+    }
+    return out;
+}
+
+std::vector<U128>
+referenceIntt(const NttPlan& plan, const std::vector<U128>& input)
+{
+    checkArg(input.size() == plan.n(), "referenceIntt: size mismatch");
+    const Modulus& m = plan.modulus();
+    size_t n = plan.n();
+    std::vector<U128> out(n);
+    for (size_t k = 0; k < n; ++k) {
+        U128 w_k =
+            plan.modulus().pow(plan.omegaInv(), U128{static_cast<uint64_t>(k)});
+        U128 acc{0};
+        U128 w{1};
+        for (size_t j = 0; j < n; ++j) {
+            acc = m.add(acc, m.mul(input[j], w));
+            w = m.mul(w, w_k);
+        }
+        out[k] = m.mul(acc, plan.nInv());
+    }
+    return out;
+}
+
+std::vector<U128>
+schoolbookPolyMul(const Modulus& modulus, const std::vector<U128>& f,
+                  const std::vector<U128>& g)
+{
+    checkArg(!f.empty() && !g.empty(), "schoolbookPolyMul: empty input");
+    std::vector<U128> out(f.size() + g.size() - 1, U128{0});
+    for (size_t i = 0; i < f.size(); ++i) {
+        for (size_t j = 0; j < g.size(); ++j) {
+            out[i + j] = modulus.add(out[i + j], modulus.mul(f[i], g[j]));
+        }
+    }
+    return out;
+}
+
+std::vector<U128>
+cyclicConvolution(const Modulus& modulus, const std::vector<U128>& f,
+                  const std::vector<U128>& g)
+{
+    checkArg(f.size() == g.size() && !f.empty(),
+             "cyclicConvolution: length mismatch");
+    size_t n = f.size();
+    std::vector<U128> full = schoolbookPolyMul(modulus, f, g);
+    full.resize(2 * n - 1, U128{0});
+    std::vector<U128> out(n, U128{0});
+    for (size_t i = 0; i < full.size(); ++i)
+        out[i % n] = modulus.add(out[i % n], full[i]);
+    return out;
+}
+
+} // namespace ntt
+} // namespace mqx

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Reference transforms used as correctness oracles.
+ *
+ * referenceNtt evaluates Eq. 11 of the paper directly in O(n^2):
+ *   y_k = sum_j x_j * omega^(jk) mod q.
+ * Output is in natural order. referenceIntt inverts it. Both are far too
+ * slow for production but are the ground truth every fast backend is
+ * tested against. schoolbookPolyMul (Eq. 10) anchors the convolution
+ * theorem tests.
+ */
+#pragma once
+
+#include <vector>
+
+#include "ntt/plan.h"
+#include "u128/u128.h"
+
+namespace mqx {
+namespace ntt {
+
+/** Direct Eq.-11 evaluation, natural-order output. */
+std::vector<U128> referenceNtt(const NttPlan& plan,
+                               const std::vector<U128>& input);
+
+/** Inverse of referenceNtt (natural-order input and output). */
+std::vector<U128> referenceIntt(const NttPlan& plan,
+                                const std::vector<U128>& input);
+
+/**
+ * Schoolbook product of two degree < n polynomials over Z_q (Eq. 10);
+ * result has length 2n - 1.
+ */
+std::vector<U128> schoolbookPolyMul(const Modulus& modulus,
+                                    const std::vector<U128>& f,
+                                    const std::vector<U128>& g);
+
+/**
+ * Cyclic (length-preserving) schoolbook convolution: the polynomial
+ * product reduced mod x^n - 1. This is what pointwise multiplication in
+ * the NTT domain computes.
+ */
+std::vector<U128> cyclicConvolution(const Modulus& modulus,
+                                    const std::vector<U128>& f,
+                                    const std::vector<U128>& g);
+
+} // namespace ntt
+} // namespace mqx

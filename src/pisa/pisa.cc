@@ -1,0 +1,101 @@
+/**
+ * @file
+ * PISA registry and dispatch.
+ */
+#include "pisa/pisa.h"
+
+#include "core/config.h"
+
+namespace mqx {
+namespace pisa {
+
+// Implemented in the ISA-flagged TUs.
+namespace detail {
+void runAvx2WideningMulNtt(bool use_proxy, const ntt::NttPlan&, DConstSpan,
+                           DSpan, DSpan);
+void runAvx512MaskAddNtt(bool use_proxy, const ntt::NttPlan&, DConstSpan,
+                         DSpan, DSpan);
+void runAvx512MaskSubNtt(bool use_proxy, const ntt::NttPlan&, DConstSpan,
+                         DSpan, DSpan);
+} // namespace detail
+
+const std::vector<ProxyMapping>&
+mqxProxyTable()
+{
+    static const std::vector<ProxyMapping> table = {
+        {"_mm512_mul_epi64", "_mm512_mullo_epi64",
+         "widening multiply modeled by the existing 64-bit multiply-low"},
+        {"_mm512_adc_epi64", "_mm512_mask_add_epi64",
+         "add-with-carry modeled by a masked vector add"},
+        {"_mm512_sbb_epi64", "_mm512_mask_sub_epi64",
+         "subtract-with-borrow modeled by a masked vector subtract"},
+    };
+    return table;
+}
+
+std::vector<ValidationPair>
+validationPairs()
+{
+    return {ValidationPair::Avx2WideningMul, ValidationPair::Avx512MaskAdd,
+            ValidationPair::Avx512MaskSub};
+}
+
+ProxyMapping
+validationMapping(ValidationPair pair)
+{
+    switch (pair) {
+      case ValidationPair::Avx2WideningMul:
+        return {"_mm256_mul_epu32", "_mm256_mullo_epi32",
+                "existing AVX2 widening multiply as ground truth"};
+      case ValidationPair::Avx512MaskAdd:
+        return {"_mm512_mask_add_epi64", "_mm512_add_epi64",
+                "masked add modeled by the plain add"};
+      case ValidationPair::Avx512MaskSub:
+        return {"_mm512_mask_sub_epi64", "_mm512_sub_epi64",
+                "masked subtract modeled by the plain subtract"};
+    }
+    throw InvalidArgument("validationMapping: unknown pair");
+}
+
+void
+runValidationNtt(ValidationPair pair, bool use_proxy, const ntt::NttPlan& plan,
+                 DConstSpan in, DSpan out, DSpan scratch)
+{
+    switch (pair) {
+      case ValidationPair::Avx2WideningMul:
+#if MQX_BUILD_AVX2
+        if (backendAvailable(Backend::Avx2)) {
+            detail::runAvx2WideningMulNtt(use_proxy, plan, in, out, scratch);
+            return;
+        }
+#endif
+        throw BackendUnavailable("PISA validation needs AVX2");
+      case ValidationPair::Avx512MaskAdd:
+#if MQX_BUILD_AVX512
+        if (backendAvailable(Backend::Avx512)) {
+            detail::runAvx512MaskAddNtt(use_proxy, plan, in, out, scratch);
+            return;
+        }
+#endif
+        throw BackendUnavailable("PISA validation needs AVX-512");
+      case ValidationPair::Avx512MaskSub:
+#if MQX_BUILD_AVX512
+        if (backendAvailable(Backend::Avx512)) {
+            detail::runAvx512MaskSubNtt(use_proxy, plan, in, out, scratch);
+            return;
+        }
+#endif
+        throw BackendUnavailable("PISA validation needs AVX-512");
+    }
+    throw InvalidArgument("runValidationNtt: unknown pair");
+}
+
+double
+relativeErrorPct(double t_target_ns, double t_proxy_ns)
+{
+    checkArg(t_target_ns > 0.0, "relativeErrorPct: non-positive target time");
+    return (t_target_ns - t_proxy_ns) / t_target_ns * 100.0;
+}
+
+} // namespace pisa
+} // namespace mqx

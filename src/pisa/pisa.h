@@ -1,0 +1,74 @@
+/**
+ * @file
+ * PISA — performance projection using proxy ISA (paper Section 4.2).
+ *
+ * PISA estimates the performance of a not-yet-implemented instruction by
+ * substituting the structurally-closest existing instruction and
+ * measuring real hardware. This module provides:
+ *
+ *  - the MQX proxy registry (Table 3),
+ *  - the validation experiments (Table 5): apply the same methodology to
+ *    *existing* instruction pairs where ground truth is measurable, and
+ *  - the relative-error metric (Eq. 12) used in Table 6.
+ *
+ * For each validation pair we build the full NTT kernel twice: once with
+ * the target instruction (ground truth) and once with its proxy
+ * substituted. Both versions execute the same surrounding code; only the
+ * instruction under study changes (the proxy build computes wrong values
+ * by design, exactly as in the paper).
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/backend.h"
+#include "ntt/plan.h"
+
+namespace mqx {
+namespace pisa {
+
+/** One target->proxy instruction mapping. */
+struct ProxyMapping
+{
+    std::string target; ///< instruction being modeled
+    std::string proxy;  ///< existing instruction standing in for it
+    std::string note;   ///< why the proxy is structurally faithful
+};
+
+/** Table 3: the MQX instructions and their AVX-512 proxies. */
+const std::vector<ProxyMapping>& mqxProxyTable();
+
+/** The Table-5 validation experiments. */
+enum class ValidationPair
+{
+    Avx2WideningMul, ///< _mm256_mul_epu32 vs _mm256_mullo_epi32
+    Avx512MaskAdd,   ///< _mm512_mask_add_epi64 vs _mm512_add_epi64
+    Avx512MaskSub,   ///< _mm512_mask_sub_epi64 vs _mm512_sub_epi64
+};
+
+/** All validation pairs in Table-5 order. */
+std::vector<ValidationPair> validationPairs();
+
+/** The Table-5 mapping for @p pair. */
+ProxyMapping validationMapping(ValidationPair pair);
+
+/**
+ * Run one NTT with either the target instruction (ground truth) or the
+ * proxy substituted (@p use_proxy). Backend is AVX2 for the widening-mul
+ * pair and AVX-512 for the masked-op pairs.
+ *
+ * @throws BackendUnavailable if the needed ISA is absent.
+ */
+void runValidationNtt(ValidationPair pair, bool use_proxy,
+                      const ntt::NttPlan& plan, DConstSpan in, DSpan out,
+                      DSpan scratch);
+
+/**
+ * Relative error of a PISA projection (Eq. 12):
+ * (t_target - t_proxy) / t_target * 100. Negative = PISA conservative.
+ */
+double relativeErrorPct(double t_target_ns, double t_proxy_ns);
+
+} // namespace pisa
+} // namespace mqx

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * RNS implementation: CRT machinery plus channel-wise kernels.
+ */
+#include "rns/rns.h"
+
+#include "blas/blas.h"
+
+namespace mqx {
+namespace rns {
+
+RnsBasis::RnsBasis(int bits, int two_adicity, int count)
+    : RnsBasis(ntt::findNttPrimes(bits, two_adicity, count))
+{
+}
+
+RnsBasis::RnsBasis(std::vector<ntt::NttPrime> primes)
+    : primes_(std::move(primes))
+{
+    checkArg(!primes_.empty(), "RnsBasis: empty basis");
+    for (size_t i = 0; i < primes_.size(); ++i) {
+        for (size_t j = i + 1; j < primes_.size(); ++j) {
+            checkArg(primes_[i].q != primes_[j].q,
+                     "RnsBasis: primes must be distinct");
+        }
+    }
+    moduli_.reserve(primes_.size());
+    for (const auto& p : primes_)
+        moduli_.emplace_back(p.q);
+    precompute();
+}
+
+void
+RnsBasis::precompute()
+{
+    big_q_ = BigUInt{1};
+    for (const auto& p : primes_)
+        big_q_ *= BigUInt::fromU128(p.q);
+
+    q_over_qi_.resize(primes_.size());
+    q_over_qi_inv_.resize(primes_.size());
+    for (size_t i = 0; i < primes_.size(); ++i) {
+        BigUInt qi = BigUInt::fromU128(primes_[i].q);
+        q_over_qi_[i] = big_q_ / qi;
+        // (Q / q_i) mod q_i fits a U128; invert with Fermat.
+        U128 rem = (q_over_qi_[i] % qi).toU128();
+        q_over_qi_inv_[i] = moduli_[i].inverse(rem);
+    }
+}
+
+std::vector<U128>
+RnsBasis::decompose(const BigUInt& x) const
+{
+    checkArg(x < big_q_, "RnsBasis::decompose: value exceeds Q");
+    std::vector<U128> out(primes_.size());
+    for (size_t i = 0; i < primes_.size(); ++i)
+        out[i] = (x % BigUInt::fromU128(primes_[i].q)).toU128();
+    return out;
+}
+
+BigUInt
+RnsBasis::reconstruct(const std::vector<U128>& residues) const
+{
+    checkArg(residues.size() == primes_.size(),
+             "RnsBasis::reconstruct: residue count mismatch");
+    // x = sum_i (r_i * (Q/q_i)^-1 mod q_i) * (Q/q_i)  mod Q.
+    BigUInt acc{};
+    for (size_t i = 0; i < primes_.size(); ++i) {
+        U128 coeff = moduli_[i].mul(moduli_[i].reduce(residues[i]),
+                                    q_over_qi_inv_[i]);
+        acc += q_over_qi_[i] * BigUInt::fromU128(coeff);
+    }
+    return acc % big_q_;
+}
+
+RnsPolynomial::RnsPolynomial(const RnsBasis& basis, size_t n)
+    : basis_(&basis), n_(n),
+      channels_(basis.size(), std::vector<U128>(n, U128{0}))
+{
+}
+
+RnsPolynomial
+RnsPolynomial::fromCoefficients(const RnsBasis& basis,
+                                const std::vector<BigUInt>& coeffs)
+{
+    RnsPolynomial poly(basis, coeffs.size());
+    for (size_t c = 0; c < coeffs.size(); ++c) {
+        auto residues = basis.decompose(coeffs[c]);
+        for (size_t i = 0; i < basis.size(); ++i)
+            poly.channels_[i][c] = residues[i];
+    }
+    return poly;
+}
+
+std::vector<BigUInt>
+RnsPolynomial::toCoefficients() const
+{
+    std::vector<BigUInt> out(n_);
+    std::vector<U128> residues(basis_->size());
+    for (size_t c = 0; c < n_; ++c) {
+        for (size_t i = 0; i < basis_->size(); ++i)
+            residues[i] = channels_[i][c];
+        out[c] = basis_->reconstruct(residues);
+    }
+    return out;
+}
+
+RnsKernels::RnsKernels(const RnsBasis& basis, Backend backend)
+    : basis_(&basis), backend_(backend)
+{
+    checkArg(backendAvailable(backend), "RnsKernels: backend unavailable");
+}
+
+namespace {
+
+void
+checkCompatible(const RnsBasis* basis, const RnsPolynomial& a,
+                const RnsPolynomial& b)
+{
+    checkArg(&a.basis() == basis && &b.basis() == basis,
+             "RnsKernels: polynomial from a different basis");
+    checkArg(a.n() == b.n(), "RnsKernels: length mismatch");
+}
+
+} // namespace
+
+RnsPolynomial
+RnsKernels::add(const RnsPolynomial& a, const RnsPolynomial& b) const
+{
+    checkCompatible(basis_, a, b);
+    RnsPolynomial c(*basis_, a.n());
+    for (size_t i = 0; i < basis_->size(); ++i) {
+        ResidueVector va = ResidueVector::fromU128(a.channel(i));
+        ResidueVector vb = ResidueVector::fromU128(b.channel(i));
+        ResidueVector vc(a.n());
+        blas::vadd(backend_, basis_->modulus(i), va.span(), vb.span(),
+                   vc.span());
+        c.channel(i) = vc.toU128();
+    }
+    return c;
+}
+
+RnsPolynomial
+RnsKernels::mul(const RnsPolynomial& a, const RnsPolynomial& b) const
+{
+    checkCompatible(basis_, a, b);
+    RnsPolynomial c(*basis_, a.n());
+    for (size_t i = 0; i < basis_->size(); ++i) {
+        ResidueVector va = ResidueVector::fromU128(a.channel(i));
+        ResidueVector vb = ResidueVector::fromU128(b.channel(i));
+        ResidueVector vc(a.n());
+        blas::vmul(backend_, basis_->modulus(i), va.span(), vb.span(),
+                   vc.span());
+        c.channel(i) = vc.toU128();
+    }
+    return c;
+}
+
+RnsPolynomial
+RnsKernels::polymulNegacyclic(const RnsPolynomial& a,
+                              const RnsPolynomial& b) const
+{
+    checkCompatible(basis_, a, b);
+    RnsPolynomial c(*basis_, a.n());
+    for (size_t i = 0; i < basis_->size(); ++i) {
+        ntt::NegacyclicEngine engine(basis_->prime(i), a.n(), backend_);
+        c.channel(i) = engine.polymulNegacyclic(a.channel(i), b.channel(i));
+    }
+    return c;
+}
+
+} // namespace rns
+} // namespace mqx

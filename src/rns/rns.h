@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Residue number system (RNS) over 128-bit NTT-friendly primes.
+ *
+ * The paper's opening motivation (Section 1): FHE coefficients exceed
+ * 1,000 bits, and "prior works employ the residue number system (RNS)
+ * to decompose very large coefficients into smaller components
+ * (residues) that fit within machine words"; recent schemes use 128-bit
+ * residues to shrink the basis. This module is that substrate: a basis
+ * of distinct 124-bit NTT-friendly primes, CRT decomposition and
+ * reconstruction, and coefficient-wise ring operations that run each
+ * residue channel through the paper's BLAS/NTT kernels.
+ */
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "bigint/biguint.h"
+#include "core/backend.h"
+#include "ntt/negacyclic.h"
+#include "ntt/prime.h"
+
+namespace mqx {
+namespace rns {
+
+/**
+ * A CRT basis q_0, ..., q_{k-1} of distinct NTT-friendly primes with
+ * modulus Q = prod q_i, plus the precomputed reconstruction constants
+ * Q_i = Q / q_i and Q_i^-1 mod q_i.
+ */
+class RnsBasis
+{
+  public:
+    /**
+     * Deterministically build a basis of @p count primes of @p bits bits
+     * with 2-adicity @p two_adicity.
+     */
+    RnsBasis(int bits, int two_adicity, int count);
+
+    /** Build from explicit primes (must be pairwise distinct). */
+    explicit RnsBasis(std::vector<ntt::NttPrime> primes);
+
+    size_t size() const { return primes_.size(); }
+    const ntt::NttPrime& prime(size_t i) const { return primes_[i]; }
+    const Modulus& modulus(size_t i) const { return moduli_[i]; }
+
+    /** Q = product of the basis primes. */
+    const BigUInt& bigModulus() const { return big_q_; }
+
+    /** Residues (x mod q_i) of a value x < Q. */
+    std::vector<U128> decompose(const BigUInt& x) const;
+
+    /** CRT reconstruction of a residue tuple into [0, Q). */
+    BigUInt reconstruct(const std::vector<U128>& residues) const;
+
+  private:
+    void precompute();
+
+    std::vector<ntt::NttPrime> primes_;
+    std::vector<Modulus> moduli_;
+    BigUInt big_q_;
+    std::vector<BigUInt> q_over_qi_;  ///< Q / q_i
+    std::vector<U128> q_over_qi_inv_; ///< (Q / q_i)^-1 mod q_i
+};
+
+/**
+ * A polynomial of length n over Z_Q, stored as k residue channels of
+ * length n (the "RNS polynomial" every FHE library manipulates).
+ */
+class RnsPolynomial
+{
+  public:
+    RnsPolynomial(const RnsBasis& basis, size_t n);
+
+    /** Decompose big-integer coefficients (each < Q). */
+    static RnsPolynomial fromCoefficients(const RnsBasis& basis,
+                                          const std::vector<BigUInt>& coeffs);
+
+    /** Reconstruct big-integer coefficients. */
+    std::vector<BigUInt> toCoefficients() const;
+
+    size_t n() const { return n_; }
+    const RnsBasis& basis() const { return *basis_; }
+
+    /** Residue channel i as a U128 vector (length n). */
+    const std::vector<U128>& channel(size_t i) const { return channels_[i]; }
+    std::vector<U128>& channel(size_t i) { return channels_[i]; }
+
+  private:
+    const RnsBasis* basis_;
+    size_t n_;
+    std::vector<std::vector<U128>> channels_;
+};
+
+/**
+ * Coefficient-wise ring operations over Z_Q, executed channel-by-channel
+ * with the chosen kernel backend.
+ */
+class RnsKernels
+{
+  public:
+    RnsKernels(const RnsBasis& basis, Backend backend);
+
+    /** c = a + b (coefficient-wise, mod Q via CRT channels). */
+    RnsPolynomial add(const RnsPolynomial& a, const RnsPolynomial& b) const;
+
+    /** c = a .* b (coefficient-wise product). */
+    RnsPolynomial mul(const RnsPolynomial& a, const RnsPolynomial& b) const;
+
+    /**
+     * Negacyclic polynomial product a * b mod (x^n + 1, Q): each channel
+     * runs the full twist + NTT + point-wise + inverse pipeline.
+     */
+    RnsPolynomial polymulNegacyclic(const RnsPolynomial& a,
+                                    const RnsPolynomial& b) const;
+
+  private:
+    const RnsBasis* basis_;
+    Backend backend_;
+};
+
+} // namespace rns
+} // namespace mqx

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Batch (whole-vector) double-word modular kernels templated over a SIMD
+ * ISA policy. These are the building blocks of the BLAS layer (paper
+ * Section 2.3: "BLAS operations are essentially vector-based modular
+ * arithmetic ... implemented by looping over scalar or SIMD modular
+ * arithmetic").
+ *
+ * Each batch function processes full SIMD blocks and finishes any
+ * remainder with the scalar double-word ops, so arbitrary lengths work
+ * (the paper assumes power-of-two lengths that are multiples of the lane
+ * count; we do not need to).
+ */
+#pragma once
+
+#include "core/residue_span.h"
+#include "simd/dw_kernels.h"
+
+namespace mqx {
+namespace simd {
+
+/** c[i] = a[i] + b[i] mod q. */
+template <class Isa>
+void
+vaddImpl(const Modulus& m, DConstSpan a, DConstSpan b, DSpan c)
+{
+    checkArg(a.n == b.n && a.n == c.n, "vadd: length mismatch");
+    ModCtx<Isa> ctx = makeModCtx<Isa>(m);
+    size_t i = 0;
+    for (; i + Isa::kLanes <= a.n; i += Isa::kLanes) {
+        DV<Isa> va = loadDv<Isa>(a.hi, a.lo, i);
+        DV<Isa> vb = loadDv<Isa>(b.hi, b.lo, i);
+        storeDv<Isa>(c.hi, c.lo, i, addModV<Isa>(ctx, va, vb));
+    }
+    mod::DW<uint64_t> q = mod::toDw(m.value());
+    for (; i < a.n; ++i) {
+        auto r = mod::addMod(mod::DW<uint64_t>{a.hi[i], a.lo[i]},
+                             mod::DW<uint64_t>{b.hi[i], b.lo[i]}, q);
+        c.hi[i] = r.hi;
+        c.lo[i] = r.lo;
+    }
+}
+
+/** c[i] = a[i] - b[i] mod q. */
+template <class Isa>
+void
+vsubImpl(const Modulus& m, DConstSpan a, DConstSpan b, DSpan c)
+{
+    checkArg(a.n == b.n && a.n == c.n, "vsub: length mismatch");
+    ModCtx<Isa> ctx = makeModCtx<Isa>(m);
+    size_t i = 0;
+    for (; i + Isa::kLanes <= a.n; i += Isa::kLanes) {
+        DV<Isa> va = loadDv<Isa>(a.hi, a.lo, i);
+        DV<Isa> vb = loadDv<Isa>(b.hi, b.lo, i);
+        storeDv<Isa>(c.hi, c.lo, i, subModV<Isa>(ctx, va, vb));
+    }
+    mod::DW<uint64_t> q = mod::toDw(m.value());
+    for (; i < a.n; ++i) {
+        auto r = mod::subMod(mod::DW<uint64_t>{a.hi[i], a.lo[i]},
+                             mod::DW<uint64_t>{b.hi[i], b.lo[i]}, q);
+        c.hi[i] = r.hi;
+        c.lo[i] = r.lo;
+    }
+}
+
+/** c[i] = a[i] * b[i] mod q (point-wise vector multiplication). */
+template <class Isa>
+void
+vmulImpl(const Modulus& m, DConstSpan a, DConstSpan b, DSpan c,
+         MulAlgo algo = MulAlgo::Schoolbook)
+{
+    checkArg(a.n == b.n && a.n == c.n, "vmul: length mismatch");
+    ModCtx<Isa> ctx = makeModCtx<Isa>(m);
+    size_t i = 0;
+    for (; i + Isa::kLanes <= a.n; i += Isa::kLanes) {
+        DV<Isa> va = loadDv<Isa>(a.hi, a.lo, i);
+        DV<Isa> vb = loadDv<Isa>(b.hi, b.lo, i);
+        storeDv<Isa>(c.hi, c.lo, i, mulModV<Isa>(ctx, va, vb, algo));
+    }
+    const auto& br = m.barrett();
+    for (; i < a.n; ++i) {
+        mod::DW<uint64_t> da{a.hi[i], a.lo[i]}, db{b.hi[i], b.lo[i]};
+        auto r = algo == MulAlgo::Schoolbook
+                     ? mod::mulModSchool(da, db, br)
+                     : mod::mulModKaratsuba(da, db, br);
+        c.hi[i] = r.hi;
+        c.lo[i] = r.lo;
+    }
+}
+
+/**
+ * y[r] = sum_j A[r][j] * x[j] mod q — modular general matrix-vector
+ * product (BLAS-2 gemv; the paper notes point-wise vector
+ * multiplication is its diagonal special case, Section 2.3). A is
+ * row-major, rows x cols, split hi/lo like every residue container.
+ * Per row: SIMD blocks of mulmod feed a lane accumulator (modular adds
+ * never overflow because every partial stays < q), then the lanes are
+ * folded scalar.
+ */
+template <class Isa>
+void
+gemvImpl(const Modulus& m, DConstSpan matrix, DConstSpan x, DSpan y,
+         size_t rows, size_t cols, MulAlgo algo = MulAlgo::Schoolbook)
+{
+    checkArg(matrix.n == rows * cols, "gemv: matrix size mismatch");
+    checkArg(x.n == cols && y.n == rows, "gemv: vector size mismatch");
+    ModCtx<Isa> ctx = makeModCtx<Isa>(m);
+    const auto& br = m.barrett();
+    mod::DW<uint64_t> q = mod::toDw(m.value());
+
+    for (size_t r = 0; r < rows; ++r) {
+        const uint64_t* row_hi = matrix.hi + r * cols;
+        const uint64_t* row_lo = matrix.lo + r * cols;
+        DV<Isa> acc{Isa::set1(0), Isa::set1(0)};
+        size_t j = 0;
+        for (; j + Isa::kLanes <= cols; j += Isa::kLanes) {
+            DV<Isa> va = loadDv<Isa>(row_hi, row_lo, j);
+            DV<Isa> vx = loadDv<Isa>(x.hi, x.lo, j);
+            DV<Isa> t = mulModV<Isa>(ctx, va, vx, algo);
+            acc = addModV<Isa>(ctx, acc, t);
+        }
+        // Fold the lane accumulator, then the scalar tail.
+        alignas(64) uint64_t acc_hi[Isa::kLanes], acc_lo[Isa::kLanes];
+        Isa::storeu(acc_hi, acc.hi);
+        Isa::storeu(acc_lo, acc.lo);
+        mod::DW<uint64_t> sum{0, 0};
+        for (size_t lane = 0; lane < Isa::kLanes; ++lane) {
+            sum = mod::addMod(sum, mod::DW<uint64_t>{acc_hi[lane],
+                                                     acc_lo[lane]},
+                              q);
+        }
+        for (; j < cols; ++j) {
+            mod::DW<uint64_t> da{row_hi[j], row_lo[j]};
+            mod::DW<uint64_t> dx{x.hi[j], x.lo[j]};
+            auto t = algo == MulAlgo::Schoolbook
+                         ? mod::mulModSchool(da, dx, br)
+                         : mod::mulModKaratsuba(da, dx, br);
+            sum = mod::addMod(sum, t, q);
+        }
+        y.hi[r] = sum.hi;
+        y.lo[r] = sum.lo;
+    }
+}
+
+/** y[i] = alpha * x[i] + y[i] mod q (BLAS-1 axpy, Section 2.3). */
+template <class Isa>
+void
+axpyImpl(const Modulus& m, const U128& alpha, DConstSpan x, DSpan y,
+         MulAlgo algo = MulAlgo::Schoolbook)
+{
+    checkArg(x.n == y.n, "axpy: length mismatch");
+    ModCtx<Isa> ctx = makeModCtx<Isa>(m);
+    DV<Isa> va{Isa::set1(alpha.hi), Isa::set1(alpha.lo)};
+    size_t i = 0;
+    for (; i + Isa::kLanes <= x.n; i += Isa::kLanes) {
+        DV<Isa> vx = loadDv<Isa>(x.hi, x.lo, i);
+        DV<Isa> vy = loadDv<Isa>(y.hi, y.lo, i);
+        DV<Isa> t = mulModV<Isa>(ctx, va, vx, algo);
+        storeDv<Isa>(y.hi, y.lo, i, addModV<Isa>(ctx, t, vy));
+    }
+    const auto& br = m.barrett();
+    mod::DW<uint64_t> q = mod::toDw(m.value());
+    mod::DW<uint64_t> da = mod::toDw(alpha);
+    for (; i < x.n; ++i) {
+        mod::DW<uint64_t> dx{x.hi[i], x.lo[i]}, dy{y.hi[i], y.lo[i]};
+        auto t = algo == MulAlgo::Schoolbook ? mod::mulModSchool(da, dx, br)
+                                             : mod::mulModKaratsuba(da, dx, br);
+        auto r = mod::addMod(t, dy, q);
+        y.hi[i] = r.hi;
+        y.lo[i] = r.lo;
+    }
+}
+
+} // namespace simd
+} // namespace mqx

@@ -1,0 +1,418 @@
+/**
+ * @file
+ * Double-word (128-bit) modular arithmetic kernels over the SIMD ISA
+ * policy concept. Written once, instantiated for every backend:
+ * PortableIsa, Avx2Isa, Avx512Isa, and the MqxIsa variants.
+ *
+ * Residues are carried as split hi/lo vectors (DV): one vector of high
+ * words and one of low words per operand — eight 128-bit residues per
+ * AVX-512 vector pair (paper Section 3.2, Figure 2).
+ *
+ * Two kernel shapes exist for add/sub, mirroring the paper:
+ *  - addModBasic / subModBasic: the hand-tuned AVX-512 dataflow of
+ *    Listing 2, using compares + masked ops (no carry abstractions).
+ *    Variable names follow the listing (t30, t28, t29, a31, a35, ...).
+ *  - addModMqx / subModMqx: the Listing-3 dataflow built on the
+ *    adc/sbb/mulWide policy ops, which MQX implements in one instruction
+ *    each. Instantiated with a basic ISA these expand to the Table-1
+ *    emulation sequences, which is exactly the PISA comparison.
+ *
+ * Multiplication (schoolbook Eq. 8 / Karatsuba Eq. 9 + Barrett Eq. 4) is
+ * a single template whose carry handling routes through Isa::adc/sbb —
+ * so the identical dataflow is measured with AVX-512 emulated carries
+ * and with MQX carries, as in the paper's Fig. 6 ablation.
+ *
+ * Note on Listing 3: the published listing derives the reduce condition
+ * as (ehc1 | ehc), which misses the corner a+b >= q with equal high
+ * words (eh == mh and el >= ml). The emulated kernels here add the
+ * equality term so functional-correctness mode is exact; the deviation
+ * is documented in DESIGN.md.
+ */
+#pragma once
+
+#include "mod/modulus.h"
+
+namespace mqx {
+namespace simd {
+
+/** A vector of double words: hi[i]:lo[i] is lane i's 128-bit residue. */
+template <class Isa>
+struct DV
+{
+    typename Isa::V hi;
+    typename Isa::V lo;
+};
+
+/** A vector of quad words (full products); t0 least significant. */
+template <class Isa>
+struct QV
+{
+    typename Isa::V t0;
+    typename Isa::V t1;
+    typename Isa::V t2;
+    typename Isa::V t3;
+};
+
+/** Per-call broadcast constants derived from the modulus. */
+template <class Isa>
+struct ModCtx
+{
+    typename Isa::V qh, ql;   ///< modulus high/low words
+    typename Isa::V muh, mul; ///< Barrett mu high/low words
+    typename Isa::V one;      ///< broadcast 1
+    typename Isa::M z;        ///< initial carry mask (opaque under PISA)
+    unsigned s1 = 0;          ///< Barrett shift b - 1
+    unsigned s2 = 0;          ///< Barrett shift b + 1
+};
+
+/** Build the broadcast context from a prepared modulus. */
+template <class Isa>
+inline ModCtx<Isa>
+makeModCtx(const Modulus& m)
+{
+    ModCtx<Isa> ctx;
+    ctx.qh = Isa::set1(m.value().hi);
+    ctx.ql = Isa::set1(m.value().lo);
+    ctx.muh = Isa::set1(m.mu().hi);
+    ctx.mul = Isa::set1(m.mu().lo);
+    ctx.one = Isa::set1(1);
+    ctx.z = Isa::initialCarryMask();
+    ctx.s1 = static_cast<unsigned>(m.bits() - 1);
+    ctx.s2 = static_cast<unsigned>(m.bits() + 1);
+    return ctx;
+}
+
+/** Load a DV from split arrays at offset @p j. */
+template <class Isa>
+inline DV<Isa>
+loadDv(const uint64_t* hi, const uint64_t* lo, size_t j)
+{
+    return DV<Isa>{Isa::loadu(hi + j), Isa::loadu(lo + j)};
+}
+
+/** Store a DV to split arrays at offset @p j. */
+template <class Isa>
+inline void
+storeDv(uint64_t* hi, uint64_t* lo, size_t j, const DV<Isa>& v)
+{
+    Isa::storeu(hi + j, v.hi);
+    Isa::storeu(lo + j, v.lo);
+}
+
+// ---------------------------------------------------------------------
+// Basic (Listing 2) add/sub
+// ---------------------------------------------------------------------
+
+/** Double-word modular addition, Listing-2 dataflow. */
+template <class Isa>
+inline DV<Isa>
+addModBasic(const ModCtx<Isa>& ctx, const DV<Isa>& a, const DV<Isa>& b)
+{
+    using M = typename Isa::M;
+    auto t30 = Isa::add(a.lo, b.lo);
+    M q1 = Isa::cmpLtU(t30, a.lo);
+    M q2 = Isa::cmpLtU(t30, b.lo);
+    M c1 = Isa::maskOr(q1, q2);
+    auto t28 = Isa::add(a.hi, b.hi);
+    auto t29 = Isa::maskAdd(t28, c1, t28, ctx.one);
+    M q3 = Isa::cmpLtU(t29, a.hi);
+    M q4 = Isa::cmpLtU(t29, b.hi);
+    M c2 = Isa::maskOr(q3, q4);
+    M a31 = Isa::cmpLtU(ctx.qh, t29);
+    M a35 = Isa::cmpEqU(ctx.qh, t29);
+    M a38 = Isa::cmpLeU(ctx.ql, t30);
+    M a34 = Isa::maskAnd(a35, a38);
+    M i27 = Isa::maskOr(a31, a34);
+    M i28 = Isa::maskOr(c2, i27);
+    auto d1 = Isa::sub(t30, ctx.ql);
+    M b1 = Isa::maskNot(a38);
+    auto d2 = Isa::sub(t29, ctx.qh);
+    auto d3 = Isa::maskSub(d2, b1, d2, ctx.one);
+    DV<Isa> c;
+    c.hi = Isa::blend(i28, t29, d3);
+    c.lo = Isa::blend(i28, t30, d1);
+    return c;
+}
+
+/** Double-word modular subtraction (Eq. 3 + Eq. 7), compare/select form. */
+template <class Isa>
+inline DV<Isa>
+subModBasic(const ModCtx<Isa>& ctx, const DV<Isa>& a, const DV<Isa>& b)
+{
+    using M = typename Isa::M;
+    M blo = Isa::cmpLtU(a.lo, b.lo);
+    auto d_lo = Isa::sub(a.lo, b.lo);
+    auto d_hi0 = Isa::sub(a.hi, b.hi);
+    auto d_hi = Isa::maskSub(d_hi0, blo, d_hi0, ctx.one);
+    M lt_hi = Isa::cmpLtU(a.hi, b.hi);
+    M eq_hi = Isa::cmpEqU(a.hi, b.hi);
+    M lt = Isa::maskOr(lt_hi, Isa::maskAnd(eq_hi, blo)); // a < b
+    auto e_lo = Isa::add(d_lo, ctx.ql);
+    M carry = Isa::cmpLtU(e_lo, d_lo);
+    auto e_hi0 = Isa::add(d_hi, ctx.qh);
+    auto e_hi = Isa::maskAdd(e_hi0, carry, e_hi0, ctx.one);
+    DV<Isa> c;
+    c.lo = Isa::blend(lt, d_lo, e_lo);
+    c.hi = Isa::blend(lt, d_hi, e_hi);
+    return c;
+}
+
+// ---------------------------------------------------------------------
+// MQX-shape (Listing 3) add/sub
+// ---------------------------------------------------------------------
+
+/** Double-word modular addition, Listing-3 dataflow over adc/sbb. */
+template <class Isa>
+inline DV<Isa>
+addModMqx(const ModCtx<Isa>& ctx, const DV<Isa>& a, const DV<Isa>& b)
+{
+    using M = typename Isa::M;
+    M elc, ehc;
+    auto el = Isa::adc(a.lo, b.lo, ctx.z, elc);
+    auto eh = Isa::adc(a.hi, b.hi, elc, ehc);
+    M ehc1 = Isa::cmpLtU(ctx.qh, eh);
+    // Equality corner the published listing omits: a+b >= q also when
+    // the high words tie and the low word reaches ml.
+    M eqh = Isa::cmpEqU(ctx.qh, eh);
+    M gel = Isa::cmpLeU(ctx.ql, el);
+    M ctrl = Isa::maskOr(Isa::maskOr(ehc1, ehc), Isa::maskAnd(eqh, gel));
+    if constexpr (Isa::kHasPredicated) {
+        // +P variant: predicated subtract-with-borrow removes the blends.
+        M clc = Isa::cmpLtU(el, ctx.ql);
+        DV<Isa> c;
+        c.lo = Isa::pSbb(el, ctx.ql, ctx.z, ctrl);
+        c.hi = Isa::pSbb(eh, ctx.qh, clc, ctrl);
+        return c;
+    } else {
+        M clc, dummy;
+        auto c1 = Isa::sbb(el, ctx.ql, ctx.z, clc);
+        DV<Isa> c;
+        c.lo = Isa::blend(ctrl, el, c1);
+        auto c2 = Isa::sbb(eh, ctx.qh, clc, dummy);
+        c.hi = Isa::blend(ctrl, eh, c2);
+        return c;
+    }
+}
+
+/** Double-word modular subtraction over sbb/adc. */
+template <class Isa>
+inline DV<Isa>
+subModMqx(const ModCtx<Isa>& ctx, const DV<Isa>& a, const DV<Isa>& b)
+{
+    using M = typename Isa::M;
+    M blo, bo;
+    auto dl = Isa::sbb(a.lo, b.lo, ctx.z, blo);
+    auto dh = Isa::sbb(a.hi, b.hi, blo, bo); // bo <=> a < b
+    if constexpr (Isa::kHasPredicated) {
+        M c;
+        DV<Isa> r;
+        r.lo = Isa::pAdc(dl, ctx.ql, ctx.z, bo);
+        c = Isa::cmpLtU(r.lo, dl); // carry created only in predicated lanes
+        c = Isa::maskAnd(c, bo);
+        r.hi = Isa::pAdc(dh, ctx.qh, c, bo);
+        return r;
+    } else {
+        M c, dummy;
+        auto el = Isa::adc(dl, ctx.ql, ctx.z, c);
+        auto eh = Isa::adc(dh, ctx.qh, c, dummy);
+        DV<Isa> r;
+        r.lo = Isa::blend(bo, dl, el);
+        r.hi = Isa::blend(bo, dh, eh);
+        return r;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Multiplication: full product + Barrett reduction
+// ---------------------------------------------------------------------
+
+/** Schoolbook full product (Eq. 8): four mulWide + carry chains. */
+template <class Isa>
+inline QV<Isa>
+mulFullSchoolV(const ModCtx<Isa>& ctx, const DV<Isa>& a, const DV<Isa>& b)
+{
+    using M = typename Isa::M;
+    typename Isa::V p00h, p00l, p01h, p01l, p10h, p10l, p11h, p11l;
+    Isa::mulWide(a.lo, b.lo, p00h, p00l);
+    Isa::mulWide(a.lo, b.hi, p01h, p01l);
+    Isa::mulWide(a.hi, b.lo, p10h, p10l);
+    Isa::mulWide(a.hi, b.hi, p11h, p11l);
+
+    QV<Isa> r;
+    r.t0 = p00l;
+    M c, c2;
+    r.t1 = Isa::adc(p00h, p01l, ctx.z, c);
+    r.t2 = Isa::adc(p01h, p11l, c, c2);
+    r.t3 = Isa::maskAdd(p11h, c2, p11h, ctx.one);
+    r.t1 = Isa::adc(r.t1, p10l, ctx.z, c);
+    r.t2 = Isa::adc(r.t2, p10h, c, c2);
+    r.t3 = Isa::maskAdd(r.t3, c2, r.t3, ctx.one);
+    return r;
+}
+
+/** Karatsuba full product (Eq. 9): three mulWide + fixups. */
+template <class Isa>
+inline QV<Isa>
+mulFullKaratsubaV(const ModCtx<Isa>& ctx, const DV<Isa>& a, const DV<Isa>& b)
+{
+    using M = typename Isa::M;
+    typename Isa::V llh, lll, hhh, hhl;
+    Isa::mulWide(a.lo, b.lo, llh, lll);
+    Isa::mulWide(a.hi, b.hi, hhh, hhl);
+
+    M ca, cb;
+    auto sa = Isa::adc(a.hi, a.lo, ctx.z, ca);
+    auto sb = Isa::adc(b.hi, b.lo, ctx.z, cb);
+
+    typename Isa::V mh, ml;
+    Isa::mulWide(sa, sb, mh, ml);
+    // mid (3 words m0:m1:m2) = sa*sb + ca*sb*2^w + cb*sa*2^w + ca*cb*2^2w
+    auto m0 = ml;
+    auto m1 = mh;
+    auto m2 = Isa::maskAdd(Isa::set1(0), Isa::maskAnd(ca, cb), Isa::set1(0),
+                           ctx.one);
+    auto m1a = Isa::maskAdd(m1, ca, m1, sb);
+    M ovf = Isa::maskAnd(ca, Isa::cmpLtU(m1a, m1));
+    m2 = Isa::maskAdd(m2, ovf, m2, ctx.one);
+    auto m1b = Isa::maskAdd(m1a, cb, m1a, sa);
+    ovf = Isa::maskAnd(cb, Isa::cmpLtU(m1b, m1a));
+    m2 = Isa::maskAdd(m2, ovf, m2, ctx.one);
+    m1 = m1b;
+
+    // mid -= a0b0; mid -= a1b1 (borrow-chained).
+    M br;
+    m0 = Isa::sbb(m0, lll, ctx.z, br);
+    m1 = Isa::sbb(m1, llh, br, br);
+    m2 = Isa::maskSub(m2, br, m2, ctx.one);
+    m0 = Isa::sbb(m0, hhl, ctx.z, br);
+    m1 = Isa::sbb(m1, hhh, br, br);
+    m2 = Isa::maskSub(m2, br, m2, ctx.one);
+
+    // r = hh*2^2w + mid*2^w + ll.
+    QV<Isa> r;
+    M c, c2;
+    r.t0 = lll;
+    r.t1 = Isa::adc(llh, m0, ctx.z, c);
+    r.t2 = Isa::adc(hhl, m1, c, c2);
+    r.t3 = Isa::adc(hhh, m2, c2, c);
+    return r;
+}
+
+/**
+ * Funnel shift: extract the double word (x >> s) from a quad word.
+ * s is uniform across lanes and in [1, 127]; the caller guarantees the
+ * true result fits in two words. srlCount/sllCount treat counts >= 64
+ * as zero, which makes the s == 64 boundary fall out naturally.
+ */
+template <class Isa>
+inline DV<Isa>
+shrQwV(const QV<Isa>& x, unsigned s)
+{
+    DV<Isa> r;
+    if (s >= 64) {
+        unsigned t = s - 64;
+        r.lo = Isa::or_(Isa::srlCount(x.t1, t), Isa::sllCount(x.t2, 64 - t));
+        r.hi = Isa::or_(Isa::srlCount(x.t2, t), Isa::sllCount(x.t3, 64 - t));
+    } else {
+        r.lo = Isa::or_(Isa::srlCount(x.t0, s), Isa::sllCount(x.t1, 64 - s));
+        r.hi = Isa::or_(Isa::srlCount(x.t1, s), Isa::sllCount(x.t2, 64 - s));
+    }
+    return r;
+}
+
+/** Low double word of the product a*b (3 mullo + 1 mulWide-high). */
+template <class Isa>
+inline DV<Isa>
+mulLowDwV(const DV<Isa>& a, const DV<Isa>& b)
+{
+    typename Isa::V ph, pl;
+    Isa::mulWide(a.lo, b.lo, ph, pl);
+    DV<Isa> r;
+    r.lo = pl;
+    r.hi = Isa::add(ph, Isa::add(Isa::mullo(a.lo, b.hi),
+                                 Isa::mullo(a.hi, b.lo)));
+    return r;
+}
+
+/** Lane mask of (a >= b) over double words. */
+template <class Isa>
+inline typename Isa::M
+cmpGeDwV(const DV<Isa>& a, const DV<Isa>& b)
+{
+    using M = typename Isa::M;
+    M gt = Isa::cmpGtU(a.hi, b.hi);
+    M eq = Isa::cmpEqU(a.hi, b.hi);
+    M ge_lo = Isa::cmpLeU(b.lo, a.lo);
+    return Isa::maskOr(gt, Isa::maskAnd(eq, ge_lo));
+}
+
+/**
+ * Barrett reduction of a full product to [0, q) (Eq. 4, HAC-14.42
+ * estimate, at most two correction subtractions).
+ */
+template <class Isa>
+inline DV<Isa>
+barrettReduceV(const ModCtx<Isa>& ctx, const QV<Isa>& x)
+{
+    using M = typename Isa::M;
+    // Quotient estimate e = ((x >> (b-1)) * mu) >> (b+1).
+    DV<Isa> x1 = shrQwV<Isa>(x, ctx.s1);
+    DV<Isa> mu{ctx.muh, ctx.mul};
+    QV<Isa> p = mulFullSchoolV<Isa>(ctx, x1, mu);
+    DV<Isa> e = shrQwV<Isa>(p, ctx.s2);
+    // c = (x - e*q) mod 2^128; true value < 3q so low words are exact.
+    DV<Isa> q{ctx.qh, ctx.ql};
+    DV<Isa> eq = mulLowDwV<Isa>(e, q);
+    M br;
+    DV<Isa> c;
+    c.lo = Isa::sbb(x.t0, eq.lo, ctx.z, br);
+    c.hi = Isa::sbb(x.t1, eq.hi, br, br);
+    // Two correction rounds.
+    for (int round = 0; round < 2; ++round) {
+        M ge = cmpGeDwV<Isa>(c, q);
+        M blo = Isa::cmpLtU(c.lo, ctx.ql);
+        auto d_lo = Isa::sub(c.lo, ctx.ql);
+        auto d_hi = Isa::sub(c.hi, ctx.qh);
+        d_hi = Isa::maskSub(d_hi, blo, d_hi, ctx.one);
+        c.lo = Isa::blend(ge, c.lo, d_lo);
+        c.hi = Isa::blend(ge, c.hi, d_hi);
+    }
+    return c;
+}
+
+/** Modular multiplication: full product + Barrett reduction. */
+template <class Isa>
+inline DV<Isa>
+mulModV(const ModCtx<Isa>& ctx, const DV<Isa>& a, const DV<Isa>& b,
+        MulAlgo algo = MulAlgo::Schoolbook)
+{
+    QV<Isa> t = algo == MulAlgo::Schoolbook
+                    ? mulFullSchoolV<Isa>(ctx, a, b)
+                    : mulFullKaratsubaV<Isa>(ctx, a, b);
+    return barrettReduceV<Isa>(ctx, t);
+}
+
+/** Backend-appropriate add: Listing-3 shape for MQX, Listing 2 otherwise. */
+template <class Isa>
+inline DV<Isa>
+addModV(const ModCtx<Isa>& ctx, const DV<Isa>& a, const DV<Isa>& b)
+{
+    if constexpr (Isa::kIsMqx)
+        return addModMqx<Isa>(ctx, a, b);
+    else
+        return addModBasic<Isa>(ctx, a, b);
+}
+
+/** Backend-appropriate sub. */
+template <class Isa>
+inline DV<Isa>
+subModV(const ModCtx<Isa>& ctx, const DV<Isa>& a, const DV<Isa>& b)
+{
+    if constexpr (Isa::kIsMqx)
+        return subModMqx<Isa>(ctx, a, b);
+    else
+        return subModBasic<Isa>(ctx, a, b);
+}
+
+} // namespace simd
+} // namespace mqx

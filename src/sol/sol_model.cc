@@ -1,0 +1,94 @@
+/**
+ * @file
+ * SOL model implementation and CPU spec tables.
+ */
+#include "sol/sol_model.h"
+
+#include "core/config.h"
+
+namespace mqx {
+namespace sol {
+
+const CpuSpec&
+intelXeon8352Y()
+{
+    // Table 4 + public spec sheets: 32 cores, 2.2/3.4 GHz, 48 MB L3,
+    // 8-channel DDR4-3200 (~205 GB/s).
+    static const CpuSpec spec{"Intel Xeon 8352Y", 32, 2.2, 3.4, 2.8, 48.0,
+                              205.0};
+    return spec;
+}
+
+const CpuSpec&
+amdEpyc9654()
+{
+    // Table 4: 96 cores, 2.4/3.7 GHz, 384 MB L3, 12-channel DDR5-4800
+    // (~460 GB/s).
+    static const CpuSpec spec{"AMD EPYC 9654", 96, 2.4, 3.7, 3.55, 384.0,
+                              460.0};
+    return spec;
+}
+
+const CpuSpec&
+intelXeon6980P()
+{
+    // Section 6: 128 cores, 504 MB L3, all-core boost 3.2 GHz;
+    // 12-channel MRDIMM (~840 GB/s).
+    static const CpuSpec spec{"Intel Xeon 6980P", 128, 2.0, 3.9, 3.2, 504.0,
+                              840.0};
+    return spec;
+}
+
+const CpuSpec&
+amdEpyc9965S()
+{
+    // Section 6: 192 cores, all-core boost 3.35 GHz, 384 MB L3;
+    // 12-channel DDR5-6000 (~576 GB/s).
+    static const CpuSpec spec{"AMD EPYC 9965S", 192, 2.25, 3.7, 3.35, 384.0,
+                              576.0};
+    return spec;
+}
+
+double
+solRuntime(double t_measured_ns, int c1, int c2, double f_measured_ghz,
+           double f_max_ghz)
+{
+    checkArg(t_measured_ns > 0.0, "solRuntime: non-positive runtime");
+    checkArg(c1 >= 1 && c2 >= 1, "solRuntime: non-positive core counts");
+    checkArg(f_measured_ghz > 0.0 && f_max_ghz > 0.0,
+             "solRuntime: non-positive frequencies");
+    return t_measured_ns * (static_cast<double>(c1) / c2) *
+           (f_measured_ghz / f_max_ghz);
+}
+
+double
+solRuntimeSingleCore(double t_measured_ns, double f_measured_ghz,
+                     const CpuSpec& target)
+{
+    return solRuntime(t_measured_ns, 1, target.cores, f_measured_ghz,
+                      target.allcore_boost_ghz);
+}
+
+double
+memoryBoundNsPerButterfly(const CpuSpec& target)
+{
+    checkArg(target.mem_bw_gbs > 0.0, "memoryBound: no bandwidth in spec");
+    // Per butterfly and stage: read 2 residues (32 B), write 2 (32 B),
+    // stream 1 twiddle (16 B) = 80 bytes of DRAM traffic in the
+    // worst (cache-resident-nothing) case.
+    constexpr double kBytesPerButterfly = 80.0;
+    return kBytesPerButterfly / target.mem_bw_gbs; // GB/s = B/ns
+}
+
+double
+rooflineSolNsPerButterfly(double measured_ns_per_butterfly,
+                          double f_measured_ghz, const CpuSpec& target)
+{
+    double compute = solRuntimeSingleCore(measured_ns_per_butterfly,
+                                          f_measured_ghz, target);
+    double memory = memoryBoundNsPerButterfly(target);
+    return compute > memory ? compute : memory;
+}
+
+} // namespace sol
+} // namespace mqx

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Speed-of-light (SOL) performance model (paper Section 6, Eq. 13) and a
+ * classic roofline bound.
+ *
+ * t_sol = t_m * (c1 / c2) * (f_m / f_max): scale a measured runtime from
+ * c1 cores at frequency f_m to c2 cores at all-core boost f_max,
+ * assuming perfect (embarrassingly parallel) scaling — an idealized
+ * upper bound the paper uses to ask whether full-socket CPUs can reach
+ * ASIC-class NTT throughput. The roofline helper adds the memory-side
+ * ceiling so the model cannot promise more than DRAM bandwidth allows.
+ */
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace mqx {
+namespace sol {
+
+/** A CPU for measurement or SOL projection (Table 4 + Section 6). */
+struct CpuSpec
+{
+    std::string name;
+    int cores = 1;
+    double base_ghz = 0.0;
+    double max_boost_ghz = 0.0;     ///< single-core boost
+    double allcore_boost_ghz = 0.0; ///< f_max in Eq. 13
+    double l3_mb = 0.0;
+    double mem_bw_gbs = 0.0; ///< aggregate DRAM bandwidth (roofline)
+};
+
+/** Intel Xeon 8352Y — the paper's Intel measurement CPU (Table 4). */
+const CpuSpec& intelXeon8352Y();
+
+/** AMD EPYC 9654 — the paper's AMD measurement CPU (Table 4). */
+const CpuSpec& amdEpyc9654();
+
+/** Intel Xeon 6980P — the Intel SOL target (Section 6). */
+const CpuSpec& intelXeon6980P();
+
+/** AMD EPYC 9965S — the AMD SOL target (Section 6). */
+const CpuSpec& amdEpyc9965S();
+
+/**
+ * Eq. 13: t_sol = t_m * (c1/c2) * (f_m/f_max).
+ *
+ * @param t_measured_ns runtime measured on c1 cores at f_measured_ghz
+ * @throws InvalidArgument on non-positive parameters.
+ */
+double solRuntime(double t_measured_ns, int c1, int c2, double f_measured_ghz,
+                  double f_max_ghz);
+
+/** Eq. 13 with c1 = 1 (all paper measurements are single-core). */
+double solRuntimeSingleCore(double t_measured_ns, double f_measured_ghz,
+                            const CpuSpec& target);
+
+/**
+ * Memory-side bound for one NTT stage pass: every stage streams the
+ * n-point data (read + write) and its twiddle row. Returns ns per
+ * butterfly at the target's full bandwidth.
+ */
+double memoryBoundNsPerButterfly(const CpuSpec& target);
+
+/**
+ * Roofline-limited SOL: the compute-scaled Eq.-13 projection clamped by
+ * the memory ceiling.
+ */
+double rooflineSolNsPerButterfly(double measured_ns_per_butterfly,
+                                 double f_measured_ghz,
+                                 const CpuSpec& target);
+
+} // namespace sol
+} // namespace mqx

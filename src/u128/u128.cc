@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Out-of-line U128 helpers: division and string conversion.
+ */
+#include "u128/u128.h"
+
+#include <array>
+
+namespace mqx {
+
+void
+divmod128(const U128& a, const U128& b, U128& quotient, U128& remainder)
+{
+    checkArg(!b.isZero(), "divmod128: division by zero");
+    if (a < b) {
+        quotient = U128{};
+        remainder = a;
+        return;
+    }
+    // Shift-subtract long division, skipping straight to the first
+    // candidate bit using the bit-length difference.
+    U128 q{};
+    U128 r{};
+    for (int i = a.bits() - 1; i >= 0; --i) {
+        // r < b can still occupy 128 bits, so (r << 1) may carry into a
+        // 129th bit; track it explicitly and fold it into the compare.
+        uint64_t top = r.hi >> 63;
+        r <<= 1;
+        r.lo |= static_cast<uint64_t>(a.bit(i));
+        if (top || r >= b) {
+            r -= b;
+            if (i < 64)
+                q.lo |= uint64_t{1} << i;
+            else
+                q.hi |= uint64_t{1} << (i - 64);
+        }
+    }
+    quotient = q;
+    remainder = r;
+}
+
+U128
+mod128(const U128& a, const U128& b)
+{
+    U128 q, r;
+    divmod128(a, b, q, r);
+    return r;
+}
+
+U128
+u128FromString(const std::string& text)
+{
+    checkArg(!text.empty(), "u128FromString: empty string");
+    U128 v{};
+    if (text.size() > 2 && text[0] == '0' && (text[1] == 'x' || text[1] == 'X')) {
+        checkArg(text.size() <= 2 + 32, "u128FromString: hex literal too wide");
+        for (size_t i = 2; i < text.size(); ++i) {
+            char c = text[i];
+            uint64_t digit = 0;
+            if (c >= '0' && c <= '9')
+                digit = static_cast<uint64_t>(c - '0');
+            else if (c >= 'a' && c <= 'f')
+                digit = static_cast<uint64_t>(c - 'a' + 10);
+            else if (c >= 'A' && c <= 'F')
+                digit = static_cast<uint64_t>(c - 'A' + 10);
+            else
+                throw InvalidArgument("u128FromString: bad hex digit");
+            v = (v << 4) | U128{digit};
+        }
+        return v;
+    }
+    for (char c : text) {
+        checkArg(c >= '0' && c <= '9', "u128FromString: bad decimal digit");
+        U128 times10 = (v << 3) + (v << 1);
+        checkArg(times10 >= v || v.isZero(), "u128FromString: overflow");
+        v = times10 + U128{static_cast<uint64_t>(c - '0')};
+    }
+    return v;
+}
+
+std::string
+toString(const U128& v)
+{
+    if (v.isZero())
+        return "0";
+    std::string digits;
+    U128 cur = v;
+    const U128 ten{10};
+    while (!cur.isZero()) {
+        U128 q, r;
+        divmod128(cur, ten, q, r);
+        digits.push_back(static_cast<char>('0' + r.lo));
+        cur = q;
+    }
+    return std::string(digits.rbegin(), digits.rend());
+}
+
+std::string
+toHexString(const U128& v)
+{
+    static constexpr std::array<char, 16> kDigits = {
+        '0', '1', '2', '3', '4', '5', '6', '7',
+        '8', '9', 'a', 'b', 'c', 'd', 'e', 'f'};
+    if (v.isZero())
+        return "0x0";
+    std::string out = "0x";
+    bool seen = false;
+    for (int nibble = 31; nibble >= 0; --nibble) {
+        int shift = nibble * 4;
+        uint64_t d = (shift >= 64) ? (v.hi >> (shift - 64)) & 0xf
+                                   : (v.lo >> shift) & 0xf;
+        if (d != 0)
+            seen = true;
+        if (seen)
+            out.push_back(kDigits[static_cast<size_t>(d)]);
+    }
+    return out;
+}
+
+} // namespace mqx

@@ -1,0 +1,289 @@
+/**
+ * @file
+ * Portable 128-bit unsigned integer type and the single-word carry /
+ * widening primitives the whole library is built from.
+ *
+ * The paper (Section 2.2) represents a 128-bit double-word as
+ * [x0, x1]_{2^w0} = x0 * 2^w0 + x1 with w0 = 64, where x0 is the high and
+ * x1 the low machine word. U128 stores exactly that pair. When the
+ * compiler provides `unsigned __int128` the primitives compile to the
+ * obvious two-instruction sequences (MUL, ADC, SBB); a portable fallback
+ * keeps the library correct on compilers without it.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/config.h"
+
+namespace mqx {
+
+/**
+ * Add two 64-bit words plus a carry-in; write the 64-bit sum to @p out.
+ *
+ * Branch-free, two unsigned comparisons, as in the scalar column of
+ * Table 1 of the paper. Note: the published snippet tests
+ * (t1 < a) | (t1 < b), which misses the single corner a == b == 2^64-1
+ * with carry-in 1; we test the two partial sums instead, which covers
+ * every case at the same cost (the corner cannot arise inside the
+ * paper's kernels, but this primitive is also the bedrock of BigUInt
+ * and U256, where it can).
+ *
+ * @return the carry-out bit (0 or 1).
+ */
+MQX_FORCE_INLINE constexpr uint64_t
+addc64(uint64_t a, uint64_t b, uint64_t carry_in, uint64_t& out)
+{
+    uint64_t t0 = a + b;
+    uint64_t t1 = t0 + carry_in;
+    uint64_t q0 = static_cast<uint64_t>(t0 < a); // carry from a + b
+    uint64_t q1 = static_cast<uint64_t>(t1 < t0); // carry from + carry_in
+    out = t1;
+    return q0 | q1;
+}
+
+/**
+ * Subtract @p b and a borrow-in from @p a; write the 64-bit difference to
+ * @p out.
+ *
+ * @return the borrow-out bit (0 or 1).
+ */
+MQX_FORCE_INLINE constexpr uint64_t
+subb64(uint64_t a, uint64_t b, uint64_t borrow_in, uint64_t& out)
+{
+    uint64_t t0 = a - b;
+    uint64_t b0 = static_cast<uint64_t>(a < b);
+    uint64_t t1 = t0 - borrow_in;
+    uint64_t b1 = static_cast<uint64_t>(t0 < borrow_in);
+    out = t1;
+    return b0 | b1;
+}
+
+/**
+ * Widening 64x64 -> 128 unsigned multiplication.
+ *
+ * This is the scalar equivalent of the proposed MQX instruction
+ * `_mm512_mul_epi64` (Table 2): one multiply producing both halves.
+ */
+MQX_FORCE_INLINE constexpr void
+mulWide64(uint64_t a, uint64_t b, uint64_t& hi, uint64_t& lo)
+{
+#if MQX_HAVE_INT128
+    unsigned __int128 p =
+        static_cast<unsigned __int128>(a) * static_cast<unsigned __int128>(b);
+    hi = static_cast<uint64_t>(p >> 64);
+    lo = static_cast<uint64_t>(p);
+#else
+    // Portable 32-bit schoolbook decomposition.
+    uint64_t a_lo = a & 0xffffffffu, a_hi = a >> 32;
+    uint64_t b_lo = b & 0xffffffffu, b_hi = b >> 32;
+    uint64_t p0 = a_lo * b_lo;
+    uint64_t p1 = a_lo * b_hi;
+    uint64_t p2 = a_hi * b_lo;
+    uint64_t p3 = a_hi * b_hi;
+    uint64_t mid = (p0 >> 32) + (p1 & 0xffffffffu) + (p2 & 0xffffffffu);
+    lo = (p0 & 0xffffffffu) | (mid << 32);
+    hi = p3 + (p1 >> 32) + (p2 >> 32) + (mid >> 32);
+#endif
+}
+
+/** High 64 bits of the unsigned 64x64 product (MQX multiply-high). */
+MQX_FORCE_INLINE constexpr uint64_t
+mulHi64(uint64_t a, uint64_t b)
+{
+    uint64_t hi = 0, lo = 0;
+    mulWide64(a, b, hi, lo);
+    return hi;
+}
+
+/** Number of significant bits in @p x (0 for x == 0). */
+MQX_FORCE_INLINE constexpr int
+bitLength64(uint64_t x)
+{
+    int n = 0;
+    while (x) {
+        ++n;
+        x >>= 1;
+    }
+    return n;
+}
+
+/**
+ * A 128-bit unsigned integer stored as two 64-bit machine words.
+ *
+ * Value = hi * 2^64 + lo. All arithmetic is modulo 2^128 with
+ * wrap-around, matching `unsigned __int128` semantics. The type is a
+ * trivially-copyable aggregate so vectors of residues can be memcpy'd
+ * and reinterpreted as hi/lo split arrays by the SIMD layer.
+ */
+struct U128
+{
+    uint64_t lo = 0;
+    uint64_t hi = 0;
+
+    constexpr U128() = default;
+    constexpr U128(uint64_t value) : lo(value), hi(0) {}
+
+    /** Build from explicit high and low words (paper's INT128(hi, lo)). */
+    static constexpr U128
+    fromParts(uint64_t high, uint64_t low)
+    {
+        U128 r;
+        r.hi = high;
+        r.lo = low;
+        return r;
+    }
+
+#if MQX_HAVE_INT128
+    static constexpr U128
+    fromNative(unsigned __int128 v)
+    {
+        return fromParts(static_cast<uint64_t>(v >> 64),
+                         static_cast<uint64_t>(v));
+    }
+
+    constexpr unsigned __int128
+    toNative() const
+    {
+        return (static_cast<unsigned __int128>(hi) << 64) | lo;
+    }
+#endif
+
+    constexpr bool isZero() const { return (lo | hi) == 0; }
+
+    /** Number of significant bits (0 for zero). */
+    constexpr int
+    bits() const
+    {
+        return hi ? 64 + bitLength64(hi) : bitLength64(lo);
+    }
+
+    /** Bit @p i (0 = least significant). */
+    constexpr int
+    bit(int i) const
+    {
+        return i < 64 ? static_cast<int>((lo >> i) & 1)
+                      : static_cast<int>((hi >> (i - 64)) & 1);
+    }
+
+    friend constexpr bool
+    operator==(const U128& a, const U128& b)
+    {
+        return a.lo == b.lo && a.hi == b.hi;
+    }
+
+    friend constexpr bool
+    operator<(const U128& a, const U128& b)
+    {
+        return a.hi != b.hi ? a.hi < b.hi : a.lo < b.lo;
+    }
+
+    friend constexpr bool operator!=(const U128& a, const U128& b) { return !(a == b); }
+    friend constexpr bool operator>(const U128& a, const U128& b) { return b < a; }
+    friend constexpr bool operator<=(const U128& a, const U128& b) { return !(b < a); }
+    friend constexpr bool operator>=(const U128& a, const U128& b) { return !(a < b); }
+
+    friend constexpr U128
+    operator+(const U128& a, const U128& b)
+    {
+        U128 r;
+        uint64_t c = addc64(a.lo, b.lo, 0, r.lo);
+        addc64(a.hi, b.hi, c, r.hi);
+        return r;
+    }
+
+    friend constexpr U128
+    operator-(const U128& a, const U128& b)
+    {
+        U128 r;
+        uint64_t br = subb64(a.lo, b.lo, 0, r.lo);
+        subb64(a.hi, b.hi, br, r.hi);
+        return r;
+    }
+
+    /** Low 128 bits of the product (wrap-around multiply). */
+    friend constexpr U128
+    operator*(const U128& a, const U128& b)
+    {
+        uint64_t p_hi = 0, p_lo = 0;
+        mulWide64(a.lo, b.lo, p_hi, p_lo);
+        U128 r;
+        r.lo = p_lo;
+        r.hi = p_hi + a.lo * b.hi + a.hi * b.lo;
+        return r;
+    }
+
+    friend constexpr U128
+    operator&(const U128& a, const U128& b)
+    {
+        return fromParts(a.hi & b.hi, a.lo & b.lo);
+    }
+
+    friend constexpr U128
+    operator|(const U128& a, const U128& b)
+    {
+        return fromParts(a.hi | b.hi, a.lo | b.lo);
+    }
+
+    friend constexpr U128
+    operator^(const U128& a, const U128& b)
+    {
+        return fromParts(a.hi ^ b.hi, a.lo ^ b.lo);
+    }
+
+    friend constexpr U128
+    operator<<(const U128& a, int s)
+    {
+        if (s == 0)
+            return a;
+        if (s >= 128)
+            return U128{};
+        if (s >= 64)
+            return fromParts(a.lo << (s - 64), 0);
+        return fromParts((a.hi << s) | (a.lo >> (64 - s)), a.lo << s);
+    }
+
+    friend constexpr U128
+    operator>>(const U128& a, int s)
+    {
+        if (s == 0)
+            return a;
+        if (s >= 128)
+            return U128{};
+        if (s >= 64)
+            return fromParts(0, a.hi >> (s - 64));
+        return fromParts(a.hi >> s, (a.lo >> s) | (a.hi << (64 - s)));
+    }
+
+    U128& operator+=(const U128& b) { *this = *this + b; return *this; }
+    U128& operator-=(const U128& b) { *this = *this - b; return *this; }
+    U128& operator*=(const U128& b) { *this = *this * b; return *this; }
+    U128& operator<<=(int s) { *this = *this << s; return *this; }
+    U128& operator>>=(int s) { *this = *this >> s; return *this; }
+};
+
+/**
+ * Long division: compute @p a / @p b and @p a % @p b.
+ *
+ * Shift-subtract division, O(bits(a)) iterations. This is a setup-path
+ * helper (Barrett parameter computation, prime generation) — hot paths
+ * never divide.
+ *
+ * @throws InvalidArgument if @p b is zero.
+ */
+void divmod128(const U128& a, const U128& b, U128& quotient, U128& remainder);
+
+/** a mod b via divmod128. */
+U128 mod128(const U128& a, const U128& b);
+
+/** Parse a decimal or 0x-prefixed hex string. @throws InvalidArgument. */
+U128 u128FromString(const std::string& text);
+
+/** Decimal representation. */
+std::string toString(const U128& v);
+
+/** Hex representation, "0x" prefixed, no leading zeros. */
+std::string toHexString(const U128& v);
+
+} // namespace mqx

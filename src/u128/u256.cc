@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Out-of-line U256 helpers (division, printing). These run on setup paths
+ * only; precision and clarity beat speed here.
+ */
+#include "u128/u256.h"
+
+namespace mqx {
+
+void
+divmod256(const U256& a, const U128& b, U256& quotient, U128& remainder)
+{
+    checkArg(!b.isZero(), "divmod256: division by zero");
+    U256 q;
+    U128 r{};
+    for (int i = a.bits() - 1; i >= 0; --i) {
+        // r = (r << 1) | bit; r always stays < b <= 2^128 - 1 so the
+        // shifted value fits in 129 bits at most transiently; handle the
+        // potential 129th bit explicitly.
+        uint64_t top = r.hi >> 63;
+        r <<= 1;
+        r.lo |= static_cast<uint64_t>(a.bit(i));
+        if (top || r >= b) {
+            r -= b;
+            q.limb[static_cast<size_t>(i / 64)] |= uint64_t{1} << (i % 64);
+        }
+    }
+    quotient = q;
+    remainder = r;
+}
+
+std::string
+toString(const U256& v)
+{
+    if (v.isZero())
+        return "0";
+    std::string digits;
+    U256 cur = v;
+    const U128 ten{10};
+    while (!cur.isZero()) {
+        U256 q;
+        U128 r;
+        divmod256(cur, ten, q, r);
+        digits.push_back(static_cast<char>('0' + r.lo));
+        cur = q;
+    }
+    return std::string(digits.rbegin(), digits.rend());
+}
+
+} // namespace mqx

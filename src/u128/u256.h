@@ -1,0 +1,198 @@
+/**
+ * @file
+ * 256-bit unsigned integer built from four 64-bit limbs.
+ *
+ * U256 exists for one purpose: holding the full product of two 128-bit
+ * residues during Barrett reduction (Section 2.1 of the paper). Hot
+ * kernels use only the limb operations that map to straight-line carry
+ * chains; division is confined to setup paths.
+ */
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "u128/u128.h"
+
+namespace mqx {
+
+/** 256-bit unsigned integer; limb[0] is least significant. */
+struct U256
+{
+    std::array<uint64_t, 4> limb{0, 0, 0, 0};
+
+    constexpr U256() = default;
+    constexpr U256(uint64_t v) : limb{v, 0, 0, 0} {}
+
+    static constexpr U256
+    fromU128(const U128& v)
+    {
+        U256 r;
+        r.limb[0] = v.lo;
+        r.limb[1] = v.hi;
+        return r;
+    }
+
+    /** Low 128 bits. */
+    constexpr U128
+    low128() const
+    {
+        return U128::fromParts(limb[1], limb[0]);
+    }
+
+    /** High 128 bits. */
+    constexpr U128
+    high128() const
+    {
+        return U128::fromParts(limb[3], limb[2]);
+    }
+
+    constexpr bool
+    isZero() const
+    {
+        return (limb[0] | limb[1] | limb[2] | limb[3]) == 0;
+    }
+
+    constexpr int
+    bits() const
+    {
+        for (int i = 3; i >= 0; --i) {
+            if (limb[static_cast<size_t>(i)])
+                return 64 * i + bitLength64(limb[static_cast<size_t>(i)]);
+        }
+        return 0;
+    }
+
+    constexpr int
+    bit(int i) const
+    {
+        return static_cast<int>((limb[static_cast<size_t>(i / 64)] >> (i % 64)) & 1);
+    }
+
+    friend constexpr bool
+    operator==(const U256& a, const U256& b)
+    {
+        return a.limb == b.limb;
+    }
+
+    friend constexpr bool
+    operator<(const U256& a, const U256& b)
+    {
+        for (int i = 3; i >= 0; --i) {
+            size_t k = static_cast<size_t>(i);
+            if (a.limb[k] != b.limb[k])
+                return a.limb[k] < b.limb[k];
+        }
+        return false;
+    }
+
+    friend constexpr bool operator!=(const U256& a, const U256& b) { return !(a == b); }
+    friend constexpr bool operator>(const U256& a, const U256& b) { return b < a; }
+    friend constexpr bool operator<=(const U256& a, const U256& b) { return !(b < a); }
+    friend constexpr bool operator>=(const U256& a, const U256& b) { return !(a < b); }
+
+    friend constexpr U256
+    operator+(const U256& a, const U256& b)
+    {
+        U256 r;
+        uint64_t c = 0;
+        for (size_t i = 0; i < 4; ++i)
+            c = addc64(a.limb[i], b.limb[i], c, r.limb[i]);
+        return r;
+    }
+
+    friend constexpr U256
+    operator-(const U256& a, const U256& b)
+    {
+        U256 r;
+        uint64_t br = 0;
+        for (size_t i = 0; i < 4; ++i)
+            br = subb64(a.limb[i], b.limb[i], br, r.limb[i]);
+        return r;
+    }
+
+    friend constexpr U256
+    operator<<(const U256& a, int s)
+    {
+        U256 r;
+        if (s >= 256)
+            return r;
+        int word = s / 64, bitoff = s % 64;
+        for (int i = 3; i >= 0; --i) {
+            uint64_t v = 0;
+            int src = i - word;
+            if (src >= 0) {
+                v = a.limb[static_cast<size_t>(src)] << bitoff;
+                if (bitoff && src - 1 >= 0)
+                    v |= a.limb[static_cast<size_t>(src - 1)] >> (64 - bitoff);
+            }
+            r.limb[static_cast<size_t>(i)] = v;
+        }
+        return r;
+    }
+
+    friend constexpr U256
+    operator>>(const U256& a, int s)
+    {
+        U256 r;
+        if (s >= 256)
+            return r;
+        int word = s / 64, bitoff = s % 64;
+        for (int i = 0; i < 4; ++i) {
+            uint64_t v = 0;
+            int src = i + word;
+            if (src <= 3) {
+                v = a.limb[static_cast<size_t>(src)] >> bitoff;
+                if (bitoff && src + 1 <= 3)
+                    v |= a.limb[static_cast<size_t>(src + 1)] << (64 - bitoff);
+            }
+            r.limb[static_cast<size_t>(i)] = v;
+        }
+        return r;
+    }
+
+    U256& operator+=(const U256& b) { *this = *this + b; return *this; }
+    U256& operator-=(const U256& b) { *this = *this - b; return *this; }
+    U256& operator<<=(int s) { *this = *this << s; return *this; }
+    U256& operator>>=(int s) { *this = *this >> s; return *this; }
+};
+
+/**
+ * Full 128x128 -> 256 product (schoolbook over 64-bit limbs, Eq. 8 of the
+ * paper lifted one level: four widening word multiplies plus carry
+ * propagation).
+ */
+constexpr U256
+mulFull128(const U128& a, const U128& b)
+{
+    uint64_t p00_hi = 0, p00_lo = 0; // a.lo * b.lo
+    uint64_t p01_hi = 0, p01_lo = 0; // a.lo * b.hi
+    uint64_t p10_hi = 0, p10_lo = 0; // a.hi * b.lo
+    uint64_t p11_hi = 0, p11_lo = 0; // a.hi * b.hi
+    mulWide64(a.lo, b.lo, p00_hi, p00_lo);
+    mulWide64(a.lo, b.hi, p01_hi, p01_lo);
+    mulWide64(a.hi, b.lo, p10_hi, p10_lo);
+    mulWide64(a.hi, b.hi, p11_hi, p11_lo);
+
+    U256 r;
+    r.limb[0] = p00_lo;
+    uint64_t c = addc64(p00_hi, p01_lo, 0, r.limb[1]);
+    uint64_t c2 = addc64(p01_hi, p11_lo, c, r.limb[2]);
+    addc64(p11_hi, 0, c2, r.limb[3]);
+    c = addc64(r.limb[1], p10_lo, 0, r.limb[1]);
+    c2 = addc64(r.limb[2], p10_hi, c, r.limb[2]);
+    r.limb[3] += c2;
+    return r;
+}
+
+/**
+ * 256 / 128 long division (shift-subtract). Setup-path only.
+ * @throws InvalidArgument if @p b is zero.
+ */
+void divmod256(const U256& a, const U128& b, U256& quotient, U128& remainder);
+
+/** Decimal representation (setup/debug paths). */
+std::string toString(const U256& v);
+
+} // namespace mqx

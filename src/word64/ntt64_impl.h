@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Single-word SIMD kernels and the Pease NTT stage loop, templated over
+ * the same ISA policy concept as the double-word kernels. One 64-bit
+ * residue per lane — the layout every 64-bit FHE library uses.
+ */
+#pragma once
+
+#include "word64/word64.h"
+
+namespace mqx {
+namespace w64 {
+
+/** Broadcast single-word modulus context. */
+template <class Isa>
+struct Ctx64
+{
+    typename Isa::V q, mu;
+    unsigned s1 = 0, s2 = 0; ///< Barrett shifts b - 1, b + 1
+};
+
+template <class Isa>
+inline Ctx64<Isa>
+makeCtx64(const Modulus64& m)
+{
+    Ctx64<Isa> ctx;
+    ctx.q = Isa::set1(m.value());
+    ctx.mu = Isa::set1(m.mu());
+    ctx.s1 = static_cast<unsigned>(m.bits() - 1);
+    ctx.s2 = static_cast<unsigned>(m.bits() + 1);
+    return ctx;
+}
+
+/** (a + b) mod q per lane; no wrap possible for q < 2^62. */
+template <class Isa>
+inline typename Isa::V
+addMod64V(const Ctx64<Isa>& ctx, typename Isa::V a, typename Isa::V b)
+{
+    auto s = Isa::add(a, b);
+    auto ge = Isa::cmpLeU(ctx.q, s);
+    return Isa::maskSub(s, ge, s, ctx.q);
+}
+
+/** (a - b) mod q per lane. */
+template <class Isa>
+inline typename Isa::V
+subMod64V(const Ctx64<Isa>& ctx, typename Isa::V a, typename Isa::V b)
+{
+    auto lt = Isa::cmpLtU(a, b);
+    auto d = Isa::sub(a, b);
+    return Isa::maskAdd(d, lt, d, ctx.q);
+}
+
+/** Funnel shift (hi:lo) >> s for uniform s in [1, 127]. */
+template <class Isa>
+inline typename Isa::V
+shr128V(typename Isa::V hi, typename Isa::V lo, unsigned s)
+{
+    if (s >= 64)
+        return Isa::srlCount(hi, s - 64);
+    return Isa::or_(Isa::srlCount(lo, s), Isa::sllCount(hi, 64 - s));
+}
+
+/** Barrett-reduced product per lane (a, b < q). */
+template <class Isa>
+inline typename Isa::V
+mulMod64V(const Ctx64<Isa>& ctx, typename Isa::V a, typename Isa::V b)
+{
+    typename Isa::V p_hi, p_lo;
+    Isa::mulWide(a, b, p_hi, p_lo);
+    auto x1 = shr128V<Isa>(p_hi, p_lo, ctx.s1);
+    typename Isa::V e_hi, e_lo;
+    Isa::mulWide(x1, ctx.mu, e_hi, e_lo);
+    auto e = shr128V<Isa>(e_hi, e_lo, ctx.s2);
+    auto c = Isa::sub(p_lo, Isa::mullo(e, ctx.q));
+    auto ge = Isa::cmpLeU(ctx.q, c);
+    c = Isa::maskSub(c, ge, c, ctx.q);
+    ge = Isa::cmpLeU(ctx.q, c);
+    return Isa::maskSub(c, ge, c, ctx.q);
+}
+
+/** Batch point-wise multiply. */
+template <class Isa>
+void
+vmul64Impl(const Modulus64& m, const uint64_t* a, const uint64_t* b,
+           uint64_t* c, size_t n)
+{
+    Ctx64<Isa> ctx = makeCtx64<Isa>(m);
+    size_t i = 0;
+    for (; i + Isa::kLanes <= n; i += Isa::kLanes) {
+        Isa::storeu(c + i, mulMod64V<Isa>(ctx, Isa::loadu(a + i),
+                                          Isa::loadu(b + i)));
+    }
+    for (; i < n; ++i)
+        c[i] = m.mulMod(a[i], b[i]);
+}
+
+/** Forward Pease stage loop (same wiring as the double-word version). */
+template <class Isa>
+void
+forward64Impl(const Ntt64Plan& plan, const uint64_t* in, uint64_t* out,
+              uint64_t* scratch)
+{
+    const size_t h = plan.half();
+    const int m = plan.logn();
+    const Modulus64& mod = plan.modulus();
+    Ctx64<Isa> ctx = makeCtx64<Isa>(mod);
+
+    uint64_t* bufs[2] = {out, scratch};
+    int target = (m % 2 == 1) ? 0 : 1;
+    const uint64_t* src = in;
+    for (int s = 0; s < m; ++s) {
+        uint64_t* dst = bufs[target];
+        const uint64_t* tw = plan.twiddle(s);
+        size_t j = 0;
+        for (; j + Isa::kLanes <= h; j += Isa::kLanes) {
+            auto a = Isa::loadu(src + j);
+            auto b = Isa::loadu(src + j + h);
+            auto w = Isa::loadu(tw + j);
+            auto u = addMod64V<Isa>(ctx, a, b);
+            auto v = mulMod64V<Isa>(ctx, subMod64V<Isa>(ctx, a, b), w);
+            typename Isa::V blk0, blk1;
+            Isa::interleave2(u, v, blk0, blk1);
+            Isa::storeu(dst + 2 * j, blk0);
+            Isa::storeu(dst + 2 * j + Isa::kLanes, blk1);
+        }
+        for (; j < h; ++j) {
+            uint64_t u = mod.addMod(src[j], src[j + h]);
+            uint64_t v = mod.mulMod(mod.subMod(src[j], src[j + h]), tw[j]);
+            dst[2 * j] = u;
+            dst[2 * j + 1] = v;
+        }
+        src = dst;
+        target ^= 1;
+    }
+}
+
+/** Inverse Pease stage loop + n^-1 scaling. */
+template <class Isa>
+void
+inverse64Impl(const Ntt64Plan& plan, const uint64_t* in, uint64_t* out,
+              uint64_t* scratch)
+{
+    const size_t h = plan.half();
+    const int m = plan.logn();
+    const Modulus64& mod = plan.modulus();
+    Ctx64<Isa> ctx = makeCtx64<Isa>(mod);
+
+    uint64_t* bufs[2] = {out, scratch};
+    int target = (m % 2 == 1) ? 0 : 1;
+    const uint64_t* src = in;
+    for (int s = m - 1; s >= 0; --s) {
+        uint64_t* dst = bufs[target];
+        const uint64_t* tw = plan.twiddleInv(s);
+        size_t j = 0;
+        for (; j + Isa::kLanes <= h; j += Isa::kLanes) {
+            auto blk0 = Isa::loadu(src + 2 * j);
+            auto blk1 = Isa::loadu(src + 2 * j + Isa::kLanes);
+            typename Isa::V u, v;
+            Isa::deinterleave2(blk0, blk1, u, v);
+            auto t = mulMod64V<Isa>(ctx, v, Isa::loadu(tw + j));
+            Isa::storeu(dst + j, addMod64V<Isa>(ctx, u, t));
+            Isa::storeu(dst + j + h, subMod64V<Isa>(ctx, u, t));
+        }
+        for (; j < h; ++j) {
+            uint64_t u = src[2 * j];
+            uint64_t t = mod.mulMod(src[2 * j + 1], tw[j]);
+            dst[j] = mod.addMod(u, t);
+            dst[j + h] = mod.subMod(u, t);
+        }
+        src = dst;
+        target ^= 1;
+    }
+
+    const uint64_t n_inv = plan.nInv();
+    auto vninv = Isa::set1(n_inv);
+    size_t i = 0;
+    for (; i + Isa::kLanes <= plan.n(); i += Isa::kLanes)
+        Isa::storeu(out + i, mulMod64V<Isa>(ctx, Isa::loadu(out + i), vninv));
+    for (; i < plan.n(); ++i)
+        out[i] = mod.mulMod(out[i], n_inv);
+}
+
+} // namespace w64
+} // namespace mqx

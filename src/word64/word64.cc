@@ -1,0 +1,245 @@
+/**
+ * @file
+ * Single-word modulus, plan construction, scalar/portable kernels, and
+ * backend dispatch for the 64-bit mode.
+ */
+#include "word64/word64.h"
+
+#include "bigint/biguint.h"
+#include "ntt/prime.h"
+#include "simd/isa_portable.h"
+#include "word64/ntt64_impl.h"
+
+namespace mqx {
+namespace w64 {
+
+Modulus64::Modulus64(uint64_t q) : q_(q)
+{
+    checkArg(q >= 2, "Modulus64: modulus must be >= 2");
+    bits_ = bitLength64(q);
+    checkArg(bits_ <= 62, "Modulus64: modulus exceeds 62 bits (Barrett)");
+    // mu = floor(2^2b / q) fits 64 bits for b <= 62 (mu < 2^(b+1)).
+    BigUInt mu = (BigUInt{1} << (2 * bits_)) / BigUInt{q};
+    mu_ = mu.toU128().lo;
+    shift1_ = static_cast<unsigned>(bits_ - 1);
+    shift2_ = static_cast<unsigned>(bits_ + 1);
+}
+
+uint64_t
+Modulus64::powMod(uint64_t base, uint64_t exponent) const
+{
+    uint64_t b = base % q_;
+    uint64_t result = 1 % q_;
+    for (int i = bitLength64(exponent) - 1; i >= 0; --i) {
+        result = mulMod(result, result);
+        if ((exponent >> i) & 1)
+            result = mulMod(result, b);
+    }
+    return result;
+}
+
+uint64_t
+Modulus64::inverse(uint64_t a) const
+{
+    checkArg(a % q_ != 0, "Modulus64::inverse: zero has no inverse");
+    uint64_t inv = powMod(a, q_ - 2);
+    checkArg(mulMod(inv, a % q_) == 1, "Modulus64::inverse: q not prime");
+    return inv;
+}
+
+uint64_t
+findNttPrime64(int bits, int two_adicity)
+{
+    checkArg(bits <= 62, "findNttPrime64: bits must be <= 62");
+    // Reuse the 128-bit searcher; the result fits one word.
+    return ntt::findNttPrime(bits, two_adicity).q.lo;
+}
+
+Ntt64Plan::Ntt64Plan(uint64_t q, size_t n) : mod_(q), n_(n)
+{
+    checkArg(n >= 2 && (n & (n - 1)) == 0,
+             "Ntt64Plan: n must be a power of two >= 2");
+    for (size_t t = n; t > 1; t >>= 1)
+        ++logn_;
+    checkArg(ntt::isPrime(U128{q}), "Ntt64Plan: modulus must be prime");
+
+    // Root search through the generic 128-bit machinery (setup path);
+    // all values fit a single word.
+    Modulus wide(U128{q});
+    omega_ = ntt::rootOfUnity(wide, U128{static_cast<uint64_t>(n)}).lo;
+    n_inv_ = mod_.inverse(static_cast<uint64_t>(n % q));
+
+    uint64_t omega_inv = mod_.inverse(omega_);
+    size_t h = half();
+    std::vector<uint64_t> pow_f(h), pow_i(h);
+    uint64_t acc_f = 1, acc_i = 1;
+    for (size_t i = 0; i < h; ++i) {
+        pow_f[i] = acc_f;
+        pow_i[i] = acc_i;
+        acc_f = mod_.mulMod(acc_f, omega_);
+        acc_i = mod_.mulMod(acc_i, omega_inv);
+    }
+    size_t stages = static_cast<size_t>(logn_);
+    fwd_.reset(stages * h);
+    inv_.reset(stages * h);
+    for (size_t s = 0; s < stages; ++s) {
+        for (size_t j = 0; j < h; ++j) {
+            size_t e = (j >> s) << s;
+            fwd_[s * h + j] = pow_f[e];
+            inv_[s * h + j] = pow_i[e];
+        }
+    }
+}
+
+// AVX-512 entries (word64_avx512.cc).
+namespace detail {
+void forward64Avx512(const Ntt64Plan&, const uint64_t*, uint64_t*, uint64_t*);
+void inverse64Avx512(const Ntt64Plan&, const uint64_t*, uint64_t*, uint64_t*);
+void vmul64Avx512(const Modulus64&, const uint64_t*, const uint64_t*,
+                  uint64_t*, size_t);
+} // namespace detail
+
+namespace {
+
+/** kLanes = 1 scalar path shares the stage loop via the tail branches. */
+struct ScalarTag
+{
+};
+
+void
+validate(const Ntt64Plan& plan, const uint64_t* in, const uint64_t* out,
+         const uint64_t* scratch)
+{
+    checkArg(in && out && scratch, "ntt64: null buffer");
+    checkArg(in != out && in != scratch && out != scratch,
+             "ntt64: buffers must be distinct");
+    (void)plan;
+}
+
+[[noreturn]] void
+unsupported(Backend backend)
+{
+    throw BackendUnavailable(
+        "word64 kernels support Scalar/Portable/Avx512; got " +
+        backendName(backend));
+}
+
+/** Scalar forward (the tail path of the template, full width). */
+void
+forward64Scalar(const Ntt64Plan& plan, const uint64_t* in, uint64_t* out,
+                uint64_t* scratch)
+{
+    const size_t h = plan.half();
+    const int m = plan.logn();
+    const Modulus64& mod = plan.modulus();
+    uint64_t* bufs[2] = {out, scratch};
+    int target = (m % 2 == 1) ? 0 : 1;
+    const uint64_t* src = in;
+    for (int s = 0; s < m; ++s) {
+        uint64_t* dst = bufs[target];
+        const uint64_t* tw = plan.twiddle(s);
+        for (size_t j = 0; j < h; ++j) {
+            uint64_t u = mod.addMod(src[j], src[j + h]);
+            uint64_t v = mod.mulMod(mod.subMod(src[j], src[j + h]), tw[j]);
+            dst[2 * j] = u;
+            dst[2 * j + 1] = v;
+        }
+        src = dst;
+        target ^= 1;
+    }
+}
+
+void
+inverse64Scalar(const Ntt64Plan& plan, const uint64_t* in, uint64_t* out,
+                uint64_t* scratch)
+{
+    const size_t h = plan.half();
+    const int m = plan.logn();
+    const Modulus64& mod = plan.modulus();
+    uint64_t* bufs[2] = {out, scratch};
+    int target = (m % 2 == 1) ? 0 : 1;
+    const uint64_t* src = in;
+    for (int s = m - 1; s >= 0; --s) {
+        uint64_t* dst = bufs[target];
+        const uint64_t* tw = plan.twiddleInv(s);
+        for (size_t j = 0; j < h; ++j) {
+            uint64_t u = src[2 * j];
+            uint64_t t = mod.mulMod(src[2 * j + 1], tw[j]);
+            dst[j] = mod.addMod(u, t);
+            dst[j + h] = mod.subMod(u, t);
+        }
+        src = dst;
+        target ^= 1;
+    }
+    for (size_t i = 0; i < plan.n(); ++i)
+        out[i] = mod.mulMod(out[i], plan.nInv());
+}
+
+} // namespace
+
+void
+forward64(const Ntt64Plan& plan, Backend backend, const uint64_t* in,
+          uint64_t* out, uint64_t* scratch)
+{
+    validate(plan, in, out, scratch);
+    switch (backend) {
+      case Backend::Scalar:
+        return forward64Scalar(plan, in, out, scratch);
+      case Backend::Portable:
+        return forward64Impl<simd::PortableIsa>(plan, in, out, scratch);
+      case Backend::Avx512:
+#if MQX_BUILD_AVX512
+        if (backendAvailable(Backend::Avx512))
+            return detail::forward64Avx512(plan, in, out, scratch);
+#endif
+        unsupported(backend);
+      default:
+        unsupported(backend);
+    }
+}
+
+void
+inverse64(const Ntt64Plan& plan, Backend backend, const uint64_t* in,
+          uint64_t* out, uint64_t* scratch)
+{
+    validate(plan, in, out, scratch);
+    switch (backend) {
+      case Backend::Scalar:
+        return inverse64Scalar(plan, in, out, scratch);
+      case Backend::Portable:
+        return inverse64Impl<simd::PortableIsa>(plan, in, out, scratch);
+      case Backend::Avx512:
+#if MQX_BUILD_AVX512
+        if (backendAvailable(Backend::Avx512))
+            return detail::inverse64Avx512(plan, in, out, scratch);
+#endif
+        unsupported(backend);
+      default:
+        unsupported(backend);
+    }
+}
+
+void
+vmul64(Backend backend, const Modulus64& m, const uint64_t* a,
+       const uint64_t* b, uint64_t* c, size_t n)
+{
+    switch (backend) {
+      case Backend::Scalar:
+        for (size_t i = 0; i < n; ++i)
+            c[i] = m.mulMod(a[i], b[i]);
+        return;
+      case Backend::Portable:
+        return vmul64Impl<simd::PortableIsa>(m, a, b, c, n);
+      case Backend::Avx512:
+#if MQX_BUILD_AVX512
+        if (backendAvailable(Backend::Avx512))
+            return detail::vmul64Avx512(m, a, b, c, n);
+#endif
+        unsupported(backend);
+      default:
+        unsupported(backend);
+    }
+}
+
+} // namespace w64
+} // namespace mqx

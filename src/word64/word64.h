@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Single-word (64-bit) modular kernels — the industry-standard mode of
+ * CPU FHE libraries (Intel HEXL et al., paper Section 8: "the majority
+ * of CPU-based solutions support only 32-bit or 64-bit arithmetic and
+ * rely on RNS"). mqxlib's primary target is the 128-bit double-word
+ * regime; this module provides the single-word counterpart so that
+ * (a) users with 64-bit parameter sets get first-class kernels and
+ * (b) the benches can quantify exactly how much the double-word
+ * arithmetic costs per butterfly — the gap MQX exists to shrink.
+ *
+ * Same algorithms one level down: Barrett reduction with
+ * mu = floor(2^2b / q) for q of b <= 62 bits, conditional-subtract
+ * add/sub, Pease constant-geometry NTT.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/aligned.h"
+#include "core/backend.h"
+#include "u128/u128.h"
+
+namespace mqx {
+namespace w64 {
+
+/** A single-word modulus with Barrett precomputation. */
+class Modulus64
+{
+  public:
+    /** @throws InvalidArgument unless 2 <= q < 2^62. */
+    explicit Modulus64(uint64_t q);
+
+    uint64_t value() const { return q_; }
+    uint64_t mu() const { return mu_; }
+    int bits() const { return bits_; }
+
+    uint64_t
+    addMod(uint64_t a, uint64_t b) const
+    {
+        uint64_t s = a + b; // cannot wrap: a, b < q < 2^62
+        return s >= q_ ? s - q_ : s;
+    }
+
+    uint64_t
+    subMod(uint64_t a, uint64_t b) const
+    {
+        return a >= b ? a - b : a - b + q_;
+    }
+
+    /** Barrett-reduced product for a, b < q. */
+    uint64_t
+    mulMod(uint64_t a, uint64_t b) const
+    {
+        uint64_t p_hi = 0, p_lo = 0;
+        mulWide64(a, b, p_hi, p_lo);
+        // x1 = x >> (b-1); e = (x1 * mu) >> (b+1); c = lo(x) - e*q.
+        uint64_t x1 = shift1_ >= 64
+                          ? p_hi >> (shift1_ - 64)
+                          : (p_lo >> shift1_) | (p_hi << (64 - shift1_));
+        uint64_t e_hi = 0, e_lo = 0;
+        mulWide64(x1, mu_, e_hi, e_lo);
+        uint64_t e = shift2_ >= 64
+                         ? e_hi >> (shift2_ - 64)
+                         : (e_lo >> shift2_) | (e_hi << (64 - shift2_));
+        uint64_t c = p_lo - e * q_;
+        if (c >= q_)
+            c -= q_;
+        if (c >= q_)
+            c -= q_;
+        return c;
+    }
+
+    /** a^e mod q. */
+    uint64_t powMod(uint64_t base, uint64_t exponent) const;
+
+    /** Multiplicative inverse (q must be prime). */
+    uint64_t inverse(uint64_t a) const;
+
+  private:
+    uint64_t q_ = 0;
+    uint64_t mu_ = 0;
+    int bits_ = 0;
+    unsigned shift1_ = 0; ///< b - 1
+    unsigned shift2_ = 0; ///< b + 1
+};
+
+/** Deterministic single-word NTT prime: q = c * 2^e + 1, b <= 62 bits. */
+uint64_t findNttPrime64(int bits, int two_adicity);
+
+/** Pease-NTT precomputation over a single-word modulus. */
+class Ntt64Plan
+{
+  public:
+    /**
+     * @param q prime with n | q - 1
+     * @param n power-of-two transform size
+     */
+    Ntt64Plan(uint64_t q, size_t n);
+
+    const Modulus64& modulus() const { return mod_; }
+    size_t n() const { return n_; }
+    int logn() const { return logn_; }
+    size_t half() const { return n_ / 2; }
+    uint64_t omega() const { return omega_; }
+    uint64_t nInv() const { return n_inv_; }
+
+    const uint64_t* twiddle(int s) const { return fwd_.data() + static_cast<size_t>(s) * half(); }
+    const uint64_t* twiddleInv(int s) const { return inv_.data() + static_cast<size_t>(s) * half(); }
+
+  private:
+    Modulus64 mod_;
+    size_t n_ = 0;
+    int logn_ = 0;
+    uint64_t omega_ = 0;
+    uint64_t n_inv_ = 0;
+    AlignedVec<uint64_t> fwd_, inv_;
+};
+
+/**
+ * Forward Pease NTT (natural -> bit-reversed), single-word residues.
+ * Supported backends: Scalar, Portable, Avx512 (single-word kernels are
+ * provided for the tiers the comparison bench needs).
+ */
+void forward64(const Ntt64Plan& plan, Backend backend, const uint64_t* in,
+               uint64_t* out, uint64_t* scratch);
+
+/** Inverse Pease NTT (bit-reversed -> natural, scaled by n^-1). */
+void inverse64(const Ntt64Plan& plan, Backend backend, const uint64_t* in,
+               uint64_t* out, uint64_t* scratch);
+
+/** c[i] = a[i] * b[i] mod q, single-word batch. */
+void vmul64(Backend backend, const Modulus64& m, const uint64_t* a,
+            const uint64_t* b, uint64_t* c, size_t n);
+
+} // namespace w64
+} // namespace mqx

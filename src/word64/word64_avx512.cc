@@ -1,0 +1,35 @@
+/**
+ * @file
+ * AVX-512 instantiations of the single-word kernels.
+ */
+#include "simd/isa_avx512.h"
+#include "word64/ntt64_impl.h"
+
+namespace mqx {
+namespace w64 {
+namespace detail {
+
+void
+forward64Avx512(const Ntt64Plan& plan, const uint64_t* in, uint64_t* out,
+                uint64_t* scratch)
+{
+    forward64Impl<simd::Avx512Isa>(plan, in, out, scratch);
+}
+
+void
+inverse64Avx512(const Ntt64Plan& plan, const uint64_t* in, uint64_t* out,
+                uint64_t* scratch)
+{
+    inverse64Impl<simd::Avx512Isa>(plan, in, out, scratch);
+}
+
+void
+vmul64Avx512(const Modulus64& m, const uint64_t* a, const uint64_t* b,
+             uint64_t* c, size_t n)
+{
+    vmul64Impl<simd::Avx512Isa>(m, a, b, c, n);
+}
+
+} // namespace detail
+} // namespace w64
+} // namespace mqx

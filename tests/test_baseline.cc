@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Baseline backend tests: the OpenFHE-like generic backend, the BigUInt
+ * kernels, and (when present) GMP kernels must all agree with the
+ * optimized library and with each other.
+ */
+#include <gtest/gtest.h>
+
+#include "baseline/biguint_kernels.h"
+#include "baseline/gmp_kernels.h"
+#include "baseline/openfhe_like.h"
+#include "mod/modulus.h"
+#include "ntt/ntt.h"
+#include "ntt/reference_ntt.h"
+#include "test_util.h"
+
+namespace mqx {
+namespace {
+
+const ntt::NttPrime&
+testPrime()
+{
+    return ntt::smallTestPrime();
+}
+
+TEST(OpenFheLike, ModularOpsMatchOptimized)
+{
+    Modulus fast(testPrime().q);
+    baseline::OpenFheLikeModulus slow(testPrime().q);
+    SplitMix64 rng(1);
+    for (int i = 0; i < 2000; ++i) {
+        U128 a = rng.nextBelow(testPrime().q);
+        U128 b = rng.nextBelow(testPrime().q);
+        EXPECT_EQ(slow.addMod(a, b), fast.add(a, b));
+        EXPECT_EQ(slow.subMod(a, b), fast.sub(a, b));
+        EXPECT_EQ(slow.mulMod(a, b), fast.mul(a, b));
+    }
+    // Edges.
+    U128 q1 = testPrime().q - U128{1};
+    EXPECT_EQ(slow.mulMod(q1, q1), fast.mul(q1, q1));
+    EXPECT_EQ(slow.addMod(q1, q1), fast.add(q1, q1));
+    EXPECT_EQ(slow.mulMod(U128{0}, q1), U128{0});
+}
+
+TEST(OpenFheLike, PowMatchesOptimized)
+{
+    Modulus fast(testPrime().q);
+    baseline::OpenFheLikeModulus slow(testPrime().q);
+    SplitMix64 rng(2);
+    for (int i = 0; i < 30; ++i) {
+        U128 b = rng.nextBelow(testPrime().q);
+        U128 e = rng.nextU128() >> 80;
+        EXPECT_EQ(slow.powMod(b, e), fast.pow(b, e));
+    }
+}
+
+TEST(OpenFheLike, NttMatchesReferenceAndRoundTrips)
+{
+    for (size_t n : {4u, 16u, 128u}) {
+        ntt::NttPlan plan(testPrime(), n);
+        baseline::OpenFheLikeNtt bntt(testPrime(), n);
+        auto input = randomResidues(n, testPrime().q, 7 + n);
+
+        // The baseline uses its own root; compare against the reference
+        // evaluated with the same root by checking the roundtrip and the
+        // convolution property instead of element equality.
+        auto data = input;
+        bntt.forward(data);
+        auto back = data;
+        bntt.inverse(back);
+        EXPECT_EQ(back, input) << "n=" << n;
+
+        // Convolution theorem under the baseline NTT.
+        auto g = randomResidues(n, testPrime().q, 100 + n);
+        auto tf = input, tg = g;
+        bntt.forward(tf);
+        bntt.forward(tg);
+        std::vector<U128> prod(n);
+        for (size_t i = 0; i < n; ++i)
+            prod[i] = bntt.modulus().mulMod(tf[i], tg[i]);
+        bntt.inverse(prod);
+        Modulus m(testPrime().q);
+        EXPECT_EQ(prod, ntt::cyclicConvolution(m, input, g)) << "n=" << n;
+    }
+}
+
+TEST(OpenFheLike, BlasMatchesOptimized)
+{
+    baseline::OpenFheLikeBlas slow(testPrime().q);
+    Modulus fast(testPrime().q);
+    const size_t n = 64;
+    auto a = randomResidues(n, testPrime().q, 3);
+    auto b = randomResidues(n, testPrime().q, 4);
+    std::vector<U128> c(n);
+    slow.vadd(a, b, c);
+    for (size_t i = 0; i < n; ++i)
+        EXPECT_EQ(c[i], fast.add(a[i], b[i]));
+    slow.vsub(a, b, c);
+    for (size_t i = 0; i < n; ++i)
+        EXPECT_EQ(c[i], fast.sub(a[i], b[i]));
+    slow.vmul(a, b, c);
+    for (size_t i = 0; i < n; ++i)
+        EXPECT_EQ(c[i], fast.mul(a[i], b[i]));
+    auto y = b;
+    slow.axpy(a[0], a, y);
+    for (size_t i = 0; i < n; ++i)
+        EXPECT_EQ(y[i], fast.add(fast.mul(a[0], a[i]), b[i]));
+}
+
+TEST(BigUIntKernels, NttRoundTripAndConvolution)
+{
+    const size_t n = 64;
+    baseline::BigUIntKernels kernels(testPrime(), n);
+    auto input = randomResidues(n, testPrime().q, 21);
+    auto big = baseline::BigUIntKernels::fromU128(input);
+    kernels.nttForward(big);
+    kernels.nttInverse(big);
+    EXPECT_EQ(baseline::BigUIntKernels::toU128(big), input);
+}
+
+TEST(BigUIntKernels, BlasMatchesOptimized)
+{
+    baseline::BigUIntKernels kernels(testPrime().q);
+    Modulus fast(testPrime().q);
+    const size_t n = 32;
+    auto a = randomResidues(n, testPrime().q, 31);
+    auto b = randomResidues(n, testPrime().q, 32);
+    auto ba = baseline::BigUIntKernels::fromU128(a);
+    auto bb = baseline::BigUIntKernels::fromU128(b);
+    std::vector<BigUInt> bc(n);
+    kernels.vmul(ba, bb, bc);
+    auto c = baseline::BigUIntKernels::toU128(bc);
+    for (size_t i = 0; i < n; ++i)
+        EXPECT_EQ(c[i], fast.mul(a[i], b[i]));
+    kernels.vadd(ba, bb, bc);
+    c = baseline::BigUIntKernels::toU128(bc);
+    for (size_t i = 0; i < n; ++i)
+        EXPECT_EQ(c[i], fast.add(a[i], b[i]));
+}
+
+#if MQX_WITH_GMP
+
+TEST(GmpKernels, OracleMatchesOptimized)
+{
+    Modulus fast(testPrime().q);
+    SplitMix64 rng(41);
+    for (int i = 0; i < 500; ++i) {
+        U128 a = rng.nextBelow(testPrime().q);
+        U128 b = rng.nextBelow(testPrime().q);
+        EXPECT_EQ(baseline::GmpKernels::mulModOracle(a, b, testPrime().q),
+                  fast.mul(a, b));
+        EXPECT_EQ(baseline::GmpKernels::addModOracle(a, b, testPrime().q),
+                  fast.add(a, b));
+    }
+}
+
+TEST(GmpKernels, NttRoundTripAndBlas)
+{
+    const size_t n = 64;
+    baseline::GmpKernels kernels(testPrime(), n);
+    auto input = randomResidues(n, testPrime().q, 51);
+    auto data = input;
+    kernels.nttForward(data);
+    kernels.nttInverse(data);
+    EXPECT_EQ(data, input);
+
+    Modulus fast(testPrime().q);
+    auto b = randomResidues(n, testPrime().q, 52);
+    std::vector<U128> c(n);
+    kernels.vmul(input, b, c);
+    for (size_t i = 0; i < n; ++i)
+        EXPECT_EQ(c[i], fast.mul(input[i], b[i]));
+    auto y = b;
+    kernels.axpy(input[0], input, y);
+    for (size_t i = 0; i < n; ++i)
+        EXPECT_EQ(y[i], fast.add(fast.mul(input[0], input[i]), b[i]));
+}
+
+TEST(GmpKernels, AgreesWithBigUIntKernels)
+{
+    const size_t n = 32;
+    baseline::GmpKernels gmp(testPrime(), n);
+    baseline::BigUIntKernels big(testPrime(), n);
+    auto input = randomResidues(n, testPrime().q, 61);
+    auto gmp_data = input;
+    gmp.nttForward(gmp_data);
+    auto big_data = baseline::BigUIntKernels::fromU128(input);
+    big.nttForward(big_data);
+    EXPECT_EQ(gmp_data, baseline::BigUIntKernels::toU128(big_data));
+}
+
+#endif // MQX_WITH_GMP
+
+} // namespace
+} // namespace mqx

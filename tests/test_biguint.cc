@@ -1,0 +1,207 @@
+/**
+ * @file
+ * BigUInt tests. When GMP is present every operation is fuzzed against
+ * it; structural and edge-case tests run regardless.
+ */
+#include <gtest/gtest.h>
+
+#include "bigint/biguint.h"
+#include "test_util.h"
+
+#if MQX_WITH_GMP
+#include <gmp.h>
+
+#include <cstring>
+#endif
+
+namespace mqx {
+namespace {
+
+BigUInt
+randomBig(SplitMix64& rng, int max_limbs)
+{
+    int limbs = static_cast<int>(rng.next() % static_cast<uint64_t>(max_limbs)) + 1;
+    BigUInt v;
+    for (int i = 0; i < limbs; ++i)
+        v = (v << 64) + BigUInt{rng.next()};
+    return v;
+}
+
+TEST(BigUInt, SmallValues)
+{
+    EXPECT_TRUE(BigUInt{}.isZero());
+    EXPECT_TRUE(BigUInt{0}.isZero());
+    EXPECT_EQ(BigUInt{5} + BigUInt{7}, BigUInt{12});
+    EXPECT_EQ(BigUInt{12} - BigUInt{7}, BigUInt{5});
+    EXPECT_EQ(BigUInt{6} * BigUInt{7}, BigUInt{42});
+    EXPECT_EQ((BigUInt{100} / BigUInt{7}), BigUInt{14});
+    EXPECT_EQ((BigUInt{100} % BigUInt{7}), BigUInt{2});
+    EXPECT_EQ(BigUInt{1}.bits(), 1);
+    EXPECT_EQ(BigUInt{}.bits(), 0);
+}
+
+TEST(BigUInt, CarryAcrossLimbs)
+{
+    BigUInt max64{~0ull};
+    BigUInt sum = max64 + BigUInt{1};
+    EXPECT_EQ(sum.limbCount(), 2u);
+    EXPECT_EQ(sum.limb(0), 0u);
+    EXPECT_EQ(sum.limb(1), 1u);
+    EXPECT_EQ(sum - BigUInt{1}, max64);
+}
+
+TEST(BigUInt, SubtractionUnderflowThrows)
+{
+    EXPECT_THROW(BigUInt{3} - BigUInt{5}, InvalidArgument);
+}
+
+TEST(BigUInt, DivisionByZeroThrows)
+{
+    BigUInt q, r;
+    EXPECT_THROW(BigUInt::divmod(BigUInt{10}, BigUInt{}, q, r),
+                 InvalidArgument);
+}
+
+TEST(BigUInt, DivModIdentityRandom)
+{
+    SplitMix64 rng(123);
+    for (int i = 0; i < 2000; ++i) {
+        BigUInt a = randomBig(rng, 8);
+        BigUInt b = randomBig(rng, 5);
+        if (b.isZero())
+            continue;
+        BigUInt q, r;
+        BigUInt::divmod(a, b, q, r);
+        EXPECT_TRUE(r < b);
+        EXPECT_EQ(q * b + r, a);
+    }
+}
+
+BigUInt
+fixedThreeLimbValue()
+{
+    SplitMix64 rng(321);
+    BigUInt v;
+    for (int i = 0; i < 3; ++i)
+        v = (v << 64) + BigUInt{rng.next()};
+    return v;
+}
+
+TEST(BigUInt, DivModAlgorithmDCorners)
+{
+    // qhat overflow path: dividend limbs equal to the normalized
+    // divisor's top limb.
+    BigUInt b = (BigUInt{1} << 127) + BigUInt{5};
+    BigUInt a = (b * BigUInt{~0ull}) + (b - BigUInt{1});
+    BigUInt q, r;
+    BigUInt::divmod(a, b, q, r);
+    EXPECT_EQ(q, BigUInt{~0ull});
+    EXPECT_EQ(r, b - BigUInt{1});
+
+    // Exact division.
+    BigUInt c = fixedThreeLimbValue();
+    BigUInt::divmod(c * b, b, q, r);
+    EXPECT_TRUE(r.isZero());
+    EXPECT_EQ(q, c);
+}
+
+TEST(BigUInt, StringRoundTrip)
+{
+    EXPECT_EQ(BigUInt{}.toString(), "0");
+    EXPECT_EQ(BigUInt{98765}.toString(), "98765");
+    BigUInt big = BigUInt::fromString(
+        "123456789012345678901234567890123456789012345678901234567890");
+    EXPECT_EQ(big.toString(),
+              "123456789012345678901234567890123456789012345678901234567890");
+    EXPECT_EQ(BigUInt::fromString(big.toHexString()), big);
+    EXPECT_THROW(BigUInt::fromString(""), InvalidArgument);
+    EXPECT_THROW(BigUInt::fromString("x1"), InvalidArgument);
+}
+
+TEST(BigUInt, U128RoundTrip)
+{
+    SplitMix64 rng(55);
+    for (int i = 0; i < 1000; ++i) {
+        U128 v = rng.nextU128();
+        EXPECT_EQ(BigUInt::fromU128(v).toU128(), v);
+    }
+}
+
+TEST(BigUInt, PowMod)
+{
+    // 2^10 mod 1000 = 24; Fermat: a^(p-1) = 1 mod p.
+    EXPECT_EQ(BigUInt::powMod(BigUInt{2}, BigUInt{10}, BigUInt{1000}),
+              BigUInt{24});
+    BigUInt p{1000000007};
+    SplitMix64 rng(77);
+    for (int i = 0; i < 50; ++i) {
+        BigUInt a{rng.next() % 1000000006 + 1};
+        EXPECT_EQ(BigUInt::powMod(a, p - BigUInt{1}, p), BigUInt{1});
+    }
+}
+
+#if MQX_WITH_GMP
+
+class GmpOracle
+{
+  public:
+    GmpOracle() { mpz_inits(a_, b_, r_, nullptr); }
+    ~GmpOracle() { mpz_clears(a_, b_, r_, nullptr); }
+
+    void
+    load(const BigUInt& a, const BigUInt& b)
+    {
+        set(a_, a);
+        set(b_, b);
+    }
+
+    BigUInt
+    get() const
+    {
+        char* s = mpz_get_str(nullptr, 16, r_);
+        BigUInt v = BigUInt::fromString(std::string("0x") + s);
+        void (*freefunc)(void*, size_t) = nullptr;
+        mp_get_memory_functions(nullptr, nullptr, &freefunc);
+        freefunc(s, strlen(s) + 1);
+        return v;
+    }
+
+    mpz_t a_, b_, r_;
+
+  private:
+    static void
+    set(mpz_t out, const BigUInt& v)
+    {
+        mpz_set_str(out, v.toHexString().c_str() + 2, 16);
+    }
+};
+
+TEST(BigUIntGmp, FuzzAgainstGmp)
+{
+    SplitMix64 rng(999);
+    GmpOracle o;
+    for (int i = 0; i < 1500; ++i) {
+        BigUInt a = randomBig(rng, 10);
+        BigUInt b = randomBig(rng, 10);
+        o.load(a, b);
+        mpz_add(o.r_, o.a_, o.b_);
+        EXPECT_EQ(o.get(), a + b);
+        mpz_mul(o.r_, o.a_, o.b_);
+        EXPECT_EQ(o.get(), a * b);
+        if (!b.isZero()) {
+            mpz_fdiv_q(o.r_, o.a_, o.b_);
+            EXPECT_EQ(o.get(), a / b);
+            mpz_fdiv_r(o.r_, o.a_, o.b_);
+            EXPECT_EQ(o.get(), a % b);
+        }
+        if (a >= b) {
+            mpz_sub(o.r_, o.a_, o.b_);
+            EXPECT_EQ(o.get(), a - b);
+        }
+    }
+}
+
+#endif // MQX_WITH_GMP
+
+} // namespace
+} // namespace mqx

@@ -1,0 +1,230 @@
+/**
+ * @file
+ * BLAS kernel tests: every available backend (including MQX emulation)
+ * against the scalar oracle, over random and adversarial inputs,
+ * multiple lengths (SIMD blocks + scalar tails), and both
+ * multiplication algorithms.
+ */
+#include <gtest/gtest.h>
+
+#include "blas/blas.h"
+#include "ntt/prime.h"
+#include "test_util.h"
+
+namespace mqx {
+namespace {
+
+using test::availableCorrectBackends;
+using test::backendParamName;
+
+class BlasBackend : public testing::TestWithParam<Backend>
+{
+  protected:
+    static constexpr uint64_t kSeed = 20240610;
+};
+
+std::vector<U128>
+runVectorOp(blas::Op op, Backend be, const Modulus& m,
+            const std::vector<U128>& a, const std::vector<U128>& b,
+            MulAlgo algo = MulAlgo::Schoolbook)
+{
+    ResidueVector va = ResidueVector::fromU128(a);
+    ResidueVector vb = ResidueVector::fromU128(b);
+    ResidueVector vc(a.size());
+    if (op == blas::Op::Axpy) {
+        // y starts as b; alpha = a[0].
+        vc = ResidueVector::fromU128(b);
+        blas::axpy(be, m, a[0], va.span(), vc.span(), algo);
+    } else {
+        blas::runOp(op, be, m, va.span(), vb.span(), vc.span(), algo);
+    }
+    return vc.toU128();
+}
+
+TEST_P(BlasBackend, MatchesScalarAcrossLengthsAndOps)
+{
+    Backend be = GetParam();
+    const auto& prime = ntt::defaultBenchPrime();
+    Modulus m(prime.q);
+    // Lengths exercise full SIMD blocks, tails, and the empty vector.
+    const size_t lengths[] = {1, 3, 7, 8, 9, 16, 31, 64, 100, 1024};
+    const blas::Op ops[] = {blas::Op::VectorAdd, blas::Op::VectorSub,
+                            blas::Op::VectorMul, blas::Op::Axpy};
+    for (size_t len : lengths) {
+        auto a = randomResidues(len, prime.q, kSeed ^ len);
+        auto b = randomResidues(len, prime.q, kSeed + len);
+        for (blas::Op op : ops) {
+            auto expect = runVectorOp(op, Backend::Scalar, m, a, b);
+            auto got = runVectorOp(op, be, m, a, b);
+            ASSERT_EQ(got.size(), expect.size());
+            for (size_t i = 0; i < len; ++i) {
+                ASSERT_EQ(got[i], expect[i])
+                    << blas::opName(op) << " len=" << len << " i=" << i
+                    << " backend=" << backendName(be);
+            }
+        }
+    }
+}
+
+TEST_P(BlasBackend, AdversarialOperands)
+{
+    Backend be = GetParam();
+    const auto& prime = ntt::defaultBenchPrime();
+    Modulus m(prime.q);
+    U128 q1 = prime.q - U128{1};
+    // Operands engineered to exercise every carry/borrow corner: the
+    // Listing-3 equality corner (hi words tie), low-word-only borrows,
+    // and zero lanes adjacent to maximal lanes.
+    std::vector<U128> a = {q1,
+                           U128{0},
+                           q1,
+                           U128::fromParts(prime.q.hi, 0),
+                           U128::fromParts(0, ~0ull),
+                           U128{1},
+                           U128::fromParts(prime.q.hi, prime.q.lo - 1),
+                           q1};
+    std::vector<U128> b = {q1,
+                           q1,
+                           U128{0},
+                           U128::fromParts(0, prime.q.lo),
+                           U128::fromParts(prime.q.hi, 0),
+                           q1,
+                           U128{1},
+                           U128{2}};
+    for (blas::Op op : {blas::Op::VectorAdd, blas::Op::VectorSub,
+                        blas::Op::VectorMul, blas::Op::Axpy}) {
+        auto expect = runVectorOp(op, Backend::Scalar, m, a, b);
+        auto got = runVectorOp(op, be, m, a, b);
+        for (size_t i = 0; i < a.size(); ++i) {
+            ASSERT_EQ(got[i], expect[i])
+                << blas::opName(op) << " lane " << i << " backend "
+                << backendName(be);
+        }
+    }
+}
+
+TEST_P(BlasBackend, KaratsubaAgreesWithSchoolbook)
+{
+    Backend be = GetParam();
+    const auto& prime = ntt::defaultBenchPrime();
+    Modulus m(prime.q);
+    auto a = randomResidues(64, prime.q, 0xabc);
+    auto b = randomResidues(64, prime.q, 0xdef);
+    auto school =
+        runVectorOp(blas::Op::VectorMul, be, m, a, b, MulAlgo::Schoolbook);
+    auto karat =
+        runVectorOp(blas::Op::VectorMul, be, m, a, b, MulAlgo::Karatsuba);
+    for (size_t i = 0; i < a.size(); ++i)
+        ASSERT_EQ(school[i], karat[i]) << "lane " << i;
+}
+
+TEST_P(BlasBackend, SmallModulusWorks)
+{
+    // Double-word kernels must stay correct when q fits one word.
+    Backend be = GetParam();
+    Modulus m(U128{0xfffffffb}); // 32-bit prime
+    auto a = randomResidues(40, m.value(), 1);
+    auto b = randomResidues(40, m.value(), 2);
+    auto expect = runVectorOp(blas::Op::VectorMul, Backend::Scalar, m, a, b);
+    auto got = runVectorOp(blas::Op::VectorMul, be, m, a, b);
+    for (size_t i = 0; i < a.size(); ++i)
+        ASSERT_EQ(got[i], expect[i]);
+}
+
+TEST_P(BlasBackend, GemvMatchesScalarDotProducts)
+{
+    Backend be = GetParam();
+    const auto& prime = ntt::defaultBenchPrime();
+    Modulus m(prime.q);
+    for (auto [rows, cols] : {std::pair<size_t, size_t>{3, 5},
+                              {8, 8},
+                              {5, 17},
+                              {16, 64}}) {
+        auto mat_u = randomResidues(rows * cols, prime.q, rows * 31 + cols);
+        auto x_u = randomResidues(cols, prime.q, cols);
+        ResidueVector mat = ResidueVector::fromU128(mat_u);
+        ResidueVector x = ResidueVector::fromU128(x_u);
+        ResidueVector y(rows);
+        blas::gemv(be, m, mat.span(), x.span(), y.span(), rows, cols);
+        for (size_t r = 0; r < rows; ++r) {
+            U128 acc{0};
+            for (size_t j = 0; j < cols; ++j)
+                acc = m.add(acc, m.mul(mat_u[r * cols + j], x_u[j]));
+            ASSERT_EQ(y.at(r), acc)
+                << "row " << r << " " << rows << "x" << cols << " "
+                << backendName(be);
+        }
+    }
+}
+
+TEST_P(BlasBackend, VmulIsDiagonalGemv)
+{
+    // Section 2.3: "Point-wise vector multiplication can be interpreted
+    // as a special case of gemv" — with a diagonal matrix.
+    Backend be = GetParam();
+    const auto& prime = ntt::defaultBenchPrime();
+    Modulus m(prime.q);
+    const size_t n = 24;
+    auto d_u = randomResidues(n, prime.q, 71);
+    auto x_u = randomResidues(n, prime.q, 72);
+    std::vector<U128> mat_u(n * n, U128{0});
+    for (size_t i = 0; i < n; ++i)
+        mat_u[i * n + i] = d_u[i];
+    ResidueVector mat = ResidueVector::fromU128(mat_u);
+    ResidueVector d = ResidueVector::fromU128(d_u);
+    ResidueVector x = ResidueVector::fromU128(x_u);
+    ResidueVector via_gemv(n), via_vmul(n);
+    blas::gemv(be, m, mat.span(), x.span(), via_gemv.span(), n, n);
+    blas::vmul(be, m, d.span(), x.span(), via_vmul.span());
+    EXPECT_EQ(via_gemv.toU128(), via_vmul.toU128());
+}
+
+TEST(BlasErrors, GemvShapeValidation)
+{
+    const auto& prime = ntt::smallTestPrime();
+    Modulus m(prime.q);
+    ResidueVector mat(12), x(4), y(3), bad(5);
+    EXPECT_NO_THROW(blas::gemv(Backend::Scalar, m, mat.span(), x.span(),
+                               y.span(), 3, 4));
+    EXPECT_THROW(blas::gemv(Backend::Scalar, m, mat.span(), x.span(),
+                            y.span(), 4, 4),
+                 InvalidArgument);
+    EXPECT_THROW(blas::gemv(Backend::Scalar, m, mat.span(), bad.span(),
+                            y.span(), 3, 4),
+                 InvalidArgument);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBackends, BlasBackend,
+                         testing::ValuesIn(test::availableCorrectBackends()),
+                         test::backendParamName);
+
+TEST(BlasErrors, LengthMismatchThrows)
+{
+    const auto& prime = ntt::smallTestPrime();
+    Modulus m(prime.q);
+    ResidueVector a(8), b(4), c(8);
+    EXPECT_THROW(blas::vadd(Backend::Scalar, m, a.span(), b.span(), c.span()),
+                 InvalidArgument);
+}
+
+TEST(BlasErrors, PisaBackendProducesWrongResultsByDesign)
+{
+    // Document the PISA contract: it is a timing vehicle, not a
+    // correctness backend. (If PISA ever accidentally computed correct
+    // values, the proxies would not be exercising shorter sequences.)
+    if (!backendAvailable(Backend::MqxPisa))
+        GTEST_SKIP() << "MQX/AVX-512 not available";
+    const auto& prime = ntt::defaultBenchPrime();
+    Modulus m(prime.q);
+    auto a = randomResidues(64, prime.q, 5);
+    auto b = randomResidues(64, prime.q, 6);
+    auto expect = runVectorOp(blas::Op::VectorMul, Backend::Scalar, m, a, b);
+    auto got = runVectorOp(blas::Op::VectorMul, Backend::MqxPisa, m, a, b);
+    int mismatches = 0;
+    for (size_t i = 0; i < a.size(); ++i)
+        mismatches += got[i] == expect[i] ? 0 : 1;
+    EXPECT_GT(mismatches, 0);
+}
+
+} // namespace
+} // namespace mqx

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Negacyclic NTT tests: psi structure, roundtrips, products against the
+ * schoolbook x^n + 1 reduction, across backends.
+ */
+#include <gtest/gtest.h>
+
+#include "ntt/negacyclic.h"
+#include "ntt/reference_ntt.h"
+#include "test_util.h"
+
+namespace mqx {
+namespace {
+
+const ntt::NttPrime&
+testPrime()
+{
+    return ntt::smallTestPrime();
+}
+
+TEST(Negacyclic, PsiIsSquareRootOfOmegaWithOrder2n)
+{
+    const size_t n = 64;
+    ntt::NegacyclicEngine engine(testPrime(), n, Backend::Scalar);
+    const Modulus& m = engine.plan().modulus();
+    U128 psi = engine.psi();
+    EXPECT_EQ(m.mul(psi, psi), engine.plan().omega());
+    EXPECT_EQ(m.pow(psi, U128{2 * n}), U128{1});
+    EXPECT_NE(m.pow(psi, U128{n}), U128{1});
+    // psi^n must be -1 (the negacyclic sign).
+    EXPECT_EQ(m.pow(psi, U128{n}), testPrime().q - U128{1});
+}
+
+TEST(Negacyclic, ReferenceReductionMatchesDefinition)
+{
+    // (x + 1)^2 mod (x^2 + 1, q) = x^2 + 2x + 1 = 2x (since x^2 = -1).
+    Modulus m(testPrime().q);
+    std::vector<U128> f = {U128{1}, U128{1}};
+    auto r = ntt::negacyclicConvolution(m, f, f);
+    EXPECT_EQ(r[0], U128{0});
+    EXPECT_EQ(r[1], U128{2});
+}
+
+class NegacyclicBackend : public testing::TestWithParam<Backend>
+{
+};
+
+TEST_P(NegacyclicBackend, RoundTrip)
+{
+    Backend be = GetParam();
+    for (size_t n : {4u, 32u, 256u}) {
+        ntt::NegacyclicEngine engine(testPrime(), n, be);
+        auto input = randomResidues(n, testPrime().q, 13 + n);
+        EXPECT_EQ(engine.inverse(engine.forward(input)), input)
+            << "n=" << n << " backend=" << backendName(be);
+    }
+}
+
+TEST_P(NegacyclicBackend, ProductMatchesSchoolbook)
+{
+    Backend be = GetParam();
+    for (size_t n : {4u, 64u, 128u}) {
+        ntt::NegacyclicEngine engine(testPrime(), n, be);
+        Modulus m(testPrime().q);
+        auto f = randomResidues(n, testPrime().q, 100 + n);
+        auto g = randomResidues(n, testPrime().q, 200 + n);
+        EXPECT_EQ(engine.polymulNegacyclic(f, g),
+                  ntt::negacyclicConvolution(m, f, g))
+            << "n=" << n << " backend=" << backendName(be);
+    }
+}
+
+TEST_P(NegacyclicBackend, WraparoundSignIsNegative)
+{
+    // x^(n-1) * x = x^n = -1: the clearest negacyclic signature.
+    Backend be = GetParam();
+    const size_t n = 16;
+    ntt::NegacyclicEngine engine(testPrime(), n, be);
+    std::vector<U128> xn1(n, U128{0}), x(n, U128{0});
+    xn1[n - 1] = U128{1};
+    x[1] = U128{1};
+    auto prod = engine.polymulNegacyclic(xn1, x);
+    EXPECT_EQ(prod[0], testPrime().q - U128{1}); // -1 mod q
+    for (size_t i = 1; i < n; ++i)
+        EXPECT_TRUE(prod[i].isZero());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBackends, NegacyclicBackend,
+                         testing::ValuesIn(test::availableCorrectBackends()),
+                         test::backendParamName);
+
+TEST(Negacyclic, RejectsInsufficientTwoAdicity)
+{
+    // A prime with 2-adicity v supports negacyclic products only up to
+    // n = 2^(v-1).
+    ntt::NttPrime p = ntt::findNttPrime(30, 3);
+    EXPECT_NO_THROW(ntt::NegacyclicEngine(p, 4, Backend::Scalar));
+    EXPECT_THROW(ntt::NegacyclicEngine(p, 8, Backend::Scalar),
+                 InvalidArgument);
+}
+
+} // namespace
+} // namespace mqx

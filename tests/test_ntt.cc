@@ -1,0 +1,258 @@
+/**
+ * @file
+ * NTT correctness tests: plan validation, reference agreement,
+ * roundtrips, linearity, the convolution theorem, cross-backend
+ * agreement, and the MQX feature variants in emulation mode.
+ */
+#include <gtest/gtest.h>
+
+#include "ntt/ntt.h"
+#include "ntt/reference_ntt.h"
+#include "test_util.h"
+
+namespace mqx {
+namespace {
+
+using test::availableCorrectBackends;
+
+const ntt::NttPrime&
+testPrime()
+{
+    return ntt::smallTestPrime();
+}
+
+std::vector<U128>
+runForward(const ntt::NttPlan& plan, Backend be, const std::vector<U128>& in,
+           MulAlgo algo = MulAlgo::Schoolbook)
+{
+    ResidueVector vin = ResidueVector::fromU128(in);
+    ResidueVector out(plan.n()), scratch(plan.n());
+    ntt::forward(plan, be, vin.span(), out.span(), scratch.span(), algo);
+    return out.toU128();
+}
+
+std::vector<U128>
+runInverse(const ntt::NttPlan& plan, Backend be, const std::vector<U128>& in,
+           MulAlgo algo = MulAlgo::Schoolbook)
+{
+    ResidueVector vin = ResidueVector::fromU128(in);
+    ResidueVector out(plan.n()), scratch(plan.n());
+    ntt::inverse(plan, be, vin.span(), out.span(), scratch.span(), algo);
+    return out.toU128();
+}
+
+std::vector<U128>
+bitReverse(const std::vector<U128>& v)
+{
+    ResidueVector rv = ResidueVector::fromU128(v);
+    DSpan s = rv.span();
+    ntt::bitReversePermute(s);
+    return rv.toU128();
+}
+
+TEST(NttPlan, Validation)
+{
+    Modulus m(testPrime().q);
+    EXPECT_THROW(ntt::NttPlan(m, 0), InvalidArgument);
+    EXPECT_THROW(ntt::NttPlan(m, 1), InvalidArgument);
+    EXPECT_THROW(ntt::NttPlan(m, 3), InvalidArgument);  // not a power of 2
+    EXPECT_THROW(ntt::NttPlan(m, 48), InvalidArgument); // not a power of 2
+    // Composite modulus must be rejected.
+    EXPECT_THROW(ntt::NttPlan(Modulus(U128{15}), 4), InvalidArgument);
+    // n exceeding the 2-adicity must be rejected (order does not divide
+    // q - 1).
+    size_t too_big = size_t{1} << (testPrime().two_adicity + 1);
+    EXPECT_THROW(ntt::NttPlan(m, too_big), InvalidArgument);
+    EXPECT_NO_THROW(ntt::NttPlan(m, 2));
+}
+
+TEST(NttPlan, TwiddleStructure)
+{
+    ntt::NttPlan plan(testPrime(), 16);
+    const Modulus& m = plan.modulus();
+    // omega has order exactly n.
+    EXPECT_EQ(m.pow(plan.omega(), U128{16}), U128{1});
+    EXPECT_NE(m.pow(plan.omega(), U128{8}), U128{1});
+    EXPECT_EQ(m.mul(plan.omega(), plan.omegaInv()), U128{1});
+    EXPECT_EQ(m.mul(plan.nInv(), U128{16}), U128{1});
+    // Stage-s twiddle is omega^((j >> s) << s).
+    for (int s = 0; s < plan.logn(); ++s) {
+        for (size_t j = 0; j < plan.half(); ++j) {
+            uint64_t e = (j >> s) << s;
+            EXPECT_EQ(plan.twiddle(s, j), m.pow(plan.omega(), U128{e}));
+            EXPECT_EQ(plan.twiddleInv(s, j),
+                      m.pow(plan.omegaInv(), U128{e}));
+        }
+    }
+    EXPECT_EQ(plan.twiddleBytes(),
+              4u * static_cast<size_t>(plan.logn()) * plan.half() * 8);
+}
+
+TEST(NttReference, MatchesEquation11ByHand)
+{
+    // n = 4 over q = 5 with omega = 2 (the classic toy case, Sec. 2.3).
+    Modulus m(U128{5});
+    ntt::NttPlan plan(m, 4);
+    // Our plan picks some valid 4th root; evaluate Eq. 11 directly with
+    // the plan's omega for the hand check.
+    std::vector<U128> x = {U128{1}, U128{2}, U128{3}, U128{4}};
+    auto y = ntt::referenceNtt(plan, x);
+    for (size_t k = 0; k < 4; ++k) {
+        U128 acc{0};
+        for (size_t j = 0; j < 4; ++j) {
+            U128 term = m.mul(x[j], m.pow(plan.omega(),
+                                          U128{static_cast<uint64_t>(j * k)}));
+            acc = m.add(acc, term);
+        }
+        EXPECT_EQ(y[k], acc);
+    }
+    // Inverse recovers the input.
+    EXPECT_EQ(ntt::referenceIntt(plan, y), x);
+}
+
+class NttBackend : public testing::TestWithParam<Backend>
+{
+};
+
+TEST_P(NttBackend, ForwardMatchesReferenceBitReversed)
+{
+    Backend be = GetParam();
+    for (size_t n : {2u, 4u, 8u, 16u, 64u, 256u}) {
+        ntt::NttPlan plan(testPrime(), n);
+        auto input = randomResidues(n, testPrime().q, 42 + n);
+        auto expect = ntt::referenceNtt(plan, input); // natural order
+        auto got = runForward(plan, be, input);       // bit-reversed
+        EXPECT_EQ(bitReverse(got), expect)
+            << "n=" << n << " backend=" << backendName(be);
+    }
+}
+
+TEST_P(NttBackend, RoundTripIsIdentity)
+{
+    Backend be = GetParam();
+    for (size_t n : {2u, 8u, 32u, 128u, 1024u, 4096u}) {
+        ntt::NttPlan plan(testPrime(), n);
+        auto input = randomResidues(n, testPrime().q, 1000 + n);
+        auto transformed = runForward(plan, be, input);
+        auto back = runInverse(plan, be, transformed);
+        EXPECT_EQ(back, input) << "n=" << n << " backend=" << backendName(be);
+    }
+}
+
+TEST_P(NttBackend, LinearityHolds)
+{
+    Backend be = GetParam();
+    const size_t n = 128;
+    ntt::NttPlan plan(testPrime(), n);
+    const Modulus& m = plan.modulus();
+    auto f = randomResidues(n, testPrime().q, 1);
+    auto g = randomResidues(n, testPrime().q, 2);
+    SplitMix64 rng(3);
+    U128 alpha = rng.nextBelow(testPrime().q);
+    // NTT(alpha*f + g) == alpha*NTT(f) + NTT(g).
+    std::vector<U128> combo(n);
+    for (size_t i = 0; i < n; ++i)
+        combo[i] = m.add(m.mul(alpha, f[i]), g[i]);
+    auto lhs = runForward(plan, be, combo);
+    auto tf = runForward(plan, be, f);
+    auto tg = runForward(plan, be, g);
+    for (size_t i = 0; i < n; ++i)
+        EXPECT_EQ(lhs[i], m.add(m.mul(alpha, tf[i]), tg[i])) << "i=" << i;
+}
+
+TEST_P(NttBackend, ConvolutionTheorem)
+{
+    Backend be = GetParam();
+    const size_t n = 64;
+    ntt::NttPlan plan(testPrime(), n);
+    const Modulus& m = plan.modulus();
+    auto f = randomResidues(n, testPrime().q, 10);
+    auto g = randomResidues(n, testPrime().q, 11);
+    auto tf = runForward(plan, be, f);
+    auto tg = runForward(plan, be, g);
+    std::vector<U128> prod(n);
+    for (size_t i = 0; i < n; ++i)
+        prod[i] = m.mul(tf[i], tg[i]);
+    auto conv = runInverse(plan, be, prod);
+    EXPECT_EQ(conv, ntt::cyclicConvolution(m, f, g));
+}
+
+TEST_P(NttBackend, KaratsubaPathAgrees)
+{
+    Backend be = GetParam();
+    const size_t n = 256;
+    ntt::NttPlan plan(testPrime(), n);
+    auto input = randomResidues(n, testPrime().q, 77);
+    EXPECT_EQ(runForward(plan, be, input, MulAlgo::Karatsuba),
+              runForward(plan, be, input, MulAlgo::Schoolbook));
+}
+
+TEST_P(NttBackend, WideModulusWorks)
+{
+    // Full 124-bit modulus: the Barrett ceiling.
+    Backend be = GetParam();
+    const auto& prime = ntt::defaultBenchPrime();
+    ASSERT_EQ(prime.bits, 124);
+    const size_t n = 128;
+    ntt::NttPlan plan(prime, n);
+    auto input = randomResidues(n, prime.q, 5);
+    auto expect = ntt::referenceNtt(plan, input);
+    EXPECT_EQ(bitReverse(runForward(plan, be, input)), expect);
+    EXPECT_EQ(runInverse(plan, be, runForward(plan, be, input)), input);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBackends, NttBackend,
+                         testing::ValuesIn(test::availableCorrectBackends()),
+                         test::backendParamName);
+
+TEST(NttMqxVariants, AllEmulatedVariantsMatchScalar)
+{
+    if (!backendAvailable(Backend::MqxEmulate))
+        GTEST_SKIP() << "AVX-512 not available";
+    const size_t n = 256;
+    ntt::NttPlan plan(testPrime(), n);
+    auto input = randomResidues(n, testPrime().q, 123);
+    auto expect = runForward(plan, Backend::Scalar, input);
+    for (MqxVariant v :
+         {MqxVariant::MulOnly, MqxVariant::CarryOnly, MqxVariant::Full,
+          MqxVariant::MulhiCarry, MqxVariant::FullPredicated}) {
+        ResidueVector vin = ResidueVector::fromU128(input);
+        ResidueVector out(n), scratch(n);
+        ntt::forwardMqx(plan, v, /*pisa=*/false, vin.span(), out.span(),
+                        scratch.span());
+        EXPECT_EQ(out.toU128(), expect) << mqxVariantName(v);
+        // Inverse roundtrip per variant.
+        ResidueVector back(n);
+        ntt::inverseMqx(plan, v, false, out.span(), back.span(),
+                        scratch.span());
+        EXPECT_EQ(back.toU128(), input) << mqxVariantName(v);
+    }
+}
+
+TEST(NttErrors, BufferValidation)
+{
+    ntt::NttPlan plan(testPrime(), 16);
+    ResidueVector a(16), b(16), c(8);
+    // Wrong scratch size.
+    EXPECT_THROW(ntt::forward(plan, Backend::Scalar, a.span(), b.span(),
+                              c.span()),
+                 InvalidArgument);
+    // Aliased buffers.
+    EXPECT_THROW(ntt::forward(plan, Backend::Scalar, a.span(), a.span(),
+                              b.span()),
+                 InvalidArgument);
+}
+
+TEST(NttOrdering, ForwardIsBitReversedReference)
+{
+    // The documented ordering contract, explicitly.
+    const size_t n = 32;
+    ntt::NttPlan plan(testPrime(), n);
+    auto input = randomResidues(n, testPrime().q, 55);
+    auto natural = ntt::referenceNtt(plan, input);
+    auto ours = runForward(plan, Backend::Scalar, input);
+    EXPECT_EQ(ours, bitReverse(natural));
+}
+
+} // namespace
+} // namespace mqx

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * PISA framework tests: registry contents (Tables 3/5), Eq.-12 math,
+ * and the behavioural contract of the validation builds — the target
+ * build computes correct NTTs, the proxy build runs to completion (its
+ * values are intentionally wrong).
+ */
+#include <gtest/gtest.h>
+
+#include "ntt/ntt.h"
+#include "ntt/reference_ntt.h"
+#include "pisa/pisa.h"
+#include "test_util.h"
+
+namespace mqx {
+namespace {
+
+TEST(PisaRegistry, Table3Mappings)
+{
+    const auto& table = pisa::mqxProxyTable();
+    ASSERT_EQ(table.size(), 3u);
+    EXPECT_EQ(table[0].target, "_mm512_mul_epi64");
+    EXPECT_EQ(table[0].proxy, "_mm512_mullo_epi64");
+    EXPECT_EQ(table[1].target, "_mm512_adc_epi64");
+    EXPECT_EQ(table[1].proxy, "_mm512_mask_add_epi64");
+    EXPECT_EQ(table[2].target, "_mm512_sbb_epi64");
+    EXPECT_EQ(table[2].proxy, "_mm512_mask_sub_epi64");
+}
+
+TEST(PisaRegistry, Table5Mappings)
+{
+    auto pairs = pisa::validationPairs();
+    ASSERT_EQ(pairs.size(), 3u);
+    auto m0 = pisa::validationMapping(pairs[0]);
+    EXPECT_EQ(m0.target, "_mm256_mul_epu32");
+    EXPECT_EQ(m0.proxy, "_mm256_mullo_epi32");
+    auto m1 = pisa::validationMapping(pairs[1]);
+    EXPECT_EQ(m1.target, "_mm512_mask_add_epi64");
+    EXPECT_EQ(m1.proxy, "_mm512_add_epi64");
+    auto m2 = pisa::validationMapping(pairs[2]);
+    EXPECT_EQ(m2.target, "_mm512_mask_sub_epi64");
+    EXPECT_EQ(m2.proxy, "_mm512_sub_epi64");
+}
+
+TEST(PisaMath, RelativeErrorEquation12)
+{
+    EXPECT_DOUBLE_EQ(pisa::relativeErrorPct(100.0, 100.0), 0.0);
+    EXPECT_DOUBLE_EQ(pisa::relativeErrorPct(100.0, 90.0), 10.0);
+    EXPECT_DOUBLE_EQ(pisa::relativeErrorPct(100.0, 110.0), -10.0);
+    EXPECT_THROW(pisa::relativeErrorPct(0.0, 1.0), InvalidArgument);
+}
+
+class PisaValidationRun : public testing::TestWithParam<pisa::ValidationPair>
+{
+};
+
+TEST_P(PisaValidationRun, TargetBuildIsGroundTruthProxyBuildRuns)
+{
+    pisa::ValidationPair pair = GetParam();
+    bool needs_avx512 = pair != pisa::ValidationPair::Avx2WideningMul;
+    if (needs_avx512 && !backendAvailable(Backend::Avx512))
+        GTEST_SKIP() << "AVX-512 not available";
+    if (!needs_avx512 && !backendAvailable(Backend::Avx2))
+        GTEST_SKIP() << "AVX2 not available";
+
+    const size_t n = 64;
+    ntt::NttPlan plan(ntt::smallTestPrime(), n);
+    auto input = randomResidues(n, ntt::smallTestPrime().q, 99);
+    ResidueVector vin = ResidueVector::fromU128(input);
+    ResidueVector out(n), scratch(n);
+
+    // Target build: bit-exact ground truth.
+    pisa::runValidationNtt(pair, /*use_proxy=*/false, plan, vin.span(),
+                           out.span(), scratch.span());
+    ResidueVector expect(n), scratch2(n);
+    ntt::forward(plan, Backend::Scalar, vin.span(), expect.span(),
+                 scratch2.span());
+    EXPECT_EQ(out.toU128(), expect.toU128());
+
+    // Proxy build: must run; values are wrong by design (verify the
+    // substitution actually changed the computation).
+    pisa::runValidationNtt(pair, /*use_proxy=*/true, plan, vin.span(),
+                           out.span(), scratch.span());
+    EXPECT_NE(out.toU128(), expect.toU128());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPairs, PisaValidationRun,
+    testing::Values(pisa::ValidationPair::Avx2WideningMul,
+                    pisa::ValidationPair::Avx512MaskAdd,
+                    pisa::ValidationPair::Avx512MaskSub),
+    [](const testing::TestParamInfo<pisa::ValidationPair>& info) {
+        switch (info.param) {
+          case pisa::ValidationPair::Avx2WideningMul:
+            return std::string("Avx2WideningMul");
+          case pisa::ValidationPair::Avx512MaskAdd:
+            return std::string("Avx512MaskAdd");
+          case pisa::ValidationPair::Avx512MaskSub:
+            return std::string("Avx512MaskSub");
+        }
+        return std::string("unknown");
+    });
+
+} // namespace
+} // namespace mqx

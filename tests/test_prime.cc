@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Prime generation and root-of-unity tests.
+ */
+#include <gtest/gtest.h>
+
+#include "bigint/biguint.h"
+#include "ntt/prime.h"
+#include "test_util.h"
+
+namespace mqx {
+namespace {
+
+TEST(IsPrime, KnownSmallValues)
+{
+    EXPECT_FALSE(ntt::isPrime(U128{0}));
+    EXPECT_FALSE(ntt::isPrime(U128{1}));
+    EXPECT_TRUE(ntt::isPrime(U128{2}));
+    EXPECT_TRUE(ntt::isPrime(U128{3}));
+    EXPECT_FALSE(ntt::isPrime(U128{4}));
+    EXPECT_TRUE(ntt::isPrime(U128{5}));
+    EXPECT_TRUE(ntt::isPrime(U128{97}));
+    EXPECT_FALSE(ntt::isPrime(U128{91})); // 7 * 13
+    EXPECT_TRUE(ntt::isPrime(U128{7919}));
+}
+
+TEST(IsPrime, CarmichaelNumbersRejected)
+{
+    // Carmichael numbers fool Fermat tests; Miller-Rabin must not be.
+    for (uint64_t c : {561ull, 1105ull, 1729ull, 2465ull, 2821ull, 6601ull,
+                       8911ull, 530881ull, 552721ull}) {
+        EXPECT_FALSE(ntt::isPrime(U128{c})) << c;
+    }
+}
+
+TEST(IsPrime, LargeKnownValues)
+{
+    // 2^61 - 1 and 2^89 - 1 are Mersenne primes; 2^67 - 1 is composite
+    // (Cole's famous factorization).
+    EXPECT_TRUE(ntt::isPrime((U128{1} << 61) - U128{1}));
+    EXPECT_TRUE(ntt::isPrime((U128{1} << 89) - U128{1}));
+    EXPECT_FALSE(ntt::isPrime((U128{1} << 67) - U128{1}));
+    // Goldilocks prime 2^64 - 2^32 + 1 (used widely in ZK systems).
+    EXPECT_TRUE(ntt::isPrime(U128::fromParts(0, 0xffffffff00000001ull)));
+}
+
+TEST(IsPrime, ProductOfTwoLargePrimes)
+{
+    U128 p = (U128{1} << 61) - U128{1};
+    BigUInt prod = BigUInt::fromU128(p) * BigUInt::fromU128(p);
+    EXPECT_FALSE(ntt::isPrime(prod.toU128()));
+}
+
+class FindPrimeSweep
+    : public testing::TestWithParam<std::pair<int, int>>
+{
+};
+
+TEST_P(FindPrimeSweep, PropertiesHold)
+{
+    auto [bits, adicity] = GetParam();
+    ntt::NttPrime p = ntt::findNttPrime(bits, adicity);
+    EXPECT_EQ(p.q.bits(), bits);
+    EXPECT_EQ(p.bits, bits);
+    EXPECT_GE(p.two_adicity, adicity);
+    EXPECT_TRUE(ntt::isPrime(p.q));
+    // q - 1 divisible by 2^adicity.
+    U128 qm1 = p.q - U128{1};
+    U128 mask = (U128{1} << adicity) - U128{1};
+    EXPECT_TRUE((qm1 & mask).isZero());
+    // Deterministic.
+    EXPECT_EQ(ntt::findNttPrime(bits, adicity).q, p.q);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Widths, FindPrimeSweep,
+    testing::Values(std::make_pair(20, 10), std::make_pair(32, 16),
+                    std::make_pair(62, 21), std::make_pair(66, 20),
+                    std::make_pair(90, 24), std::make_pair(124, 32)));
+
+TEST(FindPrime, RejectsBadArguments)
+{
+    EXPECT_THROW(ntt::findNttPrime(125, 20), InvalidArgument);
+    EXPECT_THROW(ntt::findNttPrime(20, 19), InvalidArgument);
+    EXPECT_THROW(ntt::findNttPrime(20, 0), InvalidArgument);
+}
+
+TEST(RootOfUnity, OrderIsExact)
+{
+    const auto& p = ntt::smallTestPrime();
+    Modulus m(p.q);
+    for (int k = 1; k <= p.two_adicity; k += 4) {
+        U128 order = U128{1} << k;
+        U128 root = ntt::rootOfUnity(m, order);
+        EXPECT_EQ(m.pow(root, order), U128{1}) << "k=" << k;
+        EXPECT_NE(m.pow(root, order >> 1), U128{1}) << "k=" << k;
+    }
+}
+
+TEST(RootOfUnity, RejectsBadOrders)
+{
+    const auto& p = ntt::smallTestPrime();
+    Modulus m(p.q);
+    EXPECT_THROW(ntt::rootOfUnity(m, U128{0}), InvalidArgument);
+    EXPECT_THROW(ntt::rootOfUnity(m, U128{6}), InvalidArgument); // not 2^k
+    // Beyond the 2-adicity.
+    EXPECT_THROW(ntt::rootOfUnity(m, U128{1} << (p.two_adicity + 1)),
+                 InvalidArgument);
+}
+
+TEST(DefaultPrimes, MatchTheirContracts)
+{
+    const auto& bench = ntt::defaultBenchPrime();
+    EXPECT_EQ(bench.bits, 124);
+    EXPECT_GE(bench.two_adicity, 18); // covers every paper NTT size
+    const auto& small = ntt::smallTestPrime();
+    EXPECT_EQ(small.bits, 66);
+    EXPECT_GE(small.two_adicity, 20);
+}
+
+} // namespace
+} // namespace mqx

@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Cross-cutting algebraic property sweeps: transform identities every
+ * NTT implementation must satisfy, BLAS linearity, and identity-operand
+ * behaviours. These complement the oracle tests with properties whose
+ * expected values are derived independently of any implementation.
+ */
+#include <gtest/gtest.h>
+
+#include "blas/blas.h"
+#include "ntt/negacyclic.h"
+#include "ntt/ntt.h"
+#include "ntt/reference_ntt.h"
+#include "test_util.h"
+
+namespace mqx {
+namespace {
+
+const ntt::NttPrime&
+prime()
+{
+    return ntt::smallTestPrime();
+}
+
+TEST(TransformProperties, DeltaMapsToAllOnes)
+{
+    // NTT(delta_0) = (1, 1, ..., 1): each evaluation of the constant-1
+    // polynomial... inverted: the delta at position 0 evaluates to 1 at
+    // every root.
+    const size_t n = 64;
+    ntt::NttPlan plan(prime(), n);
+    ntt::Engine engine(plan, Backend::Scalar);
+    std::vector<U128> delta(n, U128{0});
+    delta[0] = U128{1};
+    auto evals = engine.forward(delta);
+    for (size_t i = 0; i < n; ++i)
+        EXPECT_EQ(evals[i], U128{1}) << i;
+}
+
+TEST(TransformProperties, ConstantMapsToScaledDelta)
+{
+    // NTT(c, c, ..., c)[k] = c * n at k = 0 and 0 elsewhere (geometric
+    // sums of nontrivial roots vanish). Output is bit-reversed, but the
+    // k = 0 bin maps to index 0 either way.
+    const size_t n = 32;
+    ntt::NttPlan plan(prime(), n);
+    const Modulus& m = plan.modulus();
+    ntt::Engine engine(plan, Backend::Scalar);
+    SplitMix64 rng(1);
+    U128 c = rng.nextBelow(prime().q);
+    std::vector<U128> constant(n, c);
+    auto evals = engine.forward(constant);
+    EXPECT_EQ(evals[0], m.mul(c, U128{n}));
+    for (size_t i = 1; i < n; ++i)
+        EXPECT_TRUE(evals[i].isZero()) << i;
+}
+
+TEST(TransformProperties, CyclicShiftTheorem)
+{
+    // In natural order: NTT(rotate_right(x))[k] = omega^k * NTT(x)[k].
+    const size_t n = 32;
+    ntt::NttPlan plan(prime(), n);
+    const Modulus& m = plan.modulus();
+    ntt::Engine engine(plan, Backend::Scalar);
+    auto x = randomResidues(n, prime().q, 2);
+    std::vector<U128> rotated(n);
+    for (size_t i = 0; i < n; ++i)
+        rotated[(i + 1) % n] = x[i];
+    auto tx = engine.forwardNatural(x);
+    auto tr = engine.forwardNatural(rotated);
+    U128 wk{1};
+    for (size_t k = 0; k < n; ++k) {
+        EXPECT_EQ(tr[k], m.mul(wk, tx[k])) << "k=" << k;
+        wk = m.mul(wk, plan.omega());
+    }
+}
+
+TEST(TransformProperties, NegacyclicAntiPeriodicity)
+{
+    // Multiplying by x rotates with sign flip in Z_q[x]/(x^n + 1):
+    // (x * f)[0] = -f[n-1], (x * f)[i] = f[i-1].
+    const size_t n = 16;
+    ntt::NegacyclicEngine engine(prime(), n, Backend::Scalar);
+    const Modulus& m = engine.plan().modulus();
+    auto f = randomResidues(n, prime().q, 3);
+    std::vector<U128> x_poly(n, U128{0});
+    x_poly[1] = U128{1};
+    auto shifted = engine.polymulNegacyclic(f, x_poly);
+    EXPECT_EQ(shifted[0], m.sub(U128{0}, f[n - 1]));
+    for (size_t i = 1; i < n; ++i)
+        EXPECT_EQ(shifted[i], f[i - 1]) << i;
+}
+
+TEST(BlasProperties, AxpyIdentities)
+{
+    Modulus m(prime().q);
+    const size_t n = 40;
+    auto x_u = randomResidues(n, prime().q, 4);
+    auto y_u = randomResidues(n, prime().q, 5);
+    // alpha = 0: y unchanged.
+    {
+        ResidueVector x = ResidueVector::fromU128(x_u);
+        ResidueVector y = ResidueVector::fromU128(y_u);
+        blas::axpy(Backend::Scalar, m, U128{0}, x.span(), y.span());
+        EXPECT_EQ(y.toU128(), y_u);
+    }
+    // alpha = 1: y = x + y.
+    {
+        ResidueVector x = ResidueVector::fromU128(x_u);
+        ResidueVector y = ResidueVector::fromU128(y_u);
+        blas::axpy(Backend::Scalar, m, U128{1}, x.span(), y.span());
+        auto got = y.toU128();
+        for (size_t i = 0; i < n; ++i)
+            EXPECT_EQ(got[i], m.add(x_u[i], y_u[i]));
+    }
+}
+
+TEST(BlasProperties, GemvLinearity)
+{
+    // A(x + y) == Ax + Ay.
+    Modulus m(prime().q);
+    const size_t rows = 12, cols = 20;
+    auto mat_u = randomResidues(rows * cols, prime().q, 6);
+    auto x_u = randomResidues(cols, prime().q, 7);
+    auto y_u = randomResidues(cols, prime().q, 8);
+    std::vector<U128> sum_u(cols);
+    for (size_t i = 0; i < cols; ++i)
+        sum_u[i] = m.add(x_u[i], y_u[i]);
+
+    ResidueVector mat = ResidueVector::fromU128(mat_u);
+    ResidueVector x = ResidueVector::fromU128(x_u);
+    ResidueVector y = ResidueVector::fromU128(y_u);
+    ResidueVector s = ResidueVector::fromU128(sum_u);
+    ResidueVector ax(rows), ay(rows), as(rows);
+    blas::gemv(Backend::Scalar, m, mat.span(), x.span(), ax.span(), rows,
+               cols);
+    blas::gemv(Backend::Scalar, m, mat.span(), y.span(), ay.span(), rows,
+               cols);
+    blas::gemv(Backend::Scalar, m, mat.span(), s.span(), as.span(), rows,
+               cols);
+    for (size_t r = 0; r < rows; ++r)
+        EXPECT_EQ(as.at(r), m.add(ax.at(r), ay.at(r))) << r;
+}
+
+TEST(BlasProperties, SubIsAddOfNegation)
+{
+    Modulus m(prime().q);
+    const size_t n = 64;
+    auto a_u = randomResidues(n, prime().q, 9);
+    auto b_u = randomResidues(n, prime().q, 10);
+    std::vector<U128> neg_b(n);
+    for (size_t i = 0; i < n; ++i)
+        neg_b[i] = m.sub(U128{0}, b_u[i]);
+
+    ResidueVector a = ResidueVector::fromU128(a_u);
+    ResidueVector b = ResidueVector::fromU128(b_u);
+    ResidueVector nb = ResidueVector::fromU128(neg_b);
+    ResidueVector via_sub(n), via_add(n);
+    blas::vsub(Backend::Scalar, m, a.span(), b.span(), via_sub.span());
+    blas::vadd(Backend::Scalar, m, a.span(), nb.span(), via_add.span());
+    EXPECT_EQ(via_sub.toU128(), via_add.toU128());
+}
+
+TEST(TransformProperties, DoubleForwardIsScaledReversal)
+{
+    // Classic DFT identity: applying the forward transform twice (in
+    // natural order) yields n * x[(-i) mod n].
+    const size_t n = 16;
+    ntt::NttPlan plan(prime(), n);
+    const Modulus& m = plan.modulus();
+    ntt::Engine engine(plan, Backend::Scalar);
+    auto x = randomResidues(n, prime().q, 11);
+    auto once = engine.forwardNatural(x);
+    auto twice = engine.forwardNatural(once);
+    for (size_t i = 0; i < n; ++i) {
+        size_t j = (n - i) % n;
+        EXPECT_EQ(twice[i], m.mul(U128{n}, x[j])) << i;
+    }
+}
+
+} // namespace
+} // namespace mqx

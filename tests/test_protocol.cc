@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Benchmark-infrastructure tests: the paper's timing protocol, metric
+ * conversions, table rendering, and the deterministic RNG.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "bench_util/protocol.h"
+#include "bench_util/rng.h"
+#include "bench_util/tables.h"
+#include "core/config.h"
+#include "test_util.h"
+
+namespace mqx {
+namespace {
+
+TEST(Protocol, RunsExactIterationCounts)
+{
+    int calls = 0;
+    Measurement m = runProtocol([&] { ++calls; }, 10, 4);
+    EXPECT_EQ(calls, 10);
+    EXPECT_EQ(m.total_iters, 10);
+    EXPECT_EQ(m.kept_iters, 4);
+    EXPECT_GE(m.mean_ns, 0.0);
+    EXPECT_LE(m.min_ns, m.mean_ns);
+}
+
+TEST(Protocol, RejectsBadCounts)
+{
+    EXPECT_THROW(runProtocol([] {}, 2, 5), InvalidArgument);
+    EXPECT_THROW(runProtocol([] {}, 5, 0), InvalidArgument);
+}
+
+TEST(Protocol, PaperIterationCounts)
+{
+    int calls = 0;
+    Measurement ntt = runNttProtocol([&] { ++calls; });
+    EXPECT_EQ(ntt.total_iters, 100); // Section 5.1: 100 runs
+    EXPECT_EQ(ntt.kept_iters, 50);   // average of final 50
+    calls = 0;
+    Measurement blas = runBlasProtocol([&] { ++calls; });
+    EXPECT_EQ(blas.total_iters, 1000);
+    EXPECT_EQ(blas.kept_iters, 500);
+    // Scaled-down variant for slow baselines.
+    Measurement scaled = runNttProtocol([] {}, 0.1);
+    EXPECT_EQ(scaled.total_iters, 10);
+    EXPECT_EQ(scaled.kept_iters, 5);
+    EXPECT_THROW(runNttProtocol([] {}, 0.0), InvalidArgument);
+    EXPECT_THROW(runNttProtocol([] {}, 1.5), InvalidArgument);
+}
+
+TEST(Protocol, MetricConversions)
+{
+    Measurement m;
+    m.mean_ns = 1000.0;
+    // n = 16: butterflies = 8 * 4 = 32.
+    EXPECT_DOUBLE_EQ(nsPerButterfly(m, 16), 1000.0 / 32.0);
+    EXPECT_DOUBLE_EQ(nsPerElement(m, 1000), 1.0);
+    EXPECT_THROW(nsPerButterfly(m, 1), InvalidArgument);
+}
+
+TEST(Tables, RenderAndCsv)
+{
+    TextTable t("Demo");
+    t.setHeader({"col1", "column-two", "c3"});
+    t.addRow({"a", "b", "c"});
+    t.addRule();
+    t.addRow({"longer-cell", "x", "y"});
+    std::string text = t.render();
+    EXPECT_NE(text.find("Demo"), std::string::npos);
+    EXPECT_NE(text.find("column-two"), std::string::npos);
+    EXPECT_NE(text.find("longer-cell"), std::string::npos);
+    std::string csv = t.renderCsv();
+    EXPECT_NE(csv.find("a,b,c"), std::string::npos);
+    EXPECT_EQ(csv.find("---"), std::string::npos);
+}
+
+TEST(Tables, Formatting)
+{
+    EXPECT_EQ(formatFixed(3.14159, 2), "3.14");
+    EXPECT_EQ(formatSpeedup(3.77), "3.8x");
+    EXPECT_EQ(formatSpeedup(150.0), "150x");
+    EXPECT_NEAR(geomean({2.0, 8.0}), 4.0, 1e-12);
+    EXPECT_EQ(geomean({}), 0.0);
+    EXPECT_NEAR(geomean({5.0, -1.0, 0.0}), 5.0, 1e-12); // non-positive skipped
+}
+
+TEST(Rng, DeterministicAndBounded)
+{
+    SplitMix64 a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+    U128 bound = U128::fromParts(1, 12345);
+    SplitMix64 c(7);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_TRUE(c.nextBelow(bound) < bound);
+    EXPECT_THROW(c.nextBelow(U128{0}), InvalidArgument);
+    // randomResidues is reproducible and reduced.
+    auto v1 = randomResidues(32, bound, 9);
+    auto v2 = randomResidues(32, bound, 9);
+    EXPECT_EQ(v1, v2);
+    auto v3 = randomResidues(32, bound, 10);
+    EXPECT_NE(v1, v3);
+}
+
+TEST(Rng, SmallBoundsAreUniformIsh)
+{
+    // Chi-squared-light sanity: bound 4 should hit each bucket.
+    SplitMix64 rng(99);
+    int counts[4] = {0, 0, 0, 0};
+    for (int i = 0; i < 4000; ++i)
+        ++counts[rng.nextBelow(U128{4}).lo];
+    for (int c : counts)
+        EXPECT_GT(c, 800);
+}
+
+TEST(Version, StringHasThreeComponents)
+{
+    std::string v = versionString();
+    EXPECT_EQ(std::count(v.begin(), v.end(), '.'), 2);
+}
+
+} // namespace
+} // namespace mqx

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * SOL model (Eq. 13), CPU specs, roofline clamp, and reference-series
+ * consistency tests. The consistency tests pin the encoded datasets to
+ * the paper's stated ratios so a future edit cannot silently break the
+ * figure harnesses.
+ */
+#include <gtest/gtest.h>
+
+#include "sol/reference_data.h"
+#include "sol/sol_model.h"
+#include "test_util.h"
+
+namespace mqx {
+namespace {
+
+TEST(SolModel, Equation13)
+{
+    // t_sol = t_m * (c1/c2) * (fm/fmax).
+    EXPECT_DOUBLE_EQ(sol::solRuntime(1000.0, 1, 10, 2.0, 4.0), 50.0);
+    EXPECT_DOUBLE_EQ(sol::solRuntime(1000.0, 4, 2, 3.0, 3.0), 2000.0);
+    EXPECT_THROW(sol::solRuntime(-1.0, 1, 1, 1.0, 1.0), InvalidArgument);
+    EXPECT_THROW(sol::solRuntime(1.0, 0, 1, 1.0, 1.0), InvalidArgument);
+    EXPECT_THROW(sol::solRuntime(1.0, 1, 1, 0.0, 1.0), InvalidArgument);
+}
+
+TEST(SolModel, SingleCoreHelper)
+{
+    const sol::CpuSpec& target = sol::amdEpyc9965S();
+    double direct = sol::solRuntime(100.0, 1, target.cores, 3.7,
+                                    target.allcore_boost_ghz);
+    EXPECT_DOUBLE_EQ(sol::solRuntimeSingleCore(100.0, 3.7, target), direct);
+}
+
+TEST(SolModel, SpecTablesMatchPaper)
+{
+    // Table 4.
+    EXPECT_EQ(sol::intelXeon8352Y().cores, 32);
+    EXPECT_DOUBLE_EQ(sol::intelXeon8352Y().base_ghz, 2.2);
+    EXPECT_DOUBLE_EQ(sol::intelXeon8352Y().max_boost_ghz, 3.4);
+    EXPECT_DOUBLE_EQ(sol::intelXeon8352Y().l3_mb, 48.0);
+    EXPECT_EQ(sol::amdEpyc9654().cores, 96);
+    EXPECT_DOUBLE_EQ(sol::amdEpyc9654().max_boost_ghz, 3.7);
+    EXPECT_DOUBLE_EQ(sol::amdEpyc9654().l3_mb, 384.0);
+    // Section 6 SOL targets.
+    EXPECT_EQ(sol::intelXeon6980P().cores, 128);
+    EXPECT_DOUBLE_EQ(sol::intelXeon6980P().allcore_boost_ghz, 3.2);
+    EXPECT_DOUBLE_EQ(sol::intelXeon6980P().l3_mb, 504.0);
+    EXPECT_EQ(sol::amdEpyc9965S().cores, 192);
+    EXPECT_DOUBLE_EQ(sol::amdEpyc9965S().allcore_boost_ghz, 3.35);
+}
+
+TEST(SolModel, RooflineClampsToMemory)
+{
+    const sol::CpuSpec& target = sol::amdEpyc9965S();
+    double mem = sol::memoryBoundNsPerButterfly(target);
+    EXPECT_GT(mem, 0.0);
+    // A tiny measured time cannot beat the memory ceiling.
+    EXPECT_DOUBLE_EQ(sol::rooflineSolNsPerButterfly(1e-3, 3.7, target), mem);
+    // A huge measured time stays compute-bound.
+    double big = sol::rooflineSolNsPerButterfly(1e6, 3.7, target);
+    EXPECT_GT(big, mem);
+}
+
+TEST(SolReference, SizesAndCoverage)
+{
+    const auto& sizes = sol::paperNttSizes();
+    ASSERT_EQ(sizes.size(), 9u);
+    EXPECT_EQ(sizes.front(), 1u << 10);
+    EXPECT_EQ(sizes.back(), 1u << 18);
+
+    EXPECT_TRUE(sol::rpuReference().covers(1u << 10));
+    EXPECT_TRUE(sol::rpuReference().covers(1u << 14));
+    EXPECT_FALSE(sol::rpuReference().covers(1u << 15));
+    EXPECT_THROW(sol::rpuReference().at(1u << 15), InvalidArgument);
+    EXPECT_EQ(sol::fpmmReference().sizes.size(), 2u);
+    for (size_t n : sizes)
+        EXPECT_TRUE(sol::momaReference().covers(n));
+}
+
+TEST(SolReference, PaperRatiosPreserved)
+{
+    // The encoded EPYC series must preserve the Section 5.4 ratios.
+    double avx512 = sol::paperEpycSeries("AVX-512").at(1u << 14);
+    double avx2 = sol::paperEpycSeries("AVX2").at(1u << 14);
+    double scalar = sol::paperEpycSeries("Scalar").at(1u << 14);
+    double openfhe = sol::paperEpycSeries("OpenFHE").at(1u << 14);
+    double mqx = sol::paperEpycSeries("MQX").at(1u << 14);
+    EXPECT_NEAR(avx2 / avx512, 1.7, 0.1);        // "further 1.7x over AVX2"
+    EXPECT_NEAR(scalar / avx2, 1.2, 0.1);        // "AVX2 ... 1.2x over scalar"
+    EXPECT_NEAR(openfhe / scalar, 11.0, 0.5);    // "11x over OpenFHE"
+    EXPECT_NEAR(avx512 / mqx, 3.7, 0.2);         // "another 3.7x over AVX-512"
+
+    // Intel ratios (Section 5.4).
+    double xs = sol::paperXeonSeries("Scalar").at(1u << 14);
+    double xa = sol::paperXeonSeries("AVX-512").at(1u << 14);
+    double xo = sol::paperXeonSeries("OpenFHE").at(1u << 14);
+    double xm = sol::paperXeonSeries("MQX").at(1u << 14);
+    double xg = sol::paperXeonSeries("GMP").at(1u << 14);
+    EXPECT_NEAR(xo / xs, 13.5, 0.5);
+    EXPECT_NEAR(xs / xa, 2.4, 0.1);
+    EXPECT_NEAR(xa / xm, 2.1, 0.15);
+    EXPECT_NEAR(xg / xa, 53.0, 2.0);
+
+    // "as low as a 35x slowdown" single-core MQX vs RPU at its most
+    // favorable size.
+    double best_gap = 1e18;
+    for (size_t n : sol::rpuReference().sizes) {
+        best_gap = std::min(best_gap, sol::paperEpycSeries("MQX").at(n) /
+                                          sol::rpuReference().at(n));
+    }
+    EXPECT_NEAR(best_gap, 35.0, 3.0);
+}
+
+TEST(SolReference, MqxL2KneeIsPresent)
+{
+    // Section 5.4: MQX degrades past the L2 capacity; AVX-512 stays flat.
+    double small = sol::paperXeonSeries("MQX").at(1u << 14);
+    double large = sol::paperXeonSeries("MQX").at(1u << 17);
+    EXPECT_GT(large, small * 1.2);
+    EXPECT_DOUBLE_EQ(sol::paperXeonSeries("AVX-512").at(1u << 10),
+                     sol::paperXeonSeries("AVX-512").at(1u << 18));
+}
+
+TEST(SolReference, Figure7RatiosPreserved)
+{
+    // Intel 6980P SOL vs RPU: "on average 1.3x faster ... outperforming
+    // at sizes 1,024 to 8,192"; AMD 9965S SOL: "2.5x over RPU".
+    double xeon_mqx = sol::paperXeonSeries("MQX").at(1u << 12);
+    double sol_intel = sol::solRuntimeSingleCore(
+        xeon_mqx, sol::intelXeon8352Y().max_boost_ghz, sol::intelXeon6980P());
+    double epyc_mqx = sol::paperEpycSeries("MQX").at(1u << 12);
+    double sol_amd = sol::solRuntimeSingleCore(
+        epyc_mqx, sol::amdEpyc9654().max_boost_ghz, sol::amdEpyc9965S());
+
+    double intel_ratio_sum = 0.0, amd_ratio_sum = 0.0;
+    int wins_intel = 0;
+    for (size_t n : sol::rpuReference().sizes) {
+        double rpu = sol::rpuReference().at(n);
+        intel_ratio_sum += rpu / sol_intel;
+        amd_ratio_sum += rpu / sol_amd;
+        if (sol_intel < rpu && n <= (1u << 13))
+            ++wins_intel;
+    }
+    double n_sizes = static_cast<double>(sol::rpuReference().sizes.size());
+    EXPECT_NEAR(intel_ratio_sum / n_sizes, 1.3, 0.35);
+    EXPECT_GT(amd_ratio_sum / n_sizes, 2.0); // "2.5x" band
+    EXPECT_EQ(wins_intel, 4); // wins exactly at 1k, 2k, 4k, 8k
+    EXPECT_GT(sol::rpuReference().at(1u << 14), 0.0);
+}
+
+} // namespace
+} // namespace mqx

@@ -1,0 +1,225 @@
+/**
+ * @file
+ * U128/U256 substrate tests: every operation checked against the native
+ * __int128 oracle plus hand-picked carry/borrow corner cases.
+ */
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+#include "u128/u128.h"
+#include "u128/u256.h"
+
+namespace mqx {
+namespace {
+
+using test::fromNat;
+using test::nat;
+
+TEST(AddC64, CarryChains)
+{
+    uint64_t out = 0;
+    EXPECT_EQ(addc64(1, 2, 0, out), 0u);
+    EXPECT_EQ(out, 3u);
+    EXPECT_EQ(addc64(~0ull, 1, 0, out), 1u);
+    EXPECT_EQ(out, 0u);
+    EXPECT_EQ(addc64(~0ull, 0, 1, out), 1u);
+    EXPECT_EQ(out, 0u);
+    EXPECT_EQ(addc64(~0ull, ~0ull, 1, out), 1u);
+    EXPECT_EQ(out, ~0ull);
+    EXPECT_EQ(addc64(0, 0, 1, out), 0u);
+    EXPECT_EQ(out, 1u);
+}
+
+TEST(SubB64, BorrowChains)
+{
+    uint64_t out = 0;
+    EXPECT_EQ(subb64(3, 2, 0, out), 0u);
+    EXPECT_EQ(out, 1u);
+    EXPECT_EQ(subb64(0, 1, 0, out), 1u);
+    EXPECT_EQ(out, ~0ull);
+    EXPECT_EQ(subb64(0, 0, 1, out), 1u);
+    EXPECT_EQ(out, ~0ull);
+    EXPECT_EQ(subb64(5, 4, 1, out), 0u);
+    EXPECT_EQ(out, 0u);
+    EXPECT_EQ(subb64(4, 4, 1, out), 1u);
+    EXPECT_EQ(out, ~0ull);
+}
+
+TEST(MulWide64, MatchesNative)
+{
+    SplitMix64 rng(42);
+    for (int i = 0; i < 20000; ++i) {
+        uint64_t a = rng.next(), b = rng.next();
+        uint64_t hi = 0, lo = 0;
+        mulWide64(a, b, hi, lo);
+        unsigned __int128 p =
+            static_cast<unsigned __int128>(a) * static_cast<unsigned __int128>(b);
+        EXPECT_EQ(lo, static_cast<uint64_t>(p));
+        EXPECT_EQ(hi, static_cast<uint64_t>(p >> 64));
+    }
+}
+
+TEST(MulWide64, Extremes)
+{
+    uint64_t hi = 0, lo = 0;
+    mulWide64(~0ull, ~0ull, hi, lo);
+    EXPECT_EQ(hi, ~0ull - 1);
+    EXPECT_EQ(lo, 1u);
+    mulWide64(0, ~0ull, hi, lo);
+    EXPECT_EQ(hi, 0u);
+    EXPECT_EQ(lo, 0u);
+}
+
+TEST(U128, ArithmeticMatchesNative)
+{
+    SplitMix64 rng(7);
+    for (int i = 0; i < 20000; ++i) {
+        U128 a = rng.nextU128(), b = rng.nextU128();
+        EXPECT_EQ(nat(a + b), static_cast<unsigned __int128>(nat(a) + nat(b)));
+        EXPECT_EQ(nat(a - b), static_cast<unsigned __int128>(nat(a) - nat(b)));
+        EXPECT_EQ(nat(a * b), static_cast<unsigned __int128>(nat(a) * nat(b)));
+        EXPECT_EQ(a < b, nat(a) < nat(b));
+        EXPECT_EQ(a == b, nat(a) == nat(b));
+        int s = static_cast<int>(rng.next() % 128);
+        EXPECT_EQ(nat(a << s), static_cast<unsigned __int128>(nat(a) << s));
+        EXPECT_EQ(nat(a >> s), static_cast<unsigned __int128>(nat(a) >> s));
+    }
+}
+
+TEST(U128, BitsAndBit)
+{
+    EXPECT_EQ(U128{}.bits(), 0);
+    EXPECT_EQ(U128{1}.bits(), 1);
+    EXPECT_EQ((U128{1} << 63).bits(), 64);
+    EXPECT_EQ((U128{1} << 64).bits(), 65);
+    EXPECT_EQ((U128{1} << 127).bits(), 128);
+    U128 v = U128::fromParts(0x8000000000000000ull, 1);
+    EXPECT_EQ(v.bit(0), 1);
+    EXPECT_EQ(v.bit(1), 0);
+    EXPECT_EQ(v.bit(127), 1);
+}
+
+TEST(U128, DivModMatchesNative)
+{
+    SplitMix64 rng(11);
+    for (int i = 0; i < 3000; ++i) {
+        U128 a = rng.nextU128();
+        U128 b = rng.nextU128() >> static_cast<int>(rng.next() % 120);
+        if (b.isZero())
+            b = U128{1};
+        U128 q, r;
+        divmod128(a, b, q, r);
+        EXPECT_EQ(nat(q), static_cast<unsigned __int128>(nat(a) / nat(b)));
+        EXPECT_EQ(nat(r), static_cast<unsigned __int128>(nat(a) % nat(b)));
+    }
+}
+
+TEST(U128, DivModLargeDivisor)
+{
+    // Divisor with the top bit set: exercises the 129th-bit carry path.
+    U128 b = U128::fromParts(0xffffffffffffffffull, 0xfffffffffffffffeull);
+    U128 a = U128::fromParts(0xffffffffffffffffull, 0xffffffffffffffffull);
+    U128 q, r;
+    divmod128(a, b, q, r);
+    EXPECT_EQ(q, U128{1});
+    EXPECT_EQ(r, U128{1});
+}
+
+TEST(U128, DivisionByZeroThrows)
+{
+    U128 q, r;
+    EXPECT_THROW(divmod128(U128{5}, U128{0}, q, r), InvalidArgument);
+}
+
+TEST(U128, StringRoundTrip)
+{
+    EXPECT_EQ(toString(U128{0}), "0");
+    EXPECT_EQ(toString(U128{12345}), "12345");
+    EXPECT_EQ(toHexString(U128{0xdeadbeef}), "0xdeadbeef");
+    U128 big = U128::fromParts(0x0123456789abcdefull, 0xfedcba9876543210ull);
+    EXPECT_EQ(u128FromString(toString(big)), big);
+    EXPECT_EQ(u128FromString(toHexString(big)), big);
+    EXPECT_EQ(u128FromString("0xFF"), U128{255});
+    EXPECT_THROW(u128FromString(""), InvalidArgument);
+    EXPECT_THROW(u128FromString("12a"), InvalidArgument);
+    EXPECT_THROW(u128FromString("0xZZ"), InvalidArgument);
+}
+
+TEST(U256, MulFull128MatchesSchoolbook)
+{
+    SplitMix64 rng(13);
+    for (int i = 0; i < 10000; ++i) {
+        U128 a = rng.nextU128(), b = rng.nextU128();
+        U256 p = mulFull128(a, b);
+        // Verify via 64-bit limb schoolbook with __int128 accumulation.
+        unsigned __int128 terms[4] = {
+            static_cast<unsigned __int128>(a.lo) * b.lo,
+            static_cast<unsigned __int128>(a.lo) * b.hi,
+            static_cast<unsigned __int128>(a.hi) * b.lo,
+            static_cast<unsigned __int128>(a.hi) * b.hi,
+        };
+        // Accumulate into 4 limbs.
+        uint64_t limb[4] = {0, 0, 0, 0};
+        auto addAt = [&](unsigned __int128 v, int at) {
+            for (int k = at; k < 4 && v; ++k) {
+                unsigned __int128 s =
+                    static_cast<unsigned __int128>(limb[k]) +
+                    static_cast<uint64_t>(v);
+                limb[k] = static_cast<uint64_t>(s);
+                v >>= 64;
+                v += s >> 64;
+            }
+        };
+        addAt(terms[0], 0);
+        addAt(terms[1], 1);
+        addAt(terms[2], 1);
+        addAt(terms[3], 2);
+        for (int k = 0; k < 4; ++k)
+            EXPECT_EQ(p.limb[static_cast<size_t>(k)], limb[k]);
+    }
+}
+
+TEST(U256, ShiftAndCompare)
+{
+    U256 one{1};
+    EXPECT_EQ((one << 255).bit(255), 1);
+    EXPECT_TRUE((one << 255) > (one << 254));
+    EXPECT_EQ(one << 256, U256{});
+    U256 v = U256::fromU128(U128::fromParts(5, 9));
+    EXPECT_EQ((v >> 64).limb[0], 5u);
+    EXPECT_EQ(v.low128(), U128::fromParts(5, 9));
+    EXPECT_EQ(v.high128(), U128{});
+}
+
+TEST(U256, DivMod256)
+{
+    SplitMix64 rng(17);
+    for (int i = 0; i < 2000; ++i) {
+        U128 a = rng.nextU128(), b = rng.nextU128();
+        U256 p = mulFull128(a, b);
+        if (b.isZero())
+            continue;
+        U256 q;
+        U128 r;
+        divmod256(p, b, q, r);
+        // p = a*b exactly, so p / b == a with remainder 0.
+        EXPECT_TRUE(r.isZero());
+        EXPECT_EQ(q.low128(), a);
+        EXPECT_TRUE(q.high128().isZero());
+        // And (p + c) / b == a rem c for c < b.
+        U128 c = rng.nextBelow(b);
+        U256 p2 = p + U256::fromU128(c);
+        divmod256(p2, b, q, r);
+        EXPECT_EQ(r, c);
+        EXPECT_EQ(q.low128(), a);
+    }
+}
+
+TEST(U256, ToStringSmall)
+{
+    EXPECT_EQ(toString(U256{0}), "0");
+    EXPECT_EQ(toString(U256{987654321}), "987654321");
+}
+
+} // namespace
+} // namespace mqx

@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Single-word (64-bit) kernel tests: Barrett mulmod against the
+ * __int128 oracle, NTT roundtrips per backend, convolution theorem, and
+ * agreement with the double-word engine on the same parameters.
+ */
+#include <gtest/gtest.h>
+
+#include "ntt/ntt.h"
+#include "test_util.h"
+#include "word64/word64.h"
+
+namespace mqx {
+namespace {
+
+uint64_t
+testPrime64()
+{
+    static const uint64_t q = w64::findNttPrime64(58, 18);
+    return q;
+}
+
+TEST(Word64Modulus, Validation)
+{
+    EXPECT_THROW(w64::Modulus64(0), InvalidArgument);
+    EXPECT_THROW(w64::Modulus64(1), InvalidArgument);
+    EXPECT_THROW(w64::Modulus64(1ull << 62), InvalidArgument);
+    EXPECT_NO_THROW(w64::Modulus64((1ull << 62) - 57));
+    EXPECT_NO_THROW(w64::Modulus64(3));
+}
+
+class Word64Mod : public testing::TestWithParam<int>
+{
+};
+
+TEST_P(Word64Mod, OpsMatchInt128Oracle)
+{
+    int bits = GetParam();
+    SplitMix64 rng(static_cast<uint64_t>(bits) * 1337);
+    for (int trial = 0; trial < 20; ++trial) {
+        uint64_t q = (rng.next() | (1ull << (bits - 1)) | 1) &
+                     ((bits == 64) ? ~0ull : ((1ull << bits) - 1));
+        if (q < 3)
+            continue;
+        w64::Modulus64 m(q);
+        for (int i = 0; i < 500; ++i) {
+            uint64_t a = rng.next() % q, b = rng.next() % q;
+            EXPECT_EQ(m.addMod(a, b), (a + b) % q);
+            EXPECT_EQ(m.subMod(a, b),
+                      a >= b ? a - b : a - b + q);
+            unsigned __int128 p = static_cast<unsigned __int128>(a) * b;
+            EXPECT_EQ(m.mulMod(a, b), static_cast<uint64_t>(p % q))
+                << "a=" << a << " b=" << b << " q=" << q;
+        }
+        // Edges.
+        for (uint64_t a : {uint64_t{0}, uint64_t{1}, q - 1}) {
+            for (uint64_t b : {uint64_t{0}, uint64_t{1}, q - 1}) {
+                unsigned __int128 p = static_cast<unsigned __int128>(a) * b;
+                EXPECT_EQ(m.mulMod(a, b), static_cast<uint64_t>(p % q));
+            }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Bits, Word64Mod,
+                         testing::Values(2, 8, 20, 31, 32, 33, 50, 58, 61,
+                                         62));
+
+TEST(Word64Modulus, PowAndInverse)
+{
+    w64::Modulus64 m(testPrime64());
+    SplitMix64 rng(9);
+    for (int i = 0; i < 100; ++i) {
+        uint64_t a = rng.next() % m.value();
+        if (a == 0)
+            continue;
+        EXPECT_EQ(m.mulMod(a, m.inverse(a)), 1u);
+        EXPECT_EQ(m.powMod(a, m.value() - 1), 1u); // Fermat
+    }
+}
+
+class Word64Ntt : public testing::TestWithParam<Backend>
+{
+};
+
+TEST_P(Word64Ntt, RoundTrip)
+{
+    Backend be = GetParam();
+    if (!backendAvailable(be))
+        GTEST_SKIP() << "backend unavailable";
+    for (size_t n : {4u, 64u, 1024u}) {
+        w64::Ntt64Plan plan(testPrime64(), n);
+        SplitMix64 rng(n);
+        std::vector<uint64_t> in(n), out(n), scratch(n), back(n);
+        for (auto& v : in)
+            v = rng.next() % testPrime64();
+        w64::forward64(plan, be, in.data(), out.data(), scratch.data());
+        w64::inverse64(plan, be, out.data(), back.data(), scratch.data());
+        EXPECT_EQ(back, in) << "n=" << n << " " << backendName(be);
+    }
+}
+
+TEST_P(Word64Ntt, ConvolutionTheorem)
+{
+    Backend be = GetParam();
+    if (!backendAvailable(be))
+        GTEST_SKIP() << "backend unavailable";
+    const size_t n = 32;
+    w64::Ntt64Plan plan(testPrime64(), n);
+    const w64::Modulus64& m = plan.modulus();
+    SplitMix64 rng(77);
+    std::vector<uint64_t> f(n), g(n);
+    for (size_t i = 0; i < n; ++i) {
+        f[i] = rng.next() % m.value();
+        g[i] = rng.next() % m.value();
+    }
+    std::vector<uint64_t> tf(n), tg(n), scratch(n), prod(n), conv(n);
+    w64::forward64(plan, be, f.data(), tf.data(), scratch.data());
+    w64::forward64(plan, be, g.data(), tg.data(), scratch.data());
+    w64::vmul64(be, m, tf.data(), tg.data(), prod.data(), n);
+    w64::inverse64(plan, be, prod.data(), conv.data(), scratch.data());
+
+    // Schoolbook cyclic convolution oracle.
+    std::vector<uint64_t> expect(n, 0);
+    for (size_t i = 0; i < n; ++i) {
+        for (size_t j = 0; j < n; ++j) {
+            expect[(i + j) % n] =
+                m.addMod(expect[(i + j) % n], m.mulMod(f[i], g[j]));
+        }
+    }
+    EXPECT_EQ(conv, expect) << backendName(be);
+}
+
+TEST_P(Word64Ntt, MatchesDoubleWordEngineBitForBit)
+{
+    // Same q, n: both plans derive omega through the same deterministic
+    // root search, so the single- and double-word transforms must agree
+    // exactly.
+    Backend be = GetParam();
+    if (!backendAvailable(be))
+        GTEST_SKIP() << "backend unavailable";
+    const size_t n = 256;
+    uint64_t q = testPrime64();
+    w64::Ntt64Plan plan64(q, n);
+    ntt::NttPlan plan128(Modulus(U128{q}), n);
+    ASSERT_EQ(plan64.omega(), plan128.omega().lo);
+
+    SplitMix64 rng(5);
+    std::vector<uint64_t> in(n);
+    for (auto& v : in)
+        v = rng.next() % q;
+    std::vector<uint64_t> out(n), scratch(n);
+    w64::forward64(plan64, be, in.data(), out.data(), scratch.data());
+
+    std::vector<U128> in128(n);
+    for (size_t i = 0; i < n; ++i)
+        in128[i] = U128{in[i]};
+    ntt::Engine engine(plan128, Backend::Scalar);
+    auto out128 = engine.forward(in128);
+    for (size_t i = 0; i < n; ++i)
+        ASSERT_EQ(out[i], out128[i].lo) << "i=" << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, Word64Ntt,
+                         testing::Values(Backend::Scalar, Backend::Portable,
+                                         Backend::Avx512),
+                         test::backendParamName);
+
+TEST(Word64Ntt, UnsupportedBackendsThrow)
+{
+    w64::Ntt64Plan plan(testPrime64(), 8);
+    std::vector<uint64_t> a(8), b(8), c(8);
+    EXPECT_THROW(
+        w64::forward64(plan, Backend::Avx2, a.data(), b.data(), c.data()),
+        BackendUnavailable);
+    EXPECT_THROW(
+        w64::forward64(plan, Backend::Scalar, a.data(), a.data(), c.data()),
+        InvalidArgument);
+}
+
+} // namespace
+} // namespace mqx
