@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Engine scaling harness: negacyclic RNS polymul throughput vs channel
+ * count and thread count, plus the plan-cache effect.
+ *
+ * The paper closes the per-core gap (Figs. 1/5); this measures the
+ * other axis — RNS channels fanned out across cores by engine::Engine.
+ * Channels are independent, so ideal scaling is min(channels, threads)
+ * until memory bandwidth intervenes. The serial row (threads = 1) is
+ * the seed's sequential RnsKernels path; speedups are relative to it.
+ */
+#include <algorithm>
+
+#include "bench_common.h"
+#include "engine/engine.h"
+#include "rns/rns.h"
+
+using namespace mqx;
+using namespace mqx::bench;
+
+namespace {
+
+/** Best-of-@p reps wall time of @p fn, in ns. */
+template <typename Fn>
+uint64_t
+bestOf(int reps, Fn&& fn)
+{
+    uint64_t best = ~0ull;
+    for (int r = 0; r < reps; ++r) {
+        uint64_t t0 = nowNs();
+        fn();
+        best = std::min(best, nowNs() - t0);
+    }
+    return best;
+}
+
+} // namespace
+
+int
+main()
+{
+    printHostHeader("Engine scaling: RNS channel fan-out across threads");
+
+    Backend be = bestBackend();
+    const size_t hw = engine::defaultThreadCount();
+    const size_t n = 2048;
+    std::printf("backend  : %s\n", backendName(be).c_str());
+    std::printf("threads  : up to %zu (override with MQX_THREADS)\n", hw);
+    std::printf("polymul  : negacyclic, n = %zu, 124-bit primes\n\n", n);
+
+    std::vector<size_t> thread_counts = {1, 2, 4, 8, hw};
+    std::sort(thread_counts.begin(), thread_counts.end());
+    thread_counts.erase(
+        std::unique(thread_counts.begin(), thread_counts.end()),
+        thread_counts.end());
+    while (thread_counts.size() > 1 && thread_counts.back() > hw)
+        thread_counts.pop_back();
+
+    const int kReps = 3;
+
+    TextTable scaling("polymulNegacyclic ms (speedup vs serial RnsKernels)");
+    std::vector<std::string> header = {"channels", "serial"};
+    for (size_t t : thread_counts)
+        header.push_back("T=" + std::to_string(t));
+    scaling.setHeader(header);
+
+    for (size_t channels : {size_t{1}, size_t{2}, size_t{4}, size_t{8}}) {
+        rns::RnsBasis basis(124, 20, static_cast<int>(channels));
+        auto a = rns::randomPolynomial(basis, n, 0xaa + channels);
+        auto b = rns::randomPolynomial(basis, n, 0xbb + channels);
+
+        rns::RnsKernels serial(basis, be);
+        rns::RnsPolynomial sink(basis, n);
+        uint64_t serial_ns =
+            bestOf(kReps, [&] { sink = serial.polymulNegacyclic(a, b); });
+
+        std::vector<std::string> row = {std::to_string(channels),
+                                        formatFixed(serial_ns / 1e6, 2)};
+        for (size_t t : thread_counts) {
+            engine::Engine eng(be, t);
+            eng.polymulNegacyclic(a, b); // warm the plan cache
+            uint64_t ns =
+                bestOf(kReps, [&] { sink = eng.polymulNegacyclic(a, b); });
+            row.push_back(formatFixed(ns / 1e6, 2) + " (" +
+                          formatSpeedup(static_cast<double>(serial_ns) /
+                                        static_cast<double>(ns)) +
+                          ")");
+        }
+        scaling.addRow(row);
+        std::fprintf(stderr, "  measured %zu channels\n", channels);
+    }
+    scaling.print();
+    std::printf("note: 'serial' is the seed RnsKernels path, which "
+                "re-derives NTT plans every call;\nthe T=1 column isolates "
+                "the plan-cache gain, higher T adds thread fan-out.\n\n");
+
+    // Batch dispatch: many independent products as one flat task set.
+    {
+        const size_t channels = 4, batch = 8;
+        rns::RnsBasis basis(124, 20, channels);
+        std::vector<rns::RnsPolynomial> as, bs;
+        for (size_t i = 0; i < batch; ++i) {
+            as.push_back(rns::randomPolynomial(basis, n, 0x100 + i));
+            bs.push_back(rns::randomPolynomial(basis, n, 0x200 + i));
+        }
+        std::vector<std::pair<const rns::RnsPolynomial*,
+                              const rns::RnsPolynomial*>>
+            products;
+        for (size_t i = 0; i < batch; ++i)
+            products.push_back({&as[i], &bs[i]});
+
+        rns::RnsKernels serial(basis, be);
+        uint64_t serial_ns = bestOf(kReps, [&] {
+            for (size_t i = 0; i < batch; ++i)
+                (void)serial.polymulNegacyclic(as[i], bs[i]);
+        });
+        engine::Engine eng(be, hw);
+        (void)eng.polymulNegacyclicBatch(products); // warm
+        uint64_t batch_ns =
+            bestOf(kReps, [&] { (void)eng.polymulNegacyclicBatch(products); });
+
+        TextTable bt("batched dispatch: " + std::to_string(batch) +
+                     " independent polymuls x " + std::to_string(channels) +
+                     " channels");
+        bt.setHeader({"path", "ms", "speedup"});
+        bt.addRow({"serial loop", formatFixed(serial_ns / 1e6, 2), "1.0x"});
+        bt.addRow({"engine batch (T=" + std::to_string(hw) + ")",
+                   formatFixed(batch_ns / 1e6, 2),
+                   formatSpeedup(static_cast<double>(serial_ns) /
+                                 static_cast<double>(batch_ns))});
+        bt.print();
+        std::printf("\n");
+    }
+
+    // Plan-cache effect: cold first call vs warm steady state.
+    {
+        rns::RnsBasis basis(124, 20, 4);
+        auto a = rns::randomPolynomial(basis, n, 1);
+        auto b = rns::randomPolynomial(basis, n, 2);
+        engine::Engine eng(be, 1);
+        uint64_t t0 = nowNs();
+        (void)eng.polymulNegacyclic(a, b);
+        uint64_t cold = nowNs() - t0;
+        uint64_t warm = bestOf(kReps,
+                               [&] { (void)eng.polymulNegacyclic(a, b); });
+        TextTable pc("plan cache (serial engine, 4 channels)");
+        pc.setHeader({"call", "ms", "note"});
+        pc.addRow({"first (derive plans)", formatFixed(cold / 1e6, 2),
+                   std::to_string(eng.planCache().misses()) + " misses"});
+        pc.addRow({"repeat (cached)", formatFixed(warm / 1e6, 2),
+                   std::to_string(eng.planCache().hits()) + "+ hits"});
+        pc.print();
+    }
+    return 0;
+}

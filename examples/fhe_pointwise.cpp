@@ -1,63 +1,72 @@
 /**
  * @file
- * FHE-flavoured use of the BLAS kernels (paper Sections 1-2): ciphertext
- * vectors in an RNS-style evaluation representation, where homomorphic
- * addition is point-wise vector addition and homomorphic multiplication
- * (of already-NTT'd polynomials) is point-wise vector multiplication.
+ * FHE-flavoured use of the engine's batched RNS ops (paper Sections
+ * 1-2): ciphertext polynomials in an RNS evaluation representation,
+ * where homomorphic addition is point-wise vector addition and
+ * homomorphic multiplication (of already-NTT'd polynomials) is
+ * point-wise vector multiplication — per residue channel, fanned out
+ * across the engine's thread pool.
  *
- * This example keeps two "ciphertext" polynomials of length 1024 in the
- * evaluation domain, applies a small homomorphic circuit
- * (ct3 = ct1 * ct2 + alpha * ct1) with every available backend, and
- * verifies all backends agree bit-for-bit.
+ * This example keeps two "ciphertext" polynomials of length 1024 over a
+ * 3-prime RNS basis, applies a small homomorphic circuit
+ * (ct3 = ct1 .* ct2 + ct1) with every available backend routed through
+ * engine::Engine, and verifies all backends agree bit-for-bit with each
+ * other and with the serial RnsKernels path.
  */
 #include <cstdio>
 
-#include "blas/blas.h"
 #include "bench_util/rng.h"
-#include "ntt/prime.h"
+#include "engine/engine.h"
+#include "rns/rns.h"
 
 int
 main()
 {
     using namespace mqx;
 
-    const ntt::NttPrime& prime = ntt::defaultBenchPrime();
-    Modulus q(prime.q);
+    rns::RnsBasis basis(124, 12, 3);
     const size_t n = 1024; // typical FHE polynomial length (Section 5.1)
 
-    std::printf("point-wise ciphertext ops over Z_q (q: %d bits), n = %zu\n\n",
-                prime.bits, n);
+    std::printf("point-wise ciphertext ops over Z_Q (%zu x 124-bit "
+                "channels), n = %zu\n\n",
+                basis.size(), n);
 
-    auto ct1_u = randomResidues(n, prime.q, 0xc1);
-    auto ct2_u = randomResidues(n, prime.q, 0xc2);
-    SplitMix64 rng(0xa1fa);
-    U128 alpha = rng.nextBelow(prime.q);
+    auto ct1 = rns::randomPolynomial(basis, n, 0xc1);
+    auto ct2 = rns::randomPolynomial(basis, n, 0xc2);
 
-    std::vector<U128> golden;
+    // Serial reference: the seed's sequential channel loop.
+    rns::RnsKernels serial(basis, Backend::Scalar);
+    auto golden = serial.add(serial.mul(ct1, ct2), ct1);
+
+    bool all_agree = true;
     for (Backend be : correctBackends()) {
         if (!backendAvailable(be))
-            continue;
-        ResidueVector ct1 = ResidueVector::fromU128(ct1_u);
-        ResidueVector ct2 = ResidueVector::fromU128(ct2_u);
-        ResidueVector prod(n);
+            continue; // skip tiers this host cannot run
+        engine::Engine eng(be);
+        rns::RnsKernels kernels(basis, eng);
 
-        // ct3 = ct1 * ct2 + alpha * ct1  (all point-wise, mod q)
-        blas::vmul(be, q, ct1.span(), ct2.span(), prod.span());
-        blas::axpy(be, q, alpha, ct1.span(), prod.span());
+        // ct3 = ct1 .* ct2 + ct1 (all point-wise, mod Q via channels)
+        auto ct3 = kernels.add(kernels.mul(ct1, ct2), ct1);
 
-        auto result = prod.toU128();
-        bool agree = golden.empty() || result == golden;
-        if (golden.empty())
-            golden = result;
-        std::printf("  %-16s ct3[0] = %s...  %s\n",
-                    backendName(be).c_str(),
-                    toHexString(result[0]).substr(0, 18).c_str(),
+        bool agree = true;
+        for (size_t i = 0; i < basis.size(); ++i)
+            agree = agree && ct3.channel(i) == golden.channel(i);
+        all_agree = all_agree && agree;
+        std::printf("  %-16s (%zu threads) ct3[0][0] = %s...  %s\n",
+                    backendName(be).c_str(), eng.threads(),
+                    toHexString(ct3.channel(0)[0]).substr(0, 18).c_str(),
                     agree ? "agrees" : "MISMATCH");
     }
 
-    // Spot-check against scalar math.
-    U128 expect = q.add(q.mul(ct1_u[7], ct2_u[7]), q.mul(alpha, ct1_u[7]));
+    // Spot-check lane 7 of every channel against closed-form scalar math.
+    bool lane_ok = true;
+    for (size_t i = 0; i < basis.size(); ++i) {
+        const Modulus& q = basis.modulus(i);
+        U128 expect = q.add(q.mul(ct1.channel(i)[7], ct2.channel(i)[7]),
+                            ct1.channel(i)[7]);
+        lane_ok = lane_ok && expect == golden.channel(i)[7];
+    }
     std::printf("\nlane 7 closed-form check: %s\n",
-                expect == golden[7] ? "ok" : "FAILED");
-    return expect == golden[7] ? 0 : 1;
+                lane_ok ? "ok" : "FAILED");
+    return lane_ok && all_agree ? 0 : 1;
 }

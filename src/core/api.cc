@@ -79,6 +79,11 @@ bestBackend()
         return Backend::Avx512;
     if (backendAvailable(Backend::Avx2))
         return Backend::Avx2;
+    // No SIMD: prefer Portable — it models the 8-lane SIMD kernels in
+    // plain C++, so dispatch exercises the same algorithms (and data
+    // layout) as the vector tiers — before the last-resort Scalar path.
+    if (backendAvailable(Backend::Portable))
+        return Backend::Portable;
     return Backend::Scalar;
 }
 

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Engine facade implementation: batched RNS channel dispatch.
+ */
+#include "engine/engine.h"
+
+#include <algorithm>
+
+#include "core/config.h"
+
+namespace mqx {
+namespace engine {
+
+namespace {
+
+Backend
+requireAvailable(Backend backend)
+{
+    checkArg(backendAvailable(backend), "Engine: backend unavailable");
+    return backend;
+}
+
+} // namespace
+
+Engine::Engine(EngineOptions options)
+    : backend_(requireAvailable(options.backend)), pool_(options.threads)
+{
+}
+
+rns::RnsPolynomial
+Engine::add(const rns::RnsPolynomial& a, const rns::RnsPolynomial& b)
+{
+    rns::detail::checkCompatible(a.basis(), a, b);
+    const rns::RnsBasis& basis = a.basis();
+    rns::RnsPolynomial c(basis, a.n());
+    pool_.parallelFor(0, basis.size(), [&](size_t i) {
+        rns::detail::addChannel(backend_, basis, i, a, b, c);
+    });
+    return c;
+}
+
+rns::RnsPolynomial
+Engine::mul(const rns::RnsPolynomial& a, const rns::RnsPolynomial& b)
+{
+    rns::detail::checkCompatible(a.basis(), a, b);
+    const rns::RnsBasis& basis = a.basis();
+    rns::RnsPolynomial c(basis, a.n());
+    pool_.parallelFor(0, basis.size(), [&](size_t i) {
+        rns::detail::mulChannel(backend_, basis, i, a, b, c);
+    });
+    return c;
+}
+
+rns::RnsPolynomial
+Engine::polymulNegacyclic(const rns::RnsPolynomial& a,
+                          const rns::RnsPolynomial& b)
+{
+    rns::detail::checkCompatible(a.basis(), a, b);
+    const rns::RnsBasis& basis = a.basis();
+    rns::RnsPolynomial c(basis, a.n());
+    pool_.parallelFor(0, basis.size(), [&](size_t i) {
+        rns::detail::polymulChannel(backend_, basis, i,
+                                    plan_cache_.getNegacyclic(basis.prime(i), a.n()),
+                                    a, b, c);
+    });
+    return c;
+}
+
+std::vector<rns::RnsPolynomial>
+Engine::polymulNegacyclicBatch(
+    const std::vector<std::pair<const rns::RnsPolynomial*,
+                                const rns::RnsPolynomial*>>& products)
+{
+    // Validate everything and lay out results before dispatch; the flat
+    // (product, channel) index space keeps the pool saturated when
+    // operands have fewer channels than there are threads.
+    std::vector<rns::RnsPolynomial> results;
+    results.reserve(products.size());
+    std::vector<size_t> first_task(products.size() + 1, 0);
+    for (size_t p = 0; p < products.size(); ++p) {
+        const auto& [a, b] = products[p];
+        checkArg(a != nullptr && b != nullptr,
+                 "Engine::polymulNegacyclicBatch: null operand");
+        rns::detail::checkCompatible(a->basis(), *a, *b);
+        results.emplace_back(a->basis(), a->n());
+        first_task[p + 1] = first_task[p] + a->basis().size();
+    }
+
+    pool_.parallelFor(0, first_task.back(), [&](size_t task) {
+        // Binary search for the product this flat index belongs to.
+        size_t p = static_cast<size_t>(
+            std::upper_bound(first_task.begin(), first_task.end(), task) -
+            first_task.begin() - 1);
+        size_t channel = task - first_task[p];
+        const rns::RnsPolynomial& a = *products[p].first;
+        const rns::RnsPolynomial& b = *products[p].second;
+        rns::detail::polymulChannel(
+            backend_, a.basis(), channel,
+            plan_cache_.getNegacyclic(a.basis().prime(channel), a.n()), a, b,
+            results[p]);
+    });
+    return results;
+}
+
+} // namespace engine
+} // namespace mqx

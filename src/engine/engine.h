@@ -1,0 +1,94 @@
+/**
+ * @file
+ * The parallel execution engine: thread pool + plan cache + resolved
+ * backend behind one facade.
+ *
+ * The paper closes the per-core gap between CPUs and specialized
+ * hardware (Sections 3-5); this layer goes after the other CPU
+ * advantage, core count. RNS residue channels are independent by
+ * construction, so every channel-wise op (`rns/rns.h`) fans out across
+ * the pool, and a batch API runs many independent polymuls as one flat
+ * task set — the same independent-lane scheduling that accelerators
+ * like CRYPTONITE exploit, on commodity cores.
+ *
+ * Determinism: channel results never depend on execution order, so an
+ * Engine with any thread count is bit-identical to the serial
+ * RnsKernels path; with threads == 1 it IS the serial path (the pool
+ * runs tasks inline on the caller, in channel order).
+ */
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "core/backend.h"
+#include "engine/plan_cache.h"
+#include "engine/thread_pool.h"
+#include "rns/rns.h"
+
+namespace mqx {
+namespace engine {
+
+struct EngineOptions
+{
+    /** Kernel tier for every channel op; must be available. */
+    Backend backend = bestBackend();
+    /** Pool width; 0 = MQX_THREADS env, else hardware concurrency. */
+    size_t threads = 0;
+};
+
+class Engine
+{
+  public:
+    explicit Engine(EngineOptions options);
+    Engine() : Engine(EngineOptions{}) {}
+    Engine(Backend backend, size_t threads = 0)
+        : Engine(EngineOptions{backend, threads})
+    {
+    }
+
+    Engine(const Engine&) = delete;
+    Engine& operator=(const Engine&) = delete;
+
+    Backend backend() const { return backend_; }
+    size_t threads() const { return pool_.threadCount(); }
+
+    ThreadPool& pool() { return pool_; }
+    PlanCache& planCache() { return plan_cache_; }
+
+    /** c = a + b: channels fanned out across the pool. */
+    rns::RnsPolynomial add(const rns::RnsPolynomial& a,
+                           const rns::RnsPolynomial& b);
+
+    /** c = a .* b (coefficient-wise), channels fanned out. */
+    rns::RnsPolynomial mul(const rns::RnsPolynomial& a,
+                           const rns::RnsPolynomial& b);
+
+    /**
+     * a * b mod (x^n + 1, Q): each channel runs the full twist + NTT +
+     * point-wise + inverse pipeline on a pool thread, with the cyclic
+     * plan taken from the cache.
+     */
+    rns::RnsPolynomial polymulNegacyclic(const rns::RnsPolynomial& a,
+                                         const rns::RnsPolynomial& b);
+
+    /**
+     * Run many independent negacyclic products concurrently. All
+     * (product, channel) pairs are dispatched as one flat task set, so
+     * the pool stays saturated even when individual operands have fewer
+     * channels than there are threads. Thread-safe: multiple caller
+     * threads may submit batches (and single ops) concurrently.
+     */
+    std::vector<rns::RnsPolynomial> polymulNegacyclicBatch(
+        const std::vector<std::pair<const rns::RnsPolynomial*,
+                                    const rns::RnsPolynomial*>>& products);
+
+  private:
+    Backend backend_;
+    ThreadPool pool_;
+    PlanCache plan_cache_;
+};
+
+} // namespace engine
+} // namespace mqx

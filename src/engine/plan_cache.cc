@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Plan-cache implementation.
+ */
+#include "engine/plan_cache.h"
+
+#include <mutex>
+
+namespace mqx {
+namespace engine {
+
+template <typename T, typename Build>
+std::shared_ptr<const T>
+PlanCache::lookupOrBuild(SlotMap<T>& map, const Key& key, bool& hit,
+                         Build build)
+{
+    {
+        std::shared_lock<std::shared_mutex> lock(mutex_);
+        auto it = map.find(key);
+        if (it != map.end()) {
+            hit = true;
+            Slot<T> slot = it->second;
+            lock.unlock();
+            return slot.get(); // blocks only while the builder runs
+        }
+    }
+    std::promise<std::shared_ptr<const T>> promise;
+    {
+        std::unique_lock<std::shared_mutex> lock(mutex_);
+        auto it = map.find(key);
+        if (it != map.end()) {
+            // Lost the insert race: wait on the winner's slot.
+            hit = true;
+            Slot<T> slot = it->second;
+            lock.unlock();
+            return slot.get();
+        }
+        map.emplace(key, promise.get_future().share());
+    }
+    hit = false;
+    // This caller is the builder; derivation runs with no lock held so
+    // other keys can look up and build concurrently.
+    try {
+        std::shared_ptr<const T> value = build();
+        promise.set_value(value);
+        return value;
+    } catch (...) {
+        {
+            std::unique_lock<std::shared_mutex> lock(mutex_);
+            map.erase(key); // don't cache the failure
+        }
+        promise.set_exception(std::current_exception());
+        throw;
+    }
+}
+
+std::shared_ptr<const ntt::NttPlan>
+PlanCache::planUncounted(const Key& key, const U128& q)
+{
+    bool hit = false;
+    return lookupOrBuild(plans_, key, hit, [&] {
+        return std::make_shared<const ntt::NttPlan>(Modulus(q), key.n);
+    });
+}
+
+std::shared_ptr<const ntt::NttPlan>
+PlanCache::get(const U128& q, size_t n)
+{
+    Key key{q.hi, q.lo, n};
+    bool hit = false;
+    auto plan = lookupOrBuild(plans_, key, hit, [&] {
+        return std::make_shared<const ntt::NttPlan>(Modulus(q), n);
+    });
+    (hit ? hits_ : misses_).fetch_add(1, std::memory_order_relaxed);
+    return plan;
+}
+
+std::shared_ptr<const ntt::NegacyclicTables>
+PlanCache::getNegacyclic(const U128& q, size_t n)
+{
+    Key key{q.hi, q.lo, n};
+    bool hit = false;
+    auto tables = lookupOrBuild(negacyclic_, key, hit, [&] {
+        return std::make_shared<const ntt::NegacyclicTables>(
+            planUncounted(key, q));
+    });
+    (hit ? hits_ : misses_).fetch_add(1, std::memory_order_relaxed);
+    return tables;
+}
+
+size_t
+PlanCache::size() const
+{
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    return plans_.size();
+}
+
+uint64_t
+PlanCache::hits() const
+{
+    return hits_.load(std::memory_order_relaxed);
+}
+
+uint64_t
+PlanCache::misses() const
+{
+    return misses_.load(std::memory_order_relaxed);
+}
+
+void
+PlanCache::clear()
+{
+    std::unique_lock<std::shared_mutex> lock(mutex_);
+    plans_.clear();
+    negacyclic_.clear();
+}
+
+} // namespace engine
+} // namespace mqx

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Memoized NTT plans keyed by (q, n).
+ *
+ * An NttPlan holds every twiddle table the kernels need (plan.h) and
+ * costs O(n log n) modular exponentiations to derive. The RNS pipeline
+ * re-enters the same handful of (prime, size) pairs on every polymul —
+ * once per residue channel per call — so a process-wide cache turns all
+ * but the first derivation into a shared_ptr copy. Plans are immutable
+ * after construction, which is what makes sharing them across pool
+ * threads safe.
+ */
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <shared_mutex>
+#include <unordered_map>
+
+#include "ntt/negacyclic.h"
+#include "ntt/plan.h"
+#include "ntt/prime.h"
+
+namespace mqx {
+namespace engine {
+
+class PlanCache
+{
+  public:
+    /**
+     * The plan for (q, n), deriving and inserting it on first use.
+     * Lookups take the mutex shared; a miss registers an in-flight slot
+     * under the exclusive lock and then derives the plan with no lock
+     * held, so each key is built exactly once — concurrent misses on
+     * the same key wait on the builder's future while other keys build
+     * in parallel. A failed build is not cached.
+     *
+     * @throws InvalidArgument if (q, n) cannot support an NTT.
+     */
+    std::shared_ptr<const ntt::NttPlan> get(const U128& q, size_t n);
+
+    std::shared_ptr<const ntt::NttPlan>
+    get(const ntt::NttPrime& prime, size_t n)
+    {
+        return get(prime.q, n);
+    }
+
+    /**
+     * The negacyclic tables (plan + psi twist tables) for (q, n),
+     * memoized the same way — so a warm polymul does no modular setup
+     * math at all. Reuses the plan map: a tables miss that finds the
+     * cyclic plan already cached builds only the twist tables.
+     *
+     * @throws InvalidArgument unless 2n | q - 1.
+     */
+    std::shared_ptr<const ntt::NegacyclicTables>
+    getNegacyclic(const U128& q, size_t n);
+
+    std::shared_ptr<const ntt::NegacyclicTables>
+    getNegacyclic(const ntt::NttPrime& prime, size_t n)
+    {
+        return getNegacyclic(prime.q, n);
+    }
+
+    /** Distinct (q, n) pairs with a cached (or in-flight) cyclic plan. */
+    size_t size() const;
+
+    /**
+     * Lookup counters (monotonic; for tests and bench reporting). Each
+     * get()/getNegacyclic() call counts exactly one hit or miss.
+     */
+    uint64_t hits() const;
+    uint64_t misses() const;
+
+    /** Drop every cached plan (outstanding shared_ptrs stay valid). */
+    void clear();
+
+  private:
+    struct Key
+    {
+        uint64_t q_hi;
+        uint64_t q_lo;
+        size_t n;
+
+        bool
+        operator==(const Key& o) const
+        {
+            return q_hi == o.q_hi && q_lo == o.q_lo && n == o.n;
+        }
+    };
+
+    struct KeyHash
+    {
+        size_t
+        operator()(const Key& k) const
+        {
+            // splitmix-style mix of the three words.
+            uint64_t h = k.q_hi;
+            for (uint64_t w : {k.q_lo, static_cast<uint64_t>(k.n)}) {
+                h ^= w + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+            }
+            return static_cast<size_t>(h);
+        }
+    };
+
+    /**
+     * Map values are shared_futures so a key under construction is
+     * visible (and waitable) before its derivation finishes.
+     */
+    template <typename T>
+    using Slot = std::shared_future<std::shared_ptr<const T>>;
+    template <typename T>
+    using SlotMap = std::unordered_map<Key, Slot<T>, KeyHash>;
+
+    /**
+     * Find-or-build @p key in @p map: exactly one caller becomes the
+     * builder (runs @p build with no lock held, publishes through the
+     * slot's promise); everyone else waits on the slot. @p hit reports
+     * whether the key was already present. On a failed build the slot
+     * is removed and the exception propagates (to waiters too).
+     */
+    template <typename T, typename Build>
+    std::shared_ptr<const T> lookupOrBuild(SlotMap<T>& map, const Key& key,
+                                           bool& hit, Build build);
+
+    /** Plan lookup without touching the hit/miss counters. */
+    std::shared_ptr<const ntt::NttPlan> planUncounted(const Key& key,
+                                                      const U128& q);
+
+    mutable std::shared_mutex mutex_;
+    SlotMap<ntt::NttPlan> plans_;
+    SlotMap<ntt::NegacyclicTables> negacyclic_;
+    std::atomic<uint64_t> hits_{0};
+    std::atomic<uint64_t> misses_{0};
+};
+
+} // namespace engine
+} // namespace mqx

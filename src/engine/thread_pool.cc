@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Thread-pool implementation.
+ */
+#include "engine/thread_pool.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <exception>
+#include <string>
+
+namespace mqx {
+namespace engine {
+
+namespace {
+
+// Ceiling on pool width. Channel tasks are coarse (a full NTT pipeline
+// each), so nothing past a few hundred OS threads can ever help — and
+// an over-large MQX_THREADS must not exhaust thread handles.
+constexpr size_t kMaxThreads = 512;
+
+} // namespace
+
+size_t
+defaultThreadCount()
+{
+    if (const char* env = std::getenv("MQX_THREADS")) {
+        char* end = nullptr;
+        long v = std::strtol(env, &end, 10);
+        if (end != env && *end == '\0' && v > 0)
+            return std::min(static_cast<size_t>(v), kMaxThreads);
+    }
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
+}
+
+ThreadPool::ThreadPool(size_t threads)
+{
+    if (threads == 0)
+        threads = defaultThreadCount();
+    thread_count_ = threads < 1 ? 1 : std::min(threads, kMaxThreads);
+    if (thread_count_ <= 1)
+        return; // inline serial pool: no workers
+    // thread_count_ - 1 workers: parallelFor's caller always executes
+    // tasks too, so N-way parallelism needs N-1 extra threads — a full
+    // N would oversubscribe an N-core host by one compute thread.
+    workers_.reserve(thread_count_ - 1);
+    try {
+        for (size_t i = 0; i + 1 < thread_count_; ++i)
+            workers_.emplace_back([this] { workerLoop(); });
+    } catch (...) {
+        // Partial spawn (e.g. EAGAIN in a thread-limited container):
+        // shut down the workers that did start, then surface the error
+        // — otherwise their vector destructor would std::terminate.
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            stop_ = true;
+        }
+        cv_.notify_all();
+        for (std::thread& w : workers_)
+            w.join();
+        workers_.clear();
+        throw;
+    }
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread& w : workers_)
+        w.join();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    while (true) {
+        cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+        if (queue_.empty()) {
+            if (stop_)
+                return;
+            continue;
+        }
+        runOneTask(lock);
+    }
+}
+
+/**
+ * Pop and run one task with @p lock held on entry; the lock is released
+ * around the task body and re-acquired before returning. Returns false
+ * if the queue was empty.
+ */
+bool
+ThreadPool::runOneTask(std::unique_lock<std::mutex>& lock)
+{
+    if (queue_.empty())
+        return false;
+    std::packaged_task<void()> task = std::move(queue_.front());
+    queue_.pop_front();
+    lock.unlock();
+    task(); // exceptions land in the task's future
+    lock.lock();
+    return true;
+}
+
+std::future<void>
+ThreadPool::submit(std::function<void()> task)
+{
+    std::packaged_task<void()> packaged(std::move(task));
+    std::future<void> future = packaged.get_future();
+    if (serial()) {
+        packaged();
+        return future;
+    }
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        queue_.push_back(std::move(packaged));
+    }
+    cv_.notify_one();
+    return future;
+}
+
+void
+ThreadPool::parallelFor(size_t begin, size_t end,
+                        const std::function<void(size_t)>& body)
+{
+    if (begin >= end)
+        return;
+    if (serial() || end - begin == 1) {
+        // Same exception contract as the threaded path: every index
+        // runs, then the first failure surfaces — so partial results
+        // never depend on the pool width.
+        std::exception_ptr first_error;
+        for (size_t i = begin; i < end; ++i) {
+            try {
+                body(i);
+            } catch (...) {
+                if (!first_error)
+                    first_error = std::current_exception();
+            }
+        }
+        if (first_error)
+            std::rethrow_exception(first_error);
+        return;
+    }
+
+    std::vector<std::future<void>> futures;
+    futures.reserve(end - begin);
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        for (size_t i = begin; i < end; ++i) {
+            std::packaged_task<void()> task([&body, i] { body(i); });
+            futures.push_back(task.get_future());
+            queue_.push_back(std::move(task));
+        }
+    }
+    cv_.notify_all();
+
+    // Help drain the queue instead of blocking idle. This may execute
+    // tasks submitted by concurrent callers too — all of it is work
+    // somebody has to do, and their futures still complete correctly.
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        while (runOneTask(lock)) {
+        }
+    }
+
+    // Wait for every index before returning (body must not dangle),
+    // then surface the first failure.
+    std::exception_ptr first_error;
+    for (std::future<void>& f : futures) {
+        try {
+            f.get();
+        } catch (...) {
+            if (!first_error)
+                first_error = std::current_exception();
+        }
+    }
+    if (first_error)
+        std::rethrow_exception(first_error);
+}
+
+} // namespace engine
+} // namespace mqx

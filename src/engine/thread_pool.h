@@ -1,0 +1,93 @@
+/**
+ * @file
+ * A small fixed-size thread pool for fanning independent kernel work
+ * (RNS residue channels, batched polymuls) across cores.
+ *
+ * RNS channels are embarrassingly parallel by construction — the whole
+ * point of the residue decomposition (paper Section 1) is that channel
+ * arithmetic never communicates — so the pool needs no work stealing:
+ * a single locked deque plus a condition variable is contention-free at
+ * kernel granularity (each task is an NTT pipeline or a length-n
+ * point-wise op, microseconds to milliseconds of work).
+ *
+ * Serial fallback: a pool constructed with <= 1 thread starts no worker
+ * threads at all; submit() and parallelFor() execute inline on the
+ * calling thread, in index order — bit-identical to (indeed, the same
+ * code path as) a plain sequential loop.
+ */
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mqx {
+namespace engine {
+
+/**
+ * Worker thread count for pools created with threads == 0: the
+ * MQX_THREADS environment variable when set to a positive integer,
+ * otherwise std::thread::hardware_concurrency() (at least 1).
+ */
+size_t defaultThreadCount();
+
+class ThreadPool
+{
+  public:
+    /**
+     * @param threads worker count; 0 means defaultThreadCount(). A
+     *                resolved count <= 1 yields the inline serial pool.
+     */
+    explicit ThreadPool(size_t threads = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    /**
+     * Parallelism this pool provides, counting the parallelFor caller
+     * (which always executes tasks): threadCount() - 1 worker threads
+     * exist, and 1 means the inline serial pool with none.
+     */
+    size_t threadCount() const { return thread_count_; }
+
+    /** True when no worker threads exist and tasks run on the caller. */
+    bool serial() const { return workers_.empty(); }
+
+    /**
+     * Enqueue @p task. The future reports completion and rethrows any
+     * exception the task threw. On a serial pool the task runs before
+     * submit() returns.
+     */
+    std::future<void> submit(std::function<void()> task);
+
+    /**
+     * Run body(i) for every i in [begin, end), one task per index, and
+     * wait for all of them. The calling thread helps drain the queue
+     * while it waits, so no core idles. Rethrows the first exception
+     * (all tasks are still completed or drained first — @p body never
+     * outlives a running task). Safe to call from several external
+     * threads concurrently; must not be called from inside a pool task.
+     */
+    void parallelFor(size_t begin, size_t end,
+                     const std::function<void(size_t)>& body);
+
+  private:
+    void workerLoop();
+    bool runOneTask(std::unique_lock<std::mutex>& lock);
+
+    size_t thread_count_ = 1;
+    std::vector<std::thread> workers_;
+    std::deque<std::packaged_task<void()>> queue_;
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    bool stop_ = false;
+};
+
+} // namespace engine
+} // namespace mqx

@@ -6,7 +6,11 @@
  */
 #include "mqxisa/mqx_isa.h"
 
+#include "core/config.h"
+
+#if MQX_BUILD_AVX512
 #include "mqxisa/isa_mqx.h"
+#endif
 
 namespace mqx {
 namespace mqxisa {
@@ -16,6 +20,51 @@ namespace mqxisa {
 // "carefully inspect the compiler-generated assembly" requirement).
 volatile uint8_t g_pisa_opaque_zero_mask = 0;
 uint64_t g_pisa_opaque_zero_vec[8] = {0, 0, 0, 0, 0, 0, 0, 0};
+
+#if !MQX_BUILD_AVX512
+
+// Portable-only build: the batch API must still link (callers check
+// backendAvailable(Backend::MqxEmulate), which is false here, before
+// calling), but the Table-2 emulation itself is AVX-512 code.
+namespace {
+
+[[noreturn]] void
+notCompiled()
+{
+    throw BackendUnavailable("MQX batch API: built without AVX-512");
+}
+
+} // namespace
+
+void
+mqxAdcBatch8(const uint64_t[8], const uint64_t[8], uint8_t, uint64_t[8],
+             uint8_t*)
+{
+    notCompiled();
+}
+
+void
+mqxSbbBatch8(const uint64_t[8], const uint64_t[8], uint8_t, uint64_t[8],
+             uint8_t*)
+{
+    notCompiled();
+}
+
+void
+mqxMulWideBatch8(const uint64_t[8], const uint64_t[8], uint64_t[8],
+                 uint64_t[8])
+{
+    notCompiled();
+}
+
+void
+mqxPredicatedSbbBatch8(const uint64_t[8], const uint64_t[8], uint8_t, uint8_t,
+                       uint64_t[8])
+{
+    notCompiled();
+}
+
+#else
 
 void
 mqxAdcBatch8(const uint64_t a[8], const uint64_t b[8], uint8_t carry_in,
@@ -63,6 +112,8 @@ mqxPredicatedSbbBatch8(const uint64_t a[8], const uint64_t b[8],
         va, vb, borrow_in, predicate);
     _mm512_storeu_si512(reinterpret_cast<__m512i*>(out), r);
 }
+
+#endif // MQX_BUILD_AVX512
 
 } // namespace mqxisa
 } // namespace mqx

@@ -12,10 +12,34 @@ namespace ntt {
 
 NegacyclicEngine::NegacyclicEngine(const NttPrime& prime, size_t n,
                                    Backend backend)
-    : plan_(prime, n), backend_(backend), twist_(n), untwist_(n), buf_a_(n),
-      buf_b_(n), buf_c_(n), scratch_(n)
+    : NegacyclicEngine(std::make_shared<const NttPlan>(prime, n), backend)
 {
-    const Modulus& m = plan_.modulus();
+}
+
+namespace {
+
+std::shared_ptr<const NttPlan>
+requirePlan(std::shared_ptr<const NttPlan> plan)
+{
+    checkArg(plan != nullptr, "NegacyclicTables: null plan");
+    return plan;
+}
+
+std::shared_ptr<const NegacyclicTables>
+requireTables(std::shared_ptr<const NegacyclicTables> tables)
+{
+    checkArg(tables != nullptr, "NegacyclicEngine: null tables");
+    return tables;
+}
+
+} // namespace
+
+NegacyclicTables::NegacyclicTables(std::shared_ptr<const NttPlan> plan)
+    : plan_(requirePlan(std::move(plan))), twist_(plan_->n()),
+      untwist_(plan_->n())
+{
+    const size_t n = plan_->n();
+    const Modulus& m = plan_->modulus();
     // psi: primitive 2n-th root with psi^2 == omega. rootOfUnity gives a
     // 2n-order element; square it and, since both psi^2 and omega
     // generate the same cyclic group of order n, re-derive the plan's
@@ -35,20 +59,20 @@ NegacyclicEngine::NegacyclicEngine(const NttPrime& prime, size_t n,
     uint64_t t = 0;
     bool found = false;
     for (uint64_t i = 0; i < 2 * n; ++i) {
-        if (acc == plan_.omega()) {
+        if (acc == plan_->omega()) {
             t = i;
             found = true;
             break;
         }
         acc = m.mul(acc, r2);
     }
-    checkArg(found, "NegacyclicEngine: omega not in <r^2> (internal)");
+    checkArg(found, "NegacyclicTables: omega not in <r^2> (internal)");
     if ((t & 1) == 0)
         t += n; // r2 has order n: exponent t + n gives the same omega,
                 // and one of t, t+n is odd (n even for n >= 2)
     psi_ = m.pow(r, U128{t});
-    checkArg(m.mul(psi_, psi_) == plan_.omega(),
-             "NegacyclicEngine: psi^2 != omega (internal)");
+    checkArg(m.mul(psi_, psi_) == plan_->omega(),
+             "NegacyclicTables: psi^2 != omega (internal)");
 
     U128 psi_inv = m.inverse(psi_);
     U128 acc_f{1}, acc_i{1};
@@ -65,16 +89,32 @@ NegacyclicEngine::NegacyclicEngine(const NttPrime& prime, size_t n)
 {
 }
 
+NegacyclicEngine::NegacyclicEngine(std::shared_ptr<const NttPlan> plan,
+                                   Backend backend)
+    : NegacyclicEngine(
+          std::make_shared<const NegacyclicTables>(std::move(plan)), backend)
+{
+}
+
+NegacyclicEngine::NegacyclicEngine(
+    std::shared_ptr<const NegacyclicTables> tables, Backend backend)
+    : tables_(requireTables(std::move(tables))), backend_(backend),
+      buf_a_(tables_->plan().n()), buf_b_(tables_->plan().n()),
+      buf_c_(tables_->plan().n()), scratch_(tables_->plan().n())
+{
+}
+
 std::vector<U128>
 NegacyclicEngine::forward(const std::vector<U128>& input)
 {
-    checkArg(input.size() == plan_.n(),
+    const NttPlan& plan = tables_->plan();
+    checkArg(input.size() == plan.n(),
              "NegacyclicEngine::forward: size mismatch");
     ResidueVector in = ResidueVector::fromU128(input);
     // Twist then cyclic forward.
-    blas::vmul(backend_, plan_.modulus(), in.span(), twist_.span(),
+    blas::vmul(backend_, plan.modulus(), in.span(), tables_->twist().span(),
                buf_a_.span());
-    ntt::forward(plan_, backend_, buf_a_.span(), buf_b_.span(),
+    ntt::forward(plan, backend_, buf_a_.span(), buf_b_.span(),
                  scratch_.span());
     return buf_b_.toU128();
 }
@@ -82,12 +122,13 @@ NegacyclicEngine::forward(const std::vector<U128>& input)
 std::vector<U128>
 NegacyclicEngine::inverse(const std::vector<U128>& input)
 {
-    checkArg(input.size() == plan_.n(),
+    const NttPlan& plan = tables_->plan();
+    checkArg(input.size() == plan.n(),
              "NegacyclicEngine::inverse: size mismatch");
     ResidueVector in = ResidueVector::fromU128(input);
-    ntt::inverse(plan_, backend_, in.span(), buf_a_.span(), scratch_.span());
-    blas::vmul(backend_, plan_.modulus(), buf_a_.span(), untwist_.span(),
-               buf_b_.span());
+    ntt::inverse(plan, backend_, in.span(), buf_a_.span(), scratch_.span());
+    blas::vmul(backend_, plan.modulus(), buf_a_.span(),
+               tables_->untwist().span(), buf_b_.span());
     return buf_b_.toU128();
 }
 
@@ -95,11 +136,12 @@ std::vector<U128>
 NegacyclicEngine::polymulNegacyclic(const std::vector<U128>& f,
                                     const std::vector<U128>& g)
 {
-    checkArg(f.size() == plan_.n() && g.size() == plan_.n(),
+    const NttPlan& plan = tables_->plan();
+    checkArg(f.size() == plan.n() && g.size() == plan.n(),
              "NegacyclicEngine::polymulNegacyclic: size mismatch");
     auto tf = forward(f);
     auto tg = forward(g);
-    const Modulus& m = plan_.modulus();
+    const Modulus& m = plan.modulus();
     ResidueVector ta = ResidueVector::fromU128(tf);
     ResidueVector tb = ResidueVector::fromU128(tg);
     blas::vmul(backend_, m, ta.span(), tb.span(), buf_c_.span());

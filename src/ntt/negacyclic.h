@@ -17,6 +17,8 @@
  */
 #pragma once
 
+#include <memory>
+
 #include "core/backend.h"
 #include "ntt/ntt.h"
 
@@ -24,22 +26,60 @@ namespace mqx {
 namespace ntt {
 
 /**
- * Negacyclic transform engine over one (q, n). Owns the cyclic plan and
- * the psi twist tables.
+ * The immutable, shareable part of a negacyclic transform over one
+ * (q, n): the cyclic plan plus psi and its twist tables. A pure
+ * function of (q, n), so engine::PlanCache memoizes whole instances
+ * and threads share them freely; per-call scratch lives in
+ * NegacyclicEngine.
+ *
+ * @throws InvalidArgument unless n is a power of two and 2n divides
+ * q - 1 (i.e. the prime's 2-adicity is at least log2(n) + 1).
+ */
+class NegacyclicTables
+{
+  public:
+    explicit NegacyclicTables(std::shared_ptr<const NttPlan> plan);
+
+    const NttPlan& plan() const { return *plan_; }
+    U128 psi() const { return psi_; }
+    const ResidueVector& twist() const { return twist_; }
+    const ResidueVector& untwist() const { return untwist_; }
+
+  private:
+    std::shared_ptr<const NttPlan> plan_;
+    U128 psi_;
+    ResidueVector twist_;    ///< psi^i
+    ResidueVector untwist_;  ///< psi^-i
+};
+
+/**
+ * Negacyclic transform engine over one (q, n): shared tables plus the
+ * per-instance work buffers (which make it single-threaded; give every
+ * thread its own engine on top of shared tables).
  */
 class NegacyclicEngine
 {
   public:
-    /**
-     * @throws InvalidArgument unless n is a power of two and 2n divides
-     * q - 1 (i.e. the prime's 2-adicity is at least log2(n) + 1).
-     */
+    /** Derive plan and twist tables from scratch. */
     NegacyclicEngine(const NttPrime& prime, size_t n, Backend backend);
     NegacyclicEngine(const NttPrime& prime, size_t n);
 
-    const NttPlan& plan() const { return plan_; }
+    /**
+     * Build on an existing cyclic plan (skips the O(n log n) twiddle
+     * re-derivation; only the psi twist tables are computed).
+     */
+    NegacyclicEngine(std::shared_ptr<const NttPlan> plan, Backend backend);
+
+    /**
+     * Build on fully precomputed tables (e.g. from engine::PlanCache):
+     * no modular math at all, just buffer allocation.
+     */
+    NegacyclicEngine(std::shared_ptr<const NegacyclicTables> tables,
+                     Backend backend);
+
+    const NttPlan& plan() const { return tables_->plan(); }
     Backend backend() const { return backend_; }
-    U128 psi() const { return psi_; }
+    U128 psi() const { return tables_->psi(); }
 
     /**
      * Forward negacyclic transform: twist by psi^i then cyclic forward.
@@ -55,11 +95,8 @@ class NegacyclicEngine
                                         const std::vector<U128>& g);
 
   private:
-    NttPlan plan_;
+    std::shared_ptr<const NegacyclicTables> tables_;
     Backend backend_;
-    U128 psi_;
-    ResidueVector twist_;    ///< psi^i
-    ResidueVector untwist_;  ///< psi^-i
     ResidueVector buf_a_, buf_b_, buf_c_, scratch_;
 };
 

@@ -4,7 +4,9 @@
  */
 #include "rns/rns.h"
 
+#include "bench_util/rng.h"
 #include "blas/blas.h"
+#include "engine/engine.h"
 
 namespace mqx {
 namespace rns {
@@ -105,54 +107,107 @@ RnsPolynomial::toCoefficients() const
     return out;
 }
 
+RnsPolynomial
+randomPolynomial(const RnsBasis& basis, size_t n, uint64_t seed)
+{
+    RnsPolynomial p(basis, n);
+    SplitMix64 rng(seed);
+    for (size_t i = 0; i < basis.size(); ++i) {
+        for (size_t c = 0; c < n; ++c)
+            p.channel(i)[c] = rng.nextBelow(basis.prime(i).q);
+    }
+    return p;
+}
+
+namespace detail {
+
+void
+checkCompatible(const RnsBasis& basis, const RnsPolynomial& a,
+                const RnsPolynomial& b)
+{
+    checkArg(&a.basis() == &basis && &b.basis() == &basis,
+             "RnsKernels: polynomial from a different basis");
+    checkArg(a.n() == b.n(), "RnsKernels: length mismatch");
+}
+
+void
+addChannel(Backend backend, const RnsBasis& basis, size_t channel,
+           const RnsPolynomial& a, const RnsPolynomial& b, RnsPolynomial& c)
+{
+    ResidueVector va = ResidueVector::fromU128(a.channel(channel));
+    ResidueVector vb = ResidueVector::fromU128(b.channel(channel));
+    ResidueVector vc(a.n());
+    blas::vadd(backend, basis.modulus(channel), va.span(), vb.span(),
+               vc.span());
+    c.channel(channel) = vc.toU128();
+}
+
+void
+mulChannel(Backend backend, const RnsBasis& basis, size_t channel,
+           const RnsPolynomial& a, const RnsPolynomial& b, RnsPolynomial& c)
+{
+    ResidueVector va = ResidueVector::fromU128(a.channel(channel));
+    ResidueVector vb = ResidueVector::fromU128(b.channel(channel));
+    ResidueVector vc(a.n());
+    blas::vmul(backend, basis.modulus(channel), va.span(), vb.span(),
+               vc.span());
+    c.channel(channel) = vc.toU128();
+}
+
+void
+polymulChannel(Backend backend, const RnsBasis& basis, size_t channel,
+               std::shared_ptr<const ntt::NegacyclicTables> tables,
+               const RnsPolynomial& a, const RnsPolynomial& b,
+               RnsPolynomial& c)
+{
+    if (!tables) {
+        tables = std::make_shared<const ntt::NegacyclicTables>(
+            std::make_shared<const ntt::NttPlan>(basis.prime(channel),
+                                                 a.n()));
+    }
+    ntt::NegacyclicEngine engine(std::move(tables), backend);
+    c.channel(channel) =
+        engine.polymulNegacyclic(a.channel(channel), b.channel(channel));
+}
+
+} // namespace detail
+
 RnsKernels::RnsKernels(const RnsBasis& basis, Backend backend)
     : basis_(&basis), backend_(backend)
 {
     checkArg(backendAvailable(backend), "RnsKernels: backend unavailable");
 }
 
-namespace {
-
-void
-checkCompatible(const RnsBasis* basis, const RnsPolynomial& a,
-                const RnsPolynomial& b)
+RnsKernels::RnsKernels(const RnsBasis& basis, engine::Engine& engine)
+    : basis_(&basis), backend_(engine.backend()), engine_(&engine)
 {
-    checkArg(&a.basis() == basis && &b.basis() == basis,
-             "RnsKernels: polynomial from a different basis");
-    checkArg(a.n() == b.n(), "RnsKernels: length mismatch");
 }
-
-} // namespace
 
 RnsPolynomial
 RnsKernels::add(const RnsPolynomial& a, const RnsPolynomial& b) const
 {
-    checkCompatible(basis_, a, b);
+    // Validate against THIS kernels' basis before delegating — the
+    // engine can only check the operands against each other.
+    detail::checkCompatible(*basis_, a, b);
+    if (engine_)
+        return engine_->add(a, b);
     RnsPolynomial c(*basis_, a.n());
-    for (size_t i = 0; i < basis_->size(); ++i) {
-        ResidueVector va = ResidueVector::fromU128(a.channel(i));
-        ResidueVector vb = ResidueVector::fromU128(b.channel(i));
-        ResidueVector vc(a.n());
-        blas::vadd(backend_, basis_->modulus(i), va.span(), vb.span(),
-                   vc.span());
-        c.channel(i) = vc.toU128();
-    }
+    for (size_t i = 0; i < basis_->size(); ++i)
+        detail::addChannel(backend_, *basis_, i, a, b, c);
     return c;
 }
 
 RnsPolynomial
 RnsKernels::mul(const RnsPolynomial& a, const RnsPolynomial& b) const
 {
-    checkCompatible(basis_, a, b);
+    // Validate against THIS kernels' basis before delegating — the
+    // engine can only check the operands against each other.
+    detail::checkCompatible(*basis_, a, b);
+    if (engine_)
+        return engine_->mul(a, b);
     RnsPolynomial c(*basis_, a.n());
-    for (size_t i = 0; i < basis_->size(); ++i) {
-        ResidueVector va = ResidueVector::fromU128(a.channel(i));
-        ResidueVector vb = ResidueVector::fromU128(b.channel(i));
-        ResidueVector vc(a.n());
-        blas::vmul(backend_, basis_->modulus(i), va.span(), vb.span(),
-                   vc.span());
-        c.channel(i) = vc.toU128();
-    }
+    for (size_t i = 0; i < basis_->size(); ++i)
+        detail::mulChannel(backend_, *basis_, i, a, b, c);
     return c;
 }
 
@@ -160,12 +215,14 @@ RnsPolynomial
 RnsKernels::polymulNegacyclic(const RnsPolynomial& a,
                               const RnsPolynomial& b) const
 {
-    checkCompatible(basis_, a, b);
+    // Validate against THIS kernels' basis before delegating — the
+    // engine can only check the operands against each other.
+    detail::checkCompatible(*basis_, a, b);
+    if (engine_)
+        return engine_->polymulNegacyclic(a, b);
     RnsPolynomial c(*basis_, a.n());
-    for (size_t i = 0; i < basis_->size(); ++i) {
-        ntt::NegacyclicEngine engine(basis_->prime(i), a.n(), backend_);
-        c.channel(i) = engine.polymulNegacyclic(a.channel(i), b.channel(i));
-    }
+    for (size_t i = 0; i < basis_->size(); ++i)
+        detail::polymulChannel(backend_, *basis_, i, nullptr, a, b, c);
     return c;
 }
 

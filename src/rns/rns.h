@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <vector>
 
 #include "bigint/biguint.h"
@@ -22,6 +23,11 @@
 #include "ntt/prime.h"
 
 namespace mqx {
+
+namespace engine {
+class Engine;
+}
+
 namespace rns {
 
 /**
@@ -94,13 +100,30 @@ class RnsPolynomial
 };
 
 /**
+ * Uniform random polynomial over the basis: every channel residue drawn
+ * below its prime. Deterministic in @p seed (tests, benches, examples
+ * all sample through this one helper).
+ */
+RnsPolynomial randomPolynomial(const RnsBasis& basis, size_t n,
+                               uint64_t seed);
+
+/**
  * Coefficient-wise ring operations over Z_Q, executed channel-by-channel
  * with the chosen kernel backend.
  */
 class RnsKernels
 {
   public:
+    /** Serial channel loop on @p backend (the original seed path). */
     RnsKernels(const RnsBasis& basis, Backend backend);
+
+    /**
+     * Route every op through @p engine: channels fan out across its
+     * thread pool and polymuls reuse its NTT plan cache. Results are
+     * bit-identical to the serial constructor (channels are
+     * independent); @p engine must outlive this object.
+     */
+    RnsKernels(const RnsBasis& basis, engine::Engine& engine);
 
     /** c = a + b (coefficient-wise, mod Q via CRT channels). */
     RnsPolynomial add(const RnsPolynomial& a, const RnsPolynomial& b) const;
@@ -118,7 +141,39 @@ class RnsKernels
   private:
     const RnsBasis* basis_;
     Backend backend_;
+    engine::Engine* engine_ = nullptr;
 };
+
+namespace detail {
+
+/**
+ * Single-channel bodies shared by the serial RnsKernels loop and the
+ * engine's parallel fan-out — both paths run exactly this code, which
+ * is what makes threaded results bit-identical to serial ones.
+ */
+void addChannel(Backend backend, const RnsBasis& basis, size_t channel,
+                const RnsPolynomial& a, const RnsPolynomial& b,
+                RnsPolynomial& c);
+
+void mulChannel(Backend backend, const RnsBasis& basis, size_t channel,
+                const RnsPolynomial& a, const RnsPolynomial& b,
+                RnsPolynomial& c);
+
+/**
+ * One channel of the negacyclic product. @p tables holds the cached
+ * plan + twist tables for (q_channel, n); pass nullptr to derive them
+ * on the spot (the serial path without a cache).
+ */
+void polymulChannel(Backend backend, const RnsBasis& basis, size_t channel,
+                    std::shared_ptr<const ntt::NegacyclicTables> tables,
+                    const RnsPolynomial& a, const RnsPolynomial& b,
+                    RnsPolynomial& c);
+
+/** Shared operand validation (same basis, same length). */
+void checkCompatible(const RnsBasis& basis, const RnsPolynomial& a,
+                     const RnsPolynomial& b);
+
+} // namespace detail
 
 } // namespace rns
 } // namespace mqx
