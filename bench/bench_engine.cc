@@ -132,6 +132,85 @@ main()
         std::printf("\n");
     }
 
+    // Eval-form fused dot product: sum_i a_i * b_i mod (x^n + 1, Q).
+    // The naive path pays a full forward+inverse pipeline per product;
+    // fmaBatch accumulates in the transform domain and pays ONE inverse
+    // per channel (2k forward + 1 inverse vs 2k + k); operands already
+    // resident in Eval form (key-switching-style workloads) skip the
+    // forwards too. All three are bit-identical by construction.
+    {
+        const size_t channels = 4, k = 8, dot_n = 4096;
+        rns::RnsBasis basis(124, 20, channels);
+        std::vector<rns::RnsPolynomial> as, bs;
+        for (size_t i = 0; i < k; ++i) {
+            as.push_back(rns::randomPolynomial(basis, dot_n, 0x300 + i));
+            bs.push_back(rns::randomPolynomial(basis, dot_n, 0x400 + i));
+        }
+        std::vector<std::pair<const rns::RnsPolynomial*,
+                              const rns::RnsPolynomial*>>
+            products;
+        for (size_t i = 0; i < k; ++i)
+            products.push_back({&as[i], &bs[i]});
+
+        engine::Engine eng(be, hw);
+        // Naive: k independent polymuls, then k - 1 adds.
+        auto naiveDot = [&] {
+            rns::RnsPolynomial acc = eng.polymulNegacyclic(as[0], bs[0]);
+            for (size_t i = 1; i < k; ++i)
+                acc = eng.add(acc, eng.polymulNegacyclic(as[i], bs[i]));
+            return acc;
+        };
+        auto naive = naiveDot(); // warm plans + result for the bit check
+        uint64_t naive_ns = bestOf(kReps, [&] { (void)naiveDot(); });
+
+        auto fused = eng.fmaBatch(products);
+        uint64_t fused_ns = bestOf(kReps, [&] { (void)eng.fmaBatch(products); });
+
+        // Eval-resident operands: convert once outside the loop (the
+        // CRYPTONITE-style "stay in the transform domain" residency),
+        // then the dot product is k point-wise passes + one inverse.
+        std::vector<rns::RnsPolynomial> eas, ebs;
+        for (size_t i = 0; i < k; ++i) {
+            eas.push_back(eng.toEval(as[i]));
+            ebs.push_back(eng.toEval(bs[i]));
+        }
+        std::vector<std::pair<const rns::RnsPolynomial*,
+                              const rns::RnsPolynomial*>>
+            eval_products;
+        for (size_t i = 0; i < k; ++i)
+            eval_products.push_back({&eas[i], &ebs[i]});
+        auto resident = eng.fmaBatch(eval_products);
+        uint64_t resident_ns =
+            bestOf(kReps, [&] { (void)eng.fmaBatch(eval_products); });
+
+        bool identical = true;
+        for (size_t c = 0; c < channels; ++c) {
+            identical = identical && fused.channel(c) == naive.channel(c) &&
+                        resident.channel(c) == naive.channel(c);
+        }
+
+        TextTable dot("eval-form dot product: sum of " + std::to_string(k) +
+                      " products, n = " + std::to_string(dot_n) + ", " +
+                      std::to_string(channels) + " channels (T=" +
+                      std::to_string(hw) + ")");
+        dot.setHeader({"path", "ms", "speedup", "inverse NTTs"});
+        dot.addRow({"naive: k polymuls + adds", formatFixed(naive_ns / 1e6, 2),
+                    "1.0x", std::to_string(k * channels)});
+        dot.addRow({"fmaBatch (coeff operands)",
+                    formatFixed(fused_ns / 1e6, 2),
+                    formatSpeedup(static_cast<double>(naive_ns) /
+                                  static_cast<double>(fused_ns)),
+                    std::to_string(channels)});
+        dot.addRow({"fmaBatch (eval-resident)",
+                    formatFixed(resident_ns / 1e6, 2),
+                    formatSpeedup(static_cast<double>(naive_ns) /
+                                  static_cast<double>(resident_ns)),
+                    std::to_string(channels)});
+        dot.print();
+        std::printf("bit-identical to naive sum: %s\n\n",
+                    identical ? "yes" : "NO (BUG)");
+    }
+
     // Plan-cache effect: cold first call vs warm steady state.
     {
         rns::RnsBasis basis(124, 20, 4);

@@ -31,8 +31,9 @@ rns::RnsPolynomial
 Engine::add(const rns::RnsPolynomial& a, const rns::RnsPolynomial& b)
 {
     rns::detail::checkCompatible(a.basis(), a, b);
+    rns::detail::checkForm(b, a.form(), "Engine::add");
     const rns::RnsBasis& basis = a.basis();
-    rns::RnsPolynomial c(basis, a.n());
+    rns::RnsPolynomial c(basis, a.n(), a.form());
     pool_.parallelFor(0, basis.size(), [&](size_t i) {
         rns::detail::addChannel(backend_, basis, i, a, b, c);
     });
@@ -43,8 +44,9 @@ rns::RnsPolynomial
 Engine::mul(const rns::RnsPolynomial& a, const rns::RnsPolynomial& b)
 {
     rns::detail::checkCompatible(a.basis(), a, b);
+    rns::detail::checkForm(b, a.form(), "Engine::mul");
     const rns::RnsBasis& basis = a.basis();
-    rns::RnsPolynomial c(basis, a.n());
+    rns::RnsPolynomial c(basis, a.n(), a.form());
     pool_.parallelFor(0, basis.size(), [&](size_t i) {
         rns::detail::mulChannel(backend_, basis, i, a, b, c);
     });
@@ -56,12 +58,83 @@ Engine::polymulNegacyclic(const rns::RnsPolynomial& a,
                           const rns::RnsPolynomial& b)
 {
     rns::detail::checkCompatible(a.basis(), a, b);
+    rns::detail::checkForm(a, rns::Form::Coeff, "Engine::polymulNegacyclic");
+    rns::detail::checkForm(b, rns::Form::Coeff, "Engine::polymulNegacyclic");
     const rns::RnsBasis& basis = a.basis();
     rns::RnsPolynomial c(basis, a.n());
     pool_.parallelFor(0, basis.size(), [&](size_t i) {
         rns::detail::polymulChannel(backend_, basis, i,
                                     plan_cache_.getNegacyclic(basis.prime(i), a.n()),
                                     a, b, c);
+    });
+    return c;
+}
+
+rns::RnsPolynomial
+Engine::toEval(const rns::RnsPolynomial& a)
+{
+    rns::detail::checkForm(a, rns::Form::Coeff, "Engine::toEval");
+    const rns::RnsBasis& basis = a.basis();
+    rns::RnsPolynomial c(basis, a.n(), rns::Form::Eval);
+    pool_.parallelFor(0, basis.size(), [&](size_t i) {
+        rns::detail::toEvalChannel(
+            backend_, basis, i,
+            plan_cache_.getNegacyclic(basis.prime(i), a.n()), a, c);
+    });
+    return c;
+}
+
+rns::RnsPolynomial
+Engine::toCoeff(const rns::RnsPolynomial& a)
+{
+    rns::detail::checkForm(a, rns::Form::Eval, "Engine::toCoeff");
+    const rns::RnsBasis& basis = a.basis();
+    rns::RnsPolynomial c(basis, a.n(), rns::Form::Coeff);
+    pool_.parallelFor(0, basis.size(), [&](size_t i) {
+        rns::detail::toCoeffChannel(
+            backend_, basis, i,
+            plan_cache_.getNegacyclic(basis.prime(i), a.n()), a, c);
+    });
+    return c;
+}
+
+rns::RnsPolynomial
+Engine::mulEval(const rns::RnsPolynomial& a, const rns::RnsPolynomial& b)
+{
+    rns::detail::checkCompatible(a.basis(), a, b);
+    rns::detail::checkForm(a, rns::Form::Eval, "Engine::mulEval");
+    rns::detail::checkForm(b, rns::Form::Eval, "Engine::mulEval");
+    const rns::RnsBasis& basis = a.basis();
+    rns::RnsPolynomial c(basis, a.n(), rns::Form::Eval);
+    pool_.parallelFor(0, basis.size(), [&](size_t i) {
+        rns::detail::mulChannel(backend_, basis, i, a, b, c);
+    });
+    return c;
+}
+
+rns::RnsPolynomial
+Engine::fmaBatch(
+    const std::vector<std::pair<const rns::RnsPolynomial*,
+                                const rns::RnsPolynomial*>>& products)
+{
+    checkArg(!products.empty(), "Engine::fmaBatch: empty batch");
+    for (const auto& [a, b] : products) {
+        checkArg(a != nullptr && b != nullptr,
+                 "Engine::fmaBatch: null operand");
+    }
+    const rns::RnsPolynomial& first = *products.front().first;
+    for (const auto& [a, b] : products) {
+        rns::detail::checkCompatible(first.basis(), *a, *b);
+        checkArg(a->n() == first.n(),
+                 "Engine::fmaBatch: length mismatch across batch");
+    }
+    const rns::RnsBasis& basis = first.basis();
+    rns::RnsPolynomial c(basis, first.n());
+    pool_.parallelFor(0, basis.size(), [&](size_t i) {
+        rns::detail::fmaChannel(
+            backend_, basis, i,
+            plan_cache_.getNegacyclic(basis.prime(i), first.n()), products,
+            c);
     });
     return c;
 }
@@ -82,6 +155,10 @@ Engine::polymulNegacyclicBatch(
         checkArg(a != nullptr && b != nullptr,
                  "Engine::polymulNegacyclicBatch: null operand");
         rns::detail::checkCompatible(a->basis(), *a, *b);
+        rns::detail::checkForm(*a, rns::Form::Coeff,
+                               "Engine::polymulNegacyclicBatch");
+        rns::detail::checkForm(*b, rns::Form::Coeff,
+                               "Engine::polymulNegacyclicBatch");
         results.emplace_back(a->basis(), a->n());
         first_task[p + 1] = first_task[p] + a->basis().size();
     }

@@ -57,21 +57,58 @@ class Engine
     ThreadPool& pool() { return pool_; }
     PlanCache& planCache() { return plan_cache_; }
 
-    /** c = a + b: channels fanned out across the pool. */
+    /**
+     * c = a + b: channels fanned out across the pool. Valid in either
+     * form (the NTT is linear), but the operands must match; the result
+     * carries their form.
+     */
     rns::RnsPolynomial add(const rns::RnsPolynomial& a,
                            const rns::RnsPolynomial& b);
 
-    /** c = a .* b (coefficient-wise), channels fanned out. */
+    /** c = a .* b (point-wise; same-form operands), channels fanned out. */
     rns::RnsPolynomial mul(const rns::RnsPolynomial& a,
                            const rns::RnsPolynomial& b);
 
     /**
-     * a * b mod (x^n + 1, Q): each channel runs the full twist + NTT +
-     * point-wise + inverse pipeline on a pool thread, with the cyclic
-     * plan taken from the cache.
+     * a * b mod (x^n + 1, Q) for Coeff-form operands: each channel runs
+     * the full twist + NTT + point-wise + inverse pipeline on a pool
+     * thread, with the cyclic plan taken from the cache.
      */
     rns::RnsPolynomial polymulNegacyclic(const rns::RnsPolynomial& a,
                                          const rns::RnsPolynomial& b);
+
+    /**
+     * Forward every channel into Eval form (cached NegacyclicTables,
+     * channels fanned across the pool). In Eval form the ring product
+     * is mulEval's point-wise pass — no transforms — so chained
+     * products and sums can stay transform-resident and pay a single
+     * toCoeff at the end. @throws InvalidArgument unless Coeff form.
+     */
+    rns::RnsPolynomial toEval(const rns::RnsPolynomial& a);
+
+    /** Inverse of toEval. @throws InvalidArgument unless Eval form. */
+    rns::RnsPolynomial toCoeff(const rns::RnsPolynomial& a);
+
+    /**
+     * Negacyclic ring product of two Eval-form operands: one point-wise
+     * multiply per channel, zero transforms. Result stays Eval.
+     */
+    rns::RnsPolynomial mulEval(const rns::RnsPolynomial& a,
+                               const rns::RnsPolynomial& b);
+
+    /**
+     * Fused dot product sum_i a_i * b_i mod (x^n + 1, Q), one channel
+     * per pool task. Pairs may mix forms (Coeff operands are forwarded
+     * on the fly); accumulation runs in the transform domain so each
+     * channel pays ONE inverse transform for the whole batch — 2k
+     * forward + 1 inverse instead of the naive 2k + k. Exact modular
+     * arithmetic makes the Coeff-form result bit-identical to summing k
+     * polymulNegacyclic calls. @throws InvalidArgument on an empty
+     * batch or mismatched operands.
+     */
+    rns::RnsPolynomial fmaBatch(
+        const std::vector<std::pair<const rns::RnsPolynomial*,
+                                    const rns::RnsPolynomial*>>& products);
 
     /**
      * Run many independent negacyclic products concurrently. All

@@ -92,7 +92,21 @@ size_t
 PlanCache::size() const
 {
     std::shared_lock<std::shared_mutex> lock(mutex_);
+    return plans_.size() + negacyclic_.size();
+}
+
+size_t
+PlanCache::planCount() const
+{
+    std::shared_lock<std::shared_mutex> lock(mutex_);
     return plans_.size();
+}
+
+size_t
+PlanCache::negacyclicCount() const
+{
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    return negacyclic_.size();
 }
 
 uint64_t

@@ -64,8 +64,19 @@ class PlanCache
         return getNegacyclic(prime.q, n);
     }
 
-    /** Distinct (q, n) pairs with a cached (or in-flight) cyclic plan. */
+    /**
+     * Total cached (or in-flight) entries across BOTH maps: cyclic
+     * plans plus negacyclic tables. A warm polymul caches two entries
+     * per (q, n) — the plan and the tables built on it — and eviction
+     * or reporting logic must see both.
+     */
     size_t size() const;
+
+    /** Distinct (q, n) pairs with a cached (or in-flight) cyclic plan. */
+    size_t planCount() const;
+
+    /** Distinct (q, n) pairs with cached (or in-flight) negacyclic tables. */
+    size_t negacyclicCount() const;
 
     /**
      * Lookup counters (monotonic; for tests and bench reporting). Each

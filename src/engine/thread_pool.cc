@@ -5,6 +5,7 @@
 #include "engine/thread_pool.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdlib>
 #include <exception>
 #include <string>
@@ -161,25 +162,35 @@ ThreadPool::parallelFor(size_t begin, size_t end,
     }
     cv_.notify_all();
 
-    // Help drain the queue instead of blocking idle. This may execute
-    // tasks submitted by concurrent callers too — all of it is work
-    // somebody has to do, and their futures still complete correctly.
-    {
-        std::unique_lock<std::mutex> lock(mutex_);
-        while (runOneTask(lock)) {
-        }
-    }
-
-    // Wait for every index before returning (body must not dangle),
-    // then surface the first failure.
+    // Keep stealing tasks until every one of OUR futures is ready. A
+    // single drain-then-block would go idle as soon as the queue is
+    // momentarily empty — and under concurrent batch submission it
+    // would also keep executing other callers' entire backlogs after
+    // this call's own results were already done. Instead: harvest ready
+    // futures in order, steal one task whenever the next future is
+    // pending and the queue is non-empty, and block on the future only
+    // when the queue is empty (our task was popped and is running on a
+    // worker). Every index completes before return (body must not
+    // dangle); the first failure surfaces after that.
     std::exception_ptr first_error;
-    for (std::future<void>& f : futures) {
-        try {
-            f.get();
-        } catch (...) {
-            if (!first_error)
-                first_error = std::current_exception();
+    size_t next = 0;
+    while (next < futures.size()) {
+        if (futures[next].wait_for(std::chrono::seconds(0)) ==
+            std::future_status::ready) {
+            try {
+                futures[next].get();
+            } catch (...) {
+                if (!first_error)
+                    first_error = std::current_exception();
+            }
+            ++next;
+            continue;
         }
+        std::unique_lock<std::mutex> lock(mutex_);
+        if (runOneTask(lock))
+            continue; // stole something; re-check our futures
+        lock.unlock();
+        futures[next].wait(); // queue empty: task is on a worker
     }
     if (first_error)
         std::rethrow_exception(first_error);

@@ -68,11 +68,15 @@ class ThreadPool
 
     /**
      * Run body(i) for every i in [begin, end), one task per index, and
-     * wait for all of them. The calling thread helps drain the queue
-     * while it waits, so no core idles. Rethrows the first exception
-     * (all tasks are still completed or drained first — @p body never
-     * outlives a running task). Safe to call from several external
-     * threads concurrently; must not be called from inside a pool task.
+     * wait for all of them. The calling thread keeps stealing queued
+     * tasks until every one of its own futures is ready — not just
+     * until the first time the queue drains — so under concurrent batch
+     * submission a caller neither sits idle while its tasks wait behind
+     * another batch nor keeps chewing through foreign backlogs after
+     * its own results are done. Rethrows the first exception (all tasks
+     * are still completed first — @p body never outlives a running
+     * task). Safe to call from several external threads concurrently;
+     * must not be called from inside a pool task.
      */
     void parallelFor(size_t begin, size_t end,
                      const std::function<void(size_t)>& body);

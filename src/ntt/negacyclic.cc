@@ -4,6 +4,8 @@
  */
 #include "ntt/negacyclic.h"
 
+#include <utility>
+
 #include "blas/blas.h"
 #include "ntt/reference_ntt.h"
 
@@ -133,19 +135,48 @@ NegacyclicEngine::inverse(const std::vector<U128>& input)
 }
 
 std::vector<U128>
+NegacyclicEngine::pointwiseMul(const std::vector<U128>& f_eval,
+                               const std::vector<U128>& g_eval)
+{
+    const NttPlan& plan = tables_->plan();
+    checkArg(f_eval.size() == plan.n() && g_eval.size() == plan.n(),
+             "NegacyclicEngine::pointwiseMul: size mismatch");
+    ResidueVector ta = ResidueVector::fromU128(f_eval);
+    ResidueVector tb = ResidueVector::fromU128(g_eval);
+    blas::vmul(backend_, plan.modulus(), ta.span(), tb.span(),
+               buf_c_.span());
+    return buf_c_.toU128();
+}
+
+void
+NegacyclicEngine::pointwiseAccumulate(ResidueVector& acc,
+                                      const std::vector<U128>& f_eval,
+                                      const std::vector<U128>& g_eval)
+{
+    const NttPlan& plan = tables_->plan();
+    checkArg(acc.size() == plan.n() && f_eval.size() == plan.n() &&
+                 g_eval.size() == plan.n(),
+             "NegacyclicEngine::pointwiseAccumulate: size mismatch");
+    ResidueVector ta = ResidueVector::fromU128(f_eval);
+    ResidueVector tb = ResidueVector::fromU128(g_eval);
+    blas::vmul(backend_, plan.modulus(), ta.span(), tb.span(),
+               buf_c_.span());
+    // Sum into a scratch buffer, then swap it in: the accumulator
+    // never round-trips through U128 form and no backend is asked to
+    // write a vadd output over one of its inputs.
+    blas::vadd(backend_, plan.modulus(), acc.span(), buf_c_.span(),
+               buf_a_.span());
+    std::swap(acc, buf_a_);
+}
+
+std::vector<U128>
 NegacyclicEngine::polymulNegacyclic(const std::vector<U128>& f,
                                     const std::vector<U128>& g)
 {
     const NttPlan& plan = tables_->plan();
     checkArg(f.size() == plan.n() && g.size() == plan.n(),
              "NegacyclicEngine::polymulNegacyclic: size mismatch");
-    auto tf = forward(f);
-    auto tg = forward(g);
-    const Modulus& m = plan.modulus();
-    ResidueVector ta = ResidueVector::fromU128(tf);
-    ResidueVector tb = ResidueVector::fromU128(tg);
-    blas::vmul(backend_, m, ta.span(), tb.span(), buf_c_.span());
-    return inverse(buf_c_.toU128());
+    return inverse(pointwiseMul(forward(f), forward(g)));
 }
 
 std::vector<U128>

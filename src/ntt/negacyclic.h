@@ -90,7 +90,33 @@ class NegacyclicEngine
     /** Inverse: cyclic inverse then untwist by psi^-i. */
     std::vector<U128> inverse(const std::vector<U128>& input);
 
-    /** f * g mod (x^n + 1, q). */
+    /**
+     * Point-wise product of two forward() outputs — the multiplication
+     * stage of the negacyclic pipeline, exposed so operands resident in
+     * the transform domain can be multiplied without re-transforming.
+     * Order-consistent with forward()/inverse() (both bit-reversed).
+     */
+    std::vector<U128> pointwiseMul(const std::vector<U128>& f_eval,
+                                   const std::vector<U128>& g_eval);
+
+    /**
+     * acc[i] += f_eval[i] * g_eval[i] mod q. The accumulation stage of a
+     * transform-domain dot product: k products collapse into k calls of
+     * this plus ONE inverse(), instead of k full inverse transforms.
+     * The accumulator stays in split hi/lo layout across the whole
+     * batch (convert with ResidueVector::toU128 only for the final
+     * inverse). Exact modular arithmetic makes the result independent
+     * of accumulation order, so fused sums are bit-identical to naive
+     * ones.
+     */
+    void pointwiseAccumulate(ResidueVector& acc,
+                             const std::vector<U128>& f_eval,
+                             const std::vector<U128>& g_eval);
+
+    /**
+     * f * g mod (x^n + 1, q) — composed from the staged primitives:
+     * inverse(pointwiseMul(forward(f), forward(g))).
+     */
     std::vector<U128> polymulNegacyclic(const std::vector<U128>& f,
                                         const std::vector<U128>& g);
 

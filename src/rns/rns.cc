@@ -39,13 +39,18 @@ RnsBasis::precompute()
     for (const auto& p : primes_)
         big_q_ *= BigUInt::fromU128(p.q);
 
+    qi_big_.resize(primes_.size());
+    pow2_64_mod_qi_.resize(primes_.size());
     q_over_qi_.resize(primes_.size());
     q_over_qi_inv_.resize(primes_.size());
     for (size_t i = 0; i < primes_.size(); ++i) {
-        BigUInt qi = BigUInt::fromU128(primes_[i].q);
-        q_over_qi_[i] = big_q_ / qi;
+        qi_big_[i] = BigUInt::fromU128(primes_[i].q);
+        // 2^64 mod q_i: the per-limb radix for decomposeInto's Horner
+        // fold (q_i may be smaller than 2^64, so reduce).
+        pow2_64_mod_qi_[i] = moduli_[i].reduce(U128::fromParts(1, 0));
+        q_over_qi_[i] = big_q_ / qi_big_[i];
         // (Q / q_i) mod q_i fits a U128; invert with Fermat.
-        U128 rem = (q_over_qi_[i] % qi).toU128();
+        U128 rem = (q_over_qi_[i] % qi_big_[i]).toU128();
         q_over_qi_inv_[i] = moduli_[i].inverse(rem);
     }
 }
@@ -53,11 +58,28 @@ RnsBasis::precompute()
 std::vector<U128>
 RnsBasis::decompose(const BigUInt& x) const
 {
-    checkArg(x < big_q_, "RnsBasis::decompose: value exceeds Q");
-    std::vector<U128> out(primes_.size());
-    for (size_t i = 0; i < primes_.size(); ++i)
-        out[i] = (x % BigUInt::fromU128(primes_[i].q)).toU128();
+    std::vector<U128> out;
+    decomposeInto(x, out);
     return out;
+}
+
+void
+RnsBasis::decomposeInto(const BigUInt& x, std::vector<U128>& out) const
+{
+    checkArg(x < big_q_, "RnsBasis::decompose: value exceeds Q");
+    out.resize(primes_.size());
+    const size_t limbs = x.limbCount();
+    for (size_t i = 0; i < primes_.size(); ++i) {
+        // Horner over the 64-bit limbs, high to low:
+        //   r = (r * 2^64 + limb) mod q_i
+        // — word-sized Barrett arithmetic only, no BigUInt division.
+        const Modulus& m = moduli_[i];
+        const U128& radix = pow2_64_mod_qi_[i];
+        U128 r{0};
+        for (size_t j = limbs; j-- > 0;)
+            r = m.add(m.mul(r, radix), m.reduce(U128{x.limb(j)}));
+        out[i] = r;
+    }
 }
 
 BigUInt
@@ -75,8 +97,14 @@ RnsBasis::reconstruct(const std::vector<U128>& residues) const
     return acc % big_q_;
 }
 
-RnsPolynomial::RnsPolynomial(const RnsBasis& basis, size_t n)
-    : basis_(&basis), n_(n),
+const char*
+formName(Form form)
+{
+    return form == Form::Coeff ? "coeff" : "eval";
+}
+
+RnsPolynomial::RnsPolynomial(const RnsBasis& basis, size_t n, Form form)
+    : basis_(&basis), n_(n), form_(form),
       channels_(basis.size(), std::vector<U128>(n, U128{0}))
 {
 }
@@ -86,8 +114,9 @@ RnsPolynomial::fromCoefficients(const RnsBasis& basis,
                                 const std::vector<BigUInt>& coeffs)
 {
     RnsPolynomial poly(basis, coeffs.size());
+    std::vector<U128> residues;
     for (size_t c = 0; c < coeffs.size(); ++c) {
-        auto residues = basis.decompose(coeffs[c]);
+        basis.decomposeInto(coeffs[c], residues);
         for (size_t i = 0; i < basis.size(); ++i)
             poly.channels_[i][c] = residues[i];
     }
@@ -97,6 +126,7 @@ RnsPolynomial::fromCoefficients(const RnsBasis& basis,
 std::vector<BigUInt>
 RnsPolynomial::toCoefficients() const
 {
+    detail::checkForm(*this, Form::Coeff, "RnsPolynomial::toCoefficients");
     std::vector<BigUInt> out(n_);
     std::vector<U128> residues(basis_->size());
     for (size_t c = 0; c < n_; ++c) {
@@ -131,6 +161,16 @@ checkCompatible(const RnsBasis& basis, const RnsPolynomial& a,
 }
 
 void
+checkForm(const RnsPolynomial& a, Form expected, const char* what)
+{
+    if (a.form() != expected) {
+        throw InvalidArgument(std::string(what) + ": operand is in " +
+                              formName(a.form()) + " form, expected " +
+                              formName(expected));
+    }
+}
+
+void
 addChannel(Backend backend, const RnsBasis& basis, size_t channel,
            const RnsPolynomial& a, const RnsPolynomial& b, RnsPolynomial& c)
 {
@@ -154,20 +194,80 @@ mulChannel(Backend backend, const RnsBasis& basis, size_t channel,
     c.channel(channel) = vc.toU128();
 }
 
+namespace {
+
+/** Tables for (basis.prime(channel), n), deriving when @p tables is null. */
+std::shared_ptr<const ntt::NegacyclicTables>
+tablesOrDerive(std::shared_ptr<const ntt::NegacyclicTables> tables,
+               const RnsBasis& basis, size_t channel, size_t n)
+{
+    if (tables)
+        return tables;
+    return std::make_shared<const ntt::NegacyclicTables>(
+        std::make_shared<const ntt::NttPlan>(basis.prime(channel), n));
+}
+
+} // namespace
+
 void
 polymulChannel(Backend backend, const RnsBasis& basis, size_t channel,
                std::shared_ptr<const ntt::NegacyclicTables> tables,
                const RnsPolynomial& a, const RnsPolynomial& b,
                RnsPolynomial& c)
 {
-    if (!tables) {
-        tables = std::make_shared<const ntt::NegacyclicTables>(
-            std::make_shared<const ntt::NttPlan>(basis.prime(channel),
-                                                 a.n()));
-    }
-    ntt::NegacyclicEngine engine(std::move(tables), backend);
+    ntt::NegacyclicEngine engine(
+        tablesOrDerive(std::move(tables), basis, channel, a.n()), backend);
     c.channel(channel) =
         engine.polymulNegacyclic(a.channel(channel), b.channel(channel));
+}
+
+void
+toEvalChannel(Backend backend, const RnsBasis& basis, size_t channel,
+              std::shared_ptr<const ntt::NegacyclicTables> tables,
+              const RnsPolynomial& a, RnsPolynomial& c)
+{
+    ntt::NegacyclicEngine engine(
+        tablesOrDerive(std::move(tables), basis, channel, a.n()), backend);
+    c.channel(channel) = engine.forward(a.channel(channel));
+}
+
+void
+toCoeffChannel(Backend backend, const RnsBasis& basis, size_t channel,
+               std::shared_ptr<const ntt::NegacyclicTables> tables,
+               const RnsPolynomial& a, RnsPolynomial& c)
+{
+    ntt::NegacyclicEngine engine(
+        tablesOrDerive(std::move(tables), basis, channel, a.n()), backend);
+    c.channel(channel) = engine.inverse(a.channel(channel));
+}
+
+void
+fmaChannel(Backend backend, const RnsBasis& basis, size_t channel,
+           std::shared_ptr<const ntt::NegacyclicTables> tables,
+           const std::vector<std::pair<const RnsPolynomial*,
+                                       const RnsPolynomial*>>& products,
+           RnsPolynomial& c)
+{
+    ntt::NegacyclicEngine engine(
+        tablesOrDerive(std::move(tables), basis, channel, c.n()), backend);
+    ResidueVector acc(c.n()); // zero-initialized, stays in split layout
+    std::vector<U128> fa, fb; // scratch for on-the-fly forwards
+    for (const auto& [a, b] : products) {
+        const std::vector<U128>* ea = &a->channel(channel);
+        const std::vector<U128>* eb = &b->channel(channel);
+        if (a->form() == Form::Coeff) {
+            fa = engine.forward(*ea);
+            ea = &fa;
+        }
+        if (b->form() == Form::Coeff) {
+            fb = engine.forward(*eb);
+            eb = &fb;
+        }
+        engine.pointwiseAccumulate(acc, *ea, *eb);
+    }
+    // The whole sum pays this single inverse — the fusion the batch
+    // exists for.
+    c.channel(channel) = engine.inverse(acc.toU128());
 }
 
 } // namespace detail
@@ -183,6 +283,32 @@ RnsKernels::RnsKernels(const RnsBasis& basis, engine::Engine& engine)
 {
 }
 
+std::shared_ptr<const ntt::NegacyclicTables>
+RnsKernels::tablesFor(size_t channel, size_t n) const
+{
+    std::lock_guard<std::mutex> lock(tables_mutex_);
+    auto& per_channel = tables_by_n_[n];
+    if (per_channel.empty())
+        per_channel.resize(basis_->size());
+    if (!per_channel[channel]) {
+        per_channel[channel] = std::make_shared<const ntt::NegacyclicTables>(
+            std::make_shared<const ntt::NttPlan>(basis_->prime(channel), n));
+    }
+    return per_channel[channel];
+}
+
+size_t
+RnsKernels::cachedTableCount() const
+{
+    std::lock_guard<std::mutex> lock(tables_mutex_);
+    size_t count = 0;
+    for (const auto& [n, per_channel] : tables_by_n_) {
+        for (const auto& tables : per_channel)
+            count += tables != nullptr;
+    }
+    return count;
+}
+
 RnsPolynomial
 RnsKernels::add(const RnsPolynomial& a, const RnsPolynomial& b) const
 {
@@ -191,7 +317,8 @@ RnsKernels::add(const RnsPolynomial& a, const RnsPolynomial& b) const
     detail::checkCompatible(*basis_, a, b);
     if (engine_)
         return engine_->add(a, b);
-    RnsPolynomial c(*basis_, a.n());
+    detail::checkForm(b, a.form(), "RnsKernels::add");
+    RnsPolynomial c(*basis_, a.n(), a.form());
     for (size_t i = 0; i < basis_->size(); ++i)
         detail::addChannel(backend_, *basis_, i, a, b, c);
     return c;
@@ -205,7 +332,8 @@ RnsKernels::mul(const RnsPolynomial& a, const RnsPolynomial& b) const
     detail::checkCompatible(*basis_, a, b);
     if (engine_)
         return engine_->mul(a, b);
-    RnsPolynomial c(*basis_, a.n());
+    detail::checkForm(b, a.form(), "RnsKernels::mul");
+    RnsPolynomial c(*basis_, a.n(), a.form());
     for (size_t i = 0; i < basis_->size(); ++i)
         detail::mulChannel(backend_, *basis_, i, a, b, c);
     return c;
@@ -220,9 +348,89 @@ RnsKernels::polymulNegacyclic(const RnsPolynomial& a,
     detail::checkCompatible(*basis_, a, b);
     if (engine_)
         return engine_->polymulNegacyclic(a, b);
+    detail::checkForm(a, Form::Coeff, "RnsKernels::polymulNegacyclic");
+    detail::checkForm(b, Form::Coeff, "RnsKernels::polymulNegacyclic");
     RnsPolynomial c(*basis_, a.n());
     for (size_t i = 0; i < basis_->size(); ++i)
-        detail::polymulChannel(backend_, *basis_, i, nullptr, a, b, c);
+        detail::polymulChannel(backend_, *basis_, i, tablesFor(i, a.n()), a,
+                               b, c);
+    return c;
+}
+
+RnsPolynomial
+RnsKernels::toEval(const RnsPolynomial& a) const
+{
+    checkArg(&a.basis() == basis_,
+             "RnsKernels: polynomial from a different basis");
+    if (engine_)
+        return engine_->toEval(a);
+    detail::checkForm(a, Form::Coeff, "RnsKernels::toEval");
+    RnsPolynomial c(*basis_, a.n(), Form::Eval);
+    for (size_t i = 0; i < basis_->size(); ++i)
+        detail::toEvalChannel(backend_, *basis_, i, tablesFor(i, a.n()), a,
+                              c);
+    return c;
+}
+
+RnsPolynomial
+RnsKernels::toCoeff(const RnsPolynomial& a) const
+{
+    checkArg(&a.basis() == basis_,
+             "RnsKernels: polynomial from a different basis");
+    if (engine_)
+        return engine_->toCoeff(a);
+    detail::checkForm(a, Form::Eval, "RnsKernels::toCoeff");
+    RnsPolynomial c(*basis_, a.n(), Form::Coeff);
+    for (size_t i = 0; i < basis_->size(); ++i)
+        detail::toCoeffChannel(backend_, *basis_, i, tablesFor(i, a.n()), a,
+                               c);
+    return c;
+}
+
+RnsPolynomial
+RnsKernels::mulEval(const RnsPolynomial& a, const RnsPolynomial& b) const
+{
+    detail::checkCompatible(*basis_, a, b);
+    if (engine_)
+        return engine_->mulEval(a, b);
+    detail::checkForm(a, Form::Eval, "RnsKernels::mulEval");
+    detail::checkForm(b, Form::Eval, "RnsKernels::mulEval");
+    // In the transform domain the ring product IS the point-wise
+    // product, channel by channel.
+    RnsPolynomial c(*basis_, a.n(), Form::Eval);
+    for (size_t i = 0; i < basis_->size(); ++i)
+        detail::mulChannel(backend_, *basis_, i, a, b, c);
+    return c;
+}
+
+RnsPolynomial
+RnsKernels::fmaBatch(
+    const std::vector<std::pair<const RnsPolynomial*, const RnsPolynomial*>>&
+        products) const
+{
+    checkArg(!products.empty(), "RnsKernels::fmaBatch: empty batch");
+    if (engine_) {
+        // Pin the batch to THIS kernels' basis (the engine can only
+        // check operands against each other); the engine re-validates
+        // pair by pair, so don't duplicate the O(k) sweep here.
+        checkArg(products.front().first != nullptr,
+                 "RnsKernels::fmaBatch: null operand");
+        checkArg(&products.front().first->basis() == basis_,
+                 "RnsKernels: polynomial from a different basis");
+        return engine_->fmaBatch(products);
+    }
+    for (const auto& [a, b] : products) {
+        checkArg(a != nullptr && b != nullptr,
+                 "RnsKernels::fmaBatch: null operand");
+        detail::checkCompatible(*basis_, *a, *b);
+        checkArg(a->n() == products.front().first->n(),
+                 "RnsKernels::fmaBatch: length mismatch across batch");
+    }
+    const size_t n = products.front().first->n();
+    RnsPolynomial c(*basis_, n);
+    for (size_t i = 0; i < basis_->size(); ++i)
+        detail::fmaChannel(backend_, *basis_, i, tablesFor(i, n), products,
+                           c);
     return c;
 }
 

@@ -15,6 +15,9 @@
 
 #include <cstddef>
 #include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "bigint/biguint.h"
@@ -57,6 +60,16 @@ class RnsBasis
     /** Residues (x mod q_i) of a value x < Q. */
     std::vector<U128> decompose(const BigUInt& x) const;
 
+    /**
+     * Residues of x < Q written into @p out (resized to size()). No
+     * big-integer division and no allocation beyond @p out itself: each
+     * residue folds x's 64-bit limbs with a Horner recurrence over the
+     * precomputed 2^64 mod q_i, so fromCoefficients() runs one pass of
+     * word-sized modular arithmetic per (coefficient, prime) instead of
+     * constructing a fresh BigUInt divisor for every pair.
+     */
+    void decomposeInto(const BigUInt& x, std::vector<U128>& out) const;
+
     /** CRT reconstruction of a residue tuple into [0, Q). */
     BigUInt reconstruct(const std::vector<U128>& residues) const;
 
@@ -66,9 +79,32 @@ class RnsBasis
     std::vector<ntt::NttPrime> primes_;
     std::vector<Modulus> moduli_;
     BigUInt big_q_;
+    std::vector<BigUInt> qi_big_;     ///< q_i as a BigUInt (per-prime divisor)
+    std::vector<U128> pow2_64_mod_qi_; ///< 2^64 mod q_i (limb folding)
     std::vector<BigUInt> q_over_qi_;  ///< Q / q_i
     std::vector<U128> q_over_qi_inv_; ///< (Q / q_i)^-1 mod q_i
 };
+
+/**
+ * Which domain an RnsPolynomial's channels currently live in.
+ *
+ * `Coeff` is the natural representation: channel i holds the
+ * coefficients of the polynomial mod q_i. `Eval` holds the forward
+ * negacyclic NTT of each channel (twist by psi^i then cyclic forward,
+ * bit-reversed order — see ntt/negacyclic.h). In Eval form the
+ * negacyclic ring product is a point-wise multiply, and addition is
+ * point-wise in either form, so chains of products and sums can stay
+ * resident in Eval form and pay a single inverse transform at the end —
+ * the transform-domain residency that specialized accelerators exploit.
+ */
+enum class Form
+{
+    Coeff,
+    Eval,
+};
+
+/** "coeff" / "eval" (diagnostics). */
+const char* formName(Form form);
 
 /**
  * A polynomial of length n over Z_Q, stored as k residue channels of
@@ -77,17 +113,29 @@ class RnsBasis
 class RnsPolynomial
 {
   public:
-    RnsPolynomial(const RnsBasis& basis, size_t n);
+    RnsPolynomial(const RnsBasis& basis, size_t n,
+                  Form form = Form::Coeff);
 
     /** Decompose big-integer coefficients (each < Q). */
     static RnsPolynomial fromCoefficients(const RnsBasis& basis,
                                           const std::vector<BigUInt>& coeffs);
 
-    /** Reconstruct big-integer coefficients. */
+    /**
+     * Reconstruct big-integer coefficients.
+     * @throws InvalidArgument unless the polynomial is in Coeff form.
+     */
     std::vector<BigUInt> toCoefficients() const;
 
     size_t n() const { return n_; }
     const RnsBasis& basis() const { return *basis_; }
+
+    /**
+     * Domain the channels currently live in — fixed at construction;
+     * the conversion paths (Engine/RnsKernels toEval/toCoeff) build a
+     * new polynomial tagged with the target form rather than re-tagging
+     * in place, so a tag can never drift from the data it describes.
+     */
+    Form form() const { return form_; }
 
     /** Residue channel i as a U128 vector (length n). */
     const std::vector<U128>& channel(size_t i) const { return channels_[i]; }
@@ -96,6 +144,7 @@ class RnsPolynomial
   private:
     const RnsBasis* basis_;
     size_t n_;
+    Form form_ = Form::Coeff;
     std::vector<std::vector<U128>> channels_;
 };
 
@@ -125,23 +174,76 @@ class RnsKernels
      */
     RnsKernels(const RnsBasis& basis, engine::Engine& engine);
 
-    /** c = a + b (coefficient-wise, mod Q via CRT channels). */
+    /**
+     * c = a + b (point-wise, mod Q via CRT channels). Valid in either
+     * form — the NTT is linear — but both operands must be in the SAME
+     * form; the result carries it.
+     */
     RnsPolynomial add(const RnsPolynomial& a, const RnsPolynomial& b) const;
 
-    /** c = a .* b (coefficient-wise product). */
+    /** c = a .* b (point-wise product; same-form operands, as add). */
     RnsPolynomial mul(const RnsPolynomial& a, const RnsPolynomial& b) const;
 
     /**
      * Negacyclic polynomial product a * b mod (x^n + 1, Q): each channel
      * runs the full twist + NTT + point-wise + inverse pipeline.
+     * Operands and result are in Coeff form.
      */
     RnsPolynomial polymulNegacyclic(const RnsPolynomial& a,
                                     const RnsPolynomial& b) const;
 
+    /**
+     * Forward every channel into Eval form (cached NegacyclicTables;
+     * channels fan out across the engine's pool when engine-routed).
+     * @throws InvalidArgument unless @p a is in Coeff form.
+     */
+    RnsPolynomial toEval(const RnsPolynomial& a) const;
+
+    /** Inverse of toEval. @throws InvalidArgument unless Eval form. */
+    RnsPolynomial toCoeff(const RnsPolynomial& a) const;
+
+    /**
+     * Negacyclic ring product of two Eval-form operands: one point-wise
+     * multiply per channel, no transforms. Result stays in Eval form.
+     * @throws InvalidArgument unless both operands are Eval.
+     */
+    RnsPolynomial mulEval(const RnsPolynomial& a,
+                          const RnsPolynomial& b) const;
+
+    /**
+     * Fused dot product sum_i a_i * b_i mod (x^n + 1, Q). Operands may
+     * mix forms per pair: Coeff operands are forwarded on the fly, Eval
+     * operands are consumed as-is. Accumulation happens in the
+     * transform domain, so the whole sum pays ONE inverse transform per
+     * channel — versus one per product on the naive path — and the
+     * result (Coeff form) is bit-identical to the naive sum of
+     * polymulNegacyclic calls because every step is exact mod-q
+     * arithmetic. @throws InvalidArgument on an empty batch.
+     */
+    RnsPolynomial fmaBatch(
+        const std::vector<std::pair<const RnsPolynomial*,
+                                    const RnsPolynomial*>>& products) const;
+
+    /** Distinct cached NegacyclicTables on the serial path (tests). */
+    size_t cachedTableCount() const;
+
   private:
+    /**
+     * Serial-path table cache, keyed by n (the basis is fixed): without
+     * it every serial polymul re-derived the NTT plan and twist tables
+     * for every channel — O(k n log n) setup per product. Engine-routed
+     * kernels use the engine's PlanCache instead and never touch this.
+     */
+    std::shared_ptr<const ntt::NegacyclicTables>
+    tablesFor(size_t channel, size_t n) const;
+
     const RnsBasis* basis_;
     Backend backend_;
     engine::Engine* engine_ = nullptr;
+    mutable std::mutex tables_mutex_;
+    mutable std::unordered_map<
+        size_t, std::vector<std::shared_ptr<const ntt::NegacyclicTables>>>
+        tables_by_n_;
 };
 
 namespace detail {
@@ -169,9 +271,32 @@ void polymulChannel(Backend backend, const RnsBasis& basis, size_t channel,
                     const RnsPolynomial& a, const RnsPolynomial& b,
                     RnsPolynomial& c);
 
+/** One channel of the forward (Coeff -> Eval) conversion. */
+void toEvalChannel(Backend backend, const RnsBasis& basis, size_t channel,
+                   std::shared_ptr<const ntt::NegacyclicTables> tables,
+                   const RnsPolynomial& a, RnsPolynomial& c);
+
+/** One channel of the inverse (Eval -> Coeff) conversion. */
+void toCoeffChannel(Backend backend, const RnsBasis& basis, size_t channel,
+                    std::shared_ptr<const ntt::NegacyclicTables> tables,
+                    const RnsPolynomial& a, RnsPolynomial& c);
+
+/**
+ * One channel of the fused transform-domain dot product: forward any
+ * Coeff operand, point-wise accumulate every pair, then ONE inverse.
+ */
+void fmaChannel(Backend backend, const RnsBasis& basis, size_t channel,
+                std::shared_ptr<const ntt::NegacyclicTables> tables,
+                const std::vector<std::pair<const RnsPolynomial*,
+                                            const RnsPolynomial*>>& products,
+                RnsPolynomial& c);
+
 /** Shared operand validation (same basis, same length). */
 void checkCompatible(const RnsBasis& basis, const RnsPolynomial& a,
                      const RnsPolynomial& b);
+
+/** @throws InvalidArgument unless @p a is in @p expected form. */
+void checkForm(const RnsPolynomial& a, Form expected, const char* what);
 
 } // namespace detail
 

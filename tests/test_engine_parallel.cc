@@ -75,6 +75,39 @@ TEST(ThreadPool, ParallelForPropagatesExceptions)
     }
 }
 
+TEST(ThreadPool, ConcurrentParallelForBatchesAllComplete)
+{
+    // Several external threads submit interleaved batches; the fixed
+    // steal-until-own-futures-ready wait means every caller makes
+    // progress on its own indices even while another batch occupies the
+    // queue, and no index is lost or run twice.
+    engine::ThreadPool pool(3);
+    const int kCallers = 4;
+    const size_t kIndices = 101;
+    std::vector<std::vector<std::atomic<int>>> counts(kCallers);
+    for (auto& c : counts) {
+        std::vector<std::atomic<int>> fresh(kIndices);
+        c.swap(fresh);
+    }
+    std::vector<std::thread> callers;
+    for (int t = 0; t < kCallers; ++t) {
+        callers.emplace_back([&, t] {
+            for (int round = 0; round < 3; ++round) {
+                pool.parallelFor(0, kIndices, [&, t](size_t i) {
+                    counts[t][i].fetch_add(1);
+                });
+            }
+        });
+    }
+    for (auto& c : callers)
+        c.join();
+    for (int t = 0; t < kCallers; ++t) {
+        for (size_t i = 0; i < kIndices; ++i)
+            ASSERT_EQ(counts[t][i].load(), 3) << "caller " << t << " index "
+                                              << i;
+    }
+}
+
 TEST(ThreadPool, DefaultThreadCountHonorsMqxThreadsEnv)
 {
     const char* old = std::getenv("MQX_THREADS");
@@ -106,7 +139,15 @@ TEST(PlanCache, MemoizesByModulusAndSize)
     auto p4 = cache.get(testBasis().prime(1), 64);
     EXPECT_NE(p1.get(), p4.get());
     EXPECT_EQ(cache.misses(), 3u);
-    EXPECT_EQ(cache.size(), 3u);
+    EXPECT_EQ(cache.size(), 3u); // three plans, no negacyclic tables yet
+    EXPECT_EQ(cache.planCount(), 3u);
+    EXPECT_EQ(cache.negacyclicCount(), 0u);
+
+    // Negacyclic tables land in their own map; size() counts both.
+    (void)cache.getNegacyclic(prime, 64);
+    EXPECT_EQ(cache.negacyclicCount(), 1u);
+    EXPECT_EQ(cache.planCount(), 3u);
+    EXPECT_EQ(cache.size(), 4u);
 
     cache.clear();
     EXPECT_EQ(cache.size(), 0u);
@@ -124,7 +165,11 @@ TEST(PlanCache, EnginePolymulHitsCacheOnRepeat)
     eng.polymulNegacyclic(a, b);
     EXPECT_EQ(eng.planCache().misses(), basis.size());
     EXPECT_EQ(eng.planCache().hits(), basis.size());
-    EXPECT_EQ(eng.planCache().size(), basis.size());
+    // Each channel caches its cyclic plan AND the negacyclic tables
+    // built on it; size() reports both maps.
+    EXPECT_EQ(eng.planCache().planCount(), basis.size());
+    EXPECT_EQ(eng.planCache().negacyclicCount(), basis.size());
+    EXPECT_EQ(eng.planCache().size(), 2 * basis.size());
 }
 
 TEST(EngineParallel, ThreadedMatchesSerialOnAllBackends)
