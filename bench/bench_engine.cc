@@ -12,6 +12,7 @@
 #include <algorithm>
 
 #include "bench_common.h"
+#include "core/layout_metrics.h"
 #include "engine/engine.h"
 #include "rns/rns.h"
 
@@ -209,6 +210,64 @@ main()
         dot.print();
         std::printf("bit-identical to naive sum: %s\n\n",
                     identical ? "yes" : "NO (BUG)");
+    }
+
+    // Layout scenario: what the split hi/lo refactor eliminated. The
+    // retained U128 adapters replay the pre-refactor pipeline — every
+    // channel repacked AoS->SoA on the way into the kernels and back out
+    // — while the native path hands channel spans straight down.
+    // layout::metrics() counts both costs per call.
+    {
+        const size_t channels = 8, lay_n = 4096;
+        rns::RnsBasis basis(124, 20, static_cast<int>(channels));
+        auto a = rns::randomPolynomial(basis, lay_n, 0x500);
+        auto b = rns::randomPolynomial(basis, lay_n, 0x600);
+        rns::RnsKernels kernels(basis, be);
+        rns::RnsPolynomial sink(basis, lay_n);
+
+        // Per-channel transform engines for the adapter replay, built
+        // outside the timed region (plan setup is not what's measured).
+        std::vector<ntt::NegacyclicEngine> adapters;
+        for (size_t i = 0; i < channels; ++i)
+            adapters.emplace_back(basis.prime(i), lay_n, be);
+        auto adapterPolymul = [&] {
+            for (size_t i = 0; i < channels; ++i) {
+                sink.setChannelFromU128(
+                    i, adapters[i].polymulNegacyclic(a.channelToU128(i),
+                                                     b.channelToU128(i)));
+            }
+        };
+
+        adapterPolymul(); // warm
+        auto m0 = layout::metrics();
+        uint64_t adapter_ns = bestOf(kReps, adapterPolymul);
+        auto adapter_delta = layout::delta(m0, layout::metrics());
+
+        kernels.polymulNegacyclicInto(a, b, sink); // warm tables + pool
+        m0 = layout::metrics();
+        uint64_t native_ns =
+            bestOf(kReps, [&] { kernels.polymulNegacyclicInto(a, b, sink); });
+        auto native_delta = layout::delta(m0, layout::metrics());
+
+        auto perCall = [&](uint64_t total) {
+            return std::to_string(total / static_cast<uint64_t>(kReps));
+        };
+        TextTable lt("split hi/lo layout: polymul, n = " +
+                     std::to_string(lay_n) + ", " + std::to_string(channels) +
+                     " channels (serial kernels)");
+        lt.setHeader({"path", "ms", "speedup", "conv/call", "allocs/call"});
+        lt.addRow({"U128 adapter round trip", formatFixed(adapter_ns / 1e6, 2),
+                   "1.0x", perCall(adapter_delta.conversions()),
+                   perCall(adapter_delta.aligned_allocs)});
+        lt.addRow({"native SoA spans", formatFixed(native_ns / 1e6, 2),
+                   formatSpeedup(static_cast<double>(adapter_ns) /
+                                 static_cast<double>(native_ns)),
+                   perCall(native_delta.conversions()),
+                   perCall(native_delta.aligned_allocs)});
+        lt.print();
+        std::printf("the native rows must read 0/0: the steady-state kernel "
+                    "path performs no AoS<->SoA\nconversions and no aligned "
+                    "heap allocations (tests/test_layout.cc asserts it).\n\n");
     }
 
     // Plan-cache effect: cold first call vs warm steady state.

@@ -54,7 +54,7 @@ main()
         all_agree = all_agree && agree;
         std::printf("  %-16s (%zu threads) ct3[0][0] = %s...  %s\n",
                     backendName(be).c_str(), eng.threads(),
-                    toHexString(ct3.channel(0)[0]).substr(0, 18).c_str(),
+                    toHexString(ct3.channel(0).at(0)).substr(0, 18).c_str(),
                     agree ? "agrees" : "MISMATCH");
     }
 
@@ -62,9 +62,9 @@ main()
     bool lane_ok = true;
     for (size_t i = 0; i < basis.size(); ++i) {
         const Modulus& q = basis.modulus(i);
-        U128 expect = q.add(q.mul(ct1.channel(i)[7], ct2.channel(i)[7]),
-                            ct1.channel(i)[7]);
-        lane_ok = lane_ok && expect == golden.channel(i)[7];
+        U128 expect = q.add(q.mul(ct1.channel(i).at(7), ct2.channel(i).at(7)),
+                            ct1.channel(i).at(7));
+        lane_ok = lane_ok && expect == golden.channel(i).at(7);
     }
     std::printf("\nlane 7 closed-form check: %s\n",
                 lane_ok ? "ok" : "FAILED");

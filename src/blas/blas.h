@@ -7,6 +7,12 @@
  *
  * Vectors use the split hi/lo layout (core/residue_span.h); lengths are
  * arbitrary (the paper benchmarks length 1024).
+ *
+ * Aliasing: the output span may EXACTLY alias an input span (c == a or
+ * c == b, in-place operation) — every backend processes one block (or
+ * one element) at a time and loads its inputs before storing the
+ * result. Partial overlaps are undefined; the layer above
+ * (ntt::NegacyclicEngine's span API) rejects them.
  */
 #pragma once
 

@@ -1,6 +1,13 @@
 /**
  * @file
  * Cache-line-aligned storage for SIMD-friendly residue arrays.
+ *
+ * The allocation primitives (alignedAlloc / alignedFree) are the single
+ * funnel every residue buffer goes through: one ZMM register is 64
+ * bytes, so 64-byte alignment makes every AVX-512 load a full aligned
+ * cache-line access, and funnelling the allocations lets the layout
+ * counters (core/layout_metrics.h) prove that a warmed-up kernel path
+ * allocates nothing.
  */
 #pragma once
 
@@ -8,15 +15,42 @@
 #include <new>
 #include <utility>
 
+#include "core/layout_metrics.h"
+
 namespace mqx {
 
+/** Default alignment for residue storage: one AVX-512 register / cache line. */
+inline constexpr size_t kResidueAlignment = 64;
+
 /**
- * Minimal aligned dynamic array. Vector registers load 64 bytes at a
- * time; keeping residue arrays 64-byte aligned makes every SIMD load an
- * aligned full-line access. Only the operations the kernels need are
- * provided (no incremental growth).
+ * Allocate @p bytes of raw storage aligned to @p alignment (a power of
+ * two). Counted in layout::metrics().aligned_allocs; release with
+ * alignedFree using the same alignment. Returns nullptr for 0 bytes.
  */
-template <typename T, size_t Alignment = 64>
+inline void*
+alignedAlloc(size_t bytes, size_t alignment = kResidueAlignment)
+{
+    if (bytes == 0)
+        return nullptr;
+    layout::noteAlignedAlloc();
+    return ::operator new[](bytes, std::align_val_t{alignment});
+}
+
+/** Release storage obtained from alignedAlloc (nullptr is a no-op). */
+inline void
+alignedFree(void* p, size_t alignment = kResidueAlignment)
+{
+    if (p)
+        ::operator delete[](p, std::align_val_t{alignment});
+}
+
+/**
+ * Minimal aligned dynamic array on top of alignedAlloc. Only the
+ * operations the kernels need are provided (no incremental growth);
+ * move and swap hand over the allocation itself, so the alignment of a
+ * buffer is fixed at allocation time and survives both.
+ */
+template <typename T, size_t Alignment = kResidueAlignment>
 class AlignedVec
 {
   public:
@@ -59,12 +93,19 @@ class AlignedVec
     {
         release();
         if (count) {
-            data_ = static_cast<T*>(::operator new[](
-                count * sizeof(T), std::align_val_t{Alignment}));
+            data_ = static_cast<T*>(alignedAlloc(count * sizeof(T), Alignment));
             for (size_t i = 0; i < count; ++i)
                 new (data_ + i) T{};
             size_ = count;
         }
+    }
+
+    /** Exchange buffers (no allocation, no copy; alignment rides along). */
+    void
+    swap(AlignedVec& other) noexcept
+    {
+        std::swap(data_, other.data_);
+        std::swap(size_, other.size_);
     }
 
     size_t size() const { return size_; }
@@ -85,7 +126,7 @@ class AlignedVec
         if (data_) {
             for (size_t i = size_; i-- > 0;)
                 data_[i].~T();
-            ::operator delete[](data_, std::align_val_t{Alignment});
+            alignedFree(data_, Alignment);
             data_ = nullptr;
             size_ = 0;
         }
@@ -102,5 +143,12 @@ class AlignedVec
     T* data_ = nullptr;
     size_t size_ = 0;
 };
+
+template <typename T, size_t A>
+void
+swap(AlignedVec<T, A>& a, AlignedVec<T, A>& b) noexcept
+{
+    a.swap(b);
+}
 
 } // namespace mqx

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Process-wide counters for the two costs the split hi/lo refactor
+ * eliminates from the steady-state kernel path: AoS<->SoA layout
+ * conversions (ResidueVector::fromU128 / toU128) and aligned heap
+ * allocations (AlignedVec growth).
+ *
+ * The counters are test/bench hooks, not a profiler: tests snapshot
+ * them around a warmed-up op and assert the deltas are zero, and
+ * bench_engine reports them per call to show what the SoA-native path
+ * saves over the retained U128 adapter path. Relaxed atomics keep the
+ * hooks free of ordering cost on the hot path (a counter bump is the
+ * only overhead, and only where a conversion/allocation — the expensive
+ * event — already happens).
+ */
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace mqx {
+namespace layout {
+
+/** Snapshot of the process-wide layout-cost counters. */
+struct Metrics
+{
+    uint64_t from_u128;      ///< AoS -> SoA repacks (ResidueVector::fromU128)
+    uint64_t to_u128;        ///< SoA -> AoS repacks (ResidueVector::toU128)
+    uint64_t aligned_allocs; ///< 64-byte-aligned heap allocations
+
+    uint64_t conversions() const { return from_u128 + to_u128; }
+};
+
+namespace detail {
+
+inline std::atomic<uint64_t> from_u128_count{0};
+inline std::atomic<uint64_t> to_u128_count{0};
+inline std::atomic<uint64_t> aligned_alloc_count{0};
+
+} // namespace detail
+
+inline void
+noteFromU128()
+{
+    detail::from_u128_count.fetch_add(1, std::memory_order_relaxed);
+}
+
+inline void
+noteToU128()
+{
+    detail::to_u128_count.fetch_add(1, std::memory_order_relaxed);
+}
+
+inline void
+noteAlignedAlloc()
+{
+    detail::aligned_alloc_count.fetch_add(1, std::memory_order_relaxed);
+}
+
+/** Current counter values (monotonic since process start or reset()). */
+inline Metrics
+metrics()
+{
+    return Metrics{
+        detail::from_u128_count.load(std::memory_order_relaxed),
+        detail::to_u128_count.load(std::memory_order_relaxed),
+        detail::aligned_alloc_count.load(std::memory_order_relaxed),
+    };
+}
+
+/** Zero every counter (single-threaded test/bench sections only). */
+inline void
+reset()
+{
+    detail::from_u128_count.store(0, std::memory_order_relaxed);
+    detail::to_u128_count.store(0, std::memory_order_relaxed);
+    detail::aligned_alloc_count.store(0, std::memory_order_relaxed);
+}
+
+/** Delta between two snapshots (b taken after a). */
+inline Metrics
+delta(const Metrics& a, const Metrics& b)
+{
+    return Metrics{b.from_u128 - a.from_u128, b.to_u128 - a.to_u128,
+                   b.aligned_allocs - a.aligned_allocs};
+}
+
+} // namespace layout
+} // namespace mqx

@@ -6,14 +6,25 @@
  * arrays — one of high words, one of low words — so that a vector
  * register holds eight high (or low) words at once (paper Section 3.2:
  * "we divide the 128-bit input vector into two 64-bit vectors").
+ *
+ * Split hi/lo is the NATIVE storage format end to end: RnsPolynomial
+ * channels are ResidueVectors and every kernel layer hands spans of
+ * them straight down to the backends. The fromU128/toU128 adapters
+ * exist only at the public big-integer boundary (fromCoefficients /
+ * toCoefficients, reference comparators); each use is counted in
+ * layout::metrics() so tests can assert the steady-state kernel path
+ * performs zero layout conversions.
  */
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
+#include <functional>
 #include <vector>
 
 #include "core/aligned.h"
+#include "core/layout_metrics.h"
 #include "u128/u128.h"
 
 namespace mqx {
@@ -41,6 +52,44 @@ struct DConstSpan
     }
 };
 
+/** True when the views alias the exact same hi and lo arrays. */
+inline bool
+sameSpan(DConstSpan a, DConstSpan b)
+{
+    return a.hi == b.hi && a.lo == b.lo && a.n == b.n;
+}
+
+namespace detail {
+
+inline bool
+rangesOverlap(const uint64_t* a, size_t an, const uint64_t* b, size_t bn)
+{
+    // std::less imposes a total order over ALL pointers; the built-in <
+    // is unspecified for pointers into different allocations, which is
+    // exactly what this guard compares.
+    std::less<const uint64_t*> lt;
+    return lt(a, b + bn) && lt(b, a + an);
+}
+
+} // namespace detail
+
+/**
+ * True when the views share any storage without being the exact same
+ * span — the aliasing shape the in-place kernel APIs reject (exact
+ * in == out aliasing is legal: every kernel loads a block before
+ * storing it; a partial overlap would read half-written data).
+ */
+inline bool
+spansPartiallyOverlap(DConstSpan a, DConstSpan b)
+{
+    if (sameSpan(a, b))
+        return false;
+    return detail::rangesOverlap(a.hi, a.n, b.hi, b.n) ||
+           detail::rangesOverlap(a.lo, a.n, b.lo, b.n) ||
+           detail::rangesOverlap(a.hi, a.n, b.lo, b.n) ||
+           detail::rangesOverlap(a.lo, a.n, b.hi, b.n);
+}
+
 /** Owning split residue vector with 64-byte-aligned halves. */
 class ResidueVector
 {
@@ -48,27 +97,56 @@ class ResidueVector
     ResidueVector() = default;
     explicit ResidueVector(size_t n) : hi_(n), lo_(n) {}
 
-    /** Split an array-of-U128 into hi/lo halves. */
+    /**
+     * Split an array-of-U128 into hi/lo halves. Adapter-boundary only:
+     * each call is one counted O(n) layout conversion plus an
+     * allocation — never use it on a steady-state kernel path.
+     */
     static ResidueVector
     fromU128(const std::vector<U128>& values)
     {
+        layout::noteFromU128();
         ResidueVector rv(values.size());
         for (size_t i = 0; i < values.size(); ++i)
             rv.set(i, values[i]);
         return rv;
     }
 
-    /** Reassemble into array-of-U128 form. */
+    /** Reassemble into array-of-U128 form (counted adapter, as above). */
     std::vector<U128>
     toU128() const
     {
-        std::vector<U128> out(size());
-        for (size_t i = 0; i < size(); ++i)
-            out[i] = at(i);
+        std::vector<U128> out;
+        copyToU128(out);
         return out;
     }
 
+    /**
+     * fromU128 into existing storage: still one counted conversion, but
+     * reuses the buffers when the size already matches (the
+     * allocation-free flavour of the adapter).
+     */
+    void
+    assignFromU128(const std::vector<U128>& values)
+    {
+        layout::noteFromU128();
+        ensure(values.size());
+        for (size_t i = 0; i < values.size(); ++i)
+            set(i, values[i]);
+    }
+
+    /** toU128 into an existing vector (counted; reuses @p out's capacity). */
+    void
+    copyToU128(std::vector<U128>& out) const
+    {
+        layout::noteToU128();
+        out.resize(size());
+        for (size_t i = 0; i < size(); ++i)
+            out[i] = at(i);
+    }
+
     size_t size() const { return hi_.size(); }
+    bool empty() const { return hi_.empty(); }
 
     U128 at(size_t i) const { return U128::fromParts(hi_[i], lo_[i]); }
 
@@ -77,6 +155,39 @@ class ResidueVector
     {
         hi_[i] = v.hi;
         lo_[i] = v.lo;
+    }
+
+    /**
+     * Make the vector exactly @p n elements long, reallocating ONLY
+     * when the size actually changes (contents are unspecified after a
+     * size change, preserved otherwise). The workspace-reuse primitive:
+     * steady-state calls with a stable n never touch the heap.
+     */
+    void
+    ensure(size_t n)
+    {
+        if (hi_.size() != n) {
+            hi_.reset(n);
+            lo_.reset(n);
+        }
+    }
+
+    /** Zero every element in place (no allocation). */
+    void
+    zero()
+    {
+        if (!hi_.empty()) {
+            std::memset(hi_.data(), 0, hi_.size() * sizeof(uint64_t));
+            std::memset(lo_.data(), 0, lo_.size() * sizeof(uint64_t));
+        }
+    }
+
+    /** Exchange buffers with @p other (no allocation, no copy). */
+    void
+    swap(ResidueVector& other) noexcept
+    {
+        hi_.swap(other.hi_);
+        lo_.swap(other.lo_);
     }
 
     DSpan span() { return DSpan{hi_.data(), lo_.data(), hi_.size()}; }
@@ -91,5 +202,30 @@ class ResidueVector
     AlignedVec<uint64_t> hi_;
     AlignedVec<uint64_t> lo_;
 };
+
+inline void
+swap(ResidueVector& a, ResidueVector& b) noexcept
+{
+    a.swap(b);
+}
+
+inline bool
+operator==(const ResidueVector& a, const ResidueVector& b)
+{
+    if (a.size() != b.size())
+        return false;
+    DConstSpan sa = a.span(), sb = b.span();
+    for (size_t i = 0; i < sa.n; ++i) {
+        if (sa.hi[i] != sb.hi[i] || sa.lo[i] != sb.lo[i])
+            return false;
+    }
+    return true;
+}
+
+inline bool
+operator!=(const ResidueVector& a, const ResidueVector& b)
+{
+    return !(a == b);
+}
 
 } // namespace mqx

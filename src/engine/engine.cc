@@ -27,95 +27,153 @@ Engine::Engine(EngineOptions options)
 {
 }
 
-rns::RnsPolynomial
-Engine::add(const rns::RnsPolynomial& a, const rns::RnsPolynomial& b)
+void
+Engine::addInto(const rns::RnsPolynomial& a, const rns::RnsPolynomial& b,
+                rns::RnsPolynomial& c)
 {
     rns::detail::checkCompatible(a.basis(), a, b);
     rns::detail::checkForm(b, a.form(), "Engine::add");
     const rns::RnsBasis& basis = a.basis();
-    rns::RnsPolynomial c(basis, a.n(), a.form());
+    rns::detail::checkDest(c, basis, a.n(), a.form(), "Engine::addInto");
     pool_.parallelFor(0, basis.size(), [&](size_t i) {
         rns::detail::addChannel(backend_, basis, i, a, b, c);
     });
+}
+
+rns::RnsPolynomial
+Engine::add(const rns::RnsPolynomial& a, const rns::RnsPolynomial& b)
+{
+    // Construct-and-delegate: addInto re-validates the operands before
+    // any channel work, so no checks are duplicated here (same pattern
+    // for every value-returning form below).
+    rns::RnsPolynomial c(a.basis(), a.n(), a.form());
+    addInto(a, b, c);
     return c;
+}
+
+void
+Engine::mulInto(const rns::RnsPolynomial& a, const rns::RnsPolynomial& b,
+                rns::RnsPolynomial& c)
+{
+    rns::detail::checkCompatible(a.basis(), a, b);
+    rns::detail::checkForm(b, a.form(), "Engine::mul");
+    const rns::RnsBasis& basis = a.basis();
+    rns::detail::checkDest(c, basis, a.n(), a.form(), "Engine::mulInto");
+    pool_.parallelFor(0, basis.size(), [&](size_t i) {
+        rns::detail::mulChannel(backend_, basis, i, a, b, c);
+    });
 }
 
 rns::RnsPolynomial
 Engine::mul(const rns::RnsPolynomial& a, const rns::RnsPolynomial& b)
 {
-    rns::detail::checkCompatible(a.basis(), a, b);
-    rns::detail::checkForm(b, a.form(), "Engine::mul");
-    const rns::RnsBasis& basis = a.basis();
-    rns::RnsPolynomial c(basis, a.n(), a.form());
-    pool_.parallelFor(0, basis.size(), [&](size_t i) {
-        rns::detail::mulChannel(backend_, basis, i, a, b, c);
-    });
+    rns::RnsPolynomial c(a.basis(), a.n(), a.form());
+    mulInto(a, b, c);
     return c;
+}
+
+void
+Engine::polymulNegacyclicInto(const rns::RnsPolynomial& a,
+                              const rns::RnsPolynomial& b,
+                              rns::RnsPolynomial& c)
+{
+    rns::detail::checkCompatible(a.basis(), a, b);
+    rns::detail::checkForm(a, rns::Form::Coeff, "Engine::polymulNegacyclic");
+    rns::detail::checkForm(b, rns::Form::Coeff, "Engine::polymulNegacyclic");
+    const rns::RnsBasis& basis = a.basis();
+    rns::detail::checkDest(c, basis, a.n(), rns::Form::Coeff,
+                           "Engine::polymulNegacyclicInto");
+    pool_.parallelFor(0, basis.size(), [&](size_t i) {
+        rns::detail::polymulChannel(
+            backend_, basis, i,
+            plan_cache_.getNegacyclic(basis.prime(i), a.n()), workspaces_, a,
+            b, c);
+    });
 }
 
 rns::RnsPolynomial
 Engine::polymulNegacyclic(const rns::RnsPolynomial& a,
                           const rns::RnsPolynomial& b)
 {
-    rns::detail::checkCompatible(a.basis(), a, b);
-    rns::detail::checkForm(a, rns::Form::Coeff, "Engine::polymulNegacyclic");
-    rns::detail::checkForm(b, rns::Form::Coeff, "Engine::polymulNegacyclic");
-    const rns::RnsBasis& basis = a.basis();
-    rns::RnsPolynomial c(basis, a.n());
-    pool_.parallelFor(0, basis.size(), [&](size_t i) {
-        rns::detail::polymulChannel(backend_, basis, i,
-                                    plan_cache_.getNegacyclic(basis.prime(i), a.n()),
-                                    a, b, c);
-    });
+    rns::RnsPolynomial c(a.basis(), a.n());
+    polymulNegacyclicInto(a, b, c);
     return c;
+}
+
+void
+Engine::toEvalInto(const rns::RnsPolynomial& a, rns::RnsPolynomial& c)
+{
+    rns::detail::checkForm(a, rns::Form::Coeff, "Engine::toEval");
+    const rns::RnsBasis& basis = a.basis();
+    rns::detail::checkDest(c, basis, a.n(), rns::Form::Eval,
+                           "Engine::toEvalInto");
+    pool_.parallelFor(0, basis.size(), [&](size_t i) {
+        rns::detail::toEvalChannel(
+            backend_, basis, i,
+            plan_cache_.getNegacyclic(basis.prime(i), a.n()), workspaces_, a,
+            c);
+    });
 }
 
 rns::RnsPolynomial
 Engine::toEval(const rns::RnsPolynomial& a)
 {
-    rns::detail::checkForm(a, rns::Form::Coeff, "Engine::toEval");
-    const rns::RnsBasis& basis = a.basis();
-    rns::RnsPolynomial c(basis, a.n(), rns::Form::Eval);
-    pool_.parallelFor(0, basis.size(), [&](size_t i) {
-        rns::detail::toEvalChannel(
-            backend_, basis, i,
-            plan_cache_.getNegacyclic(basis.prime(i), a.n()), a, c);
-    });
+    rns::RnsPolynomial c(a.basis(), a.n(), rns::Form::Eval);
+    toEvalInto(a, c);
     return c;
+}
+
+void
+Engine::toCoeffInto(const rns::RnsPolynomial& a, rns::RnsPolynomial& c)
+{
+    rns::detail::checkForm(a, rns::Form::Eval, "Engine::toCoeff");
+    const rns::RnsBasis& basis = a.basis();
+    rns::detail::checkDest(c, basis, a.n(), rns::Form::Coeff,
+                           "Engine::toCoeffInto");
+    pool_.parallelFor(0, basis.size(), [&](size_t i) {
+        rns::detail::toCoeffChannel(
+            backend_, basis, i,
+            plan_cache_.getNegacyclic(basis.prime(i), a.n()), workspaces_, a,
+            c);
+    });
 }
 
 rns::RnsPolynomial
 Engine::toCoeff(const rns::RnsPolynomial& a)
 {
-    rns::detail::checkForm(a, rns::Form::Eval, "Engine::toCoeff");
-    const rns::RnsBasis& basis = a.basis();
-    rns::RnsPolynomial c(basis, a.n(), rns::Form::Coeff);
-    pool_.parallelFor(0, basis.size(), [&](size_t i) {
-        rns::detail::toCoeffChannel(
-            backend_, basis, i,
-            plan_cache_.getNegacyclic(basis.prime(i), a.n()), a, c);
-    });
+    rns::RnsPolynomial c(a.basis(), a.n(), rns::Form::Coeff);
+    toCoeffInto(a, c);
     return c;
 }
 
-rns::RnsPolynomial
-Engine::mulEval(const rns::RnsPolynomial& a, const rns::RnsPolynomial& b)
+void
+Engine::mulEvalInto(const rns::RnsPolynomial& a, const rns::RnsPolynomial& b,
+                    rns::RnsPolynomial& c)
 {
     rns::detail::checkCompatible(a.basis(), a, b);
     rns::detail::checkForm(a, rns::Form::Eval, "Engine::mulEval");
     rns::detail::checkForm(b, rns::Form::Eval, "Engine::mulEval");
     const rns::RnsBasis& basis = a.basis();
-    rns::RnsPolynomial c(basis, a.n(), rns::Form::Eval);
+    rns::detail::checkDest(c, basis, a.n(), rns::Form::Eval,
+                           "Engine::mulEvalInto");
     pool_.parallelFor(0, basis.size(), [&](size_t i) {
         rns::detail::mulChannel(backend_, basis, i, a, b, c);
     });
-    return c;
 }
 
 rns::RnsPolynomial
-Engine::fmaBatch(
+Engine::mulEval(const rns::RnsPolynomial& a, const rns::RnsPolynomial& b)
+{
+    rns::RnsPolynomial c(a.basis(), a.n(), rns::Form::Eval);
+    mulEvalInto(a, b, c);
+    return c;
+}
+
+void
+Engine::fmaBatchInto(
     const std::vector<std::pair<const rns::RnsPolynomial*,
-                                const rns::RnsPolynomial*>>& products)
+                                const rns::RnsPolynomial*>>& products,
+    rns::RnsPolynomial& c)
 {
     checkArg(!products.empty(), "Engine::fmaBatch: empty batch");
     for (const auto& [a, b] : products) {
@@ -129,13 +187,29 @@ Engine::fmaBatch(
                  "Engine::fmaBatch: length mismatch across batch");
     }
     const rns::RnsBasis& basis = first.basis();
-    rns::RnsPolynomial c(basis, first.n());
+    rns::detail::checkDest(c, basis, first.n(), rns::Form::Coeff,
+                           "Engine::fmaBatchInto");
     pool_.parallelFor(0, basis.size(), [&](size_t i) {
         rns::detail::fmaChannel(
             backend_, basis, i,
-            plan_cache_.getNegacyclic(basis.prime(i), first.n()), products,
-            c);
+            plan_cache_.getNegacyclic(basis.prime(i), first.n()), workspaces_,
+            products, c);
     });
+}
+
+rns::RnsPolynomial
+Engine::fmaBatch(
+    const std::vector<std::pair<const rns::RnsPolynomial*,
+                                const rns::RnsPolynomial*>>& products)
+{
+    // Only the checks needed to construct the destination; fmaBatchInto
+    // re-validates the whole batch.
+    checkArg(!products.empty(), "Engine::fmaBatch: empty batch");
+    checkArg(products.front().first != nullptr,
+             "Engine::fmaBatch: null operand");
+    const rns::RnsPolynomial& first = *products.front().first;
+    rns::RnsPolynomial c(first.basis(), first.n());
+    fmaBatchInto(products, c);
     return c;
 }
 
@@ -173,8 +247,8 @@ Engine::polymulNegacyclicBatch(
         const rns::RnsPolynomial& b = *products[p].second;
         rns::detail::polymulChannel(
             backend_, a.basis(), channel,
-            plan_cache_.getNegacyclic(a.basis().prime(channel), a.n()), a, b,
-            results[p]);
+            plan_cache_.getNegacyclic(a.basis().prime(channel), a.n()),
+            workspaces_, a, b, results[p]);
     });
     return results;
 }

@@ -58,24 +58,50 @@ class Engine
     PlanCache& planCache() { return plan_cache_; }
 
     /**
+     * Recycled per-task transform workspaces: every channel task leases
+     * a NegacyclicEngine (buffers + tables binding) from this pool, so
+     * a warmed-up engine performs zero heap allocations per op — the
+     * steady state is a mutex pop, not four length-n buffer
+     * allocations. Grows to the peak concurrent task count and stays
+     * there.
+     */
+    ntt::NegacyclicWorkspacePool& workspacePool() { return workspaces_; }
+
+    /**
+     * Every operation below has a value-returning convenience form and
+     * an `*Into` form writing into a caller-preallocated destination
+     * (matching basis/length, constructed in the result form). The Into
+     * forms are the allocation-free steady-state path; the value forms
+     * simply construct the destination and delegate.
+     */
+
+    /**
      * c = a + b: channels fanned out across the pool. Valid in either
      * form (the NTT is linear), but the operands must match; the result
      * carries their form.
      */
     rns::RnsPolynomial add(const rns::RnsPolynomial& a,
                            const rns::RnsPolynomial& b);
+    void addInto(const rns::RnsPolynomial& a, const rns::RnsPolynomial& b,
+                 rns::RnsPolynomial& c);
 
     /** c = a .* b (point-wise; same-form operands), channels fanned out. */
     rns::RnsPolynomial mul(const rns::RnsPolynomial& a,
                            const rns::RnsPolynomial& b);
+    void mulInto(const rns::RnsPolynomial& a, const rns::RnsPolynomial& b,
+                 rns::RnsPolynomial& c);
 
     /**
      * a * b mod (x^n + 1, Q) for Coeff-form operands: each channel runs
      * the full twist + NTT + point-wise + inverse pipeline on a pool
-     * thread, with the cyclic plan taken from the cache.
+     * thread, with the cyclic plan taken from the cache and the scratch
+     * leased from the workspace pool.
      */
     rns::RnsPolynomial polymulNegacyclic(const rns::RnsPolynomial& a,
                                          const rns::RnsPolynomial& b);
+    void polymulNegacyclicInto(const rns::RnsPolynomial& a,
+                               const rns::RnsPolynomial& b,
+                               rns::RnsPolynomial& c);
 
     /**
      * Forward every channel into Eval form (cached NegacyclicTables,
@@ -85,9 +111,11 @@ class Engine
      * toCoeff at the end. @throws InvalidArgument unless Coeff form.
      */
     rns::RnsPolynomial toEval(const rns::RnsPolynomial& a);
+    void toEvalInto(const rns::RnsPolynomial& a, rns::RnsPolynomial& c);
 
     /** Inverse of toEval. @throws InvalidArgument unless Eval form. */
     rns::RnsPolynomial toCoeff(const rns::RnsPolynomial& a);
+    void toCoeffInto(const rns::RnsPolynomial& a, rns::RnsPolynomial& c);
 
     /**
      * Negacyclic ring product of two Eval-form operands: one point-wise
@@ -95,6 +123,8 @@ class Engine
      */
     rns::RnsPolynomial mulEval(const rns::RnsPolynomial& a,
                                const rns::RnsPolynomial& b);
+    void mulEvalInto(const rns::RnsPolynomial& a, const rns::RnsPolynomial& b,
+                     rns::RnsPolynomial& c);
 
     /**
      * Fused dot product sum_i a_i * b_i mod (x^n + 1, Q), one channel
@@ -109,6 +139,10 @@ class Engine
     rns::RnsPolynomial fmaBatch(
         const std::vector<std::pair<const rns::RnsPolynomial*,
                                     const rns::RnsPolynomial*>>& products);
+    void fmaBatchInto(
+        const std::vector<std::pair<const rns::RnsPolynomial*,
+                                    const rns::RnsPolynomial*>>& products,
+        rns::RnsPolynomial& c);
 
     /**
      * Run many independent negacyclic products concurrently. All
@@ -125,6 +159,7 @@ class Engine
     Backend backend_;
     ThreadPool pool_;
     PlanCache plan_cache_;
+    ntt::NegacyclicWorkspacePool workspaces_;
 };
 
 } // namespace engine

@@ -34,6 +34,22 @@ requireTables(std::shared_ptr<const NegacyclicTables> tables)
     return tables;
 }
 
+/**
+ * Shared span validation: both views must be exactly n long, and an
+ * input may alias the output only exactly (in == out); a partial
+ * overlap would make the kernels read half-written data.
+ */
+void
+checkSpans(DConstSpan in, DConstSpan out, size_t n, const char* what)
+{
+    if (in.n != n || out.n != n)
+        throw InvalidArgument(std::string(what) + ": size mismatch");
+    if (spansPartiallyOverlap(in, out)) {
+        throw InvalidArgument(std::string(what) +
+                              ": partially overlapping spans");
+    }
+}
+
 } // namespace
 
 NegacyclicTables::NegacyclicTables(std::shared_ptr<const NttPlan> plan)
@@ -106,46 +122,120 @@ NegacyclicEngine::NegacyclicEngine(
 {
 }
 
+void
+NegacyclicEngine::rebind(std::shared_ptr<const NegacyclicTables> tables,
+                         Backend backend)
+{
+    tables_ = requireTables(std::move(tables));
+    backend_ = backend;
+    const size_t n = tables_->plan().n();
+    buf_a_.ensure(n);
+    buf_b_.ensure(n);
+    buf_c_.ensure(n);
+    scratch_.ensure(n);
+    // aux_ stays as-is: auxBuffer() re-sizes lazily on next use.
+}
+
+ResidueVector&
+NegacyclicEngine::auxBuffer(size_t slot)
+{
+    checkArg(slot < aux_.size(), "NegacyclicEngine::auxBuffer: bad slot");
+    aux_[slot].ensure(tables_->plan().n());
+    return aux_[slot];
+}
+
+void
+NegacyclicEngine::forward(DConstSpan in, DSpan out)
+{
+    const NttPlan& plan = tables_->plan();
+    checkSpans(in, out, plan.n(), "NegacyclicEngine::forward");
+    // Twist then cyclic forward. `in` is fully consumed by the twist
+    // pass into buf_a_, so out == in is safe.
+    blas::vmul(backend_, plan.modulus(), in, tables_->twist().span(),
+               buf_a_.span());
+    ntt::forward(plan, backend_, buf_a_.span(), out, scratch_.span());
+}
+
+void
+NegacyclicEngine::inverse(DConstSpan in, DSpan out)
+{
+    const NttPlan& plan = tables_->plan();
+    checkSpans(in, out, plan.n(), "NegacyclicEngine::inverse");
+    ntt::inverse(plan, backend_, in, buf_a_.span(), scratch_.span());
+    blas::vmul(backend_, plan.modulus(), buf_a_.span(),
+               tables_->untwist().span(), out);
+}
+
+void
+NegacyclicEngine::pointwiseMul(DConstSpan f_eval, DConstSpan g_eval,
+                               DSpan out)
+{
+    const NttPlan& plan = tables_->plan();
+    checkSpans(f_eval, out, plan.n(), "NegacyclicEngine::pointwiseMul");
+    checkSpans(g_eval, out, plan.n(), "NegacyclicEngine::pointwiseMul");
+    // Every backend loads a block before storing it, so out may alias
+    // either input exactly.
+    blas::vmul(backend_, plan.modulus(), f_eval, g_eval, out);
+}
+
+void
+NegacyclicEngine::pointwiseAccumulate(DSpan acc, DConstSpan f_eval,
+                                      DConstSpan g_eval)
+{
+    const NttPlan& plan = tables_->plan();
+    checkSpans(f_eval, acc, plan.n(), "NegacyclicEngine::pointwiseAccumulate");
+    checkSpans(g_eval, acc, plan.n(), "NegacyclicEngine::pointwiseAccumulate");
+    // Product into scratch, then fold into the accumulator in place
+    // (vadd with c == a is the exact-alias case every backend handles).
+    blas::vmul(backend_, plan.modulus(), f_eval, g_eval, buf_c_.span());
+    blas::vadd(backend_, plan.modulus(), acc, buf_c_.span(), acc);
+}
+
+void
+NegacyclicEngine::polymul(DConstSpan f, DConstSpan g, DSpan out)
+{
+    const NttPlan& plan = tables_->plan();
+    checkSpans(f, out, plan.n(), "NegacyclicEngine::polymul");
+    checkSpans(g, out, plan.n(), "NegacyclicEngine::polymul");
+    forward(f, buf_b_.span());
+    forward(g, buf_c_.span());
+    // Point-wise product in place over buf_b_ (exact alias).
+    blas::vmul(backend_, plan.modulus(), buf_b_.span(), buf_c_.span(),
+               buf_b_.span());
+    inverse(buf_b_.span(), out);
+}
+
 std::vector<U128>
 NegacyclicEngine::forward(const std::vector<U128>& input)
 {
-    const NttPlan& plan = tables_->plan();
-    checkArg(input.size() == plan.n(),
+    checkArg(input.size() == tables_->plan().n(),
              "NegacyclicEngine::forward: size mismatch");
     ResidueVector in = ResidueVector::fromU128(input);
-    // Twist then cyclic forward.
-    blas::vmul(backend_, plan.modulus(), in.span(), tables_->twist().span(),
-               buf_a_.span());
-    ntt::forward(plan, backend_, buf_a_.span(), buf_b_.span(),
-                 scratch_.span());
-    return buf_b_.toU128();
+    forward(in.span(), in.span()); // in-place: exact alias is legal
+    return in.toU128();
 }
 
 std::vector<U128>
 NegacyclicEngine::inverse(const std::vector<U128>& input)
 {
-    const NttPlan& plan = tables_->plan();
-    checkArg(input.size() == plan.n(),
+    checkArg(input.size() == tables_->plan().n(),
              "NegacyclicEngine::inverse: size mismatch");
     ResidueVector in = ResidueVector::fromU128(input);
-    ntt::inverse(plan, backend_, in.span(), buf_a_.span(), scratch_.span());
-    blas::vmul(backend_, plan.modulus(), buf_a_.span(),
-               tables_->untwist().span(), buf_b_.span());
-    return buf_b_.toU128();
+    inverse(in.span(), in.span());
+    return in.toU128();
 }
 
 std::vector<U128>
 NegacyclicEngine::pointwiseMul(const std::vector<U128>& f_eval,
                                const std::vector<U128>& g_eval)
 {
-    const NttPlan& plan = tables_->plan();
-    checkArg(f_eval.size() == plan.n() && g_eval.size() == plan.n(),
+    checkArg(f_eval.size() == tables_->plan().n() &&
+                 g_eval.size() == tables_->plan().n(),
              "NegacyclicEngine::pointwiseMul: size mismatch");
     ResidueVector ta = ResidueVector::fromU128(f_eval);
     ResidueVector tb = ResidueVector::fromU128(g_eval);
-    blas::vmul(backend_, plan.modulus(), ta.span(), tb.span(),
-               buf_c_.span());
-    return buf_c_.toU128();
+    pointwiseMul(ta.span(), tb.span(), ta.span());
+    return ta.toU128();
 }
 
 void
@@ -153,48 +243,98 @@ NegacyclicEngine::pointwiseAccumulate(ResidueVector& acc,
                                       const std::vector<U128>& f_eval,
                                       const std::vector<U128>& g_eval)
 {
-    const NttPlan& plan = tables_->plan();
-    checkArg(acc.size() == plan.n() && f_eval.size() == plan.n() &&
-                 g_eval.size() == plan.n(),
+    checkArg(f_eval.size() == tables_->plan().n() &&
+                 g_eval.size() == tables_->plan().n(),
              "NegacyclicEngine::pointwiseAccumulate: size mismatch");
     ResidueVector ta = ResidueVector::fromU128(f_eval);
     ResidueVector tb = ResidueVector::fromU128(g_eval);
-    blas::vmul(backend_, plan.modulus(), ta.span(), tb.span(),
-               buf_c_.span());
-    // Sum into a scratch buffer, then swap it in: the accumulator
-    // never round-trips through U128 form and no backend is asked to
-    // write a vadd output over one of its inputs.
-    blas::vadd(backend_, plan.modulus(), acc.span(), buf_c_.span(),
-               buf_a_.span());
-    std::swap(acc, buf_a_);
+    pointwiseAccumulate(acc.span(), ta.span(), tb.span());
 }
 
 std::vector<U128>
 NegacyclicEngine::polymulNegacyclic(const std::vector<U128>& f,
                                     const std::vector<U128>& g)
 {
-    const NttPlan& plan = tables_->plan();
-    checkArg(f.size() == plan.n() && g.size() == plan.n(),
+    checkArg(f.size() == tables_->plan().n() &&
+                 g.size() == tables_->plan().n(),
              "NegacyclicEngine::polymulNegacyclic: size mismatch");
-    return inverse(pointwiseMul(forward(f), forward(g)));
+    ResidueVector tf = ResidueVector::fromU128(f);
+    ResidueVector tg = ResidueVector::fromU128(g);
+    polymul(tf.span(), tg.span(), tf.span());
+    return tf.toU128();
+}
+
+NegacyclicWorkspacePool::Lease::~Lease()
+{
+    if (pool_ && engine_)
+        pool_->release(std::move(engine_));
+}
+
+NegacyclicWorkspacePool::Lease
+NegacyclicWorkspacePool::acquire(
+    std::shared_ptr<const NegacyclicTables> tables, Backend backend)
+{
+    std::unique_ptr<NegacyclicEngine> engine;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (!free_.empty()) {
+            engine = std::move(free_.back());
+            free_.pop_back();
+        }
+    }
+    if (engine) {
+        engine->rebind(std::move(tables), backend);
+    } else {
+        engine = std::make_unique<NegacyclicEngine>(std::move(tables),
+                                                    backend);
+    }
+    return Lease(this, std::move(engine));
+}
+
+size_t
+NegacyclicWorkspacePool::idleCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return free_.size();
+}
+
+void
+NegacyclicWorkspacePool::release(std::unique_ptr<NegacyclicEngine> engine)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    free_.push_back(std::move(engine));
+}
+
+void
+negacyclicConvolutionInto(const Modulus& modulus, const std::vector<U128>& f,
+                          const std::vector<U128>& g, std::vector<U128>& out,
+                          std::vector<U128>& full_scratch)
+{
+    checkArg(f.size() == g.size() && !f.empty(),
+             "negacyclicConvolution: length mismatch");
+    checkArg(&out != &full_scratch && &out != &f && &out != &g &&
+                 &full_scratch != &f && &full_scratch != &g,
+             "negacyclicConvolutionInto: aliased output/scratch");
+    size_t n = f.size();
+    // assign() reuses the scratch's capacity across calls — a caller
+    // looping over channels/trials no longer grows a fresh 2n-1 product
+    // vector per iteration.
+    schoolbookPolyMulInto(modulus, f, g, full_scratch);
+    out.assign(n, U128{0});
+    for (size_t i = 0; i < full_scratch.size(); ++i) {
+        if (i < n)
+            out[i] = modulus.add(out[i], full_scratch[i]);
+        else
+            out[i - n] = modulus.sub(out[i - n], full_scratch[i]); // x^n = -1
+    }
 }
 
 std::vector<U128>
 negacyclicConvolution(const Modulus& modulus, const std::vector<U128>& f,
                       const std::vector<U128>& g)
 {
-    checkArg(f.size() == g.size() && !f.empty(),
-             "negacyclicConvolution: length mismatch");
-    size_t n = f.size();
-    std::vector<U128> full = schoolbookPolyMul(modulus, f, g);
-    full.resize(2 * n - 1, U128{0});
-    std::vector<U128> out(n, U128{0});
-    for (size_t i = 0; i < full.size(); ++i) {
-        if (i < n)
-            out[i] = modulus.add(out[i], full[i]);
-        else
-            out[i - n] = modulus.sub(out[i - n], full[i]); // x^n = -1
-    }
+    std::vector<U128> out, full;
+    negacyclicConvolutionInto(modulus, f, g, out, full);
     return out;
 }
 

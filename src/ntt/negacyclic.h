@@ -14,10 +14,26 @@
  * passes, which are plain point-wise multiplies — reusing the paper's
  * BLAS kernels. Requires 2n | q - 1 (one extra factor of two of
  * 2-adicity).
+ *
+ * Data layout: the staged primitives are span-based and SoA-native —
+ * they consume and produce split hi/lo views (core/residue_span.h)
+ * with NO layout conversion and NO allocation per call; all scratch
+ * lives in the engine and is reused across calls. The std::vector<U128>
+ * overloads are thin adapters retained for the public boundary and the
+ * reference comparators (each conversion is counted in
+ * layout::metrics()).
+ *
+ * Aliasing rules (every span primitive): an input may be the EXACT
+ * same span as the output (in == out, in-place operation — every
+ * backend loads a block before storing it), but a partial overlap is
+ * rejected with InvalidArgument.
  */
 #pragma once
 
+#include <array>
 #include <memory>
+#include <mutex>
+#include <vector>
 
 #include "core/backend.h"
 #include "ntt/ntt.h"
@@ -55,7 +71,9 @@ class NegacyclicTables
 /**
  * Negacyclic transform engine over one (q, n): shared tables plus the
  * per-instance work buffers (which make it single-threaded; give every
- * thread its own engine on top of shared tables).
+ * thread its own engine on top of shared tables — or lease one from a
+ * NegacyclicWorkspacePool, which reuses the buffers across channels
+ * and calls).
  */
 class NegacyclicEngine
 {
@@ -77,18 +95,34 @@ class NegacyclicEngine
     NegacyclicEngine(std::shared_ptr<const NegacyclicTables> tables,
                      Backend backend);
 
+    /**
+     * Re-point this engine at different precomputed tables (another
+     * residue channel, say) without constructing a new engine: the
+     * work buffers are reused as-is when the transform length matches
+     * and resized only when it changes — the workspace-recycling
+     * primitive behind the allocation-free channel dispatch.
+     */
+    void rebind(std::shared_ptr<const NegacyclicTables> tables,
+                Backend backend);
+
     const NttPlan& plan() const { return tables_->plan(); }
     Backend backend() const { return backend_; }
     U128 psi() const { return tables_->psi(); }
+
+    // ------------------------------------------------------------------
+    // Span-based staged primitives: SoA-native, in-place capable,
+    // allocation-free. Sizes must equal plan().n(); in == out is legal,
+    // partial overlaps throw InvalidArgument.
+    // ------------------------------------------------------------------
 
     /**
      * Forward negacyclic transform: twist by psi^i then cyclic forward.
      * Output in bit-reversed order (same convention as ntt::forward).
      */
-    std::vector<U128> forward(const std::vector<U128>& input);
+    void forward(DConstSpan in, DSpan out);
 
     /** Inverse: cyclic inverse then untwist by psi^-i. */
-    std::vector<U128> inverse(const std::vector<U128>& input);
+    void inverse(DConstSpan in, DSpan out);
 
     /**
      * Point-wise product of two forward() outputs — the multiplication
@@ -96,27 +130,44 @@ class NegacyclicEngine
      * the transform domain can be multiplied without re-transforming.
      * Order-consistent with forward()/inverse() (both bit-reversed).
      */
-    std::vector<U128> pointwiseMul(const std::vector<U128>& f_eval,
-                                   const std::vector<U128>& g_eval);
+    void pointwiseMul(DConstSpan f_eval, DConstSpan g_eval, DSpan out);
 
     /**
      * acc[i] += f_eval[i] * g_eval[i] mod q. The accumulation stage of a
      * transform-domain dot product: k products collapse into k calls of
      * this plus ONE inverse(), instead of k full inverse transforms.
-     * The accumulator stays in split hi/lo layout across the whole
-     * batch (convert with ResidueVector::toU128 only for the final
-     * inverse). Exact modular arithmetic makes the result independent
-     * of accumulation order, so fused sums are bit-identical to naive
-     * ones.
+     * Exact modular arithmetic makes the result independent of
+     * accumulation order, so fused sums are bit-identical to naive ones.
      */
-    void pointwiseAccumulate(ResidueVector& acc,
-                             const std::vector<U128>& f_eval,
-                             const std::vector<U128>& g_eval);
+    void pointwiseAccumulate(DSpan acc, DConstSpan f_eval, DConstSpan g_eval);
 
     /**
      * f * g mod (x^n + 1, q) — composed from the staged primitives:
      * inverse(pointwiseMul(forward(f), forward(g))).
      */
+    void polymul(DConstSpan f, DConstSpan g, DSpan out);
+
+    /**
+     * Auxiliary per-engine buffer (fma accumulators, eval staging),
+     * lazily sized to plan().n() and retained across rebinds — so a
+     * warmed-up workspace hands the fused dot product its scratch with
+     * no allocation. @p slot < 3.
+     */
+    ResidueVector& auxBuffer(size_t slot);
+
+    // ------------------------------------------------------------------
+    // U128-vector adapters (public boundary / reference comparators).
+    // Each one pays counted layout conversions; kernel code uses the
+    // span primitives above instead.
+    // ------------------------------------------------------------------
+
+    std::vector<U128> forward(const std::vector<U128>& input);
+    std::vector<U128> inverse(const std::vector<U128>& input);
+    std::vector<U128> pointwiseMul(const std::vector<U128>& f_eval,
+                                   const std::vector<U128>& g_eval);
+    void pointwiseAccumulate(ResidueVector& acc,
+                             const std::vector<U128>& f_eval,
+                             const std::vector<U128>& g_eval);
     std::vector<U128> polymulNegacyclic(const std::vector<U128>& f,
                                         const std::vector<U128>& g);
 
@@ -124,6 +175,69 @@ class NegacyclicEngine
     std::shared_ptr<const NegacyclicTables> tables_;
     Backend backend_;
     ResidueVector buf_a_, buf_b_, buf_c_, scratch_;
+    std::array<ResidueVector, 3> aux_; ///< lazily sized, see auxBuffer()
+};
+
+/**
+ * A mutex-guarded free-list of NegacyclicEngine workspaces shared by
+ * the channel-dispatch layers (engine::Engine's pool threads, the
+ * serial RnsKernels loop). acquire() leases an engine rebound to the
+ * requested tables — popping a recycled instance when one is free, so
+ * in steady state a channel op costs a mutex lock and a pointer pop
+ * instead of four length-n buffer allocations. The lease returns the
+ * engine on destruction.
+ */
+class NegacyclicWorkspacePool
+{
+  public:
+    /** RAII lease; move-only. The engine is valid for the lease's life. */
+    class Lease
+    {
+      public:
+        Lease(Lease&& other) noexcept
+            : pool_(other.pool_), engine_(std::move(other.engine_))
+        {
+            other.pool_ = nullptr;
+        }
+        Lease(const Lease&) = delete;
+        Lease& operator=(const Lease&) = delete;
+        Lease& operator=(Lease&&) = delete;
+        ~Lease();
+
+        NegacyclicEngine& engine() { return *engine_; }
+
+      private:
+        friend class NegacyclicWorkspacePool;
+        Lease(NegacyclicWorkspacePool* pool,
+              std::unique_ptr<NegacyclicEngine> engine)
+            : pool_(pool), engine_(std::move(engine))
+        {
+        }
+
+        NegacyclicWorkspacePool* pool_;
+        std::unique_ptr<NegacyclicEngine> engine_;
+    };
+
+    NegacyclicWorkspacePool() = default;
+    NegacyclicWorkspacePool(const NegacyclicWorkspacePool&) = delete;
+    NegacyclicWorkspacePool& operator=(const NegacyclicWorkspacePool&) =
+        delete;
+
+    /**
+     * Lease a workspace engine rebound to @p tables / @p backend.
+     * Thread-safe; the pool must outlive every lease.
+     */
+    Lease acquire(std::shared_ptr<const NegacyclicTables> tables,
+                  Backend backend);
+
+    /** Idle workspaces currently available for reuse (tests). */
+    size_t idleCount() const;
+
+  private:
+    void release(std::unique_ptr<NegacyclicEngine> engine);
+
+    mutable std::mutex mutex_;
+    std::vector<std::unique_ptr<NegacyclicEngine>> free_;
 };
 
 /**
@@ -133,6 +247,20 @@ class NegacyclicEngine
 std::vector<U128> negacyclicConvolution(const Modulus& modulus,
                                         const std::vector<U128>& f,
                                         const std::vector<U128>& g);
+
+/**
+ * Reference negacyclic convolution into preallocated storage: @p out
+ * receives the n-length result and @p full_scratch holds the 2n-1
+ * schoolbook product. Both are sized with assign(), so a caller looping
+ * over channels or trials reuses their capacity instead of growing a
+ * fresh 2n-1 vector per iteration (the naive path used to reallocate
+ * the full product inside such loops).
+ */
+void negacyclicConvolutionInto(const Modulus& modulus,
+                               const std::vector<U128>& f,
+                               const std::vector<U128>& g,
+                               std::vector<U128>& out,
+                               std::vector<U128>& full_scratch);
 
 } // namespace ntt
 } // namespace mqx

@@ -168,8 +168,9 @@ std::vector<U128>
 Engine::forward(const std::vector<U128>& input)
 {
     checkArg(input.size() == plan_.n(), "Engine::forward: size mismatch");
-    ResidueVector in = ResidueVector::fromU128(input);
-    ntt::forward(plan_, backend_, in.span(), buf_a_.span(), scratch_.span());
+    buf_in_.assignFromU128(input);
+    ntt::forward(plan_, backend_, buf_in_.span(), buf_a_.span(),
+                 scratch_.span());
     return buf_a_.toU128();
 }
 
@@ -177,8 +178,9 @@ std::vector<U128>
 Engine::inverse(const std::vector<U128>& input)
 {
     checkArg(input.size() == plan_.n(), "Engine::inverse: size mismatch");
-    ResidueVector in = ResidueVector::fromU128(input);
-    ntt::inverse(plan_, backend_, in.span(), buf_a_.span(), scratch_.span());
+    buf_in_.assignFromU128(input);
+    ntt::inverse(plan_, backend_, buf_in_.span(), buf_a_.span(),
+                 scratch_.span());
     return buf_a_.toU128();
 }
 
@@ -187,8 +189,9 @@ Engine::forwardNatural(const std::vector<U128>& input)
 {
     checkArg(input.size() == plan_.n(),
              "Engine::forwardNatural: size mismatch");
-    ResidueVector in = ResidueVector::fromU128(input);
-    ntt::forward(plan_, backend_, in.span(), buf_a_.span(), scratch_.span());
+    buf_in_.assignFromU128(input);
+    ntt::forward(plan_, backend_, buf_in_.span(), buf_a_.span(),
+                 scratch_.span());
     DSpan s = buf_a_.span();
     bitReversePermute(s);
     return buf_a_.toU128();
@@ -199,10 +202,12 @@ Engine::polymulCyclic(const std::vector<U128>& f, const std::vector<U128>& g)
 {
     checkArg(f.size() == plan_.n() && g.size() == plan_.n(),
              "Engine::polymulCyclic: size mismatch");
-    ResidueVector fin = ResidueVector::fromU128(f);
-    ResidueVector gin = ResidueVector::fromU128(g);
-    ntt::forward(plan_, backend_, fin.span(), buf_a_.span(), scratch_.span());
-    ntt::forward(plan_, backend_, gin.span(), buf_b_.span(), scratch_.span());
+    buf_in_.assignFromU128(f);
+    buf_in2_.assignFromU128(g);
+    ntt::forward(plan_, backend_, buf_in_.span(), buf_a_.span(),
+                 scratch_.span());
+    ntt::forward(plan_, backend_, buf_in2_.span(), buf_b_.span(),
+                 scratch_.span());
     // Point-wise multiply in the (bit-reversed) transformed domain.
     const Modulus& m = plan_.modulus();
     for (size_t i = 0; i < plan_.n(); ++i)

@@ -82,6 +82,7 @@ class Engine
     NttPlan plan_;
     Backend backend_;
     ResidueVector buf_a_, buf_b_, buf_c_, scratch_;
+    ResidueVector buf_in_, buf_in2_; ///< U128-boundary staging (reused)
 };
 
 } // namespace ntt

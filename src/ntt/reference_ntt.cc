@@ -49,17 +49,29 @@ referenceIntt(const NttPlan& plan, const std::vector<U128>& input)
     return out;
 }
 
-std::vector<U128>
-schoolbookPolyMul(const Modulus& modulus, const std::vector<U128>& f,
-                  const std::vector<U128>& g)
+void
+schoolbookPolyMulInto(const Modulus& modulus, const std::vector<U128>& f,
+                      const std::vector<U128>& g, std::vector<U128>& out)
 {
     checkArg(!f.empty() && !g.empty(), "schoolbookPolyMul: empty input");
-    std::vector<U128> out(f.size() + g.size() - 1, U128{0});
+    // out is resized and zeroed before the loop reads f/g, so it must
+    // not alias an input (the span APIs throw on this too).
+    checkArg(&out != &f && &out != &g,
+             "schoolbookPolyMulInto: output aliases an input");
+    out.assign(f.size() + g.size() - 1, U128{0});
     for (size_t i = 0; i < f.size(); ++i) {
         for (size_t j = 0; j < g.size(); ++j) {
             out[i + j] = modulus.add(out[i + j], modulus.mul(f[i], g[j]));
         }
     }
+}
+
+std::vector<U128>
+schoolbookPolyMul(const Modulus& modulus, const std::vector<U128>& f,
+                  const std::vector<U128>& g)
+{
+    std::vector<U128> out;
+    schoolbookPolyMulInto(modulus, f, g, out);
     return out;
 }
 
@@ -70,8 +82,9 @@ cyclicConvolution(const Modulus& modulus, const std::vector<U128>& f,
     checkArg(f.size() == g.size() && !f.empty(),
              "cyclicConvolution: length mismatch");
     size_t n = f.size();
+    // schoolbookPolyMul already returns exactly 2n - 1 terms for
+    // equal-length inputs; no resize needed.
     std::vector<U128> full = schoolbookPolyMul(modulus, f, g);
-    full.resize(2 * n - 1, U128{0});
     std::vector<U128> out(n, U128{0});
     for (size_t i = 0; i < full.size(); ++i)
         out[i % n] = modulus.add(out[i % n], full[i]);

@@ -36,6 +36,16 @@ std::vector<U128> schoolbookPolyMul(const Modulus& modulus,
                                     const std::vector<U128>& g);
 
 /**
+ * Schoolbook product into preallocated storage: @p out is assigned to
+ * length |f| + |g| - 1, reusing its capacity — callers looping over
+ * channels or trials pay the allocation once instead of per call.
+ */
+void schoolbookPolyMulInto(const Modulus& modulus,
+                           const std::vector<U128>& f,
+                           const std::vector<U128>& g,
+                           std::vector<U128>& out);
+
+/**
  * Cyclic (length-preserving) schoolbook convolution: the polynomial
  * product reduced mod x^n - 1. This is what pointwise multiplication in
  * the NTT domain computes.

@@ -104,9 +104,12 @@ formName(Form form)
 }
 
 RnsPolynomial::RnsPolynomial(const RnsBasis& basis, size_t n, Form form)
-    : basis_(&basis), n_(n), form_(form),
-      channels_(basis.size(), std::vector<U128>(n, U128{0}))
+    : basis_(&basis), n_(n), form_(form), channels_(basis.size())
 {
+    // Channels allocate their split hi/lo halves directly — no U128
+    // staging, zero-initialized by AlignedVec.
+    for (auto& ch : channels_)
+        ch.ensure(n);
 }
 
 RnsPolynomial
@@ -118,7 +121,7 @@ RnsPolynomial::fromCoefficients(const RnsBasis& basis,
     for (size_t c = 0; c < coeffs.size(); ++c) {
         basis.decomposeInto(coeffs[c], residues);
         for (size_t i = 0; i < basis.size(); ++i)
-            poly.channels_[i][c] = residues[i];
+            poly.channels_[i].set(c, residues[i]);
     }
     return poly;
 }
@@ -131,10 +134,18 @@ RnsPolynomial::toCoefficients() const
     std::vector<U128> residues(basis_->size());
     for (size_t c = 0; c < n_; ++c) {
         for (size_t i = 0; i < basis_->size(); ++i)
-            residues[i] = channels_[i][c];
+            residues[i] = channels_[i].at(c);
         out[c] = basis_->reconstruct(residues);
     }
     return out;
+}
+
+void
+RnsPolynomial::setChannelFromU128(size_t i, const std::vector<U128>& values)
+{
+    checkArg(values.size() == n_,
+             "RnsPolynomial::setChannelFromU128: length mismatch");
+    channels_[i].assignFromU128(values);
 }
 
 RnsPolynomial
@@ -143,8 +154,9 @@ randomPolynomial(const RnsBasis& basis, size_t n, uint64_t seed)
     RnsPolynomial p(basis, n);
     SplitMix64 rng(seed);
     for (size_t i = 0; i < basis.size(); ++i) {
+        ResidueVector& ch = p.channel(i);
         for (size_t c = 0; c < n; ++c)
-            p.channel(i)[c] = rng.nextBelow(basis.prime(i).q);
+            ch.set(c, rng.nextBelow(basis.prime(i).q));
     }
     return p;
 }
@@ -171,27 +183,39 @@ checkForm(const RnsPolynomial& a, Form expected, const char* what)
 }
 
 void
+checkDest(const RnsPolynomial& c, const RnsBasis& basis, size_t n, Form form,
+          const char* what)
+{
+    if (&c.basis() != &basis) {
+        throw InvalidArgument(std::string(what) +
+                              ": destination from a different basis");
+    }
+    if (c.n() != n) {
+        throw InvalidArgument(std::string(what) +
+                              ": destination length mismatch");
+    }
+    if (c.form() != form) {
+        throw InvalidArgument(std::string(what) + ": destination is in " +
+                              formName(c.form()) + " form, expected " +
+                              formName(form));
+    }
+}
+
+void
 addChannel(Backend backend, const RnsBasis& basis, size_t channel,
            const RnsPolynomial& a, const RnsPolynomial& b, RnsPolynomial& c)
 {
-    ResidueVector va = ResidueVector::fromU128(a.channel(channel));
-    ResidueVector vb = ResidueVector::fromU128(b.channel(channel));
-    ResidueVector vc(a.n());
-    blas::vadd(backend, basis.modulus(channel), va.span(), vb.span(),
-               vc.span());
-    c.channel(channel) = vc.toU128();
+    // Channel spans go straight to the backend — no repack, no scratch.
+    blas::vadd(backend, basis.modulus(channel), a.channel(channel).span(),
+               b.channel(channel).span(), c.channel(channel).span());
 }
 
 void
 mulChannel(Backend backend, const RnsBasis& basis, size_t channel,
            const RnsPolynomial& a, const RnsPolynomial& b, RnsPolynomial& c)
 {
-    ResidueVector va = ResidueVector::fromU128(a.channel(channel));
-    ResidueVector vb = ResidueVector::fromU128(b.channel(channel));
-    ResidueVector vc(a.n());
-    blas::vmul(backend, basis.modulus(channel), va.span(), vb.span(),
-               vc.span());
-    c.channel(channel) = vc.toU128();
+    blas::vmul(backend, basis.modulus(channel), a.channel(channel).span(),
+               b.channel(channel).span(), c.channel(channel).span());
 }
 
 namespace {
@@ -212,62 +236,74 @@ tablesOrDerive(std::shared_ptr<const ntt::NegacyclicTables> tables,
 void
 polymulChannel(Backend backend, const RnsBasis& basis, size_t channel,
                std::shared_ptr<const ntt::NegacyclicTables> tables,
+               ntt::NegacyclicWorkspacePool& workspaces,
                const RnsPolynomial& a, const RnsPolynomial& b,
                RnsPolynomial& c)
 {
-    ntt::NegacyclicEngine engine(
+    auto lease = workspaces.acquire(
         tablesOrDerive(std::move(tables), basis, channel, a.n()), backend);
-    c.channel(channel) =
-        engine.polymulNegacyclic(a.channel(channel), b.channel(channel));
+    lease.engine().polymul(a.channel(channel).span(),
+                           b.channel(channel).span(),
+                           c.channel(channel).span());
 }
 
 void
 toEvalChannel(Backend backend, const RnsBasis& basis, size_t channel,
               std::shared_ptr<const ntt::NegacyclicTables> tables,
+              ntt::NegacyclicWorkspacePool& workspaces,
               const RnsPolynomial& a, RnsPolynomial& c)
 {
-    ntt::NegacyclicEngine engine(
+    auto lease = workspaces.acquire(
         tablesOrDerive(std::move(tables), basis, channel, a.n()), backend);
-    c.channel(channel) = engine.forward(a.channel(channel));
+    lease.engine().forward(a.channel(channel).span(),
+                           c.channel(channel).span());
 }
 
 void
 toCoeffChannel(Backend backend, const RnsBasis& basis, size_t channel,
                std::shared_ptr<const ntt::NegacyclicTables> tables,
+               ntt::NegacyclicWorkspacePool& workspaces,
                const RnsPolynomial& a, RnsPolynomial& c)
 {
-    ntt::NegacyclicEngine engine(
+    auto lease = workspaces.acquire(
         tablesOrDerive(std::move(tables), basis, channel, a.n()), backend);
-    c.channel(channel) = engine.inverse(a.channel(channel));
+    lease.engine().inverse(a.channel(channel).span(),
+                           c.channel(channel).span());
 }
 
 void
 fmaChannel(Backend backend, const RnsBasis& basis, size_t channel,
            std::shared_ptr<const ntt::NegacyclicTables> tables,
+           ntt::NegacyclicWorkspacePool& workspaces,
            const std::vector<std::pair<const RnsPolynomial*,
                                        const RnsPolynomial*>>& products,
            RnsPolynomial& c)
 {
-    ntt::NegacyclicEngine engine(
+    auto lease = workspaces.acquire(
         tablesOrDerive(std::move(tables), basis, channel, c.n()), backend);
-    ResidueVector acc(c.n()); // zero-initialized, stays in split layout
-    std::vector<U128> fa, fb; // scratch for on-the-fly forwards
+    ntt::NegacyclicEngine& eng = lease.engine();
+    // Accumulator and eval staging live in the workspace: a warmed-up
+    // lease hands them back sized, so the whole batch is heap-free.
+    ResidueVector& acc = eng.auxBuffer(0);
+    ResidueVector& fa = eng.auxBuffer(1);
+    ResidueVector& fb = eng.auxBuffer(2);
+    acc.zero();
     for (const auto& [a, b] : products) {
-        const std::vector<U128>* ea = &a->channel(channel);
-        const std::vector<U128>* eb = &b->channel(channel);
+        DConstSpan ea = a->channel(channel).span();
+        DConstSpan eb = b->channel(channel).span();
         if (a->form() == Form::Coeff) {
-            fa = engine.forward(*ea);
-            ea = &fa;
+            eng.forward(ea, fa.span());
+            ea = fa.span();
         }
         if (b->form() == Form::Coeff) {
-            fb = engine.forward(*eb);
-            eb = &fb;
+            eng.forward(eb, fb.span());
+            eb = fb.span();
         }
-        engine.pointwiseAccumulate(acc, *ea, *eb);
+        eng.pointwiseAccumulate(acc.span(), ea, eb);
     }
     // The whole sum pays this single inverse — the fusion the batch
     // exists for.
-    c.channel(channel) = engine.inverse(acc.toU128());
+    eng.inverse(acc.span(), c.channel(channel).span());
 }
 
 } // namespace detail
@@ -309,104 +345,167 @@ RnsKernels::cachedTableCount() const
     return count;
 }
 
-RnsPolynomial
-RnsKernels::add(const RnsPolynomial& a, const RnsPolynomial& b) const
+void
+RnsKernels::addInto(const RnsPolynomial& a, const RnsPolynomial& b,
+                    RnsPolynomial& c) const
 {
     // Validate against THIS kernels' basis before delegating — the
     // engine can only check the operands against each other.
     detail::checkCompatible(*basis_, a, b);
-    if (engine_)
-        return engine_->add(a, b);
+    if (engine_) {
+        engine_->addInto(a, b, c);
+        return;
+    }
     detail::checkForm(b, a.form(), "RnsKernels::add");
-    RnsPolynomial c(*basis_, a.n(), a.form());
+    detail::checkDest(c, *basis_, a.n(), a.form(), "RnsKernels::addInto");
     for (size_t i = 0; i < basis_->size(); ++i)
         detail::addChannel(backend_, *basis_, i, a, b, c);
+}
+
+RnsPolynomial
+RnsKernels::add(const RnsPolynomial& a, const RnsPolynomial& b) const
+{
+    // Construct-and-delegate: addInto re-validates the operands before
+    // any channel work, so no checks are duplicated here (same pattern
+    // for every value-returning form below).
+    RnsPolynomial c(*basis_, a.n(), a.form());
+    addInto(a, b, c);
     return c;
+}
+
+void
+RnsKernels::mulInto(const RnsPolynomial& a, const RnsPolynomial& b,
+                    RnsPolynomial& c) const
+{
+    detail::checkCompatible(*basis_, a, b);
+    if (engine_) {
+        engine_->mulInto(a, b, c);
+        return;
+    }
+    detail::checkForm(b, a.form(), "RnsKernels::mul");
+    detail::checkDest(c, *basis_, a.n(), a.form(), "RnsKernels::mulInto");
+    for (size_t i = 0; i < basis_->size(); ++i)
+        detail::mulChannel(backend_, *basis_, i, a, b, c);
 }
 
 RnsPolynomial
 RnsKernels::mul(const RnsPolynomial& a, const RnsPolynomial& b) const
 {
-    // Validate against THIS kernels' basis before delegating — the
-    // engine can only check the operands against each other.
-    detail::checkCompatible(*basis_, a, b);
-    if (engine_)
-        return engine_->mul(a, b);
-    detail::checkForm(b, a.form(), "RnsKernels::mul");
     RnsPolynomial c(*basis_, a.n(), a.form());
-    for (size_t i = 0; i < basis_->size(); ++i)
-        detail::mulChannel(backend_, *basis_, i, a, b, c);
+    mulInto(a, b, c);
     return c;
+}
+
+void
+RnsKernels::polymulNegacyclicInto(const RnsPolynomial& a,
+                                  const RnsPolynomial& b,
+                                  RnsPolynomial& c) const
+{
+    detail::checkCompatible(*basis_, a, b);
+    if (engine_) {
+        engine_->polymulNegacyclicInto(a, b, c);
+        return;
+    }
+    detail::checkForm(a, Form::Coeff, "RnsKernels::polymulNegacyclic");
+    detail::checkForm(b, Form::Coeff, "RnsKernels::polymulNegacyclic");
+    detail::checkDest(c, *basis_, a.n(), Form::Coeff,
+                      "RnsKernels::polymulNegacyclicInto");
+    for (size_t i = 0; i < basis_->size(); ++i)
+        detail::polymulChannel(backend_, *basis_, i, tablesFor(i, a.n()),
+                               workspaces_, a, b, c);
 }
 
 RnsPolynomial
 RnsKernels::polymulNegacyclic(const RnsPolynomial& a,
                               const RnsPolynomial& b) const
 {
-    // Validate against THIS kernels' basis before delegating — the
-    // engine can only check the operands against each other.
-    detail::checkCompatible(*basis_, a, b);
-    if (engine_)
-        return engine_->polymulNegacyclic(a, b);
-    detail::checkForm(a, Form::Coeff, "RnsKernels::polymulNegacyclic");
-    detail::checkForm(b, Form::Coeff, "RnsKernels::polymulNegacyclic");
     RnsPolynomial c(*basis_, a.n());
-    for (size_t i = 0; i < basis_->size(); ++i)
-        detail::polymulChannel(backend_, *basis_, i, tablesFor(i, a.n()), a,
-                               b, c);
+    polymulNegacyclicInto(a, b, c);
     return c;
+}
+
+void
+RnsKernels::toEvalInto(const RnsPolynomial& a, RnsPolynomial& c) const
+{
+    checkArg(&a.basis() == basis_,
+             "RnsKernels: polynomial from a different basis");
+    if (engine_) {
+        engine_->toEvalInto(a, c);
+        return;
+    }
+    detail::checkForm(a, Form::Coeff, "RnsKernels::toEval");
+    detail::checkDest(c, *basis_, a.n(), Form::Eval,
+                      "RnsKernels::toEvalInto");
+    for (size_t i = 0; i < basis_->size(); ++i)
+        detail::toEvalChannel(backend_, *basis_, i, tablesFor(i, a.n()),
+                              workspaces_, a, c);
 }
 
 RnsPolynomial
 RnsKernels::toEval(const RnsPolynomial& a) const
 {
+    RnsPolynomial c(*basis_, a.n(), Form::Eval);
+    toEvalInto(a, c);
+    return c;
+}
+
+void
+RnsKernels::toCoeffInto(const RnsPolynomial& a, RnsPolynomial& c) const
+{
     checkArg(&a.basis() == basis_,
              "RnsKernels: polynomial from a different basis");
-    if (engine_)
-        return engine_->toEval(a);
-    detail::checkForm(a, Form::Coeff, "RnsKernels::toEval");
-    RnsPolynomial c(*basis_, a.n(), Form::Eval);
+    if (engine_) {
+        engine_->toCoeffInto(a, c);
+        return;
+    }
+    detail::checkForm(a, Form::Eval, "RnsKernels::toCoeff");
+    detail::checkDest(c, *basis_, a.n(), Form::Coeff,
+                      "RnsKernels::toCoeffInto");
     for (size_t i = 0; i < basis_->size(); ++i)
-        detail::toEvalChannel(backend_, *basis_, i, tablesFor(i, a.n()), a,
-                              c);
-    return c;
+        detail::toCoeffChannel(backend_, *basis_, i, tablesFor(i, a.n()),
+                               workspaces_, a, c);
 }
 
 RnsPolynomial
 RnsKernels::toCoeff(const RnsPolynomial& a) const
 {
-    checkArg(&a.basis() == basis_,
-             "RnsKernels: polynomial from a different basis");
-    if (engine_)
-        return engine_->toCoeff(a);
-    detail::checkForm(a, Form::Eval, "RnsKernels::toCoeff");
     RnsPolynomial c(*basis_, a.n(), Form::Coeff);
-    for (size_t i = 0; i < basis_->size(); ++i)
-        detail::toCoeffChannel(backend_, *basis_, i, tablesFor(i, a.n()), a,
-                               c);
+    toCoeffInto(a, c);
     return c;
+}
+
+void
+RnsKernels::mulEvalInto(const RnsPolynomial& a, const RnsPolynomial& b,
+                        RnsPolynomial& c) const
+{
+    detail::checkCompatible(*basis_, a, b);
+    if (engine_) {
+        engine_->mulEvalInto(a, b, c);
+        return;
+    }
+    detail::checkForm(a, Form::Eval, "RnsKernels::mulEval");
+    detail::checkForm(b, Form::Eval, "RnsKernels::mulEval");
+    detail::checkDest(c, *basis_, a.n(), Form::Eval,
+                      "RnsKernels::mulEvalInto");
+    // In the transform domain the ring product IS the point-wise
+    // product, channel by channel.
+    for (size_t i = 0; i < basis_->size(); ++i)
+        detail::mulChannel(backend_, *basis_, i, a, b, c);
 }
 
 RnsPolynomial
 RnsKernels::mulEval(const RnsPolynomial& a, const RnsPolynomial& b) const
 {
-    detail::checkCompatible(*basis_, a, b);
-    if (engine_)
-        return engine_->mulEval(a, b);
-    detail::checkForm(a, Form::Eval, "RnsKernels::mulEval");
-    detail::checkForm(b, Form::Eval, "RnsKernels::mulEval");
-    // In the transform domain the ring product IS the point-wise
-    // product, channel by channel.
     RnsPolynomial c(*basis_, a.n(), Form::Eval);
-    for (size_t i = 0; i < basis_->size(); ++i)
-        detail::mulChannel(backend_, *basis_, i, a, b, c);
+    mulEvalInto(a, b, c);
     return c;
 }
 
-RnsPolynomial
-RnsKernels::fmaBatch(
+void
+RnsKernels::fmaBatchInto(
     const std::vector<std::pair<const RnsPolynomial*, const RnsPolynomial*>>&
-        products) const
+        products,
+    RnsPolynomial& c) const
 {
     checkArg(!products.empty(), "RnsKernels::fmaBatch: empty batch");
     if (engine_) {
@@ -417,7 +516,8 @@ RnsKernels::fmaBatch(
                  "RnsKernels::fmaBatch: null operand");
         checkArg(&products.front().first->basis() == basis_,
                  "RnsKernels: polynomial from a different basis");
-        return engine_->fmaBatch(products);
+        engine_->fmaBatchInto(products, c);
+        return;
     }
     for (const auto& [a, b] : products) {
         checkArg(a != nullptr && b != nullptr,
@@ -427,10 +527,25 @@ RnsKernels::fmaBatch(
                  "RnsKernels::fmaBatch: length mismatch across batch");
     }
     const size_t n = products.front().first->n();
-    RnsPolynomial c(*basis_, n);
+    detail::checkDest(c, *basis_, n, Form::Coeff,
+                      "RnsKernels::fmaBatchInto");
     for (size_t i = 0; i < basis_->size(); ++i)
-        detail::fmaChannel(backend_, *basis_, i, tablesFor(i, n), products,
-                           c);
+        detail::fmaChannel(backend_, *basis_, i, tablesFor(i, n),
+                           workspaces_, products, c);
+}
+
+RnsPolynomial
+RnsKernels::fmaBatch(
+    const std::vector<std::pair<const RnsPolynomial*, const RnsPolynomial*>>&
+        products) const
+{
+    // Only the checks needed to construct the destination; fmaBatchInto
+    // re-validates the whole batch.
+    checkArg(!products.empty(), "RnsKernels::fmaBatch: empty batch");
+    checkArg(products.front().first != nullptr,
+             "RnsKernels::fmaBatch: null operand");
+    RnsPolynomial c(*basis_, products.front().first->n());
+    fmaBatchInto(products, c);
     return c;
 }
 

@@ -10,6 +10,12 @@
  * of distinct 124-bit NTT-friendly primes, CRT decomposition and
  * reconstruction, and coefficient-wise ring operations that run each
  * residue channel through the paper's BLAS/NTT kernels.
+ *
+ * Storage: channels live NATIVELY in the split hi/lo SoA layout
+ * (core/residue_span.h) the SIMD kernels consume — the kernel layers
+ * hand channel spans straight to the backends with zero AoS<->SoA
+ * conversion. U128/BigUInt adapters exist only at the public boundary
+ * (fromCoefficients / toCoefficients and the reference comparators).
  */
 #pragma once
 
@@ -108,7 +114,10 @@ const char* formName(Form form);
 
 /**
  * A polynomial of length n over Z_Q, stored as k residue channels of
- * length n (the "RNS polynomial" every FHE library manipulates).
+ * length n (the "RNS polynomial" every FHE library manipulates). Each
+ * channel is a split hi/lo ResidueVector with 64-byte-aligned halves —
+ * exactly what the SIMD backends load, so channel spans flow to the
+ * kernels with no repacking.
  */
 class RnsPolynomial
 {
@@ -131,21 +140,31 @@ class RnsPolynomial
 
     /**
      * Domain the channels currently live in — fixed at construction;
-     * the conversion paths (Engine/RnsKernels toEval/toCoeff) build a
-     * new polynomial tagged with the target form rather than re-tagging
-     * in place, so a tag can never drift from the data it describes.
+     * the conversion paths (Engine/RnsKernels toEval/toCoeff) write
+     * into a polynomial tagged with the target form rather than
+     * re-tagging in place, so a tag can never drift from the data it
+     * describes.
      */
     Form form() const { return form_; }
 
-    /** Residue channel i as a U128 vector (length n). */
-    const std::vector<U128>& channel(size_t i) const { return channels_[i]; }
-    std::vector<U128>& channel(size_t i) { return channels_[i]; }
+    /** Residue channel i in native split hi/lo layout (length n). */
+    const ResidueVector& channel(size_t i) const { return channels_[i]; }
+    ResidueVector& channel(size_t i) { return channels_[i]; }
+
+    /** Channel i repacked as U128s — counted adapter, boundary use only. */
+    std::vector<U128> channelToU128(size_t i) const
+    {
+        return channels_[i].toU128();
+    }
+
+    /** Overwrite channel i from U128s (counted adapter, boundary only). */
+    void setChannelFromU128(size_t i, const std::vector<U128>& values);
 
   private:
     const RnsBasis* basis_;
     size_t n_;
     Form form_ = Form::Coeff;
-    std::vector<std::vector<U128>> channels_;
+    std::vector<ResidueVector> channels_;
 };
 
 /**
@@ -159,6 +178,17 @@ RnsPolynomial randomPolynomial(const RnsBasis& basis, size_t n,
 /**
  * Coefficient-wise ring operations over Z_Q, executed channel-by-channel
  * with the chosen kernel backend.
+ *
+ * Every operation has two flavours: a value-returning convenience that
+ * constructs the result polynomial, and an `*Into` variant that writes
+ * into a caller-preallocated destination. The Into variants are the
+ * steady-state path: with warmed caches they perform ZERO layout
+ * conversions and ZERO heap allocations per call (layout::metrics()
+ * proves it in tests/test_layout.cc) — the channel spans go straight to
+ * the backends and all transform scratch is leased from a recycled
+ * workspace pool. Destinations must match the operands' basis and
+ * length and carry the result's form; a destination may alias an
+ * operand (channels are updated with exact-alias-safe kernels).
  */
 class RnsKernels
 {
@@ -168,9 +198,10 @@ class RnsKernels
 
     /**
      * Route every op through @p engine: channels fan out across its
-     * thread pool and polymuls reuse its NTT plan cache. Results are
-     * bit-identical to the serial constructor (channels are
-     * independent); @p engine must outlive this object.
+     * thread pool, polymuls reuse its NTT plan cache, and scratch comes
+     * from its workspace pool. Results are bit-identical to the serial
+     * constructor (channels are independent); @p engine must outlive
+     * this object.
      */
     RnsKernels(const RnsBasis& basis, engine::Engine& engine);
 
@@ -180,9 +211,13 @@ class RnsKernels
      * form; the result carries it.
      */
     RnsPolynomial add(const RnsPolynomial& a, const RnsPolynomial& b) const;
+    void addInto(const RnsPolynomial& a, const RnsPolynomial& b,
+                 RnsPolynomial& c) const;
 
     /** c = a .* b (point-wise product; same-form operands, as add). */
     RnsPolynomial mul(const RnsPolynomial& a, const RnsPolynomial& b) const;
+    void mulInto(const RnsPolynomial& a, const RnsPolynomial& b,
+                 RnsPolynomial& c) const;
 
     /**
      * Negacyclic polynomial product a * b mod (x^n + 1, Q): each channel
@@ -191,6 +226,8 @@ class RnsKernels
      */
     RnsPolynomial polymulNegacyclic(const RnsPolynomial& a,
                                     const RnsPolynomial& b) const;
+    void polymulNegacyclicInto(const RnsPolynomial& a, const RnsPolynomial& b,
+                               RnsPolynomial& c) const;
 
     /**
      * Forward every channel into Eval form (cached NegacyclicTables;
@@ -198,9 +235,11 @@ class RnsKernels
      * @throws InvalidArgument unless @p a is in Coeff form.
      */
     RnsPolynomial toEval(const RnsPolynomial& a) const;
+    void toEvalInto(const RnsPolynomial& a, RnsPolynomial& c) const;
 
     /** Inverse of toEval. @throws InvalidArgument unless Eval form. */
     RnsPolynomial toCoeff(const RnsPolynomial& a) const;
+    void toCoeffInto(const RnsPolynomial& a, RnsPolynomial& c) const;
 
     /**
      * Negacyclic ring product of two Eval-form operands: one point-wise
@@ -209,6 +248,8 @@ class RnsKernels
      */
     RnsPolynomial mulEval(const RnsPolynomial& a,
                           const RnsPolynomial& b) const;
+    void mulEvalInto(const RnsPolynomial& a, const RnsPolynomial& b,
+                     RnsPolynomial& c) const;
 
     /**
      * Fused dot product sum_i a_i * b_i mod (x^n + 1, Q). Operands may
@@ -223,6 +264,10 @@ class RnsKernels
     RnsPolynomial fmaBatch(
         const std::vector<std::pair<const RnsPolynomial*,
                                     const RnsPolynomial*>>& products) const;
+    void fmaBatchInto(
+        const std::vector<std::pair<const RnsPolynomial*,
+                                    const RnsPolynomial*>>& products,
+        RnsPolynomial& c) const;
 
     /** Distinct cached NegacyclicTables on the serial path (tests). */
     size_t cachedTableCount() const;
@@ -244,6 +289,12 @@ class RnsKernels
     mutable std::unordered_map<
         size_t, std::vector<std::shared_ptr<const ntt::NegacyclicTables>>>
         tables_by_n_;
+    /**
+     * Serial-path transform workspaces, recycled across calls so the
+     * steady state allocates nothing (engine-routed kernels lease from
+     * the engine's pool instead).
+     */
+    mutable ntt::NegacyclicWorkspacePool workspaces_;
 };
 
 namespace detail {
@@ -251,7 +302,9 @@ namespace detail {
 /**
  * Single-channel bodies shared by the serial RnsKernels loop and the
  * engine's parallel fan-out — both paths run exactly this code, which
- * is what makes threaded results bit-identical to serial ones.
+ * is what makes threaded results bit-identical to serial ones. All of
+ * them consume and produce channel spans in the native split layout;
+ * the transform-bearing ones lease their scratch from @p workspaces.
  */
 void addChannel(Backend backend, const RnsBasis& basis, size_t channel,
                 const RnsPolynomial& a, const RnsPolynomial& b,
@@ -264,29 +317,35 @@ void mulChannel(Backend backend, const RnsBasis& basis, size_t channel,
 /**
  * One channel of the negacyclic product. @p tables holds the cached
  * plan + twist tables for (q_channel, n); pass nullptr to derive them
- * on the spot (the serial path without a cache).
+ * on the spot (a cacheless path).
  */
 void polymulChannel(Backend backend, const RnsBasis& basis, size_t channel,
                     std::shared_ptr<const ntt::NegacyclicTables> tables,
+                    ntt::NegacyclicWorkspacePool& workspaces,
                     const RnsPolynomial& a, const RnsPolynomial& b,
                     RnsPolynomial& c);
 
 /** One channel of the forward (Coeff -> Eval) conversion. */
 void toEvalChannel(Backend backend, const RnsBasis& basis, size_t channel,
                    std::shared_ptr<const ntt::NegacyclicTables> tables,
+                   ntt::NegacyclicWorkspacePool& workspaces,
                    const RnsPolynomial& a, RnsPolynomial& c);
 
 /** One channel of the inverse (Eval -> Coeff) conversion. */
 void toCoeffChannel(Backend backend, const RnsBasis& basis, size_t channel,
                     std::shared_ptr<const ntt::NegacyclicTables> tables,
+                    ntt::NegacyclicWorkspacePool& workspaces,
                     const RnsPolynomial& a, RnsPolynomial& c);
 
 /**
  * One channel of the fused transform-domain dot product: forward any
  * Coeff operand, point-wise accumulate every pair, then ONE inverse.
+ * The accumulator and eval staging buffers live in the leased
+ * workspace, so the whole batch touches no heap.
  */
 void fmaChannel(Backend backend, const RnsBasis& basis, size_t channel,
                 std::shared_ptr<const ntt::NegacyclicTables> tables,
+                ntt::NegacyclicWorkspacePool& workspaces,
                 const std::vector<std::pair<const RnsPolynomial*,
                                             const RnsPolynomial*>>& products,
                 RnsPolynomial& c);
@@ -297,6 +356,13 @@ void checkCompatible(const RnsBasis& basis, const RnsPolynomial& a,
 
 /** @throws InvalidArgument unless @p a is in @p expected form. */
 void checkForm(const RnsPolynomial& a, Form expected, const char* what);
+
+/**
+ * Destination validation for the *Into APIs: @p c must be over
+ * @p basis, of length @p n, and constructed in @p form.
+ */
+void checkDest(const RnsPolynomial& c, const RnsBasis& basis, size_t n,
+               Form form, const char* what);
 
 } // namespace detail
 
