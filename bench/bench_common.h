@@ -172,8 +172,15 @@ measureNtt(Tier tier, const ntt::NttPrime& prime, size_t n)
     ResidueVector in = ResidueVector::fromU128(input_u);
     ResidueVector out(n), scratch(n);
     Backend be = tierBackend(tier);
+    // Figure reproduction: pin the paper's Barrett kernels so the
+    // measurements stay comparable to the paper-derived reference
+    // series (the Shoup-lazy default is ~2x faster and would skew the
+    // calibration). bench_fig5_ntt --json measures both strategies.
     Measurement m = runNttProtocol(
-        [&] { ntt::forward(plan, be, in.span(), out.span(), scratch.span()); },
+        [&] {
+            ntt::forward(plan, be, in.span(), out.span(), scratch.span(),
+                         MulAlgo::Schoolbook, Reduction::Barrett);
+        },
         scale);
     return nsPerButterfly(m, n);
 }

@@ -11,12 +11,118 @@
  */
 #include "bench_common.h"
 
+#include <cstring>
+#include <fstream>
+
 using namespace mqx;
 using namespace mqx::bench;
 
-int
-main()
+namespace {
+
+/**
+ * Forward + inverse pair timing for one (backend, n, reduction), in
+ * ns per op (one op = fwd + inv). The same 100/50 protocol as the
+ * figure run, scaled to stay interactive in the CI smoke leg.
+ */
+double
+measureFwdInvNs(Backend be, const ntt::NttPlan& plan, size_t n,
+                Reduction red, double scale)
 {
+    auto input_u = randomResidues(n, plan.modulus().value(), 0x15a9 + n);
+    ResidueVector in = ResidueVector::fromU128(input_u);
+    ResidueVector mid(n), out(n), scratch(n);
+    Measurement m = runNttProtocol(
+        [&] {
+            ntt::forward(plan, be, in.span(), mid.span(), scratch.span(),
+                         MulAlgo::Schoolbook, red);
+            ntt::inverse(plan, be, mid.span(), out.span(), scratch.span(),
+                         MulAlgo::Schoolbook, red);
+        },
+        scale);
+    return m.mean_ns;
+}
+
+/**
+ * --json mode: Barrett vs Shoup ns/op per backend x n, written as
+ * BENCH_ntt.json (or the path given after --json). CI uploads this as
+ * an artifact so the reduction-strategy perf trajectory is tracked
+ * per-commit.
+ */
+int
+runJsonMode(const char* path)
+{
+    const auto& prime = ntt::defaultBenchPrime();
+    const std::vector<size_t> sizes = {256, 1024, 4096};
+    std::vector<Backend> backends;
+    for (Backend b : {Backend::Scalar, Backend::Portable, Backend::Avx2,
+                      Backend::Avx512}) {
+        if (backendAvailable(b))
+            backends.push_back(b);
+    }
+
+    std::ofstream os(path);
+    if (!os) {
+        std::fprintf(stderr, "cannot open %s for writing\n", path);
+        return 1;
+    }
+    os << "{\n  \"bench\": \"ntt\",\n";
+    os << "  \"unit\": \"ns_per_op\",\n";
+    os << "  \"op\": \"forward+inverse\",\n";
+    os << "  \"modulus_bits\": " << Modulus(prime.q).bits() << ",\n";
+    os << "  \"results\": [\n";
+
+    Backend best = bestBackend();
+    double best_speedup_4096 = 0.0;
+    bool first = true;
+    for (Backend be : backends) {
+        for (size_t n : sizes) {
+            ntt::NttPlan plan(prime, n);
+            double scale = n >= 4096 ? 0.25 : 0.5;
+            double barrett =
+                measureFwdInvNs(be, plan, n, Reduction::Barrett, scale);
+            double shoup =
+                measureFwdInvNs(be, plan, n, Reduction::ShoupLazy, scale);
+            double speedup = shoup > 0.0 ? barrett / shoup : 0.0;
+            if (be == best && n == 4096)
+                best_speedup_4096 = speedup;
+            if (!first)
+                os << ",\n";
+            first = false;
+            os << "    {\"backend\": \"" << backendName(be)
+               << "\", \"n\": " << n << ", \"barrett_ns\": "
+               << formatFixed(barrett, 1) << ", \"shoup_ns\": "
+               << formatFixed(shoup, 1) << ", \"speedup\": "
+               << formatFixed(speedup, 3) << ", \"twiddle_bytes\": "
+               << plan.twiddleBytes() << ", \"twiddle_bytes_stretched\": "
+               << plan.twiddleBytesStretched() << "}";
+            std::fprintf(stderr,
+                         "  %-10s n=%5zu barrett=%.0fns shoup=%.0fns "
+                         "(%.2fx)\n",
+                         backendName(be).c_str(), n, barrett, shoup,
+                         speedup);
+        }
+    }
+    os << "\n  ],\n";
+    os << "  \"best_backend\": \"" << backendName(best) << "\",\n";
+    os << "  \"best_speedup_n4096\": " << formatFixed(best_speedup_4096, 3)
+       << "\n}\n";
+    std::printf("wrote %s (best backend %s, n=4096 fwd+inv speedup %.2fx)\n",
+                path, backendName(best).c_str(), best_speedup_4096);
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--json") == 0) {
+            const char* path =
+                i + 1 < argc ? argv[i + 1] : "BENCH_ntt.json";
+            return runJsonMode(path);
+        }
+    }
     printHostHeader("Figure 5: NTT runtime per butterfly (single core)");
     const auto& prime = ntt::defaultBenchPrime();
     std::printf("modulus  : %s (%d bits, 2-adicity %d)\n\n",

@@ -25,10 +25,14 @@ measureMqxVariantNtt(const ntt::NttPrime& prime, size_t n, MqxVariant v)
     auto input_u = randomResidues(n, prime.q, 0xf16 + n);
     ResidueVector in = ResidueVector::fromU128(input_u);
     ResidueVector out(n), scratch(n);
+    // Fig. 6 ablates MQX features inside the paper's Barrett
+    // butterflies (three full products each); pin the reduction so the
+    // instruction mix matches the figure.
     Measurement m = runNttProtocol(
         [&] {
             ntt::forwardMqx(plan, v, /*pisa=*/true, in.span(), out.span(),
-                            scratch.span());
+                            scratch.span(), MulAlgo::Schoolbook,
+                            Reduction::Barrett);
         },
         nttProtocolScale(Tier::MqxPisa, n));
     return nsPerButterfly(m, n);

@@ -21,10 +21,13 @@ measureNttAlgo(Backend be, const ntt::NttPrime& prime, size_t n, MulAlgo algo)
     auto input_u = randomResidues(n, prime.q, 0x5e5);
     ResidueVector in = ResidueVector::fromU128(input_u);
     ResidueVector out(n), scratch(n);
+    // Section 5.5 compares the product algorithms inside the BARRETT
+    // butterflies (three full products each); pin the reduction so the
+    // Shoup-lazy default (one full product) doesn't dilute the ablation.
     Measurement m = runNttProtocol(
         [&] {
             ntt::forward(plan, be, in.span(), out.span(), scratch.span(),
-                         algo);
+                         algo, Reduction::Barrett);
         },
         nttProtocolScale(Tier::Scalar, n));
     return nsPerButterfly(m, n);

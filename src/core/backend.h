@@ -24,6 +24,34 @@ enum class Backend
                 ///< numerically wrong by design — benchmarking only
 };
 
+/** Which double-word multiplication algorithm to use (Section 5.5). */
+enum class MulAlgo
+{
+    Schoolbook, ///< Eq. 8: four word multiplies (paper default — faster on CPUs)
+    Karatsuba,  ///< Eq. 9: three word multiplies, more additions
+};
+
+/**
+ * Reduction strategy for kernels whose multiplications have a fixed,
+ * precomputable operand (NTT twiddles, twist tables, n^-1).
+ *
+ * ShoupLazy is the steady-state default: every twiddle carries a
+ * precomputed quotient wq = floor(w * 2^128 / q) (Shoup/Harvey), the
+ * butterfly multiply costs one full product plus two low products with
+ * NO correction subtractions, and intermediate operands live in the
+ * redundant range [0, 2q) — canonicalization to [0, q) is deferred to
+ * one fused pass in the final stage (forward) or the n^-1 scaling
+ * (inverse). Results are bit-identical to the Barrett path.
+ *
+ * Barrett keeps the paper's Eq.-4 full reduction per butterfly; it is
+ * retained for the ablation benches and as the cross-check oracle.
+ */
+enum class Reduction
+{
+    ShoupLazy, ///< precomputed-quotient multiply, lazy [0, 2q) operands
+    Barrett,   ///< full Barrett reduction per butterfly (paper Eq. 4)
+};
+
 /**
  * MQX feature ablation variants (paper Fig. 6). "Base" in the figure is
  * plain AVX-512, i.e. Backend::Avx512.

@@ -4,6 +4,7 @@
  */
 #include "engine/plan_cache.h"
 
+#include <chrono>
 #include <mutex>
 
 namespace mqx {
@@ -107,6 +108,30 @@ PlanCache::negacyclicCount() const
 {
     std::shared_lock<std::shared_mutex> lock(mutex_);
     return negacyclic_.size();
+}
+
+size_t
+PlanCache::twiddleBytes() const
+{
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    size_t bytes = 0;
+    auto ready = [](const auto& slot) {
+        return slot.wait_for(std::chrono::seconds(0)) ==
+               std::future_status::ready;
+    };
+    for (const auto& [key, slot] : plans_) {
+        if (ready(slot)) {
+            if (auto plan = slot.get())
+                bytes += plan->twiddleBytes();
+        }
+    }
+    for (const auto& [key, slot] : negacyclic_) {
+        if (ready(slot)) {
+            if (auto tables = slot.get())
+                bytes += tables->tableBytes();
+        }
+    }
+    return bytes;
 }
 
 uint64_t

@@ -79,6 +79,17 @@ class PlanCache
     size_t negacyclicCount() const;
 
     /**
+     * Total bytes of precomputed-table storage held by the cache:
+     * every ready plan's twiddleBytes() — which counts the compact
+     * power tables AND their Shoup companions — plus every ready
+     * negacyclic entry's twist tableBytes() (twist/untwist values and
+     * companions). In-flight entries (still building) contribute 0.
+     * This is the real L2 footprint the paper's §5.4 discussion cares
+     * about, not just the twiddle values.
+     */
+    size_t twiddleBytes() const;
+
+    /**
      * Lookup counters (monotonic; for tests and bench reporting). Each
      * get()/getNegacyclic() call counts exactly one hit or miss.
      */

@@ -24,6 +24,7 @@
 #include <type_traits>
 
 #include "bigint/biguint.h"
+#include "core/backend.h" // MulAlgo
 #include "core/config.h"
 #include "u128/u128.h"
 
@@ -400,6 +401,108 @@ subMod(const DW<W>& a, const DW<W>& b, const DW<W>& q)
     c.hi = borrow ? dq.hi : d.hi;
     c.lo = borrow ? dq.lo : d.lo;
     return c;
+}
+
+/**
+ * Double-word left shift by one: 2x with the cross-word carry. The
+ * lazy-reduction kernels use it for the 2q bound (q has >= 4 bits of
+ * double-word headroom, so 2q never overflows).
+ */
+template <typename W>
+constexpr DW<W>
+shl1Dw(const DW<W>& x)
+{
+    constexpr int w = WordOps<W>::kBits;
+    return DW<W>{static_cast<W>((x.hi << 1) | (x.lo >> (w - 1))),
+                 static_cast<W>(x.lo << 1)};
+}
+
+/**
+ * Conditional canonicalizing subtract: x - b when x >= b, else x
+ * (branch-free select). The lazy-reduction pipeline uses it with
+ * b = 2q between stages and b = q for final canonicalization.
+ */
+template <typename W>
+constexpr DW<W>
+condSubDw(const DW<W>& x, const DW<W>& b)
+{
+    DW<W> d;
+    W borrow = subDw(x, b, d);
+    DW<W> r;
+    r.hi = borrow ? x.hi : d.hi;
+    r.lo = borrow ? x.lo : d.lo;
+    return r;
+}
+
+/**
+ * Shoup companion of a fixed multiplicand: wq = floor(w * 2^(2w0) / q)
+ * with w0 = bits(W), i.e. the precomputed quotient that lets
+ * mulModShoup() skip Barrett's estimate product entirely.
+ *
+ * Setup-path only (one BigUInt division per table entry).
+ *
+ * @throws InvalidArgument unless w < q (required for wq to fit in a
+ * double word).
+ */
+template <typename W>
+inline DW<W>
+shoupPrecompute(const DW<W>& w, const DW<W>& q)
+{
+    constexpr int kb = WordOps<W>::kBits;
+    checkArg(w < q, "shoupPrecompute: multiplicand must be < q");
+    BigUInt wb = (BigUInt{static_cast<uint64_t>(w.hi)} << kb) +
+                 BigUInt{static_cast<uint64_t>(w.lo)};
+    BigUInt qb = (BigUInt{static_cast<uint64_t>(q.hi)} << kb) +
+                 BigUInt{static_cast<uint64_t>(q.lo)};
+    BigUInt wq_big = (wb << (2 * kb)) / qb;
+    U128 wq128 = wq_big.toU128();
+
+    DW<W> wq;
+    if constexpr (kb == 64) {
+        wq.hi = static_cast<W>(wq128.hi);
+        wq.lo = static_cast<W>(wq128.lo);
+    } else {
+        wq.hi = static_cast<W>(wq128.lo >> kb);
+        wq.lo = static_cast<W>(wq128.lo);
+    }
+    return wq;
+}
+
+/**
+ * Shoup/Harvey modular multiplication by a fixed w with precomputed
+ * quotient wq = shoupPrecompute(w, q): with beta = 2^(2w0),
+ *
+ *     h = floor(a * wq / beta)        (one full product, top half)
+ *     r = (a*w - h*q) mod beta        (two low products)
+ *
+ * Since wq = (w*beta - r0)/q with r0 in [0, q), the estimate satisfies
+ * floor(a*w/q) - 1 <= h <= floor(a*w/q) for ANY double word a, so
+ *
+ *     r = a*w mod q  +  (0 or q)   — i.e. r is in [0, 2q).
+ *
+ * No shifts, no correction subtractions: this replaces Barrett's three
+ * full double-word products per butterfly with one full product and two
+ * low halves, and the [0, 2q) result feeds the lazy butterfly directly.
+ * Callers needing a canonical value finish with condSubDw(r, q).
+ *
+ * Requires w < q and 2q < beta (any Barrett-compatible q qualifies);
+ * a is unrestricted — in particular the lazy range [0, 4q) is fine.
+ * @p algo selects the product algorithm for the quotient estimate, the
+ * same knob the Barrett path exposes (Section 5.5 ablation).
+ */
+template <typename W>
+constexpr DW<W>
+mulModShoup(const DW<W>& a, const DW<W>& w, const DW<W>& wq, const DW<W>& q,
+            MulAlgo algo = MulAlgo::Schoolbook)
+{
+    QW<W> p = algo == MulAlgo::Schoolbook ? mulFullSchool(a, wq)
+                                          : mulFullKaratsuba(a, wq);
+    DW<W> h{p.w3, p.w2};
+    DW<W> aw = mulLowDw(a, w);
+    DW<W> hq = mulLowDw(h, q);
+    DW<W> r;
+    subDw(aw, hq, r);
+    return r;
 }
 
 /** Modular multiplication, schoolbook product + Barrett reduction. */

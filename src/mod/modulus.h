@@ -13,17 +13,11 @@
  */
 #pragma once
 
+#include "core/backend.h" // MulAlgo, Reduction
 #include "mod/dword_ops.h"
 #include "u128/u128.h"
 
 namespace mqx {
-
-/** Which double-word multiplication algorithm to use (Section 5.5). */
-enum class MulAlgo
-{
-    Schoolbook, ///< Eq. 8: four word multiplies (paper default — faster on CPUs)
-    Karatsuba,  ///< Eq. 9: three word multiplies, more additions
-};
 
 /**
  * A fixed modulus q with all precomputation required by the kernels.

@@ -54,7 +54,8 @@ checkSpans(DConstSpan in, DConstSpan out, size_t n, const char* what)
 
 NegacyclicTables::NegacyclicTables(std::shared_ptr<const NttPlan> plan)
     : plan_(requirePlan(std::move(plan))), twist_(plan_->n()),
-      untwist_(plan_->n())
+      untwist_(plan_->n()), twist_shoup_(plan_->n()),
+      untwist_shoup_(plan_->n())
 {
     const size_t n = plan_->n();
     const Modulus& m = plan_->modulus();
@@ -93,10 +94,18 @@ NegacyclicTables::NegacyclicTables(std::shared_ptr<const NttPlan> plan)
              "NegacyclicTables: psi^2 != omega (internal)");
 
     U128 psi_inv = m.inverse(psi_);
+    const mod::DW<uint64_t> qd = mod::toDw(m.value());
     U128 acc_f{1}, acc_i{1};
     for (size_t i = 0; i < n; ++i) {
         twist_.set(i, acc_f);
         untwist_.set(i, acc_i);
+        // Shoup companions: the twist passes are multiplications by a
+        // fixed table, so they get the same precomputed-quotient
+        // treatment as the twiddles.
+        twist_shoup_.set(
+            i, mod::fromDw(mod::shoupPrecompute(mod::toDw(acc_f), qd)));
+        untwist_shoup_.set(
+            i, mod::fromDw(mod::shoupPrecompute(mod::toDw(acc_i), qd)));
         acc_f = m.mul(acc_f, psi_);
         acc_i = m.mul(acc_i, psi_inv);
     }
@@ -149,10 +158,12 @@ NegacyclicEngine::forward(DConstSpan in, DSpan out)
 {
     const NttPlan& plan = tables_->plan();
     checkSpans(in, out, plan.n(), "NegacyclicEngine::forward");
-    // Twist then cyclic forward. `in` is fully consumed by the twist
-    // pass into buf_a_, so out == in is safe.
-    blas::vmul(backend_, plan.modulus(), in, tables_->twist().span(),
-               buf_a_.span());
+    // Twist then cyclic forward. The twist is a fixed-table multiply, so
+    // it runs as a Shoup pass against the precomputed companions. `in`
+    // is fully consumed by the twist pass into buf_a_, so out == in is
+    // safe.
+    ntt::vmulShoup(backend_, plan.modulus(), in, tables_->twist().span(),
+                   tables_->twistShoup().span(), buf_a_.span());
     ntt::forward(plan, backend_, buf_a_.span(), out, scratch_.span());
 }
 
@@ -162,8 +173,9 @@ NegacyclicEngine::inverse(DConstSpan in, DSpan out)
     const NttPlan& plan = tables_->plan();
     checkSpans(in, out, plan.n(), "NegacyclicEngine::inverse");
     ntt::inverse(plan, backend_, in, buf_a_.span(), scratch_.span());
-    blas::vmul(backend_, plan.modulus(), buf_a_.span(),
-               tables_->untwist().span(), out);
+    ntt::vmulShoup(backend_, plan.modulus(), buf_a_.span(),
+                   tables_->untwist().span(),
+                   tables_->untwistShoup().span(), out);
 }
 
 void

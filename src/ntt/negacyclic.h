@@ -60,12 +60,28 @@ class NegacyclicTables
     U128 psi() const { return psi_; }
     const ResidueVector& twist() const { return twist_; }
     const ResidueVector& untwist() const { return untwist_; }
+    /** Shoup companions of twist()/untwist() (per-element quotients). */
+    const ResidueVector& twistShoup() const { return twist_shoup_; }
+    const ResidueVector& untwistShoup() const { return untwist_shoup_; }
+
+    /**
+     * Bytes of twist-table storage including the Shoup companions
+     * (4 split-layout vectors of n elements) — the negacyclic side of
+     * the plan-cache footprint accounting.
+     */
+    size_t
+    tableBytes() const
+    {
+        return 4 * 2 * plan_->n() * sizeof(uint64_t);
+    }
 
   private:
     std::shared_ptr<const NttPlan> plan_;
     U128 psi_;
-    ResidueVector twist_;    ///< psi^i
-    ResidueVector untwist_;  ///< psi^-i
+    ResidueVector twist_;          ///< psi^i
+    ResidueVector untwist_;        ///< psi^-i
+    ResidueVector twist_shoup_;    ///< floor(psi^i * 2^128 / q)
+    ResidueVector untwist_shoup_;  ///< floor(psi^-i * 2^128 / q)
 };
 
 /**

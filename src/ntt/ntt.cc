@@ -25,26 +25,26 @@ requireAvailable(Backend backend)
 
 void
 forward(const NttPlan& plan, Backend backend, DConstSpan in, DSpan out,
-        DSpan scratch, MulAlgo algo)
+        DSpan scratch, MulAlgo algo, Reduction red)
 {
     requireAvailable(backend);
     switch (backend) {
       case Backend::Scalar:
-        backends::forwardScalar(plan, in, out, scratch, algo);
+        backends::forwardScalar(plan, in, out, scratch, algo, red);
         return;
       case Backend::Portable:
-        backends::forwardPortable(plan, in, out, scratch, algo);
+        backends::forwardPortable(plan, in, out, scratch, algo, red);
         return;
       case Backend::Avx2:
 #if MQX_BUILD_AVX2
-        backends::forwardAvx2(plan, in, out, scratch, algo);
+        backends::forwardAvx2(plan, in, out, scratch, algo, red);
         return;
 #else
         break;
 #endif
       case Backend::Avx512:
 #if MQX_BUILD_AVX512
-        backends::forwardAvx512(plan, in, out, scratch, algo);
+        backends::forwardAvx512(plan, in, out, scratch, algo, red);
         return;
 #else
         break;
@@ -52,7 +52,7 @@ forward(const NttPlan& plan, Backend backend, DConstSpan in, DSpan out,
       case Backend::MqxEmulate:
 #if MQX_BUILD_AVX512
         backends::forwardMqxImpl(plan, MqxVariant::Full, false, in, out,
-                                 scratch, algo);
+                                 scratch, algo, red);
         return;
 #else
         break;
@@ -60,7 +60,7 @@ forward(const NttPlan& plan, Backend backend, DConstSpan in, DSpan out,
       case Backend::MqxPisa:
 #if MQX_BUILD_AVX512
         backends::forwardMqxImpl(plan, MqxVariant::Full, true, in, out,
-                                 scratch, algo);
+                                 scratch, algo, red);
         return;
 #else
         break;
@@ -72,26 +72,26 @@ forward(const NttPlan& plan, Backend backend, DConstSpan in, DSpan out,
 
 void
 inverse(const NttPlan& plan, Backend backend, DConstSpan in, DSpan out,
-        DSpan scratch, MulAlgo algo)
+        DSpan scratch, MulAlgo algo, Reduction red)
 {
     requireAvailable(backend);
     switch (backend) {
       case Backend::Scalar:
-        backends::inverseScalar(plan, in, out, scratch, algo);
+        backends::inverseScalar(plan, in, out, scratch, algo, red);
         return;
       case Backend::Portable:
-        backends::inversePortable(plan, in, out, scratch, algo);
+        backends::inversePortable(plan, in, out, scratch, algo, red);
         return;
       case Backend::Avx2:
 #if MQX_BUILD_AVX2
-        backends::inverseAvx2(plan, in, out, scratch, algo);
+        backends::inverseAvx2(plan, in, out, scratch, algo, red);
         return;
 #else
         break;
 #endif
       case Backend::Avx512:
 #if MQX_BUILD_AVX512
-        backends::inverseAvx512(plan, in, out, scratch, algo);
+        backends::inverseAvx512(plan, in, out, scratch, algo, red);
         return;
 #else
         break;
@@ -99,7 +99,7 @@ inverse(const NttPlan& plan, Backend backend, DConstSpan in, DSpan out,
       case Backend::MqxEmulate:
 #if MQX_BUILD_AVX512
         backends::inverseMqxImpl(plan, MqxVariant::Full, false, in, out,
-                                 scratch, algo);
+                                 scratch, algo, red);
         return;
 #else
         break;
@@ -107,7 +107,52 @@ inverse(const NttPlan& plan, Backend backend, DConstSpan in, DSpan out,
       case Backend::MqxPisa:
 #if MQX_BUILD_AVX512
         backends::inverseMqxImpl(plan, MqxVariant::Full, true, in, out,
-                                 scratch, algo);
+                                 scratch, algo, red);
+        return;
+#else
+        break;
+#endif
+    }
+    throw BackendUnavailable("NTT backend not compiled in: " +
+                             backendName(backend));
+}
+
+void
+vmulShoup(Backend backend, const Modulus& m, DConstSpan a, DConstSpan t,
+          DConstSpan tq, DSpan c, MulAlgo algo)
+{
+    requireAvailable(backend);
+    switch (backend) {
+      case Backend::Scalar:
+        backends::vmulShoupScalar(m, a, t, tq, c, algo);
+        return;
+      case Backend::Portable:
+        backends::vmulShoupPortable(m, a, t, tq, c, algo);
+        return;
+      case Backend::Avx2:
+#if MQX_BUILD_AVX2
+        backends::vmulShoupAvx2(m, a, t, tq, c, algo);
+        return;
+#else
+        break;
+#endif
+      case Backend::Avx512:
+#if MQX_BUILD_AVX512
+        backends::vmulShoupAvx512(m, a, t, tq, c, algo);
+        return;
+#else
+        break;
+#endif
+      case Backend::MqxEmulate:
+#if MQX_BUILD_AVX512
+        backends::vmulShoupMqx(false, m, a, t, tq, c, algo);
+        return;
+#else
+        break;
+#endif
+      case Backend::MqxPisa:
+#if MQX_BUILD_AVX512
+        backends::vmulShoupMqx(true, m, a, t, tq, c, algo);
         return;
 #else
         break;
@@ -119,11 +164,12 @@ inverse(const NttPlan& plan, Backend backend, DConstSpan in, DSpan out,
 
 void
 forwardMqx(const NttPlan& plan, MqxVariant variant, bool pisa, DConstSpan in,
-           DSpan out, DSpan scratch, MulAlgo algo)
+           DSpan out, DSpan scratch, MulAlgo algo, Reduction red)
 {
     requireAvailable(Backend::MqxEmulate);
 #if MQX_BUILD_AVX512
-    backends::forwardMqxImpl(plan, variant, pisa, in, out, scratch, algo);
+    backends::forwardMqxImpl(plan, variant, pisa, in, out, scratch, algo,
+                             red);
 #else
     (void)plan;
     (void)variant;
@@ -132,17 +178,19 @@ forwardMqx(const NttPlan& plan, MqxVariant variant, bool pisa, DConstSpan in,
     (void)out;
     (void)scratch;
     (void)algo;
+    (void)red;
     throw BackendUnavailable("MQX backend not compiled in");
 #endif
 }
 
 void
 inverseMqx(const NttPlan& plan, MqxVariant variant, bool pisa, DConstSpan in,
-           DSpan out, DSpan scratch, MulAlgo algo)
+           DSpan out, DSpan scratch, MulAlgo algo, Reduction red)
 {
     requireAvailable(Backend::MqxEmulate);
 #if MQX_BUILD_AVX512
-    backends::inverseMqxImpl(plan, variant, pisa, in, out, scratch, algo);
+    backends::inverseMqxImpl(plan, variant, pisa, in, out, scratch, algo,
+                             red);
 #else
     (void)plan;
     (void)variant;
@@ -151,6 +199,7 @@ inverseMqx(const NttPlan& plan, MqxVariant variant, bool pisa, DConstSpan in,
     (void)out;
     (void)scratch;
     (void)algo;
+    (void)red;
     throw BackendUnavailable("MQX backend not compiled in");
 #endif
 }

@@ -24,14 +24,32 @@ namespace ntt {
  * @param in      input, natural order (not modified)
  * @param out     result, bit-reversed order
  * @param scratch working buffer, same size; clobbered
+ * @param red     Reduction::ShoupLazy (default) runs Harvey lazy
+ *                butterflies on the plan's Shoup twiddle companions;
+ *                Reduction::Barrett keeps the paper's per-butterfly
+ *                full reduction. Outputs are bit-identical.
  * @throws BackendUnavailable if @p backend cannot run on this host.
  */
 void forward(const NttPlan& plan, Backend backend, DConstSpan in, DSpan out,
-             DSpan scratch, MulAlgo algo = MulAlgo::Schoolbook);
+             DSpan scratch, MulAlgo algo = MulAlgo::Schoolbook,
+             Reduction red = Reduction::ShoupLazy);
 
 /** Inverse NTT (bit-reversed in, natural out, scaled by n^-1). */
 void inverse(const NttPlan& plan, Backend backend, DConstSpan in, DSpan out,
-             DSpan scratch, MulAlgo algo = MulAlgo::Schoolbook);
+             DSpan scratch, MulAlgo algo = MulAlgo::Schoolbook,
+             Reduction red = Reduction::ShoupLazy);
+
+/**
+ * Point-wise multiply by a fixed table with precomputed Shoup
+ * companions: c[i] = a[i] * t[i] mod q, canonical in/out. The
+ * negacyclic twist/untwist pass — one full product plus two low
+ * products per element instead of a Barrett reduction. c == a exact
+ * aliasing is legal (same contract as blas::vmul).
+ *
+ * @param tq per-element Shoup companions of @p t (mod::shoupPrecompute)
+ */
+void vmulShoup(Backend backend, const Modulus& m, DConstSpan a, DConstSpan t,
+               DConstSpan tq, DSpan c, MulAlgo algo = MulAlgo::Schoolbook);
 
 /**
  * Forward NTT with an explicit MQX feature variant (Fig. 6 ablation).
@@ -40,12 +58,14 @@ void inverse(const NttPlan& plan, Backend backend, DConstSpan in, DSpan out,
  */
 void forwardMqx(const NttPlan& plan, MqxVariant variant, bool pisa,
                 DConstSpan in, DSpan out, DSpan scratch,
-                MulAlgo algo = MulAlgo::Schoolbook);
+                MulAlgo algo = MulAlgo::Schoolbook,
+                Reduction red = Reduction::ShoupLazy);
 
 /** Inverse counterpart of forwardMqx. */
 void inverseMqx(const NttPlan& plan, MqxVariant variant, bool pisa,
                 DConstSpan in, DSpan out, DSpan scratch,
-                MulAlgo algo = MulAlgo::Schoolbook);
+                MulAlgo algo = MulAlgo::Schoolbook,
+                Reduction red = Reduction::ShoupLazy);
 
 /**
  * Convenience wrapper owning the plan and work buffers. This is the

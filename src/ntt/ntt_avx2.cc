@@ -13,16 +13,29 @@ namespace backends {
 
 void
 forwardAvx2(const NttPlan& plan, DConstSpan in, DSpan out, DSpan scratch,
-            MulAlgo algo)
+            MulAlgo algo, Reduction red)
 {
-    peaseForwardImpl<simd::Avx2Isa>(plan, in, out, scratch, algo);
+    if (red == Reduction::ShoupLazy)
+        peaseForwardLazyImpl<simd::Avx2Isa>(plan, in, out, scratch, algo);
+    else
+        peaseForwardImpl<simd::Avx2Isa>(plan, in, out, scratch, algo);
 }
 
 void
 inverseAvx2(const NttPlan& plan, DConstSpan in, DSpan out, DSpan scratch,
-            MulAlgo algo)
+            MulAlgo algo, Reduction red)
 {
-    peaseInverseImpl<simd::Avx2Isa>(plan, in, out, scratch, algo);
+    if (red == Reduction::ShoupLazy)
+        peaseInverseLazyImpl<simd::Avx2Isa>(plan, in, out, scratch, algo);
+    else
+        peaseInverseImpl<simd::Avx2Isa>(plan, in, out, scratch, algo);
+}
+
+void
+vmulShoupAvx2(const Modulus& m, DConstSpan a, DConstSpan t, DConstSpan tq,
+              DSpan c, MulAlgo algo)
+{
+    vmulShoupImpl<simd::Avx2Isa>(m, a, t, tq, c, algo);
 }
 
 } // namespace backends

@@ -13,16 +13,29 @@ namespace backends {
 
 void
 forwardAvx512(const NttPlan& plan, DConstSpan in, DSpan out, DSpan scratch,
-              MulAlgo algo)
+              MulAlgo algo, Reduction red)
 {
-    peaseForwardImpl<simd::Avx512Isa>(plan, in, out, scratch, algo);
+    if (red == Reduction::ShoupLazy)
+        peaseForwardLazyImpl<simd::Avx512Isa>(plan, in, out, scratch, algo);
+    else
+        peaseForwardImpl<simd::Avx512Isa>(plan, in, out, scratch, algo);
 }
 
 void
 inverseAvx512(const NttPlan& plan, DConstSpan in, DSpan out, DSpan scratch,
-              MulAlgo algo)
+              MulAlgo algo, Reduction red)
 {
-    peaseInverseImpl<simd::Avx512Isa>(plan, in, out, scratch, algo);
+    if (red == Reduction::ShoupLazy)
+        peaseInverseLazyImpl<simd::Avx512Isa>(plan, in, out, scratch, algo);
+    else
+        peaseInverseImpl<simd::Avx512Isa>(plan, in, out, scratch, algo);
+}
+
+void
+vmulShoupAvx512(const Modulus& m, DConstSpan a, DConstSpan t, DConstSpan tq,
+                DSpan c, MulAlgo algo)
+{
+    vmulShoupImpl<simd::Avx512Isa>(m, a, t, tq, c, algo);
 }
 
 } // namespace backends

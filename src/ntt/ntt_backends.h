@@ -13,22 +13,40 @@ namespace mqx {
 namespace ntt {
 namespace backends {
 
-void forwardScalar(const NttPlan&, DConstSpan, DSpan, DSpan, MulAlgo);
-void inverseScalar(const NttPlan&, DConstSpan, DSpan, DSpan, MulAlgo);
+void forwardScalar(const NttPlan&, DConstSpan, DSpan, DSpan, MulAlgo,
+                   Reduction);
+void inverseScalar(const NttPlan&, DConstSpan, DSpan, DSpan, MulAlgo,
+                   Reduction);
+void vmulShoupScalar(const Modulus&, DConstSpan, DConstSpan, DConstSpan,
+                     DSpan, MulAlgo);
 
-void forwardPortable(const NttPlan&, DConstSpan, DSpan, DSpan, MulAlgo);
-void inversePortable(const NttPlan&, DConstSpan, DSpan, DSpan, MulAlgo);
+void forwardPortable(const NttPlan&, DConstSpan, DSpan, DSpan, MulAlgo,
+                     Reduction);
+void inversePortable(const NttPlan&, DConstSpan, DSpan, DSpan, MulAlgo,
+                     Reduction);
+void vmulShoupPortable(const Modulus&, DConstSpan, DConstSpan, DConstSpan,
+                       DSpan, MulAlgo);
 
-void forwardAvx2(const NttPlan&, DConstSpan, DSpan, DSpan, MulAlgo);
-void inverseAvx2(const NttPlan&, DConstSpan, DSpan, DSpan, MulAlgo);
+void forwardAvx2(const NttPlan&, DConstSpan, DSpan, DSpan, MulAlgo,
+                 Reduction);
+void inverseAvx2(const NttPlan&, DConstSpan, DSpan, DSpan, MulAlgo,
+                 Reduction);
+void vmulShoupAvx2(const Modulus&, DConstSpan, DConstSpan, DConstSpan, DSpan,
+                   MulAlgo);
 
-void forwardAvx512(const NttPlan&, DConstSpan, DSpan, DSpan, MulAlgo);
-void inverseAvx512(const NttPlan&, DConstSpan, DSpan, DSpan, MulAlgo);
+void forwardAvx512(const NttPlan&, DConstSpan, DSpan, DSpan, MulAlgo,
+                   Reduction);
+void inverseAvx512(const NttPlan&, DConstSpan, DSpan, DSpan, MulAlgo,
+                   Reduction);
+void vmulShoupAvx512(const Modulus&, DConstSpan, DConstSpan, DConstSpan,
+                     DSpan, MulAlgo);
 
 void forwardMqxImpl(const NttPlan&, MqxVariant, bool pisa, DConstSpan, DSpan,
-                    DSpan, MulAlgo);
+                    DSpan, MulAlgo, Reduction);
 void inverseMqxImpl(const NttPlan&, MqxVariant, bool pisa, DConstSpan, DSpan,
-                    DSpan, MulAlgo);
+                    DSpan, MulAlgo, Reduction);
+void vmulShoupMqx(bool pisa, const Modulus&, DConstSpan, DConstSpan,
+                  DConstSpan, DSpan, MulAlgo);
 
 } // namespace backends
 } // namespace ntt

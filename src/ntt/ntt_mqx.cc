@@ -1,7 +1,9 @@
 /**
  * @file
  * MQX instantiations of the Pease NTT: every Fig. 6 feature variant, in
- * both Table-2 emulation and PISA proxy modes.
+ * both Table-2 emulation and PISA proxy modes, with both reduction
+ * strategies (the Shoup-lazy path exercises the same adc/sbb/mulWide
+ * policy ops, so the ablation stays apples-to-apples).
  */
 #include "ntt/ntt_backends.h"
 
@@ -22,31 +24,53 @@ using mqxisa::kMqxPredicated;
 using mqxisa::MqxIsa;
 using mqxisa::MqxMode;
 
+template <class Isa>
+void
+forwardWithIsa(const NttPlan& plan, DConstSpan in, DSpan out, DSpan scratch,
+               MulAlgo algo, Reduction red)
+{
+    if (red == Reduction::ShoupLazy)
+        peaseForwardLazyImpl<Isa>(plan, in, out, scratch, algo);
+    else
+        peaseForwardImpl<Isa>(plan, in, out, scratch, algo);
+}
+
+template <class Isa>
+void
+inverseWithIsa(const NttPlan& plan, DConstSpan in, DSpan out, DSpan scratch,
+               MulAlgo algo, Reduction red)
+{
+    if (red == Reduction::ShoupLazy)
+        peaseInverseLazyImpl<Isa>(plan, in, out, scratch, algo);
+    else
+        peaseInverseImpl<Isa>(plan, in, out, scratch, algo);
+}
+
 template <MqxMode Mode>
 void
 forwardWithVariant(const NttPlan& plan, MqxVariant variant, DConstSpan in,
-                   DSpan out, DSpan scratch, MulAlgo algo)
+                   DSpan out, DSpan scratch, MulAlgo algo, Reduction red)
 {
     switch (variant) {
       case MqxVariant::MulOnly:
-        peaseForwardImpl<MqxIsa<Mode, kMqxMulOnly>>(plan, in, out, scratch,
-                                                    algo);
+        forwardWithIsa<MqxIsa<Mode, kMqxMulOnly>>(plan, in, out, scratch,
+                                                  algo, red);
         break;
       case MqxVariant::CarryOnly:
-        peaseForwardImpl<MqxIsa<Mode, kMqxCarryOnly>>(plan, in, out, scratch,
-                                                      algo);
+        forwardWithIsa<MqxIsa<Mode, kMqxCarryOnly>>(plan, in, out, scratch,
+                                                    algo, red);
         break;
       case MqxVariant::Full:
-        peaseForwardImpl<MqxIsa<Mode, kMqxFull>>(plan, in, out, scratch,
-                                                 algo);
+        forwardWithIsa<MqxIsa<Mode, kMqxFull>>(plan, in, out, scratch, algo,
+                                               red);
         break;
       case MqxVariant::MulhiCarry:
-        peaseForwardImpl<MqxIsa<Mode, kMqxMulhi>>(plan, in, out, scratch,
-                                                  algo);
+        forwardWithIsa<MqxIsa<Mode, kMqxMulhi>>(plan, in, out, scratch, algo,
+                                                red);
         break;
       case MqxVariant::FullPredicated:
-        peaseForwardImpl<MqxIsa<Mode, kMqxPredicated>>(plan, in, out, scratch,
-                                                       algo);
+        forwardWithIsa<MqxIsa<Mode, kMqxPredicated>>(plan, in, out, scratch,
+                                                     algo, red);
         break;
     }
 }
@@ -54,28 +78,28 @@ forwardWithVariant(const NttPlan& plan, MqxVariant variant, DConstSpan in,
 template <MqxMode Mode>
 void
 inverseWithVariant(const NttPlan& plan, MqxVariant variant, DConstSpan in,
-                   DSpan out, DSpan scratch, MulAlgo algo)
+                   DSpan out, DSpan scratch, MulAlgo algo, Reduction red)
 {
     switch (variant) {
       case MqxVariant::MulOnly:
-        peaseInverseImpl<MqxIsa<Mode, kMqxMulOnly>>(plan, in, out, scratch,
-                                                    algo);
+        inverseWithIsa<MqxIsa<Mode, kMqxMulOnly>>(plan, in, out, scratch,
+                                                  algo, red);
         break;
       case MqxVariant::CarryOnly:
-        peaseInverseImpl<MqxIsa<Mode, kMqxCarryOnly>>(plan, in, out, scratch,
-                                                      algo);
+        inverseWithIsa<MqxIsa<Mode, kMqxCarryOnly>>(plan, in, out, scratch,
+                                                    algo, red);
         break;
       case MqxVariant::Full:
-        peaseInverseImpl<MqxIsa<Mode, kMqxFull>>(plan, in, out, scratch,
-                                                 algo);
+        inverseWithIsa<MqxIsa<Mode, kMqxFull>>(plan, in, out, scratch, algo,
+                                               red);
         break;
       case MqxVariant::MulhiCarry:
-        peaseInverseImpl<MqxIsa<Mode, kMqxMulhi>>(plan, in, out, scratch,
-                                                  algo);
+        inverseWithIsa<MqxIsa<Mode, kMqxMulhi>>(plan, in, out, scratch, algo,
+                                                red);
         break;
       case MqxVariant::FullPredicated:
-        peaseInverseImpl<MqxIsa<Mode, kMqxPredicated>>(plan, in, out, scratch,
-                                                       algo);
+        inverseWithIsa<MqxIsa<Mode, kMqxPredicated>>(plan, in, out, scratch,
+                                                     algo, red);
         break;
     }
 }
@@ -84,26 +108,39 @@ inverseWithVariant(const NttPlan& plan, MqxVariant variant, DConstSpan in,
 
 void
 forwardMqxImpl(const NttPlan& plan, MqxVariant variant, bool pisa,
-               DConstSpan in, DSpan out, DSpan scratch, MulAlgo algo)
+               DConstSpan in, DSpan out, DSpan scratch, MulAlgo algo,
+               Reduction red)
 {
     if (pisa)
         forwardWithVariant<MqxMode::Pisa>(plan, variant, in, out, scratch,
-                                          algo);
+                                          algo, red);
     else
         forwardWithVariant<MqxMode::Emulate>(plan, variant, in, out, scratch,
-                                             algo);
+                                             algo, red);
 }
 
 void
 inverseMqxImpl(const NttPlan& plan, MqxVariant variant, bool pisa,
-               DConstSpan in, DSpan out, DSpan scratch, MulAlgo algo)
+               DConstSpan in, DSpan out, DSpan scratch, MulAlgo algo,
+               Reduction red)
 {
     if (pisa)
         inverseWithVariant<MqxMode::Pisa>(plan, variant, in, out, scratch,
-                                          algo);
+                                          algo, red);
     else
         inverseWithVariant<MqxMode::Emulate>(plan, variant, in, out, scratch,
-                                             algo);
+                                             algo, red);
+}
+
+void
+vmulShoupMqx(bool pisa, const Modulus& m, DConstSpan a, DConstSpan t,
+             DConstSpan tq, DSpan c, MulAlgo algo)
+{
+    if (pisa)
+        vmulShoupImpl<MqxIsa<MqxMode::Pisa, kMqxFull>>(m, a, t, tq, c, algo);
+    else
+        vmulShoupImpl<MqxIsa<MqxMode::Emulate, kMqxFull>>(m, a, t, tq, c,
+                                                          algo);
 }
 
 } // namespace backends

@@ -14,16 +14,29 @@ namespace backends {
 
 void
 forwardPortable(const NttPlan& plan, DConstSpan in, DSpan out, DSpan scratch,
-                MulAlgo algo)
+                MulAlgo algo, Reduction red)
 {
-    peaseForwardImpl<simd::PortableIsa>(plan, in, out, scratch, algo);
+    if (red == Reduction::ShoupLazy)
+        peaseForwardLazyImpl<simd::PortableIsa>(plan, in, out, scratch, algo);
+    else
+        peaseForwardImpl<simd::PortableIsa>(plan, in, out, scratch, algo);
 }
 
 void
 inversePortable(const NttPlan& plan, DConstSpan in, DSpan out, DSpan scratch,
-                MulAlgo algo)
+                MulAlgo algo, Reduction red)
 {
-    peaseInverseImpl<simd::PortableIsa>(plan, in, out, scratch, algo);
+    if (red == Reduction::ShoupLazy)
+        peaseInverseLazyImpl<simd::PortableIsa>(plan, in, out, scratch, algo);
+    else
+        peaseInverseImpl<simd::PortableIsa>(plan, in, out, scratch, algo);
+}
+
+void
+vmulShoupPortable(const Modulus& m, DConstSpan a, DConstSpan t, DConstSpan tq,
+                  DSpan c, MulAlgo algo)
+{
+    vmulShoupImpl<simd::PortableIsa>(m, a, t, tq, c, algo);
 }
 
 } // namespace backends

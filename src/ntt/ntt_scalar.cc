@@ -5,7 +5,9 @@
  * Uses the native-128-bit scalar modular arithmetic — "used for
  * benchmarking, as it allows the compiler to exploit specialized
  * assembly instructions such as add with carry" — in the same
- * constant-geometry dataflow as the SIMD backends.
+ * constant-geometry dataflow as the SIMD backends. Both reduction
+ * strategies are provided: the Barrett baseline and the Shoup-lazy
+ * steady state (see pease_impl.h for the range discipline).
  */
 #include "ntt/ntt_backends.h"
 
@@ -21,12 +23,13 @@ void
 forwardStageScalar(const Modulus& m, const mod::Barrett<uint64_t>& br,
                    const uint64_t* src_hi, const uint64_t* src_lo,
                    uint64_t* dst_hi, uint64_t* dst_lo, const uint64_t* tw_hi,
-                   const uint64_t* tw_lo, size_t h, MulAlgo algo)
+                   const uint64_t* tw_lo, size_t h, int s, MulAlgo algo)
 {
     for (size_t j = 0; j < h; ++j) {
+        size_t e = NttPlan::stageTwiddleIndex(s, j);
         U128 a = U128::fromParts(src_hi[j], src_lo[j]);
         U128 b = U128::fromParts(src_hi[j + h], src_lo[j + h]);
-        U128 w = U128::fromParts(tw_hi[j], tw_lo[j]);
+        U128 w = U128::fromParts(tw_hi[e], tw_lo[e]);
         U128 u = m.add(a, b);
         mod::DW<uint64_t> d = mod::toDw(m.sub(a, b));
         mod::DW<uint64_t> dw = mod::toDw(w);
@@ -43,12 +46,13 @@ void
 inverseStageScalar(const Modulus& m, const mod::Barrett<uint64_t>& br,
                    const uint64_t* src_hi, const uint64_t* src_lo,
                    uint64_t* dst_hi, uint64_t* dst_lo, const uint64_t* tw_hi,
-                   const uint64_t* tw_lo, size_t h, MulAlgo algo)
+                   const uint64_t* tw_lo, size_t h, int s, MulAlgo algo)
 {
     for (size_t j = 0; j < h; ++j) {
+        size_t e = NttPlan::stageTwiddleIndex(s, j);
         U128 u = U128::fromParts(src_hi[2 * j], src_lo[2 * j]);
         mod::DW<uint64_t> v{src_hi[2 * j + 1], src_lo[2 * j + 1]};
-        mod::DW<uint64_t> w{tw_hi[j], tw_lo[j]};
+        mod::DW<uint64_t> w{tw_hi[e], tw_lo[e]};
         auto tm = algo == MulAlgo::Schoolbook ? mod::mulModSchool(v, w, br)
                                               : mod::mulModKaratsuba(v, w, br);
         U128 t = mod::fromDw(tm);
@@ -61,13 +65,10 @@ inverseStageScalar(const Modulus& m, const mod::Barrett<uint64_t>& br,
     }
 }
 
-} // namespace
-
 void
-forwardScalar(const NttPlan& plan, DConstSpan in, DSpan out, DSpan scratch,
-              MulAlgo algo)
+forwardScalarBarrett(const NttPlan& plan, DConstSpan in, DSpan out,
+                     DSpan scratch, MulAlgo algo)
 {
-    detail::validateNttArgs(plan, in, out, scratch);
     const size_t h = plan.half();
     const int m = plan.logn();
     const Modulus& mod = plan.modulus();
@@ -80,7 +81,7 @@ forwardScalar(const NttPlan& plan, DConstSpan in, DSpan out, DSpan scratch,
     for (int s = 0; s < m; ++s) {
         DSpan dst = bufs[target];
         forwardStageScalar(mod, br, src_hi, src_lo, dst.hi, dst.lo,
-                           plan.twiddleHi(s), plan.twiddleLo(s), h, algo);
+                           plan.twiddleHi(), plan.twiddleLo(), h, s, algo);
         src_hi = dst.hi;
         src_lo = dst.lo;
         target ^= 1;
@@ -88,10 +89,9 @@ forwardScalar(const NttPlan& plan, DConstSpan in, DSpan out, DSpan scratch,
 }
 
 void
-inverseScalar(const NttPlan& plan, DConstSpan in, DSpan out, DSpan scratch,
-              MulAlgo algo)
+inverseScalarBarrett(const NttPlan& plan, DConstSpan in, DSpan out,
+                     DSpan scratch, MulAlgo algo)
 {
-    detail::validateNttArgs(plan, in, out, scratch);
     const size_t h = plan.half();
     const int m = plan.logn();
     const Modulus& mod = plan.modulus();
@@ -104,7 +104,7 @@ inverseScalar(const NttPlan& plan, DConstSpan in, DSpan out, DSpan scratch,
     for (int s = m - 1; s >= 0; --s) {
         DSpan dst = bufs[target];
         inverseStageScalar(mod, br, src_hi, src_lo, dst.hi, dst.lo,
-                           plan.twiddleInvHi(s), plan.twiddleInvLo(s), h,
+                           plan.twiddleInvHi(), plan.twiddleInvLo(), h, s,
                            algo);
         src_hi = dst.hi;
         src_lo = dst.lo;
@@ -118,6 +118,111 @@ inverseScalar(const NttPlan& plan, DConstSpan in, DSpan out, DSpan scratch,
                                              : mod::mulModKaratsuba(x, dn, br);
         out.hi[i] = r.hi;
         out.lo[i] = r.lo;
+    }
+}
+
+void
+forwardScalarLazy(const NttPlan& plan, DConstSpan in, DSpan out,
+                  DSpan scratch, MulAlgo algo)
+{
+    const size_t h = plan.half();
+    const int m = plan.logn();
+    const mod::DW<uint64_t> q = mod::toDw(plan.modulus().value());
+    const mod::DW<uint64_t> q2 = mod::shl1Dw(q);
+
+    DSpan bufs[2] = {out, scratch};
+    int target = (m % 2 == 1) ? 0 : 1;
+    const uint64_t* src_hi = in.hi;
+    const uint64_t* src_lo = in.lo;
+    for (int s = 0; s < m; ++s) {
+        const bool last = s == m - 1;
+        DSpan dst = bufs[target];
+        for (size_t j = 0; j < h; ++j) {
+            detail::forwardButterflyLazyScalar(
+                q, q2, src_hi, src_lo, dst.hi, dst.lo, plan.twiddleHi(),
+                plan.twiddleLo(), plan.twiddleShoupHi(), plan.twiddleShoupLo(),
+                j, h, s, last, algo);
+        }
+        src_hi = dst.hi;
+        src_lo = dst.lo;
+        target ^= 1;
+    }
+}
+
+void
+inverseScalarLazy(const NttPlan& plan, DConstSpan in, DSpan out,
+                  DSpan scratch, MulAlgo algo)
+{
+    const size_t h = plan.half();
+    const int m = plan.logn();
+    const mod::DW<uint64_t> q = mod::toDw(plan.modulus().value());
+    const mod::DW<uint64_t> q2 = mod::shl1Dw(q);
+
+    DSpan bufs[2] = {out, scratch};
+    int target = (m % 2 == 1) ? 0 : 1;
+    const uint64_t* src_hi = in.hi;
+    const uint64_t* src_lo = in.lo;
+    for (int s = m - 1; s >= 0; --s) {
+        DSpan dst = bufs[target];
+        for (size_t j = 0; j < h; ++j) {
+            detail::inverseButterflyLazyScalar(
+                q, q2, src_hi, src_lo, dst.hi, dst.lo, plan.twiddleInvHi(),
+                plan.twiddleInvLo(), plan.twiddleInvShoupHi(),
+                plan.twiddleInvShoupLo(), j, h, s, algo);
+        }
+        src_hi = dst.hi;
+        src_lo = dst.lo;
+        target ^= 1;
+    }
+
+    const mod::DW<uint64_t> dn = mod::toDw(plan.nInv());
+    const mod::DW<uint64_t> dnq = mod::toDw(plan.nInvShoup());
+    for (size_t i = 0; i < plan.n(); ++i) {
+        mod::DW<uint64_t> x{out.hi[i], out.lo[i]};
+        auto r = mod::condSubDw(mod::mulModShoup(x, dn, dnq, q, algo), q);
+        out.hi[i] = r.hi;
+        out.lo[i] = r.lo;
+    }
+}
+
+} // namespace
+
+void
+forwardScalar(const NttPlan& plan, DConstSpan in, DSpan out, DSpan scratch,
+              MulAlgo algo, Reduction red)
+{
+    detail::validateNttArgs(plan, in, out, scratch);
+    if (red == Reduction::ShoupLazy)
+        forwardScalarLazy(plan, in, out, scratch, algo);
+    else
+        forwardScalarBarrett(plan, in, out, scratch, algo);
+}
+
+void
+inverseScalar(const NttPlan& plan, DConstSpan in, DSpan out, DSpan scratch,
+              MulAlgo algo, Reduction red)
+{
+    detail::validateNttArgs(plan, in, out, scratch);
+    if (red == Reduction::ShoupLazy)
+        inverseScalarLazy(plan, in, out, scratch, algo);
+    else
+        inverseScalarBarrett(plan, in, out, scratch, algo);
+}
+
+void
+vmulShoupScalar(const Modulus& m, DConstSpan a, DConstSpan t, DConstSpan tq,
+                DSpan c, MulAlgo algo)
+{
+    checkArg(a.n == t.n && a.n == tq.n && a.n == c.n,
+             "vmulShoup: length mismatch");
+    const mod::DW<uint64_t> q = mod::toDw(m.value());
+    for (size_t i = 0; i < a.n; ++i) {
+        mod::DW<uint64_t> x{a.hi[i], a.lo[i]};
+        mod::DW<uint64_t> w{t.hi[i], t.lo[i]};
+        mod::DW<uint64_t> wq{tq.hi[i], tq.lo[i]};
+        auto r = mod::condSubDw(mod::mulModShoup(x, w, wq, q, algo), q);
+        c.hi[i] = r.hi;
+        c.lo[i] = r.lo;
     }
 }
 

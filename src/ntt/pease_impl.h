@@ -17,9 +17,29 @@
  * one final scaling pass by n^-1; it consumes the forward's bit-reversed
  * output and restores natural order.
  *
+ * Two arithmetic strategies share the stage wiring (Reduction knob):
+ *
+ *  - Barrett: canonical [0, q) operands, full Eq.-4 reduction per
+ *    butterfly multiply. The paper's original kernels; kept as the
+ *    ablation baseline and cross-check oracle.
+ *  - ShoupLazy (default): Harvey lazy butterflies. Operands live in
+ *    [0, 2q) between stages (q < 2^124 leaves 4 bits of double-word
+ *    headroom, so transients reach 4q safely), the twiddle multiply is
+ *    the Shoup precomputed-quotient form with a [0, 2q) result and no
+ *    correction subtractions, and canonicalization to [0, q) happens
+ *    once — fused into the last forward stage, or into the inverse's
+ *    n^-1 scaling pass. Bit-identical to Barrett after that pass.
+ *
+ * Twiddles come from the plan's compact shared power tables; stage s
+ * addresses them as pow[(j >> s) << s] via loadStageTwiddles(): a
+ * contiguous load at stage 0, a short step load while the run length
+ * 2^s is below the lane count, and a single broadcast afterwards —
+ * ~logn/2x less twiddle traffic than the old stretched tables.
+ *
  * Out-of-place ping-pong: the caller provides `out` and `scratch`
  * buffers; the stage parity is arranged so the final stage always lands
- * in `out`. Neither may alias the input.
+ * in `out`. Neither may alias the input (any hi/lo storage overlap,
+ * including lo-lo and mixed hi-lo, is rejected).
  */
 #pragma once
 
@@ -31,18 +51,46 @@ namespace ntt {
 
 namespace detail {
 
-/** Scalar butterfly tail shared by every backend. */
+/**
+ * Stage-s twiddle gather from a compact power table: butterfly j uses
+ * entry (j >> s) << s, so a vector of kLanes consecutive butterflies
+ * needs a contiguous load (s == 0), a step load repeating each entry
+ * 2^s times (0 < 2^s < kLanes — only the first log2(kLanes) stages),
+ * or one broadcast (2^s >= kLanes).
+ */
+template <class Isa>
+inline simd::DV<Isa>
+loadStageTwiddles(const uint64_t* hi, const uint64_t* lo, size_t j, int s)
+{
+    if (s == 0)
+        return simd::loadDv<Isa>(hi, lo, j);
+    if ((size_t{1} << s) >= Isa::kLanes) {
+        size_t e = (j >> s) << s;
+        return simd::DV<Isa>{Isa::set1(hi[e]), Isa::set1(lo[e])};
+    }
+    alignas(64) uint64_t th[Isa::kLanes];
+    alignas(64) uint64_t tl[Isa::kLanes];
+    for (size_t i = 0; i < Isa::kLanes; ++i) {
+        size_t e = ((j + i) >> s) << s;
+        th[i] = hi[e];
+        tl[i] = lo[e];
+    }
+    return simd::loadDv<Isa>(th, tl, 0);
+}
+
+/** Scalar butterfly tail shared by every backend (Barrett path). */
 inline void
 forwardButterflyScalar(const mod::Barrett<uint64_t>& br,
                        const mod::DW<uint64_t>& q, const uint64_t* src_hi,
                        const uint64_t* src_lo, uint64_t* dst_hi,
                        uint64_t* dst_lo, const uint64_t* tw_hi,
-                       const uint64_t* tw_lo, size_t j, size_t h,
+                       const uint64_t* tw_lo, size_t j, size_t h, int s,
                        MulAlgo algo)
 {
+    size_t e = NttPlan::stageTwiddleIndex(s, j);
     mod::DW<uint64_t> a{src_hi[j], src_lo[j]};
     mod::DW<uint64_t> b{src_hi[j + h], src_lo[j + h]};
-    mod::DW<uint64_t> w{tw_hi[j], tw_lo[j]};
+    mod::DW<uint64_t> w{tw_hi[e], tw_lo[e]};
     auto u = mod::addMod(a, b, q);
     auto d = mod::subMod(a, b, q);
     auto v = algo == MulAlgo::Schoolbook ? mod::mulModSchool(d, w, br)
@@ -58,16 +106,78 @@ inverseButterflyScalar(const mod::Barrett<uint64_t>& br,
                        const mod::DW<uint64_t>& q, const uint64_t* src_hi,
                        const uint64_t* src_lo, uint64_t* dst_hi,
                        uint64_t* dst_lo, const uint64_t* tw_hi,
-                       const uint64_t* tw_lo, size_t j, size_t h,
+                       const uint64_t* tw_lo, size_t j, size_t h, int s,
                        MulAlgo algo)
 {
+    size_t e = NttPlan::stageTwiddleIndex(s, j);
     mod::DW<uint64_t> u{src_hi[2 * j], src_lo[2 * j]};
     mod::DW<uint64_t> v{src_hi[2 * j + 1], src_lo[2 * j + 1]};
-    mod::DW<uint64_t> w{tw_hi[j], tw_lo[j]};
+    mod::DW<uint64_t> w{tw_hi[e], tw_lo[e]};
     auto t = algo == MulAlgo::Schoolbook ? mod::mulModSchool(v, w, br)
                                          : mod::mulModKaratsuba(v, w, br);
     auto x0 = mod::addMod(u, t, q);
     auto x1 = mod::subMod(u, t, q);
+    dst_hi[j] = x0.hi;
+    dst_lo[j] = x0.lo;
+    dst_hi[j + h] = x1.hi;
+    dst_lo[j + h] = x1.lo;
+}
+
+/** Scalar lazy forward butterfly: [0,2q) in, [0,2q) out (canonical when
+ *  @p last — the fused final-stage canonicalization). */
+inline void
+forwardButterflyLazyScalar(const mod::DW<uint64_t>& q,
+                           const mod::DW<uint64_t>& q2,
+                           const uint64_t* src_hi, const uint64_t* src_lo,
+                           uint64_t* dst_hi, uint64_t* dst_lo,
+                           const uint64_t* tw_hi, const uint64_t* tw_lo,
+                           const uint64_t* twq_hi, const uint64_t* twq_lo,
+                           size_t j, size_t h, int s, bool last,
+                           MulAlgo algo)
+{
+    size_t e = NttPlan::stageTwiddleIndex(s, j);
+    mod::DW<uint64_t> a{src_hi[j], src_lo[j]};
+    mod::DW<uint64_t> b{src_hi[j + h], src_lo[j + h]};
+    mod::DW<uint64_t> w{tw_hi[e], tw_lo[e]};
+    mod::DW<uint64_t> wq{twq_hi[e], twq_lo[e]};
+    mod::DW<uint64_t> t, d;
+    mod::addDw(a, b, t);                     // < 4q
+    auto u = mod::condSubDw(t, q2);          // [0, 2q)
+    mod::addDw(a, q2, d);
+    mod::subDw(d, b, d);                     // a - b + 2q in (0, 4q)
+    auto v = mod::mulModShoup(d, w, wq, q, algo); // [0, 2q)
+    if (last) {
+        u = mod::condSubDw(u, q);
+        v = mod::condSubDw(v, q);
+    }
+    dst_hi[2 * j] = u.hi;
+    dst_lo[2 * j] = u.lo;
+    dst_hi[2 * j + 1] = v.hi;
+    dst_lo[2 * j + 1] = v.lo;
+}
+
+/** Scalar lazy inverse butterfly: [0,2q) in, [0,2q) out. */
+inline void
+inverseButterflyLazyScalar(const mod::DW<uint64_t>& q,
+                           const mod::DW<uint64_t>& q2,
+                           const uint64_t* src_hi, const uint64_t* src_lo,
+                           uint64_t* dst_hi, uint64_t* dst_lo,
+                           const uint64_t* tw_hi, const uint64_t* tw_lo,
+                           const uint64_t* twq_hi, const uint64_t* twq_lo,
+                           size_t j, size_t h, int s, MulAlgo algo)
+{
+    size_t e = NttPlan::stageTwiddleIndex(s, j);
+    mod::DW<uint64_t> u{src_hi[2 * j], src_lo[2 * j]};
+    mod::DW<uint64_t> v{src_hi[2 * j + 1], src_lo[2 * j + 1]};
+    mod::DW<uint64_t> w{tw_hi[e], tw_lo[e]};
+    mod::DW<uint64_t> wq{twq_hi[e], twq_lo[e]};
+    auto t = mod::mulModShoup(v, w, wq, q, algo); // [0, 2q)
+    mod::DW<uint64_t> s0, s1;
+    mod::addDw(u, t, s0);                         // < 4q
+    auto x0 = mod::condSubDw(s0, q2);             // [0, 2q)
+    mod::addDw(u, q2, s1);
+    mod::subDw(s1, t, s1);                        // u - t + 2q in (0, 4q)
+    auto x1 = mod::condSubDw(s1, q2);             // [0, 2q)
     dst_hi[j] = x0.hi;
     dst_lo[j] = x0.lo;
     dst_hi[j + h] = x1.hi;
@@ -79,13 +189,21 @@ validateNttArgs(const NttPlan& plan, DConstSpan in, DSpan out, DSpan scratch)
 {
     checkArg(in.n == plan.n() && out.n == plan.n() && scratch.n == plan.n(),
              "ntt: buffer sizes must equal the plan size");
-    checkArg(in.hi != out.hi && in.hi != scratch.hi && out.hi != scratch.hi,
-             "ntt: in/out/scratch must be distinct buffers");
+    // The ping-pong is out-of-place: reject ANY storage sharing between
+    // the three buffers — identical spans, aliased lo arrays, and mixed
+    // hi/lo overlap included (the span-overlap contract of the SoA
+    // layout, not just hi-pointer distinctness).
+    auto overlaps = [](DConstSpan a, DConstSpan b) {
+        return sameSpan(a, b) || spansPartiallyOverlap(a, b);
+    };
+    checkArg(!overlaps(in, out) && !overlaps(in, scratch) &&
+                 !overlaps(out, scratch),
+             "ntt: in/out/scratch must be distinct, non-overlapping buffers");
 }
 
 } // namespace detail
 
-/** Forward Pease NTT (natural order in, bit-reversed out). */
+/** Forward Pease NTT, Barrett arithmetic (natural in, bit-reversed out). */
 template <class Isa>
 void
 peaseForwardImpl(const NttPlan& plan, DConstSpan in, DSpan out, DSpan scratch,
@@ -98,6 +216,8 @@ peaseForwardImpl(const NttPlan& plan, DConstSpan in, DSpan out, DSpan scratch,
     simd::ModCtx<Isa> ctx = simd::makeModCtx<Isa>(mod);
     const auto& br = mod.barrett();
     const mod::DW<uint64_t> q = mod::toDw(mod.value());
+    const uint64_t* tw_hi = plan.twiddleHi();
+    const uint64_t* tw_lo = plan.twiddleLo();
 
     DSpan bufs[2] = {out, scratch};
     int target = (m % 2 == 1) ? 0 : 1;
@@ -106,13 +226,11 @@ peaseForwardImpl(const NttPlan& plan, DConstSpan in, DSpan out, DSpan scratch,
 
     for (int s = 0; s < m; ++s) {
         DSpan dst = bufs[target];
-        const uint64_t* tw_hi = plan.twiddleHi(s);
-        const uint64_t* tw_lo = plan.twiddleLo(s);
         size_t j = 0;
         for (; j + Isa::kLanes <= h; j += Isa::kLanes) {
             auto a = simd::loadDv<Isa>(src_hi, src_lo, j);
             auto b = simd::loadDv<Isa>(src_hi, src_lo, j + h);
-            auto w = simd::loadDv<Isa>(tw_hi, tw_lo, j);
+            auto w = detail::loadStageTwiddles<Isa>(tw_hi, tw_lo, j, s);
             auto u = simd::addModV<Isa>(ctx, a, b);
             auto v = simd::mulModV<Isa>(ctx, simd::subModV<Isa>(ctx, a, b),
                                         w, algo);
@@ -126,7 +244,8 @@ peaseForwardImpl(const NttPlan& plan, DConstSpan in, DSpan out, DSpan scratch,
         }
         for (; j < h; ++j) {
             detail::forwardButterflyScalar(br, q, src_hi, src_lo, dst.hi,
-                                           dst.lo, tw_hi, tw_lo, j, h, algo);
+                                           dst.lo, tw_hi, tw_lo, j, h, s,
+                                           algo);
         }
         src_hi = dst.hi;
         src_lo = dst.lo;
@@ -134,7 +253,8 @@ peaseForwardImpl(const NttPlan& plan, DConstSpan in, DSpan out, DSpan scratch,
     }
 }
 
-/** Inverse Pease NTT (bit-reversed in, natural out, scaled by n^-1). */
+/** Inverse Pease NTT, Barrett arithmetic (bit-reversed in, natural out,
+ *  scaled by n^-1). */
 template <class Isa>
 void
 peaseInverseImpl(const NttPlan& plan, DConstSpan in, DSpan out, DSpan scratch,
@@ -147,6 +267,8 @@ peaseInverseImpl(const NttPlan& plan, DConstSpan in, DSpan out, DSpan scratch,
     simd::ModCtx<Isa> ctx = simd::makeModCtx<Isa>(mod);
     const auto& br = mod.barrett();
     const mod::DW<uint64_t> q = mod::toDw(mod.value());
+    const uint64_t* tw_hi = plan.twiddleInvHi();
+    const uint64_t* tw_lo = plan.twiddleInvLo();
 
     DSpan bufs[2] = {out, scratch};
     int target = (m % 2 == 1) ? 0 : 1;
@@ -155,8 +277,6 @@ peaseInverseImpl(const NttPlan& plan, DConstSpan in, DSpan out, DSpan scratch,
 
     for (int s = m - 1; s >= 0; --s) {
         DSpan dst = bufs[target];
-        const uint64_t* tw_hi = plan.twiddleInvHi(s);
-        const uint64_t* tw_lo = plan.twiddleInvLo(s);
         size_t j = 0;
         for (; j + Isa::kLanes <= h; j += Isa::kLanes) {
             auto blk0h = Isa::loadu(src_hi + 2 * j);
@@ -166,7 +286,7 @@ peaseInverseImpl(const NttPlan& plan, DConstSpan in, DSpan out, DSpan scratch,
             simd::DV<Isa> u, v;
             Isa::deinterleave2(blk0h, blk1h, u.hi, v.hi);
             Isa::deinterleave2(blk0l, blk1l, u.lo, v.lo);
-            auto w = simd::loadDv<Isa>(tw_hi, tw_lo, j);
+            auto w = detail::loadStageTwiddles<Isa>(tw_hi, tw_lo, j, s);
             auto t = simd::mulModV<Isa>(ctx, v, w, algo);
             auto x0 = simd::addModV<Isa>(ctx, u, t);
             auto x1 = simd::subModV<Isa>(ctx, u, t);
@@ -175,7 +295,8 @@ peaseInverseImpl(const NttPlan& plan, DConstSpan in, DSpan out, DSpan scratch,
         }
         for (; j < h; ++j) {
             detail::inverseButterflyScalar(br, q, src_hi, src_lo, dst.hi,
-                                           dst.lo, tw_hi, tw_lo, j, h, algo);
+                                           dst.lo, tw_hi, tw_lo, j, h, s,
+                                           algo);
         }
         src_hi = dst.hi;
         src_lo = dst.lo;
@@ -198,6 +319,185 @@ peaseInverseImpl(const NttPlan& plan, DConstSpan in, DSpan out, DSpan scratch,
                                              : mod::mulModKaratsuba(x, dn, br);
         out.hi[i] = r.hi;
         out.lo[i] = r.lo;
+    }
+}
+
+/**
+ * Forward Pease NTT, Shoup-lazy arithmetic. Canonical [0, q) input,
+ * canonical output (the last stage fuses the condSub-q pass); between
+ * stages operands stay in the redundant [0, 2q) range and every twiddle
+ * multiply is the Shoup precomputed-quotient form. Bit-identical to
+ * peaseForwardImpl.
+ */
+template <class Isa>
+void
+peaseForwardLazyImpl(const NttPlan& plan, DConstSpan in, DSpan out,
+                     DSpan scratch, MulAlgo algo = MulAlgo::Schoolbook)
+{
+    detail::validateNttArgs(plan, in, out, scratch);
+    const size_t h = plan.half();
+    const int m = plan.logn();
+    const Modulus& mod = plan.modulus();
+    simd::ModCtx<Isa> ctx = simd::makeModCtx<Isa>(mod);
+    const mod::DW<uint64_t> q = mod::toDw(mod.value());
+    const mod::DW<uint64_t> q2 = mod::shl1Dw(q);
+    const uint64_t* tw_hi = plan.twiddleHi();
+    const uint64_t* tw_lo = plan.twiddleLo();
+    const uint64_t* twq_hi = plan.twiddleShoupHi();
+    const uint64_t* twq_lo = plan.twiddleShoupLo();
+
+    DSpan bufs[2] = {out, scratch};
+    int target = (m % 2 == 1) ? 0 : 1;
+    const uint64_t* src_hi = in.hi;
+    const uint64_t* src_lo = in.lo;
+
+    for (int s = 0; s < m; ++s) {
+        const bool last = s == m - 1;
+        DSpan dst = bufs[target];
+        size_t j = 0;
+        for (; j + Isa::kLanes <= h; j += Isa::kLanes) {
+            auto a = simd::loadDv<Isa>(src_hi, src_lo, j);
+            auto b = simd::loadDv<Isa>(src_hi, src_lo, j + h);
+            auto w = detail::loadStageTwiddles<Isa>(tw_hi, tw_lo, j, s);
+            auto wq = detail::loadStageTwiddles<Isa>(twq_hi, twq_lo, j, s);
+            auto u = simd::addModLazyV<Isa>(ctx, a, b);
+            auto d = simd::subModLazyRawV<Isa>(ctx, a, b); // (0, 4q)
+            auto v = simd::mulModShoupV<Isa>(ctx, d, w, wq, algo);
+            if (last) {
+                u = simd::condSubDwV<Isa>(ctx, u, ctx.qh, ctx.ql);
+                v = simd::condSubDwV<Isa>(ctx, v, ctx.qh, ctx.ql);
+            }
+            typename Isa::V blk0, blk1;
+            Isa::interleave2(u.hi, v.hi, blk0, blk1);
+            Isa::storeu(dst.hi + 2 * j, blk0);
+            Isa::storeu(dst.hi + 2 * j + Isa::kLanes, blk1);
+            Isa::interleave2(u.lo, v.lo, blk0, blk1);
+            Isa::storeu(dst.lo + 2 * j, blk0);
+            Isa::storeu(dst.lo + 2 * j + Isa::kLanes, blk1);
+        }
+        for (; j < h; ++j) {
+            detail::forwardButterflyLazyScalar(q, q2, src_hi, src_lo, dst.hi,
+                                               dst.lo, tw_hi, tw_lo, twq_hi,
+                                               twq_lo, j, h, s, last, algo);
+        }
+        src_hi = dst.hi;
+        src_lo = dst.lo;
+        target ^= 1;
+    }
+}
+
+/**
+ * Inverse Pease NTT, Shoup-lazy arithmetic. Canonical input, canonical
+ * output; canonicalization is fused into the n^-1 scaling pass (itself
+ * a Shoup multiply against the plan's nInvShoup companion).
+ * Bit-identical to peaseInverseImpl.
+ */
+template <class Isa>
+void
+peaseInverseLazyImpl(const NttPlan& plan, DConstSpan in, DSpan out,
+                     DSpan scratch, MulAlgo algo = MulAlgo::Schoolbook)
+{
+    detail::validateNttArgs(plan, in, out, scratch);
+    const size_t h = plan.half();
+    const int m = plan.logn();
+    const Modulus& mod = plan.modulus();
+    simd::ModCtx<Isa> ctx = simd::makeModCtx<Isa>(mod);
+    const mod::DW<uint64_t> q = mod::toDw(mod.value());
+    const mod::DW<uint64_t> q2 = mod::shl1Dw(q);
+    const uint64_t* tw_hi = plan.twiddleInvHi();
+    const uint64_t* tw_lo = plan.twiddleInvLo();
+    const uint64_t* twq_hi = plan.twiddleInvShoupHi();
+    const uint64_t* twq_lo = plan.twiddleInvShoupLo();
+
+    DSpan bufs[2] = {out, scratch};
+    int target = (m % 2 == 1) ? 0 : 1;
+    const uint64_t* src_hi = in.hi;
+    const uint64_t* src_lo = in.lo;
+
+    for (int s = m - 1; s >= 0; --s) {
+        DSpan dst = bufs[target];
+        size_t j = 0;
+        for (; j + Isa::kLanes <= h; j += Isa::kLanes) {
+            auto blk0h = Isa::loadu(src_hi + 2 * j);
+            auto blk1h = Isa::loadu(src_hi + 2 * j + Isa::kLanes);
+            auto blk0l = Isa::loadu(src_lo + 2 * j);
+            auto blk1l = Isa::loadu(src_lo + 2 * j + Isa::kLanes);
+            simd::DV<Isa> u, v;
+            Isa::deinterleave2(blk0h, blk1h, u.hi, v.hi);
+            Isa::deinterleave2(blk0l, blk1l, u.lo, v.lo);
+            auto w = detail::loadStageTwiddles<Isa>(tw_hi, tw_lo, j, s);
+            auto wq = detail::loadStageTwiddles<Isa>(twq_hi, twq_lo, j, s);
+            auto t = simd::mulModShoupV<Isa>(ctx, v, w, wq, algo); // [0,2q)
+            auto x0 = simd::addModLazyV<Isa>(ctx, u, t);
+            auto x1 = simd::subModLazyV<Isa>(ctx, u, t);
+            simd::storeDv<Isa>(dst.hi, dst.lo, j, x0);
+            simd::storeDv<Isa>(dst.hi, dst.lo, j + h, x1);
+        }
+        for (; j < h; ++j) {
+            detail::inverseButterflyLazyScalar(q, q2, src_hi, src_lo, dst.hi,
+                                               dst.lo, tw_hi, tw_lo, twq_hi,
+                                               twq_lo, j, h, s, algo);
+        }
+        src_hi = dst.hi;
+        src_lo = dst.lo;
+        target ^= 1;
+    }
+
+    // Fused n^-1 scaling + canonicalization: one Shoup multiply into
+    // [0, 2q) and one conditional subtract of q per element.
+    const U128 n_inv = plan.nInv();
+    const U128 n_inv_sh = plan.nInvShoup();
+    simd::DV<Isa> vninv{Isa::set1(n_inv.hi), Isa::set1(n_inv.lo)};
+    simd::DV<Isa> vninvq{Isa::set1(n_inv_sh.hi), Isa::set1(n_inv_sh.lo)};
+    size_t i = 0;
+    for (; i + Isa::kLanes <= plan.n(); i += Isa::kLanes) {
+        auto x = simd::loadDv<Isa>(out.hi, out.lo, i);
+        auto r = simd::mulModShoupV<Isa>(ctx, x, vninv, vninvq, algo);
+        r = simd::condSubDwV<Isa>(ctx, r, ctx.qh, ctx.ql);
+        simd::storeDv<Isa>(out.hi, out.lo, i, r);
+    }
+    const mod::DW<uint64_t> dn = mod::toDw(n_inv);
+    const mod::DW<uint64_t> dnq = mod::toDw(n_inv_sh);
+    for (; i < plan.n(); ++i) {
+        mod::DW<uint64_t> x{out.hi[i], out.lo[i]};
+        auto r = mod::condSubDw(mod::mulModShoup(x, dn, dnq, q, algo), q);
+        out.hi[i] = r.hi;
+        out.lo[i] = r.lo;
+    }
+}
+
+/**
+ * Point-wise multiply by a fixed table with precomputed Shoup
+ * companions: c[i] = a[i] * t[i] mod q, canonical output. This is the
+ * negacyclic twist/untwist pass — the table is immutable, so the
+ * quotient precomputation amortizes exactly like the twiddles'.
+ * In-place (c == a) is legal, matching the blas::vmul contract.
+ */
+template <class Isa>
+void
+vmulShoupImpl(const Modulus& m, DConstSpan a, DConstSpan t, DConstSpan tq,
+              DSpan c, MulAlgo algo = MulAlgo::Schoolbook)
+{
+    checkArg(a.n == t.n && a.n == tq.n && a.n == c.n,
+             "vmulShoup: length mismatch");
+    simd::ModCtx<Isa> ctx = simd::makeModCtx<Isa>(m);
+    size_t i = 0;
+    for (; i + Isa::kLanes <= a.n; i += Isa::kLanes) {
+        auto x = simd::loadDv<Isa>(a.hi, a.lo, i);
+        auto w = simd::loadDv<Isa>(t.hi, t.lo, i);
+        auto wq = simd::loadDv<Isa>(tq.hi, tq.lo, i);
+        auto r = simd::mulModShoupV<Isa>(ctx, x, w, wq, algo);
+        r = simd::condSubDwV<Isa>(ctx, r, ctx.qh, ctx.ql);
+        simd::storeDv<Isa>(c.hi, c.lo, i, r);
+    }
+    const mod::DW<uint64_t> q = mod::toDw(m.value());
+    for (; i < a.n; ++i) {
+        mod::DW<uint64_t> x{a.hi[i], a.lo[i]};
+        mod::DW<uint64_t> w{t.hi[i], t.lo[i]};
+        mod::DW<uint64_t> wq{tq.hi[i], tq.lo[i]};
+        auto r = mod::condSubDw(mod::mulModShoup(x, w, wq, q, algo), q);
+        c.hi[i] = r.hi;
+        c.lo[i] = r.lo;
     }
 }
 

@@ -20,37 +20,47 @@ NttPlan::NttPlan(const Modulus& modulus, size_t n) : mod_(modulus), n_(n)
     omega_inv_ = mod_.inverse(omega_);
     n_inv_ = mod_.inverse(mod_.reduce(U128{static_cast<uint64_t>(n)}));
 
-    // Power tables pow[i] = omega^i and powInv[i] = omega^-i, i < n/2,
-    // then the per-stage tables index them with (j >> s) << s.
-    size_t h = half();
-    std::vector<U128> pow_fwd(h), pow_inv(h);
+    // Shared power tables pow[k] = omega^k and powInv[k] = omega^-k,
+    // k < n/2, plus the Shoup companion floor(w * 2^128 / q) for every
+    // entry; stage s addresses them with stageTwiddleIndex(). One entry
+    // per distinct twiddle — the stretched per-stage layout is gone.
+    const size_t h = half();
+    const mod::DW<uint64_t> qd = mod::toDw(mod_.value());
+    fwd_hi_.reset(h);
+    fwd_lo_.reset(h);
+    fwd_sh_hi_.reset(h);
+    fwd_sh_lo_.reset(h);
+    inv_hi_.reset(h);
+    inv_lo_.reset(h);
+    inv_sh_hi_.reset(h);
+    inv_sh_lo_.reset(h);
     U128 acc_f{1}, acc_i{1};
     for (size_t i = 0; i < h; ++i) {
-        pow_fwd[i] = acc_f;
-        pow_inv[i] = acc_i;
+        fwd_hi_[i] = acc_f.hi;
+        fwd_lo_[i] = acc_f.lo;
+        inv_hi_[i] = acc_i.hi;
+        inv_lo_[i] = acc_i.lo;
+        mod::DW<uint64_t> sf = mod::shoupPrecompute(mod::toDw(acc_f), qd);
+        mod::DW<uint64_t> si = mod::shoupPrecompute(mod::toDw(acc_i), qd);
+        fwd_sh_hi_[i] = sf.hi;
+        fwd_sh_lo_[i] = sf.lo;
+        inv_sh_hi_[i] = si.hi;
+        inv_sh_lo_[i] = si.lo;
         acc_f = mod_.mul(acc_f, omega_);
         acc_i = mod_.mul(acc_i, omega_inv_);
     }
-
-    size_t stages = static_cast<size_t>(logn_);
-    fwd_hi_.reset(stages * h);
-    fwd_lo_.reset(stages * h);
-    inv_hi_.reset(stages * h);
-    inv_lo_.reset(stages * h);
-    for (size_t s = 0; s < stages; ++s) {
-        for (size_t j = 0; j < h; ++j) {
-            size_t e = (j >> s) << s;
-            size_t idx = s * h + j;
-            fwd_hi_[idx] = pow_fwd[e].hi;
-            fwd_lo_[idx] = pow_fwd[e].lo;
-            inv_hi_[idx] = pow_inv[e].hi;
-            inv_lo_[idx] = pow_inv[e].lo;
-        }
-    }
+    n_inv_shoup_ =
+        mod::fromDw(mod::shoupPrecompute(mod::toDw(n_inv_), qd));
 }
 
 size_t
 NttPlan::twiddleBytes() const
+{
+    return 8 * half() * sizeof(uint64_t);
+}
+
+size_t
+NttPlan::twiddleBytesStretched() const
 {
     return 4 * static_cast<size_t>(logn_) * half() * sizeof(uint64_t);
 }

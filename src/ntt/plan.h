@@ -22,8 +22,19 @@
  *
  * Data layout: residue vectors are stored as split hi/lo uint64_t
  * arrays ("the vectorized implementation passes in two 512-bit vectors
- * per input" — Section 3.2). Twiddles are stored the same way, flattened
- * per stage, so SIMD kernels stream them with aligned loads.
+ * per input" — Section 3.2).
+ *
+ * Twiddle storage is COMPACT: stage s has only n/2^(s+1) distinct
+ * twiddles (w[s][j] depends on j only through (j >> s) << s), and every
+ * stage's set {omega^(k*2^s)} is a stride-2^s subsample of the single
+ * power table pow[k] = omega^k, k < n/2. So the plan stores ONE hi/lo
+ * power table per direction — the per-stage tables of the old stretched
+ * layout (logn * n/2 entries per direction) overlap into n/2 entries —
+ * and the kernels address stage s with broadcast loads (late stages,
+ * run length 2^s >= lane count) or short step loads (early stages).
+ * Every twiddle also carries its Shoup companion floor(w * 2^128 / q)
+ * so the butterfly multiply needs no Barrett reduction; even counting
+ * the companions, total twiddle bytes shrink by logn/2 (6x at n=4096).
  */
 #pragma once
 
@@ -66,12 +77,27 @@ class NttPlan
     U128 omega() const { return omega_; }
     U128 omegaInv() const { return omega_inv_; }
     U128 nInv() const { return n_inv_; }
+    /** Shoup companion of n^-1 (for the lazy inverse scaling pass). */
+    U128 nInvShoup() const { return n_inv_shoup_; }
+
+    /**
+     * Index into the shared power table for butterfly j of stage s:
+     * stage s uses pow[(j >> s) << s] = omega^((j >> s) << s).
+     */
+    static size_t
+    stageTwiddleIndex(int stage, size_t j)
+    {
+        return (j >> stage) << stage;
+    }
+
+    /** Distinct twiddles of stage @p s: n/2^(s+1). */
+    size_t stageTwiddles(int s) const { return half() >> s; }
 
     /** Forward twiddle w[s][j] = omega^((j >> s) << s), j < n/2. */
     U128
     twiddle(int stage, size_t j) const
     {
-        size_t idx = static_cast<size_t>(stage) * half() + j;
+        size_t idx = stageTwiddleIndex(stage, j);
         return U128::fromParts(fwd_hi_[idx], fwd_lo_[idx]);
     }
 
@@ -79,20 +105,36 @@ class NttPlan
     U128
     twiddleInv(int stage, size_t j) const
     {
-        size_t idx = static_cast<size_t>(stage) * half() + j;
+        size_t idx = stageTwiddleIndex(stage, j);
         return U128::fromParts(inv_hi_[idx], inv_lo_[idx]);
     }
 
-    /** SIMD-layout twiddle rows (length n/2 each). */
-    const uint64_t* twiddleHi(int s) const { return fwd_hi_.data() + static_cast<size_t>(s) * half(); }
-    const uint64_t* twiddleLo(int s) const { return fwd_lo_.data() + static_cast<size_t>(s) * half(); }
-    const uint64_t* twiddleInvHi(int s) const { return inv_hi_.data() + static_cast<size_t>(s) * half(); }
-    const uint64_t* twiddleInvLo(int s) const { return inv_lo_.data() + static_cast<size_t>(s) * half(); }
+    // Shared power tables (length n/2 each): pow[k] = omega^k and its
+    // Shoup companion; likewise for omega^-k. Stage s addresses them
+    // through stageTwiddleIndex().
+    const uint64_t* twiddleHi() const { return fwd_hi_.data(); }
+    const uint64_t* twiddleLo() const { return fwd_lo_.data(); }
+    const uint64_t* twiddleShoupHi() const { return fwd_sh_hi_.data(); }
+    const uint64_t* twiddleShoupLo() const { return fwd_sh_lo_.data(); }
+    const uint64_t* twiddleInvHi() const { return inv_hi_.data(); }
+    const uint64_t* twiddleInvLo() const { return inv_lo_.data(); }
+    const uint64_t* twiddleInvShoupHi() const { return inv_sh_hi_.data(); }
+    const uint64_t* twiddleInvShoupLo() const { return inv_sh_lo_.data(); }
 
     size_t half() const { return n_ / 2; }
 
-    /** Bytes of twiddle storage (for the paper's L2 discussion, §5.4). */
+    /**
+     * Bytes of twiddle storage (for the paper's L2 discussion, §5.4):
+     * 8 arrays (fwd/inv x value/Shoup x hi/lo) of n/2 words.
+     */
     size_t twiddleBytes() const;
+
+    /**
+     * What the pre-compaction stretched layout would occupy (logn * n/2
+     * entries per direction, no Shoup companions) — the baseline for
+     * the bandwidth-reduction accounting.
+     */
+    size_t twiddleBytesStretched() const;
 
   private:
     Modulus mod_;
@@ -101,8 +143,11 @@ class NttPlan
     U128 omega_{};
     U128 omega_inv_{};
     U128 n_inv_{};
+    U128 n_inv_shoup_{};
     AlignedVec<uint64_t> fwd_hi_, fwd_lo_;
+    AlignedVec<uint64_t> fwd_sh_hi_, fwd_sh_lo_;
     AlignedVec<uint64_t> inv_hi_, inv_lo_;
+    AlignedVec<uint64_t> inv_sh_hi_, inv_sh_lo_;
 };
 
 /** In-place bit-reversal permutation of a split-layout vector. */

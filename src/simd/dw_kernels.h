@@ -58,6 +58,7 @@ template <class Isa>
 struct ModCtx
 {
     typename Isa::V qh, ql;   ///< modulus high/low words
+    typename Isa::V q2h, q2l; ///< 2q high/low words (lazy-reduction bound)
     typename Isa::V muh, mul; ///< Barrett mu high/low words
     typename Isa::V one;      ///< broadcast 1
     typename Isa::M z;        ///< initial carry mask (opaque under PISA)
@@ -73,6 +74,10 @@ makeModCtx(const Modulus& m)
     ModCtx<Isa> ctx;
     ctx.qh = Isa::set1(m.value().hi);
     ctx.ql = Isa::set1(m.value().lo);
+    // 2q fits a double word: bits(q) <= 2w - 4.
+    const mod::DW<uint64_t> q2 = mod::shl1Dw(mod::toDw(m.value()));
+    ctx.q2h = Isa::set1(q2.hi);
+    ctx.q2l = Isa::set1(q2.lo);
     ctx.muh = Isa::set1(m.mu().hi);
     ctx.mul = Isa::set1(m.mu().lo);
     ctx.one = Isa::set1(1);
@@ -378,6 +383,115 @@ barrettReduceV(const ModCtx<Isa>& ctx, const QV<Isa>& x)
         c.hi = Isa::blend(ge, c.hi, d_hi);
     }
     return c;
+}
+
+// ---------------------------------------------------------------------
+// Shoup multiplication and lazy-reduction helpers
+// ---------------------------------------------------------------------
+
+/** Plain wrap-around double-word add (no modular reduction). */
+template <class Isa>
+inline DV<Isa>
+addDwV(const ModCtx<Isa>& ctx, const DV<Isa>& a, const DV<Isa>& b)
+{
+    using M = typename Isa::M;
+    M c;
+    DV<Isa> r;
+    r.lo = Isa::adc(a.lo, b.lo, ctx.z, c);
+    r.hi = Isa::adc(a.hi, b.hi, c, c);
+    return r;
+}
+
+/** Plain wrap-around double-word subtract (no modular correction). */
+template <class Isa>
+inline DV<Isa>
+subDwV(const ModCtx<Isa>& ctx, const DV<Isa>& a, const DV<Isa>& b)
+{
+    using M = typename Isa::M;
+    M br;
+    DV<Isa> r;
+    r.lo = Isa::sbb(a.lo, b.lo, ctx.z, br);
+    r.hi = Isa::sbb(a.hi, b.hi, br, br);
+    return r;
+}
+
+/** Per-lane x >= b ? x - b : x — the lazy canonicalization step. */
+template <class Isa>
+inline DV<Isa>
+condSubDwV(const ModCtx<Isa>& ctx, const DV<Isa>& x, typename Isa::V bh,
+           typename Isa::V bl)
+{
+    using M = typename Isa::M;
+    DV<Isa> b{bh, bl};
+    M ge = cmpGeDwV<Isa>(x, b);
+    M blo = Isa::cmpLtU(x.lo, bl);
+    auto d_lo = Isa::sub(x.lo, bl);
+    auto d_hi = Isa::sub(x.hi, bh);
+    d_hi = Isa::maskSub(d_hi, blo, d_hi, ctx.one);
+    DV<Isa> r;
+    r.lo = Isa::blend(ge, x.lo, d_lo);
+    r.hi = Isa::blend(ge, x.hi, d_hi);
+    return r;
+}
+
+/**
+ * Shoup/Harvey multiply by a fixed w with precomputed quotient wq
+ * (see mod::mulModShoup): h = floor(a*wq / 2^128), r = a*w - h*q mod
+ * 2^128, with r in [0, 2q) for ANY a. One full product plus two low
+ * products — no Barrett shifts, no correction rounds.
+ */
+template <class Isa>
+inline DV<Isa>
+mulModShoupV(const ModCtx<Isa>& ctx, const DV<Isa>& a, const DV<Isa>& w,
+             const DV<Isa>& wq, MulAlgo algo = MulAlgo::Schoolbook)
+{
+    using M = typename Isa::M;
+    QV<Isa> p = algo == MulAlgo::Schoolbook
+                    ? mulFullSchoolV<Isa>(ctx, a, wq)
+                    : mulFullKaratsubaV<Isa>(ctx, a, wq);
+    DV<Isa> h{p.t3, p.t2};
+    DV<Isa> aw = mulLowDwV<Isa>(a, w);
+    DV<Isa> hq = mulLowDwV<Isa>(h, DV<Isa>{ctx.qh, ctx.ql});
+    M br;
+    DV<Isa> r;
+    r.lo = Isa::sbb(aw.lo, hq.lo, ctx.z, br);
+    r.hi = Isa::sbb(aw.hi, hq.hi, br, br);
+    return r;
+}
+
+/**
+ * Lazy modular add: inputs in [0, 2q), output in [0, 2q). The transient
+ * sum reaches 4q — fine, q has >= 4 bits of double-word headroom — and
+ * the only correction is one conditional subtract of 2q.
+ */
+template <class Isa>
+inline DV<Isa>
+addModLazyV(const ModCtx<Isa>& ctx, const DV<Isa>& a, const DV<Isa>& b)
+{
+    return condSubDwV<Isa>(ctx, addDwV<Isa>(ctx, a, b), ctx.q2h, ctx.q2l);
+}
+
+/**
+ * Lazy difference a - b + 2q for inputs in [0, 2q): the raw value in
+ * (0, 4q) with NO reduction — exactly the operand shape mulModShoupV
+ * accepts, so the forward butterfly feeds it straight into the twiddle
+ * multiply.
+ */
+template <class Isa>
+inline DV<Isa>
+subModLazyRawV(const ModCtx<Isa>& ctx, const DV<Isa>& a, const DV<Isa>& b)
+{
+    DV<Isa> q2{ctx.q2h, ctx.q2l};
+    return subDwV<Isa>(ctx, addDwV<Isa>(ctx, a, q2), b);
+}
+
+/** Lazy modular subtract: inputs in [0, 2q), output in [0, 2q). */
+template <class Isa>
+inline DV<Isa>
+subModLazyV(const ModCtx<Isa>& ctx, const DV<Isa>& a, const DV<Isa>& b)
+{
+    return condSubDwV<Isa>(ctx, subModLazyRawV<Isa>(ctx, a, b), ctx.q2h,
+                           ctx.q2l);
 }
 
 /** Modular multiplication: full product + Barrett reduction. */

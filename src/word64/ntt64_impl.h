@@ -3,6 +3,13 @@
  * Single-word SIMD kernels and the Pease NTT stage loop, templated over
  * the same ISA policy concept as the double-word kernels. One 64-bit
  * residue per lane — the layout every 64-bit FHE library uses.
+ *
+ * Both reduction strategies are provided (mirroring the double-word
+ * stack): Barrett with canonical operands, and Shoup-lazy with [0, 2q)
+ * operands, precomputed twiddle quotients, and one fused
+ * canonicalization pass (last forward stage / inverse n^-1 scaling).
+ * Twiddles come from the plan's compact power tables via the same
+ * contiguous/step/broadcast stage addressing as the 128-bit kernels.
  */
 #pragma once
 
@@ -16,6 +23,7 @@ template <class Isa>
 struct Ctx64
 {
     typename Isa::V q, mu;
+    typename Isa::V q2;      ///< 2q (lazy-reduction bound)
     unsigned s1 = 0, s2 = 0; ///< Barrett shifts b - 1, b + 1
 };
 
@@ -26,9 +34,30 @@ makeCtx64(const Modulus64& m)
     Ctx64<Isa> ctx;
     ctx.q = Isa::set1(m.value());
     ctx.mu = Isa::set1(m.mu());
+    ctx.q2 = Isa::set1(m.value() * 2); // q < 2^62: no overflow
     ctx.s1 = static_cast<unsigned>(m.bits() - 1);
     ctx.s2 = static_cast<unsigned>(m.bits() + 1);
     return ctx;
+}
+
+/**
+ * Stage-s gather from a compact power table (see
+ * Ntt64Plan::stageTwiddleIndex): contiguous at stage 0, short step load
+ * while the run length 2^s is under the lane count, one broadcast
+ * afterwards.
+ */
+template <class Isa>
+inline typename Isa::V
+loadStageTwiddles64(const uint64_t* tw, size_t j, int s)
+{
+    if (s == 0)
+        return Isa::loadu(tw + j);
+    if ((size_t{1} << s) >= Isa::kLanes)
+        return Isa::set1(tw[(j >> s) << s]);
+    alignas(64) uint64_t t[Isa::kLanes];
+    for (size_t i = 0; i < Isa::kLanes; ++i)
+        t[i] = tw[((j + i) >> s) << s];
+    return Isa::loadu(t);
 }
 
 /** (a + b) mod q per lane; no wrap possible for q < 2^62. */
@@ -49,6 +78,33 @@ subMod64V(const Ctx64<Isa>& ctx, typename Isa::V a, typename Isa::V b)
     auto lt = Isa::cmpLtU(a, b);
     auto d = Isa::sub(a, b);
     return Isa::maskAdd(d, lt, d, ctx.q);
+}
+
+/** Lazy add: inputs [0, 2q) -> output [0, 2q) (transient < 4q < 2^64). */
+template <class Isa>
+inline typename Isa::V
+addMod64LazyV(const Ctx64<Isa>& ctx, typename Isa::V a, typename Isa::V b)
+{
+    auto s = Isa::add(a, b);
+    auto ge = Isa::cmpLeU(ctx.q2, s);
+    return Isa::maskSub(s, ge, s, ctx.q2);
+}
+
+/** Raw lazy difference a - b + 2q in (0, 4q) for inputs in [0, 2q). */
+template <class Isa>
+inline typename Isa::V
+subMod64LazyRawV(const Ctx64<Isa>& ctx, typename Isa::V a, typename Isa::V b)
+{
+    return Isa::sub(Isa::add(a, ctx.q2), b);
+}
+
+/** Per-lane x >= b ? x - b : x. */
+template <class Isa>
+inline typename Isa::V
+condSub64V(typename Isa::V x, typename Isa::V b)
+{
+    auto ge = Isa::cmpLeU(b, x);
+    return Isa::maskSub(x, ge, x, b);
 }
 
 /** Funnel shift (hi:lo) >> s for uniform s in [1, 127]. */
@@ -79,6 +135,20 @@ mulMod64V(const Ctx64<Isa>& ctx, typename Isa::V a, typename Isa::V b)
     return Isa::maskSub(c, ge, c, ctx.q);
 }
 
+/**
+ * Shoup product per lane: r = a*w - mulhi(a, wq)*q, in [0, 2q) for any
+ * a. One widening multiply plus two low multiplies.
+ */
+template <class Isa>
+inline typename Isa::V
+mulMod64ShoupV(const Ctx64<Isa>& ctx, typename Isa::V a, typename Isa::V w,
+               typename Isa::V wq)
+{
+    typename Isa::V h_hi, h_lo;
+    Isa::mulWide(a, wq, h_hi, h_lo);
+    return Isa::sub(Isa::mullo(a, w), Isa::mullo(h_hi, ctx.q));
+}
+
 /** Batch point-wise multiply. */
 template <class Isa>
 void
@@ -95,7 +165,7 @@ vmul64Impl(const Modulus64& m, const uint64_t* a, const uint64_t* b,
         c[i] = m.mulMod(a[i], b[i]);
 }
 
-/** Forward Pease stage loop (same wiring as the double-word version). */
+/** Forward Pease stage loop, Barrett arithmetic. */
 template <class Isa>
 void
 forward64Impl(const Ntt64Plan& plan, const uint64_t* in, uint64_t* out,
@@ -105,18 +175,18 @@ forward64Impl(const Ntt64Plan& plan, const uint64_t* in, uint64_t* out,
     const int m = plan.logn();
     const Modulus64& mod = plan.modulus();
     Ctx64<Isa> ctx = makeCtx64<Isa>(mod);
+    const uint64_t* tw = plan.twiddle();
 
     uint64_t* bufs[2] = {out, scratch};
     int target = (m % 2 == 1) ? 0 : 1;
     const uint64_t* src = in;
     for (int s = 0; s < m; ++s) {
         uint64_t* dst = bufs[target];
-        const uint64_t* tw = plan.twiddle(s);
         size_t j = 0;
         for (; j + Isa::kLanes <= h; j += Isa::kLanes) {
             auto a = Isa::loadu(src + j);
             auto b = Isa::loadu(src + j + h);
-            auto w = Isa::loadu(tw + j);
+            auto w = loadStageTwiddles64<Isa>(tw, j, s);
             auto u = addMod64V<Isa>(ctx, a, b);
             auto v = mulMod64V<Isa>(ctx, subMod64V<Isa>(ctx, a, b), w);
             typename Isa::V blk0, blk1;
@@ -125,8 +195,9 @@ forward64Impl(const Ntt64Plan& plan, const uint64_t* in, uint64_t* out,
             Isa::storeu(dst + 2 * j + Isa::kLanes, blk1);
         }
         for (; j < h; ++j) {
+            uint64_t w = tw[Ntt64Plan::stageTwiddleIndex(s, j)];
             uint64_t u = mod.addMod(src[j], src[j + h]);
-            uint64_t v = mod.mulMod(mod.subMod(src[j], src[j + h]), tw[j]);
+            uint64_t v = mod.mulMod(mod.subMod(src[j], src[j + h]), w);
             dst[2 * j] = u;
             dst[2 * j + 1] = v;
         }
@@ -135,7 +206,7 @@ forward64Impl(const Ntt64Plan& plan, const uint64_t* in, uint64_t* out,
     }
 }
 
-/** Inverse Pease stage loop + n^-1 scaling. */
+/** Inverse Pease stage loop + n^-1 scaling, Barrett arithmetic. */
 template <class Isa>
 void
 inverse64Impl(const Ntt64Plan& plan, const uint64_t* in, uint64_t* out,
@@ -145,26 +216,28 @@ inverse64Impl(const Ntt64Plan& plan, const uint64_t* in, uint64_t* out,
     const int m = plan.logn();
     const Modulus64& mod = plan.modulus();
     Ctx64<Isa> ctx = makeCtx64<Isa>(mod);
+    const uint64_t* tw = plan.twiddleInv();
 
     uint64_t* bufs[2] = {out, scratch};
     int target = (m % 2 == 1) ? 0 : 1;
     const uint64_t* src = in;
     for (int s = m - 1; s >= 0; --s) {
         uint64_t* dst = bufs[target];
-        const uint64_t* tw = plan.twiddleInv(s);
         size_t j = 0;
         for (; j + Isa::kLanes <= h; j += Isa::kLanes) {
             auto blk0 = Isa::loadu(src + 2 * j);
             auto blk1 = Isa::loadu(src + 2 * j + Isa::kLanes);
             typename Isa::V u, v;
             Isa::deinterleave2(blk0, blk1, u, v);
-            auto t = mulMod64V<Isa>(ctx, v, Isa::loadu(tw + j));
+            auto w = loadStageTwiddles64<Isa>(tw, j, s);
+            auto t = mulMod64V<Isa>(ctx, v, w);
             Isa::storeu(dst + j, addMod64V<Isa>(ctx, u, t));
             Isa::storeu(dst + j + h, subMod64V<Isa>(ctx, u, t));
         }
         for (; j < h; ++j) {
+            uint64_t w = tw[Ntt64Plan::stageTwiddleIndex(s, j)];
             uint64_t u = src[2 * j];
-            uint64_t t = mod.mulMod(src[2 * j + 1], tw[j]);
+            uint64_t t = mod.mulMod(src[2 * j + 1], w);
             dst[j] = mod.addMod(u, t);
             dst[j + h] = mod.subMod(u, t);
         }
@@ -179,6 +252,135 @@ inverse64Impl(const Ntt64Plan& plan, const uint64_t* in, uint64_t* out,
         Isa::storeu(out + i, mulMod64V<Isa>(ctx, Isa::loadu(out + i), vninv));
     for (; i < plan.n(); ++i)
         out[i] = mod.mulMod(out[i], n_inv);
+}
+
+/**
+ * Forward Pease stage loop, Shoup-lazy arithmetic: canonical input,
+ * canonical output; [0, 2q) between stages, canonicalization fused
+ * into the last stage. Bit-identical to forward64Impl.
+ */
+template <class Isa>
+void
+forward64LazyImpl(const Ntt64Plan& plan, const uint64_t* in, uint64_t* out,
+                  uint64_t* scratch)
+{
+    const size_t h = plan.half();
+    const int m = plan.logn();
+    const Modulus64& mod = plan.modulus();
+    Ctx64<Isa> ctx = makeCtx64<Isa>(mod);
+    const uint64_t q = mod.value();
+    const uint64_t q2 = 2 * q;
+    const uint64_t* tw = plan.twiddle();
+    const uint64_t* twq = plan.twiddleShoup();
+
+    uint64_t* bufs[2] = {out, scratch};
+    int target = (m % 2 == 1) ? 0 : 1;
+    const uint64_t* src = in;
+    for (int s = 0; s < m; ++s) {
+        const bool last = s == m - 1;
+        uint64_t* dst = bufs[target];
+        size_t j = 0;
+        for (; j + Isa::kLanes <= h; j += Isa::kLanes) {
+            auto a = Isa::loadu(src + j);
+            auto b = Isa::loadu(src + j + h);
+            auto w = loadStageTwiddles64<Isa>(tw, j, s);
+            auto wq = loadStageTwiddles64<Isa>(twq, j, s);
+            auto u = addMod64LazyV<Isa>(ctx, a, b);
+            auto d = subMod64LazyRawV<Isa>(ctx, a, b); // (0, 4q)
+            auto v = mulMod64ShoupV<Isa>(ctx, d, w, wq);
+            if (last) {
+                u = condSub64V<Isa>(u, ctx.q);
+                v = condSub64V<Isa>(v, ctx.q);
+            }
+            typename Isa::V blk0, blk1;
+            Isa::interleave2(u, v, blk0, blk1);
+            Isa::storeu(dst + 2 * j, blk0);
+            Isa::storeu(dst + 2 * j + Isa::kLanes, blk1);
+        }
+        for (; j < h; ++j) {
+            size_t e = Ntt64Plan::stageTwiddleIndex(s, j);
+            uint64_t t = src[j] + src[j + h]; // < 4q < 2^64
+            uint64_t u = t >= q2 ? t - q2 : t;
+            uint64_t d = src[j] + q2 - src[j + h];
+            uint64_t v = mod.mulModShoup(d, tw[e], twq[e]);
+            if (last) {
+                u = u >= q ? u - q : u;
+                v = v >= q ? v - q : v;
+            }
+            dst[2 * j] = u;
+            dst[2 * j + 1] = v;
+        }
+        src = dst;
+        target ^= 1;
+    }
+}
+
+/**
+ * Inverse Pease stage loop, Shoup-lazy arithmetic; canonicalization is
+ * fused into the n^-1 Shoup scaling pass. Bit-identical to
+ * inverse64Impl.
+ */
+template <class Isa>
+void
+inverse64LazyImpl(const Ntt64Plan& plan, const uint64_t* in, uint64_t* out,
+                  uint64_t* scratch)
+{
+    const size_t h = plan.half();
+    const int m = plan.logn();
+    const Modulus64& mod = plan.modulus();
+    Ctx64<Isa> ctx = makeCtx64<Isa>(mod);
+    const uint64_t q = mod.value();
+    const uint64_t q2 = 2 * q;
+    const uint64_t* tw = plan.twiddleInv();
+    const uint64_t* twq = plan.twiddleInvShoup();
+
+    uint64_t* bufs[2] = {out, scratch};
+    int target = (m % 2 == 1) ? 0 : 1;
+    const uint64_t* src = in;
+    for (int s = m - 1; s >= 0; --s) {
+        uint64_t* dst = bufs[target];
+        size_t j = 0;
+        for (; j + Isa::kLanes <= h; j += Isa::kLanes) {
+            auto blk0 = Isa::loadu(src + 2 * j);
+            auto blk1 = Isa::loadu(src + 2 * j + Isa::kLanes);
+            typename Isa::V u, v;
+            Isa::deinterleave2(blk0, blk1, u, v);
+            auto w = loadStageTwiddles64<Isa>(tw, j, s);
+            auto wq = loadStageTwiddles64<Isa>(twq, j, s);
+            auto t = mulMod64ShoupV<Isa>(ctx, v, w, wq); // [0, 2q)
+            auto x0 = addMod64LazyV<Isa>(ctx, u, t);
+            auto x1 = condSub64V<Isa>(subMod64LazyRawV<Isa>(ctx, u, t),
+                                      ctx.q2);
+            Isa::storeu(dst + j, x0);
+            Isa::storeu(dst + j + h, x1);
+        }
+        for (; j < h; ++j) {
+            size_t e = Ntt64Plan::stageTwiddleIndex(s, j);
+            uint64_t u = src[2 * j];
+            uint64_t t = mod.mulModShoup(src[2 * j + 1], tw[e], twq[e]);
+            uint64_t s0 = u + t;
+            uint64_t s1 = u + q2 - t;
+            dst[j] = s0 >= q2 ? s0 - q2 : s0;
+            dst[j + h] = s1 >= q2 ? s1 - q2 : s1;
+        }
+        src = dst;
+        target ^= 1;
+    }
+
+    // Fused n^-1 scaling + canonicalization.
+    const uint64_t n_inv = plan.nInv();
+    const uint64_t n_inv_sh = plan.nInvShoup();
+    auto vninv = Isa::set1(n_inv);
+    auto vninvq = Isa::set1(n_inv_sh);
+    size_t i = 0;
+    for (; i + Isa::kLanes <= plan.n(); i += Isa::kLanes) {
+        auto r = mulMod64ShoupV<Isa>(ctx, Isa::loadu(out + i), vninv, vninvq);
+        Isa::storeu(out + i, condSub64V<Isa>(r, ctx.q));
+    }
+    for (; i < plan.n(); ++i) {
+        uint64_t r = mod.mulModShoup(out[i], n_inv, n_inv_sh);
+        out[i] = r >= q ? r - q : r;
+    }
 }
 
 } // namespace w64

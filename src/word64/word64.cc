@@ -26,6 +26,14 @@ Modulus64::Modulus64(uint64_t q) : q_(q)
 }
 
 uint64_t
+Modulus64::shoupPrecompute(uint64_t w) const
+{
+    checkArg(w < q_, "Modulus64::shoupPrecompute: multiplicand must be < q");
+    BigUInt wq = (BigUInt{w} << 64) / BigUInt{q_};
+    return wq.toU128().lo; // < 2^64 since w < q
+}
+
+uint64_t
 Modulus64::powMod(uint64_t base, uint64_t exponent) const
 {
     uint64_t b = base % q_;
@@ -71,30 +79,30 @@ Ntt64Plan::Ntt64Plan(uint64_t q, size_t n) : mod_(q), n_(n)
 
     uint64_t omega_inv = mod_.inverse(omega_);
     size_t h = half();
-    std::vector<uint64_t> pow_f(h), pow_i(h);
+    // Compact power tables (one entry per distinct twiddle) plus their
+    // Shoup companions; stage s addresses them via stageTwiddleIndex().
+    fwd_.reset(h);
+    inv_.reset(h);
+    fwd_sh_.reset(h);
+    inv_sh_.reset(h);
     uint64_t acc_f = 1, acc_i = 1;
     for (size_t i = 0; i < h; ++i) {
-        pow_f[i] = acc_f;
-        pow_i[i] = acc_i;
+        fwd_[i] = acc_f;
+        inv_[i] = acc_i;
+        fwd_sh_[i] = mod_.shoupPrecompute(acc_f);
+        inv_sh_[i] = mod_.shoupPrecompute(acc_i);
         acc_f = mod_.mulMod(acc_f, omega_);
         acc_i = mod_.mulMod(acc_i, omega_inv);
     }
-    size_t stages = static_cast<size_t>(logn_);
-    fwd_.reset(stages * h);
-    inv_.reset(stages * h);
-    for (size_t s = 0; s < stages; ++s) {
-        for (size_t j = 0; j < h; ++j) {
-            size_t e = (j >> s) << s;
-            fwd_[s * h + j] = pow_f[e];
-            inv_[s * h + j] = pow_i[e];
-        }
-    }
+    n_inv_shoup_ = mod_.shoupPrecompute(n_inv_);
 }
 
 // AVX-512 entries (word64_avx512.cc).
 namespace detail {
-void forward64Avx512(const Ntt64Plan&, const uint64_t*, uint64_t*, uint64_t*);
-void inverse64Avx512(const Ntt64Plan&, const uint64_t*, uint64_t*, uint64_t*);
+void forward64Avx512(const Ntt64Plan&, const uint64_t*, uint64_t*, uint64_t*,
+                     Reduction);
+void inverse64Avx512(const Ntt64Plan&, const uint64_t*, uint64_t*, uint64_t*,
+                     Reduction);
 void vmul64Avx512(const Modulus64&, const uint64_t*, const uint64_t*,
                   uint64_t*, size_t);
 } // namespace detail
@@ -124,7 +132,7 @@ unsupported(Backend backend)
         backendName(backend));
 }
 
-/** Scalar forward (the tail path of the template, full width). */
+/** Scalar forward, Barrett (the tail path of the template, full width). */
 void
 forward64Scalar(const Ntt64Plan& plan, const uint64_t* in, uint64_t* out,
                 uint64_t* scratch)
@@ -132,15 +140,16 @@ forward64Scalar(const Ntt64Plan& plan, const uint64_t* in, uint64_t* out,
     const size_t h = plan.half();
     const int m = plan.logn();
     const Modulus64& mod = plan.modulus();
+    const uint64_t* tw = plan.twiddle();
     uint64_t* bufs[2] = {out, scratch};
     int target = (m % 2 == 1) ? 0 : 1;
     const uint64_t* src = in;
     for (int s = 0; s < m; ++s) {
         uint64_t* dst = bufs[target];
-        const uint64_t* tw = plan.twiddle(s);
         for (size_t j = 0; j < h; ++j) {
+            uint64_t w = tw[Ntt64Plan::stageTwiddleIndex(s, j)];
             uint64_t u = mod.addMod(src[j], src[j + h]);
-            uint64_t v = mod.mulMod(mod.subMod(src[j], src[j + h]), tw[j]);
+            uint64_t v = mod.mulMod(mod.subMod(src[j], src[j + h]), w);
             dst[2 * j] = u;
             dst[2 * j + 1] = v;
         }
@@ -156,15 +165,16 @@ inverse64Scalar(const Ntt64Plan& plan, const uint64_t* in, uint64_t* out,
     const size_t h = plan.half();
     const int m = plan.logn();
     const Modulus64& mod = plan.modulus();
+    const uint64_t* tw = plan.twiddleInv();
     uint64_t* bufs[2] = {out, scratch};
     int target = (m % 2 == 1) ? 0 : 1;
     const uint64_t* src = in;
     for (int s = m - 1; s >= 0; --s) {
         uint64_t* dst = bufs[target];
-        const uint64_t* tw = plan.twiddleInv(s);
         for (size_t j = 0; j < h; ++j) {
+            uint64_t w = tw[Ntt64Plan::stageTwiddleIndex(s, j)];
             uint64_t u = src[2 * j];
-            uint64_t t = mod.mulMod(src[2 * j + 1], tw[j]);
+            uint64_t t = mod.mulMod(src[2 * j + 1], w);
             dst[j] = mod.addMod(u, t);
             dst[j + h] = mod.subMod(u, t);
         }
@@ -175,22 +185,99 @@ inverse64Scalar(const Ntt64Plan& plan, const uint64_t* in, uint64_t* out,
         out[i] = mod.mulMod(out[i], plan.nInv());
 }
 
+/** Scalar forward, Shoup-lazy (see ntt64_impl.h for the ranges). */
+void
+forward64ScalarLazy(const Ntt64Plan& plan, const uint64_t* in, uint64_t* out,
+                    uint64_t* scratch)
+{
+    const size_t h = plan.half();
+    const int m = plan.logn();
+    const Modulus64& mod = plan.modulus();
+    const uint64_t q = mod.value();
+    const uint64_t q2 = 2 * q;
+    const uint64_t* tw = plan.twiddle();
+    const uint64_t* twq = plan.twiddleShoup();
+    uint64_t* bufs[2] = {out, scratch};
+    int target = (m % 2 == 1) ? 0 : 1;
+    const uint64_t* src = in;
+    for (int s = 0; s < m; ++s) {
+        const bool last = s == m - 1;
+        uint64_t* dst = bufs[target];
+        for (size_t j = 0; j < h; ++j) {
+            size_t e = Ntt64Plan::stageTwiddleIndex(s, j);
+            uint64_t t = src[j] + src[j + h]; // < 4q < 2^64
+            uint64_t u = t >= q2 ? t - q2 : t;
+            uint64_t d = src[j] + q2 - src[j + h]; // (0, 4q)
+            uint64_t v = mod.mulModShoup(d, tw[e], twq[e]);
+            if (last) {
+                u = u >= q ? u - q : u;
+                v = v >= q ? v - q : v;
+            }
+            dst[2 * j] = u;
+            dst[2 * j + 1] = v;
+        }
+        src = dst;
+        target ^= 1;
+    }
+}
+
+void
+inverse64ScalarLazy(const Ntt64Plan& plan, const uint64_t* in, uint64_t* out,
+                    uint64_t* scratch)
+{
+    const size_t h = plan.half();
+    const int m = plan.logn();
+    const Modulus64& mod = plan.modulus();
+    const uint64_t q = mod.value();
+    const uint64_t q2 = 2 * q;
+    const uint64_t* tw = plan.twiddleInv();
+    const uint64_t* twq = plan.twiddleInvShoup();
+    uint64_t* bufs[2] = {out, scratch};
+    int target = (m % 2 == 1) ? 0 : 1;
+    const uint64_t* src = in;
+    for (int s = m - 1; s >= 0; --s) {
+        uint64_t* dst = bufs[target];
+        for (size_t j = 0; j < h; ++j) {
+            size_t e = Ntt64Plan::stageTwiddleIndex(s, j);
+            uint64_t u = src[2 * j];
+            uint64_t t = mod.mulModShoup(src[2 * j + 1], tw[e], twq[e]);
+            uint64_t s0 = u + t;
+            uint64_t s1 = u + q2 - t;
+            dst[j] = s0 >= q2 ? s0 - q2 : s0;
+            dst[j + h] = s1 >= q2 ? s1 - q2 : s1;
+        }
+        src = dst;
+        target ^= 1;
+    }
+    const uint64_t n_inv = plan.nInv();
+    const uint64_t n_inv_sh = plan.nInvShoup();
+    for (size_t i = 0; i < plan.n(); ++i) {
+        uint64_t r = mod.mulModShoup(out[i], n_inv, n_inv_sh);
+        out[i] = r >= q ? r - q : r;
+    }
+}
+
 } // namespace
 
 void
 forward64(const Ntt64Plan& plan, Backend backend, const uint64_t* in,
-          uint64_t* out, uint64_t* scratch)
+          uint64_t* out, uint64_t* scratch, Reduction red)
 {
     validate(plan, in, out, scratch);
+    const bool lazy = red == Reduction::ShoupLazy;
     switch (backend) {
       case Backend::Scalar:
-        return forward64Scalar(plan, in, out, scratch);
+        return lazy ? forward64ScalarLazy(plan, in, out, scratch)
+                    : forward64Scalar(plan, in, out, scratch);
       case Backend::Portable:
-        return forward64Impl<simd::PortableIsa>(plan, in, out, scratch);
+        return lazy
+                   ? forward64LazyImpl<simd::PortableIsa>(plan, in, out,
+                                                          scratch)
+                   : forward64Impl<simd::PortableIsa>(plan, in, out, scratch);
       case Backend::Avx512:
 #if MQX_BUILD_AVX512
         if (backendAvailable(Backend::Avx512))
-            return detail::forward64Avx512(plan, in, out, scratch);
+            return detail::forward64Avx512(plan, in, out, scratch, red);
 #endif
         unsupported(backend);
       default:
@@ -200,18 +287,23 @@ forward64(const Ntt64Plan& plan, Backend backend, const uint64_t* in,
 
 void
 inverse64(const Ntt64Plan& plan, Backend backend, const uint64_t* in,
-          uint64_t* out, uint64_t* scratch)
+          uint64_t* out, uint64_t* scratch, Reduction red)
 {
     validate(plan, in, out, scratch);
+    const bool lazy = red == Reduction::ShoupLazy;
     switch (backend) {
       case Backend::Scalar:
-        return inverse64Scalar(plan, in, out, scratch);
+        return lazy ? inverse64ScalarLazy(plan, in, out, scratch)
+                    : inverse64Scalar(plan, in, out, scratch);
       case Backend::Portable:
-        return inverse64Impl<simd::PortableIsa>(plan, in, out, scratch);
+        return lazy
+                   ? inverse64LazyImpl<simd::PortableIsa>(plan, in, out,
+                                                          scratch)
+                   : inverse64Impl<simd::PortableIsa>(plan, in, out, scratch);
       case Backend::Avx512:
 #if MQX_BUILD_AVX512
         if (backendAvailable(Backend::Avx512))
-            return detail::inverse64Avx512(plan, in, out, scratch);
+            return detail::inverse64Avx512(plan, in, out, scratch, red);
 #endif
         unsupported(backend);
       default:

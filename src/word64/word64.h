@@ -11,7 +11,11 @@
  *
  * Same algorithms one level down: Barrett reduction with
  * mu = floor(2^2b / q) for q of b <= 62 bits, conditional-subtract
- * add/sub, Pease constant-geometry NTT.
+ * add/sub, Pease constant-geometry NTT — and the same Shoup-lazy
+ * steady state as the double-word stack: compact power-table twiddles
+ * with precomputed quotients floor(w * 2^64 / q), lazy [0, 2q)
+ * butterfly operands (q < 2^62 leaves two bits of headroom), and a
+ * single fused canonicalization in the last stage / n^-1 scaling.
  */
 #pragma once
 
@@ -72,6 +76,26 @@ class Modulus64
         return c;
     }
 
+    /**
+     * Shoup companion wq = floor(w * 2^64 / q) for a fixed w < q
+     * (setup path; one BigUInt division).
+     */
+    uint64_t shoupPrecompute(uint64_t w) const;
+
+    /**
+     * Shoup multiply by fixed w with companion wq: r = a*w - h*q with
+     * h = mulhi(a, wq); r is in [0, 2q) for ANY a (see
+     * mod::mulModShoup for the estimate bound). No Barrett shifts, no
+     * correction subtractions.
+     */
+    uint64_t
+    mulModShoup(uint64_t a, uint64_t w, uint64_t wq) const
+    {
+        uint64_t h_hi = 0, h_lo = 0;
+        mulWide64(a, wq, h_hi, h_lo);
+        return a * w - h_hi * q_;
+    }
+
     /** a^e mod q. */
     uint64_t powMod(uint64_t base, uint64_t exponent) const;
 
@@ -105,9 +129,27 @@ class Ntt64Plan
     size_t half() const { return n_ / 2; }
     uint64_t omega() const { return omega_; }
     uint64_t nInv() const { return n_inv_; }
+    uint64_t nInvShoup() const { return n_inv_shoup_; }
 
-    const uint64_t* twiddle(int s) const { return fwd_.data() + static_cast<size_t>(s) * half(); }
-    const uint64_t* twiddleInv(int s) const { return inv_.data() + static_cast<size_t>(s) * half(); }
+    /**
+     * Compact twiddle addressing (same scheme as NttPlan): ONE power
+     * table per direction, pow[k] = omega^k for k < n/2, and stage s
+     * reads entry (j >> s) << s — stage s touches only its n/2^(s+1)
+     * distinct twiddles instead of streaming a stretched n/2 row.
+     */
+    static size_t
+    stageTwiddleIndex(int stage, size_t j)
+    {
+        return (j >> stage) << stage;
+    }
+
+    const uint64_t* twiddle() const { return fwd_.data(); }
+    const uint64_t* twiddleShoup() const { return fwd_sh_.data(); }
+    const uint64_t* twiddleInv() const { return inv_.data(); }
+    const uint64_t* twiddleInvShoup() const { return inv_sh_.data(); }
+
+    /** Bytes of twiddle storage (4 arrays of n/2 words). */
+    size_t twiddleBytes() const { return 4 * half() * sizeof(uint64_t); }
 
   private:
     Modulus64 mod_;
@@ -115,20 +157,26 @@ class Ntt64Plan
     int logn_ = 0;
     uint64_t omega_ = 0;
     uint64_t n_inv_ = 0;
+    uint64_t n_inv_shoup_ = 0;
     AlignedVec<uint64_t> fwd_, inv_;
+    AlignedVec<uint64_t> fwd_sh_, inv_sh_;
 };
 
 /**
  * Forward Pease NTT (natural -> bit-reversed), single-word residues.
  * Supported backends: Scalar, Portable, Avx512 (single-word kernels are
- * provided for the tiers the comparison bench needs).
+ * provided for the tiers the comparison bench needs). Reduction selects
+ * Shoup-lazy (default) or Barrett butterflies; results are
+ * bit-identical.
  */
 void forward64(const Ntt64Plan& plan, Backend backend, const uint64_t* in,
-               uint64_t* out, uint64_t* scratch);
+               uint64_t* out, uint64_t* scratch,
+               Reduction red = Reduction::ShoupLazy);
 
 /** Inverse Pease NTT (bit-reversed -> natural, scaled by n^-1). */
 void inverse64(const Ntt64Plan& plan, Backend backend, const uint64_t* in,
-               uint64_t* out, uint64_t* scratch);
+               uint64_t* out, uint64_t* scratch,
+               Reduction red = Reduction::ShoupLazy);
 
 /** c[i] = a[i] * b[i] mod q, single-word batch. */
 void vmul64(Backend backend, const Modulus64& m, const uint64_t* a,

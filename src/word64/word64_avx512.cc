@@ -11,16 +11,22 @@ namespace detail {
 
 void
 forward64Avx512(const Ntt64Plan& plan, const uint64_t* in, uint64_t* out,
-                uint64_t* scratch)
+                uint64_t* scratch, Reduction red)
 {
-    forward64Impl<simd::Avx512Isa>(plan, in, out, scratch);
+    if (red == Reduction::ShoupLazy)
+        forward64LazyImpl<simd::Avx512Isa>(plan, in, out, scratch);
+    else
+        forward64Impl<simd::Avx512Isa>(plan, in, out, scratch);
 }
 
 void
 inverse64Avx512(const Ntt64Plan& plan, const uint64_t* in, uint64_t* out,
-                uint64_t* scratch)
+                uint64_t* scratch, Reduction red)
 {
-    inverse64Impl<simd::Avx512Isa>(plan, in, out, scratch);
+    if (red == Reduction::ShoupLazy)
+        inverse64LazyImpl<simd::Avx512Isa>(plan, in, out, scratch);
+    else
+        inverse64Impl<simd::Avx512Isa>(plan, in, out, scratch);
 }
 
 void

@@ -154,6 +154,33 @@ TEST(PlanCache, MemoizesByModulusAndSize)
     EXPECT_EQ(p1->n(), 64u); // outstanding plans survive clear()
 }
 
+TEST(PlanCache, TwiddleBytesAccountShoupAndTwistTables)
+{
+    engine::PlanCache cache;
+    const auto& prime = testBasis().prime(0);
+    EXPECT_EQ(cache.twiddleBytes(), 0u);
+
+    auto plan = cache.get(prime, 64);
+    // The plan's own accounting already includes the Shoup companions
+    // (8 arrays of n/2 words); the cache must report exactly that.
+    EXPECT_EQ(cache.twiddleBytes(), plan->twiddleBytes());
+    EXPECT_EQ(plan->twiddleBytes(), 8u * 32 * sizeof(uint64_t));
+
+    auto tables = cache.getNegacyclic(prime, 64);
+    // Negacyclic entries add their twist tables + companions (4 split
+    // vectors of n elements) on top of the shared cyclic plan.
+    EXPECT_EQ(cache.twiddleBytes(),
+              plan->twiddleBytes() + tables->tableBytes());
+    EXPECT_EQ(tables->tableBytes(), 4u * 2 * 64 * sizeof(uint64_t));
+
+    auto plan2 = cache.get(prime, 128);
+    EXPECT_EQ(cache.twiddleBytes(), plan->twiddleBytes() +
+                                        tables->tableBytes() +
+                                        plan2->twiddleBytes());
+    cache.clear();
+    EXPECT_EQ(cache.twiddleBytes(), 0u);
+}
+
 TEST(PlanCache, EnginePolymulHitsCacheOnRepeat)
 {
     engine::Engine eng(Backend::Scalar, 2);

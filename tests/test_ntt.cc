@@ -23,21 +23,23 @@ testPrime()
 
 std::vector<U128>
 runForward(const ntt::NttPlan& plan, Backend be, const std::vector<U128>& in,
-           MulAlgo algo = MulAlgo::Schoolbook)
+           MulAlgo algo = MulAlgo::Schoolbook,
+           Reduction red = Reduction::ShoupLazy)
 {
     ResidueVector vin = ResidueVector::fromU128(in);
     ResidueVector out(plan.n()), scratch(plan.n());
-    ntt::forward(plan, be, vin.span(), out.span(), scratch.span(), algo);
+    ntt::forward(plan, be, vin.span(), out.span(), scratch.span(), algo, red);
     return out.toU128();
 }
 
 std::vector<U128>
 runInverse(const ntt::NttPlan& plan, Backend be, const std::vector<U128>& in,
-           MulAlgo algo = MulAlgo::Schoolbook)
+           MulAlgo algo = MulAlgo::Schoolbook,
+           Reduction red = Reduction::ShoupLazy)
 {
     ResidueVector vin = ResidueVector::fromU128(in);
     ResidueVector out(plan.n()), scratch(plan.n());
-    ntt::inverse(plan, be, vin.span(), out.span(), scratch.span(), algo);
+    ntt::inverse(plan, be, vin.span(), out.span(), scratch.span(), algo, red);
     return out.toU128();
 }
 
@@ -75,17 +77,52 @@ TEST(NttPlan, TwiddleStructure)
     EXPECT_NE(m.pow(plan.omega(), U128{8}), U128{1});
     EXPECT_EQ(m.mul(plan.omega(), plan.omegaInv()), U128{1});
     EXPECT_EQ(m.mul(plan.nInv(), U128{16}), U128{1});
-    // Stage-s twiddle is omega^((j >> s) << s).
+    // Stage-s twiddle is omega^((j >> s) << s); stage s has exactly
+    // n/2^(s+1) distinct entries in the shared power table.
     for (int s = 0; s < plan.logn(); ++s) {
+        EXPECT_EQ(plan.stageTwiddles(s), plan.half() >> s);
         for (size_t j = 0; j < plan.half(); ++j) {
+            EXPECT_LT(ntt::NttPlan::stageTwiddleIndex(s, j), plan.half());
             uint64_t e = (j >> s) << s;
             EXPECT_EQ(plan.twiddle(s, j), m.pow(plan.omega(), U128{e}));
             EXPECT_EQ(plan.twiddleInv(s, j),
                       m.pow(plan.omegaInv(), U128{e}));
         }
     }
-    EXPECT_EQ(plan.twiddleBytes(),
+    // Compact layout: 8 arrays (fwd/inv x value/Shoup x hi/lo) of n/2
+    // words — no stretched per-stage duplication.
+    EXPECT_EQ(plan.twiddleBytes(), 8u * plan.half() * 8);
+    EXPECT_EQ(plan.twiddleBytesStretched(),
               4u * static_cast<size_t>(plan.logn()) * plan.half() * 8);
+}
+
+TEST(NttPlan, ShoupCompanionsMatchPrecompute)
+{
+    ntt::NttPlan plan(testPrime(), 32);
+    const mod::DW<uint64_t> q = mod::toDw(plan.modulus().value());
+    for (size_t k = 0; k < plan.half(); ++k) {
+        mod::DW<uint64_t> w{plan.twiddleHi()[k], plan.twiddleLo()[k]};
+        auto wq = mod::shoupPrecompute(w, q);
+        EXPECT_EQ(plan.twiddleShoupHi()[k], wq.hi) << "k=" << k;
+        EXPECT_EQ(plan.twiddleShoupLo()[k], wq.lo) << "k=" << k;
+        mod::DW<uint64_t> wi{plan.twiddleInvHi()[k], plan.twiddleInvLo()[k]};
+        auto wiq = mod::shoupPrecompute(wi, q);
+        EXPECT_EQ(plan.twiddleInvShoupHi()[k], wiq.hi) << "k=" << k;
+        EXPECT_EQ(plan.twiddleInvShoupLo()[k], wiq.lo) << "k=" << k;
+    }
+    EXPECT_EQ(plan.nInvShoup(),
+              mod::fromDw(mod::shoupPrecompute(mod::toDw(plan.nInv()), q)));
+}
+
+TEST(NttPlan, CompactTablesShrinkTwiddleBytes4xAt4096)
+{
+    // Acceptance: even counting the Shoup companions, the compact
+    // shared power tables cut twiddle storage by >= 4x at n = 4096
+    // relative to the stretched per-stage layout (exactly logn/2 = 6x).
+    ntt::NttPlan plan(testPrime(), 4096);
+    EXPECT_GE(plan.twiddleBytesStretched(), 4 * plan.twiddleBytes());
+    EXPECT_EQ(plan.twiddleBytesStretched() / plan.twiddleBytes(),
+              static_cast<size_t>(plan.logn()) / 2);
 }
 
 TEST(NttReference, MatchesEquation11ByHand)
@@ -183,8 +220,75 @@ TEST_P(NttBackend, KaratsubaPathAgrees)
     const size_t n = 256;
     ntt::NttPlan plan(testPrime(), n);
     auto input = randomResidues(n, testPrime().q, 77);
-    EXPECT_EQ(runForward(plan, be, input, MulAlgo::Karatsuba),
-              runForward(plan, be, input, MulAlgo::Schoolbook));
+    for (Reduction red : {Reduction::ShoupLazy, Reduction::Barrett}) {
+        EXPECT_EQ(runForward(plan, be, input, MulAlgo::Karatsuba, red),
+                  runForward(plan, be, input, MulAlgo::Schoolbook, red));
+    }
+}
+
+TEST_P(NttBackend, ShoupLazyBitIdenticalToBarrett)
+{
+    // Acceptance: the Shoup-lazy steady state must produce EXACTLY the
+    // Barrett path's words on every compiled backend, for n spanning
+    // 8..4096, on both the forward and inverse transforms.
+    Backend be = GetParam();
+    for (size_t n : {8u, 16u, 64u, 256u, 1024u, 4096u}) {
+        ntt::NttPlan plan(testPrime(), n);
+        auto input = randomResidues(n, testPrime().q, 31337 + n);
+        auto fwd_shoup = runForward(plan, be, input, MulAlgo::Schoolbook,
+                                    Reduction::ShoupLazy);
+        auto fwd_barrett = runForward(plan, be, input, MulAlgo::Schoolbook,
+                                      Reduction::Barrett);
+        EXPECT_EQ(fwd_shoup, fwd_barrett)
+            << "forward n=" << n << " backend=" << backendName(be);
+        auto inv_shoup = runInverse(plan, be, fwd_shoup, MulAlgo::Schoolbook,
+                                    Reduction::ShoupLazy);
+        auto inv_barrett = runInverse(plan, be, fwd_shoup,
+                                      MulAlgo::Schoolbook,
+                                      Reduction::Barrett);
+        EXPECT_EQ(inv_shoup, inv_barrett)
+            << "inverse n=" << n << " backend=" << backendName(be);
+        EXPECT_EQ(inv_shoup, input) << "roundtrip n=" << n;
+    }
+}
+
+TEST_P(NttBackend, ShoupLazyBitIdenticalOnWideModulus)
+{
+    // The 124-bit Barrett ceiling is also the lazy-headroom edge: 4q
+    // just fits below 2^126. Exercise it explicitly.
+    Backend be = GetParam();
+    const auto& prime = ntt::defaultBenchPrime();
+    const size_t n = 256;
+    ntt::NttPlan plan(prime, n);
+    auto input = randomResidues(n, prime.q, 99);
+    EXPECT_EQ(runForward(plan, be, input, MulAlgo::Schoolbook,
+                         Reduction::ShoupLazy),
+              runForward(plan, be, input, MulAlgo::Schoolbook,
+                         Reduction::Barrett));
+}
+
+TEST_P(NttBackend, VmulShoupMatchesBlasVmul)
+{
+    Backend be = GetParam();
+    const size_t n = 128;
+    ntt::NttPlan plan(testPrime(), n);
+    const Modulus& m = plan.modulus();
+    const mod::DW<uint64_t> q = mod::toDw(m.value());
+    auto a = randomResidues(n, testPrime().q, 7);
+    auto t = randomResidues(n, testPrime().q, 8);
+    ResidueVector va = ResidueVector::fromU128(a);
+    ResidueVector vt = ResidueVector::fromU128(t);
+    ResidueVector vtq(n), out(n);
+    for (size_t i = 0; i < n; ++i) {
+        vtq.set(i, mod::fromDw(
+                       mod::shoupPrecompute(mod::toDw(vt.at(i)), q)));
+    }
+    ntt::vmulShoup(be, m, va.span(), vt.span(), vtq.span(), out.span());
+    for (size_t i = 0; i < n; ++i)
+        EXPECT_EQ(out.at(i), m.mul(a[i], t[i])) << "i=" << i;
+    // In-place (c == a) is part of the contract.
+    ntt::vmulShoup(be, m, va.span(), vt.span(), vtq.span(), va.span());
+    EXPECT_EQ(va.toU128(), out.toU128());
 }
 
 TEST_P(NttBackend, WideModulusWorks)
@@ -241,6 +345,39 @@ TEST(NttErrors, BufferValidation)
     EXPECT_THROW(ntt::forward(plan, Backend::Scalar, a.span(), a.span(),
                               b.span()),
                  InvalidArgument);
+}
+
+TEST(NttErrors, RejectsLoAndMixedAliasing)
+{
+    // The ping-pong needs three fully distinct buffers: distinct hi
+    // pointers are NOT enough. Aliased lo arrays and mixed hi/lo
+    // overlap must be rejected too (span-overlap contract).
+    ntt::NttPlan plan(testPrime(), 16);
+    ResidueVector a(16), b(16), c(16), d(16);
+    DSpan sa = a.span(), sb = b.span(), sc = c.span(), sd = d.span();
+
+    // out shares its lo array with in (hi pointers distinct).
+    DSpan lo_aliased{sb.hi, sa.lo, 16};
+    EXPECT_THROW(ntt::forward(plan, Backend::Scalar, sa, lo_aliased, sc),
+                 InvalidArgument);
+
+    // scratch's hi array is in's lo array (mixed hi/lo overlap).
+    DSpan mixed{sa.lo, sd.lo, 16};
+    EXPECT_THROW(ntt::forward(plan, Backend::Scalar, sa, sb, mixed),
+                 InvalidArgument);
+
+    // out and scratch share a lo array.
+    DSpan scratch_shared{sd.hi, sb.lo, 16};
+    EXPECT_THROW(
+        ntt::forward(plan, Backend::Scalar, sa, sb, scratch_shared),
+        InvalidArgument);
+
+    // Inverse goes through the same validation.
+    EXPECT_THROW(ntt::inverse(plan, Backend::Scalar, sa, lo_aliased, sc),
+                 InvalidArgument);
+
+    // Fully distinct buffers still work.
+    EXPECT_NO_THROW(ntt::forward(plan, Backend::Scalar, sa, sb, sc));
 }
 
 TEST(NttOrdering, ForwardIsBitReversedReference)

@@ -1,0 +1,304 @@
+/**
+ * @file
+ * Shoup precomputed-quotient multiplication and the lazy-reduction
+ * range discipline, on both word widths:
+ *
+ *  - W = uint32_t: every operation is checked against a perfect native
+ *    __int128 oracle, including randomized moduli.
+ *  - W = uint64_t: checked against the BigUInt oracle and against the
+ *    Barrett mulModSchool/mulModKaratsuba paths.
+ *
+ * Boundary coverage: operands in the redundant range [q, 2q) and up to
+ * 4q, w in {0, 1, q-1}, and q at the 124-bit Barrett/lazy ceiling. The
+ * lazy-range invariants are asserted directly: mulModShoup stays below
+ * 2q for any operand below 4q, and the butterfly transients stay below
+ * 4q (never exceeded) for inputs below 2q.
+ */
+#include <gtest/gtest.h>
+
+#include "bigint/biguint.h"
+#include "mod/modulus.h"
+#include "ntt/prime.h"
+#include "test_util.h"
+
+namespace mqx {
+namespace {
+
+using mod::DW;
+
+// ---------------------------------------------------------------------
+// Generic helpers over the word type
+// ---------------------------------------------------------------------
+
+template <typename W>
+DW<W>
+makeDw(uint64_t hi, uint64_t lo)
+{
+    if constexpr (sizeof(W) == 8) {
+        return DW<W>{hi, lo};
+    } else {
+        // 64-bit value split into two 32-bit words (value = lo).
+        (void)hi;
+        return DW<W>{static_cast<W>(lo >> 32), static_cast<W>(lo)};
+    }
+}
+
+template <typename W>
+BigUInt
+toBig(const DW<W>& v)
+{
+    constexpr int kb = mod::WordOps<W>::kBits;
+    return (BigUInt{static_cast<uint64_t>(v.hi)} << kb) +
+           BigUInt{static_cast<uint64_t>(v.lo)};
+}
+
+template <typename W>
+DW<W>
+fromBig(const BigUInt& v)
+{
+    constexpr int kb = mod::WordOps<W>::kBits;
+    U128 u = v.toU128();
+    DW<W> r;
+    if constexpr (kb == 64) {
+        r.hi = u.hi;
+        r.lo = u.lo;
+    } else {
+        r.hi = static_cast<W>(u.lo >> kb);
+        r.lo = static_cast<W>(u.lo);
+    }
+    return r;
+}
+
+/** Oracle: (a * w) mod q via BigUInt. */
+template <typename W>
+DW<W>
+oracleMulMod(const DW<W>& a, const DW<W>& w, const DW<W>& q)
+{
+    return fromBig<W>((toBig(a) * toBig(w)) % toBig(q));
+}
+
+/** r mod q for r < 2q: one conditional subtract. */
+template <typename W>
+DW<W>
+canonical(const DW<W>& r, const DW<W>& q)
+{
+    return mod::condSubDw(r, q);
+}
+
+/**
+ * Core property pack for one (a, w, q) triple: the Shoup result is
+ * below 2q, congruent to a*w, and — once canonicalized — equal to the
+ * BigUInt oracle (and for canonical operands, to Barrett).
+ */
+template <typename W>
+void
+checkShoupTriple(const DW<W>& a, const DW<W>& w, const DW<W>& q)
+{
+    const DW<W> wq = mod::shoupPrecompute(w, q);
+    DW<W> q2;
+    mod::addDw(q, q, q2);
+
+    for (MulAlgo algo : {MulAlgo::Schoolbook, MulAlgo::Karatsuba}) {
+        DW<W> r = mod::mulModShoup(a, w, wq, q, algo);
+        // Lazy-range invariant: result strictly below 2q.
+        ASSERT_TRUE(r < q2) << "result escaped [0, 2q)";
+        EXPECT_EQ(canonical(r, q), oracleMulMod(a, w, q));
+    }
+}
+
+template <typename W>
+void
+runRandomizedSuite(const DW<W>& q, uint64_t seed, int trials)
+{
+    SplitMix64 rng(seed);
+    constexpr int kb = mod::WordOps<W>::kBits;
+    BigUInt qb = toBig(q);
+    BigUInt q2b = qb + qb;
+    BigUInt q4b = q2b + q2b;
+
+    auto randBelow = [&](const BigUInt& bound) {
+        // Rejection-free: draw 2*kb random bits and reduce (bias is
+        // irrelevant for property testing).
+        U128 u = U128::fromParts(rng.next(), rng.next());
+        BigUInt v = (BigUInt::fromU128(u) % bound);
+        return fromBig<W>(v);
+    };
+
+    for (int t = 0; t < trials; ++t) {
+        DW<W> w = randBelow(qb);
+        // Operand regimes: canonical, redundant [q, 2q), and the full
+        // lazy range [0, 4q) the butterflies feed in.
+        DW<W> a_can = randBelow(qb);
+        DW<W> a_red = fromBig<W>(qb + (toBig(randBelow(qb)) % qb));
+        DW<W> a_lazy = randBelow(q4b);
+        checkShoupTriple(a_can, w, q);
+        checkShoupTriple(a_red, w, q);
+        checkShoupTriple(a_lazy, w, q);
+    }
+
+    // Boundary multiplicands.
+    DW<W> zero{};
+    DW<W> one = makeDw<W>(0, 1);
+    DW<W> qm1 = fromBig<W>(qb - BigUInt{1});
+    DW<W> a_edge = fromBig<W>(q4b - BigUInt{1}); // 4q - 1, lazy ceiling
+    for (const DW<W>& w : {zero, one, qm1}) {
+        checkShoupTriple(zero, w, q);
+        checkShoupTriple(one, w, q);
+        checkShoupTriple(qm1, w, q);
+        checkShoupTriple(a_edge, w, q);
+    }
+    (void)kb;
+}
+
+// ---------------------------------------------------------------------
+// uint32_t instantiation: native-__int128 cross-check on top
+// ---------------------------------------------------------------------
+
+#if MQX_HAVE_INT128
+TEST(Shoup32, MatchesNativeOracleRandomModuli)
+{
+    SplitMix64 rng(0x5170);
+    for (int round = 0; round < 20; ++round) {
+        // Random odd modulus in [2, 2^60): the uint32 double-word
+        // Barrett ceiling (2w - 4 = 60 bits).
+        uint64_t qv = (rng.next() & ((uint64_t{1} << 60) - 1)) | 1;
+        if (qv < 3)
+            qv = 3;
+        DW<uint32_t> q = makeDw<uint32_t>(0, qv);
+        uint64_t q2 = 2 * qv;
+        for (int t = 0; t < 50; ++t) {
+            uint64_t wv = rng.next() % qv;
+            uint64_t av = rng.next() % (4 * qv);
+            DW<uint32_t> w = makeDw<uint32_t>(0, wv);
+            DW<uint32_t> a = makeDw<uint32_t>(0, av);
+            DW<uint32_t> wq = mod::shoupPrecompute(w, q);
+            // Companion matches the native division.
+            unsigned __int128 wq_native =
+                (static_cast<unsigned __int128>(wv) << 64) / qv;
+            EXPECT_EQ((static_cast<uint64_t>(wq.hi) << 32) | wq.lo,
+                      static_cast<uint64_t>(wq_native));
+            DW<uint32_t> r = mod::mulModShoup(a, w, wq, q);
+            uint64_t rv = (static_cast<uint64_t>(r.hi) << 32) | r.lo;
+            ASSERT_LT(rv, q2) << "lazy range escaped";
+            unsigned __int128 expect =
+                static_cast<unsigned __int128>(av) * wv % qv;
+            EXPECT_EQ(rv % qv, static_cast<uint64_t>(expect));
+        }
+    }
+}
+#endif
+
+TEST(Shoup32, RandomizedAgainstBigUIntOracle)
+{
+    // A 60-bit prime-ish modulus (oddness suffices for the identity).
+    runRandomizedSuite(makeDw<uint32_t>(0, 0xFFFFFFFFFFFFFC5ull), 0xA5A5,
+                      60);
+    // Small modulus.
+    runRandomizedSuite(makeDw<uint32_t>(0, 17), 0x1111, 40);
+}
+
+// ---------------------------------------------------------------------
+// uint64_t instantiation: BigUInt oracle + Barrett agreement
+// ---------------------------------------------------------------------
+
+TEST(Shoup64, RandomizedAgainstOracleSmallPrime)
+{
+    runRandomizedSuite(mod::toDw(ntt::smallTestPrime().q), 0xBEEF, 60);
+}
+
+TEST(Shoup64, RandomizedAgainstOracleNear124BitCeiling)
+{
+    // q just below 2^124: the Barrett ceiling doubles as the lazy
+    // ceiling (4q < 2^126).
+    const auto& prime = ntt::defaultBenchPrime();
+    ASSERT_EQ(prime.bits, 124);
+    runRandomizedSuite(mod::toDw(prime.q), 0xD00D, 60);
+}
+
+TEST(Shoup64, AgreesWithBarrettOnCanonicalOperands)
+{
+    const auto& prime = ntt::defaultBenchPrime();
+    Modulus m(prime.q);
+    const auto& br = m.barrett();
+    const DW<uint64_t> q = mod::toDw(prime.q);
+    SplitMix64 rng(0xCAFE);
+    for (int t = 0; t < 200; ++t) {
+        DW<uint64_t> a = mod::toDw(rng.nextBelow(prime.q));
+        DW<uint64_t> w = mod::toDw(rng.nextBelow(prime.q));
+        DW<uint64_t> wq = mod::shoupPrecompute(w, q);
+        DW<uint64_t> shoup =
+            canonical(mod::mulModShoup(a, w, wq, q), q);
+        EXPECT_EQ(shoup, mod::mulModSchool(a, w, br));
+        EXPECT_EQ(shoup, mod::mulModKaratsuba(a, w, br));
+    }
+}
+
+TEST(Shoup64, LazyButterflyRangeInvariants)
+{
+    // Simulate the exact forward/inverse lazy butterfly dataflow and
+    // assert [0, 4q) is never exceeded pre-reduction and [0, 2q) holds
+    // post-reduction — the contract the kernels rely on between stages.
+    const auto& prime = ntt::defaultBenchPrime();
+    const DW<uint64_t> q = mod::toDw(prime.q);
+    DW<uint64_t> q2, q4;
+    mod::addDw(q, q, q2);
+    mod::addDw(q2, q2, q4);
+    BigUInt q2b = toBig(q2);
+
+    SplitMix64 rng(0xFEED);
+    auto randBelow2q = [&] {
+        U128 u = U128::fromParts(rng.next(), rng.next());
+        return fromBig<uint64_t>(BigUInt::fromU128(u) % q2b);
+    };
+
+    for (int t = 0; t < 500; ++t) {
+        DW<uint64_t> a = randBelow2q();
+        DW<uint64_t> b = randBelow2q();
+        DW<uint64_t> w = mod::toDw(rng.nextBelow(prime.q));
+        DW<uint64_t> wq = mod::shoupPrecompute(w, q);
+
+        // Forward: u' = a + b < 4q; u = condSub(u', 2q) in [0, 2q);
+        // d = a - b + 2q in (0, 4q); v = shoup(d, w) in [0, 2q).
+        DW<uint64_t> sum;
+        uint64_t carry = mod::addDw(a, b, sum);
+        ASSERT_EQ(carry, 0u);
+        ASSERT_TRUE(sum < q4) << "forward add transient escaped [0, 4q)";
+        DW<uint64_t> u = mod::condSubDw(sum, q2);
+        ASSERT_TRUE(u < q2);
+        DW<uint64_t> d;
+        mod::addDw(a, q2, d);
+        mod::subDw(d, b, d);
+        ASSERT_TRUE(d < q4) << "lazy difference escaped [0, 4q)";
+        DW<uint64_t> v = mod::mulModShoup(d, w, wq, q);
+        ASSERT_TRUE(v < q2);
+
+        // Inverse: t = shoup(v) in [0, 2q); x0 = u + t < 4q -> [0, 2q);
+        // x1 = u - t + 2q in (0, 4q) -> [0, 2q).
+        DW<uint64_t> ti = mod::mulModShoup(v, w, wq, q);
+        ASSERT_TRUE(ti < q2);
+        DW<uint64_t> x0;
+        mod::addDw(u, ti, x0);
+        ASSERT_TRUE(x0 < q4);
+        x0 = mod::condSubDw(x0, q2);
+        ASSERT_TRUE(x0 < q2);
+        DW<uint64_t> x1;
+        mod::addDw(u, q2, x1);
+        mod::subDw(x1, ti, x1);
+        ASSERT_TRUE(x1 < q4);
+        x1 = mod::condSubDw(x1, q2);
+        ASSERT_TRUE(x1 < q2);
+    }
+}
+
+TEST(Shoup64, PrecomputeRejectsWNotBelowQ)
+{
+    const DW<uint64_t> q = mod::toDw(ntt::smallTestPrime().q);
+    EXPECT_THROW(mod::shoupPrecompute(q, q), InvalidArgument);
+    DW<uint64_t> big;
+    mod::addDw(q, q, big);
+    EXPECT_THROW(mod::shoupPrecompute(big, q), InvalidArgument);
+    EXPECT_NO_THROW(mod::shoupPrecompute(DW<uint64_t>{}, q));
+}
+
+} // namespace
+} // namespace mqx

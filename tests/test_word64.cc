@@ -83,6 +83,51 @@ class Word64Ntt : public testing::TestWithParam<Backend>
 {
 };
 
+TEST_P(Word64Ntt, ShoupLazyBitIdenticalToBarrett)
+{
+    Backend be = GetParam();
+    if (!backendAvailable(be))
+        GTEST_SKIP() << "backend unavailable";
+    for (size_t n : {8u, 64u, 1024u, 4096u}) {
+        w64::Ntt64Plan plan(testPrime64(), n);
+        SplitMix64 rng(0x64 + n);
+        std::vector<uint64_t> in(n), a(n), b(n), scratch(n);
+        for (auto& v : in)
+            v = rng.next() % testPrime64();
+        w64::forward64(plan, be, in.data(), a.data(), scratch.data(),
+                       Reduction::ShoupLazy);
+        w64::forward64(plan, be, in.data(), b.data(), scratch.data(),
+                       Reduction::Barrett);
+        EXPECT_EQ(a, b) << "forward n=" << n << " " << backendName(be);
+        std::vector<uint64_t> ia(n), ib(n);
+        w64::inverse64(plan, be, a.data(), ia.data(), scratch.data(),
+                       Reduction::ShoupLazy);
+        w64::inverse64(plan, be, a.data(), ib.data(), scratch.data(),
+                       Reduction::Barrett);
+        EXPECT_EQ(ia, ib) << "inverse n=" << n << " " << backendName(be);
+        EXPECT_EQ(ia, in) << "roundtrip n=" << n;
+    }
+}
+
+TEST(Word64Modulus, ShoupMulMatchesOracle)
+{
+    w64::Modulus64 m(testPrime64());
+    const uint64_t q = m.value();
+    SplitMix64 rng(0x64064);
+    for (int t = 0; t < 500; ++t) {
+        uint64_t w = rng.next() % q;
+        uint64_t a = rng.next() % (4 * q); // full lazy operand range
+        uint64_t wq = m.shoupPrecompute(w);
+        uint64_t r = m.mulModShoup(a, w, wq);
+        ASSERT_LT(r, 2 * q) << "lazy range escaped";
+#if MQX_HAVE_INT128
+        unsigned __int128 expect =
+            static_cast<unsigned __int128>(a) * w % q;
+        EXPECT_EQ(r % q, static_cast<uint64_t>(expect));
+#endif
+    }
+}
+
 TEST_P(Word64Ntt, RoundTrip)
 {
     Backend be = GetParam();
