@@ -53,6 +53,28 @@ enum class Reduction
 };
 
 /**
+ * Butterfly stage fusion for the Pease NTT kernels.
+ *
+ * Radix4 (default) fuses two consecutive radix-2 stages into one pass:
+ * each pass loads the pair of stages' operands once, applies both
+ * butterfly layers in registers (Shoup-lazy arithmetic, transients
+ * bounded by the same [0, 2q)/4q contract as the radix-2 path), and
+ * stores once — ceil(logn/2) ping-pong sweeps instead of logn, plus a
+ * single radix-2 pass when logn is odd. Outputs are bit-identical to
+ * Radix2.
+ *
+ * Radix2 keeps one sweep per stage; it is retained for A/B traffic
+ * measurements and figure reproduction. The fused kernels are built on
+ * the Shoup-lazy arithmetic; Reduction::Barrett (the ablation baseline)
+ * always runs the radix-2 stage loop regardless of this knob.
+ */
+enum class StageFusion
+{
+    Radix4, ///< two stages per sweep (default steady state)
+    Radix2, ///< one stage per sweep (A/B baseline)
+};
+
+/**
  * MQX feature ablation variants (paper Fig. 6). "Base" in the figure is
  * plain AVX-512, i.e. Backend::Avx512.
  */

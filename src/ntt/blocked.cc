@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Cache-blocked four-step NTT driver for large transforms.
+ *
+ * A direct Pease transform makes one full sweep over the ping-pong
+ * buffers per stage (pair); once the working set outgrows L2 every
+ * sweep streams from DRAM and the transform hits the bandwidth ceiling
+ * the SoL roofline model predicts. The four-step factorization
+ * n = n1 * n2 replaces the logn sweeps with a constant number:
+ *
+ *   1. transpose   in (n1 x n2)   -> scratch (n2 x n1)
+ *   2. n2 column transforms of size n1 (now contiguous rows), each
+ *      followed in-cache by the twiddle fixup omega^(j2 * k1)
+ *   3. transpose   out (n2 x n1)  -> scratch (n1 x n2)
+ *   4. n1 row transforms of size n2
+ *
+ * with n1 = 2^ceil(logn/2) and n2 = n/n1, so every sub-transform's
+ * working set is O(sqrt(n)) and stays cache-resident. The constituent
+ * kernels are the ordinary (fused radix-4) Pease kernels; because each
+ * one maps natural order to bit-reversed order, the composition lands
+ * every output word exactly where the direct transform puts it —
+ * out[rev(k1)*n2 + rev(k2)] = X[k1 + n1*k2] = out[rev(k)] — so the
+ * blocked path is word-identical to the direct path with no extra
+ * permutation passes. The inverse runs the mirror image (row inverse
+ * transforms + inverse fixup, transpose, column inverse transforms,
+ * transpose), composing the n2^-1 and n1^-1 scalings into the direct
+ * path's n^-1.
+ *
+ * Sub-transform plans carry the composing roots omega^n2 / omega^n1
+ * (see NttPlan::buildBlocked) — this is what makes the factorization
+ * reproduce the direct transform's exact values rather than some other
+ * valid NTT.
+ */
+#include "ntt/ntt.h"
+
+#include <algorithm>
+
+#include "core/config.h"
+#include "ntt/ntt_backends.h"
+#include "ntt/pease_impl.h"
+
+namespace mqx {
+namespace ntt {
+namespace detail {
+
+namespace {
+
+/** Tiled out-of-place transpose: dst[c*rows + r] = src[r*cols + c]. */
+void
+transposeWords(const uint64_t* MQX_RESTRICT src, uint64_t* MQX_RESTRICT dst,
+               size_t rows, size_t cols)
+{
+    constexpr size_t kTile = 32; // 8 KiB src tile + 8 KiB dst tile
+    for (size_t r0 = 0; r0 < rows; r0 += kTile) {
+        const size_t r1 = std::min(rows, r0 + kTile);
+        for (size_t c0 = 0; c0 < cols; c0 += kTile) {
+            const size_t c1 = std::min(cols, c0 + kTile);
+            for (size_t r = r0; r < r1; ++r) {
+                for (size_t c = c0; c < c1; ++c)
+                    dst[c * rows + r] = src[r * cols + c];
+            }
+        }
+    }
+}
+
+void
+transposeSplit(DConstSpan src, DSpan dst, size_t rows, size_t cols)
+{
+    transposeWords(src.hi, dst.hi, rows, cols);
+    transposeWords(src.lo, dst.lo, rows, cols);
+}
+
+/**
+ * Sub-transform ping-pong buffer, leased per thread so the steady
+ * state stays allocation-free (the zero-allocs-per-call invariant the
+ * span-based engine paths establish): O(sqrt n) words, grown once per
+ * thread to the largest n1 seen and reused by every blocked transform
+ * on that thread.
+ */
+DSpan
+subTransformTemp(size_t n1)
+{
+    static thread_local ResidueVector temp;
+    if (temp.size() < n1)
+        temp = ResidueVector(n1);
+    return DSpan{temp.span().hi, temp.span().lo, n1};
+}
+
+void
+subForward(const BlockedRoute& route, const NttPlan& plan, DConstSpan in,
+           DSpan out, DSpan scratch, MulAlgo algo, Reduction red,
+           StageFusion fusion)
+{
+    if (route.use_mqx)
+        forwardMqx(plan, route.variant, route.pisa, in, out, scratch, algo,
+                   red, fusion);
+    else
+        forward(plan, route.backend, in, out, scratch, algo, red, fusion);
+}
+
+void
+subInverse(const BlockedRoute& route, const NttPlan& plan, DConstSpan in,
+           DSpan out, DSpan scratch, MulAlgo algo, Reduction red,
+           StageFusion fusion)
+{
+    if (route.use_mqx)
+        inverseMqx(plan, route.variant, route.pisa, in, out, scratch, algo,
+                   red, fusion);
+    else
+        inverse(plan, route.backend, in, out, scratch, algo, red, fusion);
+}
+
+} // namespace
+
+void
+blockedForward(const NttPlan& plan, const BlockedRoute& route, DConstSpan in,
+               DSpan out, DSpan scratch, MulAlgo algo, Reduction red,
+               StageFusion fusion)
+{
+    detail::validateNttArgs(plan, in, out, scratch);
+    const NttPlan::Blocked* blk = plan.blocked();
+    checkArg(blk != nullptr, "blockedForward: plan has no decomposition");
+    const size_t n1 = blk->n1;
+    const size_t n2 = blk->n2;
+    const Modulus& m = plan.modulus();
+    DSpan temp1 = subTransformTemp(n1);
+
+    // 1. Columns become contiguous rows.
+    transposeSplit(in, scratch, n1, n2);
+
+    // 2. Size-n1 transforms per row + streamed twiddle fixup (the fixup
+    //    table layout matches this loop exactly; rows are still
+    //    cache-hot from the transform when vmulShoup rewrites them).
+    for (size_t j2 = 0; j2 < n2; ++j2) {
+        const size_t off = j2 * n1;
+        DConstSpan src_row{scratch.hi + off, scratch.lo + off, n1};
+        DSpan dst_row{out.hi + off, out.lo + off, n1};
+        subForward(route, *blk->col, src_row, dst_row, temp1, algo, red,
+                   fusion);
+        DConstSpan fix{blk->fix_hi.data() + off, blk->fix_lo.data() + off,
+                       n1};
+        DConstSpan fixq{blk->fix_sh_hi.data() + off,
+                        blk->fix_sh_lo.data() + off, n1};
+        vmulShoup(route.backend, m, dst_row, fix, fixq, dst_row, algo);
+    }
+
+    // 3. Back to row-major over the final row index.
+    transposeSplit(out, scratch, n2, n1);
+
+    // 4. Size-n2 transforms per row; bit-reversed row/column outputs
+    //    compose into the direct transform's bit-reversed order.
+    DSpan temp2{temp1.hi, temp1.lo, n2};
+    for (size_t r1 = 0; r1 < n1; ++r1) {
+        const size_t off = r1 * n2;
+        DConstSpan src_row{scratch.hi + off, scratch.lo + off, n2};
+        DSpan dst_row{out.hi + off, out.lo + off, n2};
+        subForward(route, *blk->row, src_row, dst_row, temp2, algo, red,
+                   fusion);
+    }
+}
+
+void
+blockedInverse(const NttPlan& plan, const BlockedRoute& route, DConstSpan in,
+               DSpan out, DSpan scratch, MulAlgo algo, Reduction red,
+               StageFusion fusion)
+{
+    detail::validateNttArgs(plan, in, out, scratch);
+    const NttPlan::Blocked* blk = plan.blocked();
+    checkArg(blk != nullptr, "blockedInverse: plan has no decomposition");
+    const size_t n1 = blk->n1;
+    const size_t n2 = blk->n2;
+    const Modulus& m = plan.modulus();
+    DSpan temp1 = subTransformTemp(n1);
+    DSpan temp2{temp1.hi, temp1.lo, n2};
+
+    // 1. Size-n2 inverse transforms per row (undoing forward step 4),
+    //    then the inverse fixup omega^-(k1 * j2) while the row is hot.
+    for (size_t r1 = 0; r1 < n1; ++r1) {
+        const size_t off = r1 * n2;
+        DConstSpan src_row{in.hi + off, in.lo + off, n2};
+        DSpan dst_row{scratch.hi + off, scratch.lo + off, n2};
+        subInverse(route, *blk->row, src_row, dst_row, temp2, algo, red,
+                   fusion);
+        DConstSpan fix{blk->ifix_hi.data() + off, blk->ifix_lo.data() + off,
+                       n2};
+        DConstSpan fixq{blk->ifix_sh_hi.data() + off,
+                        blk->ifix_sh_lo.data() + off, n2};
+        vmulShoup(route.backend, m, dst_row, fix, fixq, dst_row, algo);
+    }
+
+    // 2. Columns become contiguous rows.
+    transposeSplit(scratch, out, n1, n2);
+
+    // 3. Size-n1 inverse transforms (undoing forward step 2); the
+    //    composed n2^-1 * n1^-1 scaling equals the direct n^-1.
+    for (size_t j2 = 0; j2 < n2; ++j2) {
+        const size_t off = j2 * n1;
+        DConstSpan src_row{out.hi + off, out.lo + off, n1};
+        DSpan dst_row{scratch.hi + off, scratch.lo + off, n1};
+        subInverse(route, *blk->col, src_row, dst_row, temp1, algo, red,
+                   fusion);
+    }
+
+    // 4. Natural row-major order.
+    transposeSplit(scratch, out, n2, n1);
+}
+
+} // namespace detail
+} // namespace ntt
+} // namespace mqx

@@ -21,30 +21,60 @@ requireAvailable(Backend backend)
     }
 }
 
+/** Route descriptor for the four-step blocked driver (blocked.cc). */
+detail::BlockedRoute
+makeRoute(Backend backend)
+{
+    detail::BlockedRoute route;
+    route.backend = backend;
+    if (backend == Backend::MqxEmulate || backend == Backend::MqxPisa) {
+        route.use_mqx = true;
+        route.pisa = backend == Backend::MqxPisa;
+    }
+    return route;
+}
+
+// Referenced only when the MQX TUs are compiled in.
+[[maybe_unused]] detail::BlockedRoute
+makeRoute(MqxVariant variant, bool pisa)
+{
+    detail::BlockedRoute route;
+    route.backend = pisa ? Backend::MqxPisa : Backend::MqxEmulate;
+    route.use_mqx = true;
+    route.variant = variant;
+    route.pisa = pisa;
+    return route;
+}
+
 } // namespace
 
 void
 forward(const NttPlan& plan, Backend backend, DConstSpan in, DSpan out,
-        DSpan scratch, MulAlgo algo, Reduction red)
+        DSpan scratch, MulAlgo algo, Reduction red, StageFusion fusion)
 {
     requireAvailable(backend);
+    if (plan.blocked()) {
+        detail::blockedForward(plan, makeRoute(backend), in, out, scratch,
+                               algo, red, fusion);
+        return;
+    }
     switch (backend) {
       case Backend::Scalar:
-        backends::forwardScalar(plan, in, out, scratch, algo, red);
+        backends::forwardScalar(plan, in, out, scratch, algo, red, fusion);
         return;
       case Backend::Portable:
-        backends::forwardPortable(plan, in, out, scratch, algo, red);
+        backends::forwardPortable(plan, in, out, scratch, algo, red, fusion);
         return;
       case Backend::Avx2:
 #if MQX_BUILD_AVX2
-        backends::forwardAvx2(plan, in, out, scratch, algo, red);
+        backends::forwardAvx2(plan, in, out, scratch, algo, red, fusion);
         return;
 #else
         break;
 #endif
       case Backend::Avx512:
 #if MQX_BUILD_AVX512
-        backends::forwardAvx512(plan, in, out, scratch, algo, red);
+        backends::forwardAvx512(plan, in, out, scratch, algo, red, fusion);
         return;
 #else
         break;
@@ -52,7 +82,7 @@ forward(const NttPlan& plan, Backend backend, DConstSpan in, DSpan out,
       case Backend::MqxEmulate:
 #if MQX_BUILD_AVX512
         backends::forwardMqxImpl(plan, MqxVariant::Full, false, in, out,
-                                 scratch, algo, red);
+                                 scratch, algo, red, fusion);
         return;
 #else
         break;
@@ -60,7 +90,7 @@ forward(const NttPlan& plan, Backend backend, DConstSpan in, DSpan out,
       case Backend::MqxPisa:
 #if MQX_BUILD_AVX512
         backends::forwardMqxImpl(plan, MqxVariant::Full, true, in, out,
-                                 scratch, algo, red);
+                                 scratch, algo, red, fusion);
         return;
 #else
         break;
@@ -72,26 +102,31 @@ forward(const NttPlan& plan, Backend backend, DConstSpan in, DSpan out,
 
 void
 inverse(const NttPlan& plan, Backend backend, DConstSpan in, DSpan out,
-        DSpan scratch, MulAlgo algo, Reduction red)
+        DSpan scratch, MulAlgo algo, Reduction red, StageFusion fusion)
 {
     requireAvailable(backend);
+    if (plan.blocked()) {
+        detail::blockedInverse(plan, makeRoute(backend), in, out, scratch,
+                               algo, red, fusion);
+        return;
+    }
     switch (backend) {
       case Backend::Scalar:
-        backends::inverseScalar(plan, in, out, scratch, algo, red);
+        backends::inverseScalar(plan, in, out, scratch, algo, red, fusion);
         return;
       case Backend::Portable:
-        backends::inversePortable(plan, in, out, scratch, algo, red);
+        backends::inversePortable(plan, in, out, scratch, algo, red, fusion);
         return;
       case Backend::Avx2:
 #if MQX_BUILD_AVX2
-        backends::inverseAvx2(plan, in, out, scratch, algo, red);
+        backends::inverseAvx2(plan, in, out, scratch, algo, red, fusion);
         return;
 #else
         break;
 #endif
       case Backend::Avx512:
 #if MQX_BUILD_AVX512
-        backends::inverseAvx512(plan, in, out, scratch, algo, red);
+        backends::inverseAvx512(plan, in, out, scratch, algo, red, fusion);
         return;
 #else
         break;
@@ -99,7 +134,7 @@ inverse(const NttPlan& plan, Backend backend, DConstSpan in, DSpan out,
       case Backend::MqxEmulate:
 #if MQX_BUILD_AVX512
         backends::inverseMqxImpl(plan, MqxVariant::Full, false, in, out,
-                                 scratch, algo, red);
+                                 scratch, algo, red, fusion);
         return;
 #else
         break;
@@ -107,7 +142,7 @@ inverse(const NttPlan& plan, Backend backend, DConstSpan in, DSpan out,
       case Backend::MqxPisa:
 #if MQX_BUILD_AVX512
         backends::inverseMqxImpl(plan, MqxVariant::Full, true, in, out,
-                                 scratch, algo, red);
+                                 scratch, algo, red, fusion);
         return;
 #else
         break;
@@ -164,12 +199,18 @@ vmulShoup(Backend backend, const Modulus& m, DConstSpan a, DConstSpan t,
 
 void
 forwardMqx(const NttPlan& plan, MqxVariant variant, bool pisa, DConstSpan in,
-           DSpan out, DSpan scratch, MulAlgo algo, Reduction red)
+           DSpan out, DSpan scratch, MulAlgo algo, Reduction red,
+           StageFusion fusion)
 {
     requireAvailable(Backend::MqxEmulate);
 #if MQX_BUILD_AVX512
+    if (plan.blocked()) {
+        detail::blockedForward(plan, makeRoute(variant, pisa), in, out,
+                               scratch, algo, red, fusion);
+        return;
+    }
     backends::forwardMqxImpl(plan, variant, pisa, in, out, scratch, algo,
-                             red);
+                             red, fusion);
 #else
     (void)plan;
     (void)variant;
@@ -179,18 +220,25 @@ forwardMqx(const NttPlan& plan, MqxVariant variant, bool pisa, DConstSpan in,
     (void)scratch;
     (void)algo;
     (void)red;
+    (void)fusion;
     throw BackendUnavailable("MQX backend not compiled in");
 #endif
 }
 
 void
 inverseMqx(const NttPlan& plan, MqxVariant variant, bool pisa, DConstSpan in,
-           DSpan out, DSpan scratch, MulAlgo algo, Reduction red)
+           DSpan out, DSpan scratch, MulAlgo algo, Reduction red,
+           StageFusion fusion)
 {
     requireAvailable(Backend::MqxEmulate);
 #if MQX_BUILD_AVX512
+    if (plan.blocked()) {
+        detail::blockedInverse(plan, makeRoute(variant, pisa), in, out,
+                               scratch, algo, red, fusion);
+        return;
+    }
     backends::inverseMqxImpl(plan, variant, pisa, in, out, scratch, algo,
-                             red);
+                             red, fusion);
 #else
     (void)plan;
     (void)variant;
@@ -200,6 +248,7 @@ inverseMqx(const NttPlan& plan, MqxVariant variant, bool pisa, DConstSpan in,
     (void)scratch;
     (void)algo;
     (void)red;
+    (void)fusion;
     throw BackendUnavailable("MQX backend not compiled in");
 #endif
 }

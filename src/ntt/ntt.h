@@ -28,16 +28,28 @@ namespace ntt {
  *                butterflies on the plan's Shoup twiddle companions;
  *                Reduction::Barrett keeps the paper's per-butterfly
  *                full reduction. Outputs are bit-identical.
+ * @param fusion  StageFusion::Radix4 (default) fuses two Pease stages
+ *                per ping-pong sweep; Radix2 keeps one stage per sweep
+ *                (A/B baseline). Outputs are bit-identical; Barrett
+ *                reduction always runs the radix-2 stage loop.
+ *
+ * Plans whose working set exceeds their L2 budget (plan.blocked())
+ * dispatch through the four-step blocked driver: cache-resident
+ * column/row sub-transforms plus a twiddle fixup, word-identical to the
+ * direct path (see plan.h).
+ *
  * @throws BackendUnavailable if @p backend cannot run on this host.
  */
 void forward(const NttPlan& plan, Backend backend, DConstSpan in, DSpan out,
              DSpan scratch, MulAlgo algo = MulAlgo::Schoolbook,
-             Reduction red = Reduction::ShoupLazy);
+             Reduction red = Reduction::ShoupLazy,
+             StageFusion fusion = StageFusion::Radix4);
 
 /** Inverse NTT (bit-reversed in, natural out, scaled by n^-1). */
 void inverse(const NttPlan& plan, Backend backend, DConstSpan in, DSpan out,
              DSpan scratch, MulAlgo algo = MulAlgo::Schoolbook,
-             Reduction red = Reduction::ShoupLazy);
+             Reduction red = Reduction::ShoupLazy,
+             StageFusion fusion = StageFusion::Radix4);
 
 /**
  * Point-wise multiply by a fixed table with precomputed Shoup
@@ -55,17 +67,26 @@ void vmulShoup(Backend backend, const Modulus& m, DConstSpan a, DConstSpan t,
  * Forward NTT with an explicit MQX feature variant (Fig. 6 ablation).
  * @param pisa true = PISA proxy timing mode (results are wrong by
  *             design), false = bit-exact Table-2 emulation.
+ *
+ * Ablation caveat for blocked plans: the four-step driver applies
+ * @p variant to every sub-transform, but its twiddle-fixup sweep runs
+ * the Full-MQX vmulShoup kernel (no variant-ablated pointwise kernels
+ * exist). Results stay bit-identical; for a variant-faithful
+ * instruction mix, measure on a direct plan (l2_budget = 0), as
+ * bench_fig6_sensitivity does.
  */
 void forwardMqx(const NttPlan& plan, MqxVariant variant, bool pisa,
                 DConstSpan in, DSpan out, DSpan scratch,
                 MulAlgo algo = MulAlgo::Schoolbook,
-                Reduction red = Reduction::ShoupLazy);
+                Reduction red = Reduction::ShoupLazy,
+                StageFusion fusion = StageFusion::Radix4);
 
 /** Inverse counterpart of forwardMqx. */
 void inverseMqx(const NttPlan& plan, MqxVariant variant, bool pisa,
                 DConstSpan in, DSpan out, DSpan scratch,
                 MulAlgo algo = MulAlgo::Schoolbook,
-                Reduction red = Reduction::ShoupLazy);
+                Reduction red = Reduction::ShoupLazy,
+                StageFusion fusion = StageFusion::Radix4);
 
 /**
  * Convenience wrapper owning the plan and work buffers. This is the

@@ -13,22 +13,34 @@ namespace backends {
 
 void
 forwardAvx2(const NttPlan& plan, DConstSpan in, DSpan out, DSpan scratch,
-            MulAlgo algo, Reduction red)
+            MulAlgo algo, Reduction red, StageFusion fusion)
 {
-    if (red == Reduction::ShoupLazy)
-        peaseForwardLazyImpl<simd::Avx2Isa>(plan, in, out, scratch, algo);
-    else
+    if (red == Reduction::ShoupLazy) {
+        if (fusion == StageFusion::Radix4)
+            peaseForward4LazyImpl<simd::Avx2Isa>(plan, in, out, scratch,
+                                                 algo);
+        else
+            peaseForwardLazyImpl<simd::Avx2Isa>(plan, in, out, scratch,
+                                                algo);
+    } else {
         peaseForwardImpl<simd::Avx2Isa>(plan, in, out, scratch, algo);
+    }
 }
 
 void
 inverseAvx2(const NttPlan& plan, DConstSpan in, DSpan out, DSpan scratch,
-            MulAlgo algo, Reduction red)
+            MulAlgo algo, Reduction red, StageFusion fusion)
 {
-    if (red == Reduction::ShoupLazy)
-        peaseInverseLazyImpl<simd::Avx2Isa>(plan, in, out, scratch, algo);
-    else
+    if (red == Reduction::ShoupLazy) {
+        if (fusion == StageFusion::Radix4)
+            peaseInverse4LazyImpl<simd::Avx2Isa>(plan, in, out, scratch,
+                                                 algo);
+        else
+            peaseInverseLazyImpl<simd::Avx2Isa>(plan, in, out, scratch,
+                                                algo);
+    } else {
         peaseInverseImpl<simd::Avx2Isa>(plan, in, out, scratch, algo);
+    }
 }
 
 void

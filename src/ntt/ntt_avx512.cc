@@ -13,22 +13,34 @@ namespace backends {
 
 void
 forwardAvx512(const NttPlan& plan, DConstSpan in, DSpan out, DSpan scratch,
-              MulAlgo algo, Reduction red)
+              MulAlgo algo, Reduction red, StageFusion fusion)
 {
-    if (red == Reduction::ShoupLazy)
-        peaseForwardLazyImpl<simd::Avx512Isa>(plan, in, out, scratch, algo);
-    else
+    if (red == Reduction::ShoupLazy) {
+        if (fusion == StageFusion::Radix4)
+            peaseForward4LazyImpl<simd::Avx512Isa>(plan, in, out, scratch,
+                                                   algo);
+        else
+            peaseForwardLazyImpl<simd::Avx512Isa>(plan, in, out, scratch,
+                                                  algo);
+    } else {
         peaseForwardImpl<simd::Avx512Isa>(plan, in, out, scratch, algo);
+    }
 }
 
 void
 inverseAvx512(const NttPlan& plan, DConstSpan in, DSpan out, DSpan scratch,
-              MulAlgo algo, Reduction red)
+              MulAlgo algo, Reduction red, StageFusion fusion)
 {
-    if (red == Reduction::ShoupLazy)
-        peaseInverseLazyImpl<simd::Avx512Isa>(plan, in, out, scratch, algo);
-    else
+    if (red == Reduction::ShoupLazy) {
+        if (fusion == StageFusion::Radix4)
+            peaseInverse4LazyImpl<simd::Avx512Isa>(plan, in, out, scratch,
+                                                   algo);
+        else
+            peaseInverseLazyImpl<simd::Avx512Isa>(plan, in, out, scratch,
+                                                  algo);
+    } else {
         peaseInverseImpl<simd::Avx512Isa>(plan, in, out, scratch, algo);
+    }
 }
 
 void

@@ -14,40 +14,64 @@ namespace ntt {
 namespace backends {
 
 void forwardScalar(const NttPlan&, DConstSpan, DSpan, DSpan, MulAlgo,
-                   Reduction);
+                   Reduction, StageFusion);
 void inverseScalar(const NttPlan&, DConstSpan, DSpan, DSpan, MulAlgo,
-                   Reduction);
+                   Reduction, StageFusion);
 void vmulShoupScalar(const Modulus&, DConstSpan, DConstSpan, DConstSpan,
                      DSpan, MulAlgo);
 
 void forwardPortable(const NttPlan&, DConstSpan, DSpan, DSpan, MulAlgo,
-                     Reduction);
+                     Reduction, StageFusion);
 void inversePortable(const NttPlan&, DConstSpan, DSpan, DSpan, MulAlgo,
-                     Reduction);
+                     Reduction, StageFusion);
 void vmulShoupPortable(const Modulus&, DConstSpan, DConstSpan, DConstSpan,
                        DSpan, MulAlgo);
 
 void forwardAvx2(const NttPlan&, DConstSpan, DSpan, DSpan, MulAlgo,
-                 Reduction);
+                 Reduction, StageFusion);
 void inverseAvx2(const NttPlan&, DConstSpan, DSpan, DSpan, MulAlgo,
-                 Reduction);
+                 Reduction, StageFusion);
 void vmulShoupAvx2(const Modulus&, DConstSpan, DConstSpan, DConstSpan, DSpan,
                    MulAlgo);
 
 void forwardAvx512(const NttPlan&, DConstSpan, DSpan, DSpan, MulAlgo,
-                   Reduction);
+                   Reduction, StageFusion);
 void inverseAvx512(const NttPlan&, DConstSpan, DSpan, DSpan, MulAlgo,
-                   Reduction);
+                   Reduction, StageFusion);
 void vmulShoupAvx512(const Modulus&, DConstSpan, DConstSpan, DConstSpan,
                      DSpan, MulAlgo);
 
 void forwardMqxImpl(const NttPlan&, MqxVariant, bool pisa, DConstSpan, DSpan,
-                    DSpan, MulAlgo, Reduction);
+                    DSpan, MulAlgo, Reduction, StageFusion);
 void inverseMqxImpl(const NttPlan&, MqxVariant, bool pisa, DConstSpan, DSpan,
-                    DSpan, MulAlgo, Reduction);
+                    DSpan, MulAlgo, Reduction, StageFusion);
 void vmulShoupMqx(bool pisa, const Modulus&, DConstSpan, DConstSpan,
                   DConstSpan, DSpan, MulAlgo);
 
 } // namespace backends
+
+namespace detail {
+
+/**
+ * Four-step blocked drivers (blocked.cc): used by the public dispatch
+ * when plan.blocked() is set. @p variant/@p pisa select the MQX entry
+ * points for the sub-transforms when @p use_mqx is true.
+ */
+struct BlockedRoute
+{
+    Backend backend = Backend::Scalar;
+    bool use_mqx = false;
+    MqxVariant variant = MqxVariant::Full;
+    bool pisa = false;
+};
+
+void blockedForward(const NttPlan& plan, const BlockedRoute& route,
+                    DConstSpan in, DSpan out, DSpan scratch, MulAlgo algo,
+                    Reduction red, StageFusion fusion);
+void blockedInverse(const NttPlan& plan, const BlockedRoute& route,
+                    DConstSpan in, DSpan out, DSpan scratch, MulAlgo algo,
+                    Reduction red, StageFusion fusion);
+
+} // namespace detail
 } // namespace ntt
 } // namespace mqx

@@ -27,50 +27,59 @@ using mqxisa::MqxMode;
 template <class Isa>
 void
 forwardWithIsa(const NttPlan& plan, DConstSpan in, DSpan out, DSpan scratch,
-               MulAlgo algo, Reduction red)
+               MulAlgo algo, Reduction red, StageFusion fusion)
 {
-    if (red == Reduction::ShoupLazy)
-        peaseForwardLazyImpl<Isa>(plan, in, out, scratch, algo);
-    else
+    if (red == Reduction::ShoupLazy) {
+        if (fusion == StageFusion::Radix4)
+            peaseForward4LazyImpl<Isa>(plan, in, out, scratch, algo);
+        else
+            peaseForwardLazyImpl<Isa>(plan, in, out, scratch, algo);
+    } else {
         peaseForwardImpl<Isa>(plan, in, out, scratch, algo);
+    }
 }
 
 template <class Isa>
 void
 inverseWithIsa(const NttPlan& plan, DConstSpan in, DSpan out, DSpan scratch,
-               MulAlgo algo, Reduction red)
+               MulAlgo algo, Reduction red, StageFusion fusion)
 {
-    if (red == Reduction::ShoupLazy)
-        peaseInverseLazyImpl<Isa>(plan, in, out, scratch, algo);
-    else
+    if (red == Reduction::ShoupLazy) {
+        if (fusion == StageFusion::Radix4)
+            peaseInverse4LazyImpl<Isa>(plan, in, out, scratch, algo);
+        else
+            peaseInverseLazyImpl<Isa>(plan, in, out, scratch, algo);
+    } else {
         peaseInverseImpl<Isa>(plan, in, out, scratch, algo);
+    }
 }
 
 template <MqxMode Mode>
 void
 forwardWithVariant(const NttPlan& plan, MqxVariant variant, DConstSpan in,
-                   DSpan out, DSpan scratch, MulAlgo algo, Reduction red)
+                   DSpan out, DSpan scratch, MulAlgo algo, Reduction red,
+                   StageFusion fusion)
 {
     switch (variant) {
       case MqxVariant::MulOnly:
         forwardWithIsa<MqxIsa<Mode, kMqxMulOnly>>(plan, in, out, scratch,
-                                                  algo, red);
+                                                  algo, red, fusion);
         break;
       case MqxVariant::CarryOnly:
         forwardWithIsa<MqxIsa<Mode, kMqxCarryOnly>>(plan, in, out, scratch,
-                                                    algo, red);
+                                                    algo, red, fusion);
         break;
       case MqxVariant::Full:
         forwardWithIsa<MqxIsa<Mode, kMqxFull>>(plan, in, out, scratch, algo,
-                                               red);
+                                               red, fusion);
         break;
       case MqxVariant::MulhiCarry:
         forwardWithIsa<MqxIsa<Mode, kMqxMulhi>>(plan, in, out, scratch, algo,
-                                                red);
+                                                red, fusion);
         break;
       case MqxVariant::FullPredicated:
         forwardWithIsa<MqxIsa<Mode, kMqxPredicated>>(plan, in, out, scratch,
-                                                     algo, red);
+                                                     algo, red, fusion);
         break;
     }
 }
@@ -78,28 +87,29 @@ forwardWithVariant(const NttPlan& plan, MqxVariant variant, DConstSpan in,
 template <MqxMode Mode>
 void
 inverseWithVariant(const NttPlan& plan, MqxVariant variant, DConstSpan in,
-                   DSpan out, DSpan scratch, MulAlgo algo, Reduction red)
+                   DSpan out, DSpan scratch, MulAlgo algo, Reduction red,
+                   StageFusion fusion)
 {
     switch (variant) {
       case MqxVariant::MulOnly:
         inverseWithIsa<MqxIsa<Mode, kMqxMulOnly>>(plan, in, out, scratch,
-                                                  algo, red);
+                                                  algo, red, fusion);
         break;
       case MqxVariant::CarryOnly:
         inverseWithIsa<MqxIsa<Mode, kMqxCarryOnly>>(plan, in, out, scratch,
-                                                    algo, red);
+                                                    algo, red, fusion);
         break;
       case MqxVariant::Full:
         inverseWithIsa<MqxIsa<Mode, kMqxFull>>(plan, in, out, scratch, algo,
-                                               red);
+                                               red, fusion);
         break;
       case MqxVariant::MulhiCarry:
         inverseWithIsa<MqxIsa<Mode, kMqxMulhi>>(plan, in, out, scratch, algo,
-                                                red);
+                                                red, fusion);
         break;
       case MqxVariant::FullPredicated:
         inverseWithIsa<MqxIsa<Mode, kMqxPredicated>>(plan, in, out, scratch,
-                                                     algo, red);
+                                                     algo, red, fusion);
         break;
     }
 }
@@ -109,27 +119,27 @@ inverseWithVariant(const NttPlan& plan, MqxVariant variant, DConstSpan in,
 void
 forwardMqxImpl(const NttPlan& plan, MqxVariant variant, bool pisa,
                DConstSpan in, DSpan out, DSpan scratch, MulAlgo algo,
-               Reduction red)
+               Reduction red, StageFusion fusion)
 {
     if (pisa)
         forwardWithVariant<MqxMode::Pisa>(plan, variant, in, out, scratch,
-                                          algo, red);
+                                          algo, red, fusion);
     else
         forwardWithVariant<MqxMode::Emulate>(plan, variant, in, out, scratch,
-                                             algo, red);
+                                             algo, red, fusion);
 }
 
 void
 inverseMqxImpl(const NttPlan& plan, MqxVariant variant, bool pisa,
                DConstSpan in, DSpan out, DSpan scratch, MulAlgo algo,
-               Reduction red)
+               Reduction red, StageFusion fusion)
 {
     if (pisa)
         inverseWithVariant<MqxMode::Pisa>(plan, variant, in, out, scratch,
-                                          algo, red);
+                                          algo, red, fusion);
     else
         inverseWithVariant<MqxMode::Emulate>(plan, variant, in, out, scratch,
-                                             algo, red);
+                                             algo, red, fusion);
 }
 
 void

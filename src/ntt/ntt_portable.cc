@@ -14,22 +14,34 @@ namespace backends {
 
 void
 forwardPortable(const NttPlan& plan, DConstSpan in, DSpan out, DSpan scratch,
-                MulAlgo algo, Reduction red)
+                MulAlgo algo, Reduction red, StageFusion fusion)
 {
-    if (red == Reduction::ShoupLazy)
-        peaseForwardLazyImpl<simd::PortableIsa>(plan, in, out, scratch, algo);
-    else
+    if (red == Reduction::ShoupLazy) {
+        if (fusion == StageFusion::Radix4)
+            peaseForward4LazyImpl<simd::PortableIsa>(plan, in, out, scratch,
+                                                     algo);
+        else
+            peaseForwardLazyImpl<simd::PortableIsa>(plan, in, out, scratch,
+                                                    algo);
+    } else {
         peaseForwardImpl<simd::PortableIsa>(plan, in, out, scratch, algo);
+    }
 }
 
 void
 inversePortable(const NttPlan& plan, DConstSpan in, DSpan out, DSpan scratch,
-                MulAlgo algo, Reduction red)
+                MulAlgo algo, Reduction red, StageFusion fusion)
 {
-    if (red == Reduction::ShoupLazy)
-        peaseInverseLazyImpl<simd::PortableIsa>(plan, in, out, scratch, algo);
-    else
+    if (red == Reduction::ShoupLazy) {
+        if (fusion == StageFusion::Radix4)
+            peaseInverse4LazyImpl<simd::PortableIsa>(plan, in, out, scratch,
+                                                     algo);
+        else
+            peaseInverseLazyImpl<simd::PortableIsa>(plan, in, out, scratch,
+                                                    algo);
+    } else {
         peaseInverseImpl<simd::PortableIsa>(plan, in, out, scratch, algo);
+    }
 }
 
 void

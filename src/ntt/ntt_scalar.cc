@@ -185,28 +185,162 @@ inverseScalarLazy(const NttPlan& plan, DConstSpan in, DSpan out,
     }
 }
 
+/** Fused radix-4 forward (see pease_impl.h): ceil(logn/2) sweeps. */
+void
+forwardScalarLazy4(const NttPlan& plan, DConstSpan in, DSpan out,
+                   DSpan scratch, MulAlgo algo)
+{
+    const size_t h = plan.half();
+    const size_t h2 = h / 2;
+    const int m = plan.logn();
+    const mod::DW<uint64_t> q = mod::toDw(plan.modulus().value());
+    const mod::DW<uint64_t> q2 = mod::shl1Dw(q);
+    const uint64_t* tw_hi = plan.twiddleHi();
+    const uint64_t* tw_lo = plan.twiddleLo();
+    const uint64_t* twq_hi = plan.twiddleShoupHi();
+    const uint64_t* twq_lo = plan.twiddleShoupLo();
+
+    DSpan bufs[2] = {out, scratch};
+    const int passes = (m + 1) / 2;
+    int target = (passes % 2 == 1) ? 0 : 1;
+    const uint64_t* src_hi = in.hi;
+    const uint64_t* src_lo = in.lo;
+    int s = 0;
+    if (m % 2 == 1) {
+        DSpan dst = bufs[target];
+        for (size_t j = 0; j < h; ++j) {
+            detail::forwardButterflyLazyScalar(q, q2, src_hi, src_lo, dst.hi,
+                                               dst.lo, tw_hi, tw_lo, twq_hi,
+                                               twq_lo, j, h, 0, m == 1,
+                                               algo);
+        }
+        src_hi = dst.hi;
+        src_lo = dst.lo;
+        target ^= 1;
+        s = 1;
+    }
+    for (; s + 1 < m; s += 2) {
+        const bool last = s + 2 == m;
+        DSpan dst = bufs[target];
+        // The three twiddles are constant over runs of 2^s butterflies;
+        // hoist their loads out of the inner loop (the compiler cannot:
+        // the dst stores might alias the tables for all it knows).
+        const size_t run = size_t{1} << s; // divides h2 (s <= logn - 2)
+        for (size_t base = 0; base < h2; base += run) {
+            const size_t e0 = base, e1 = base + h2, eb = 2 * base;
+            const mod::DW<uint64_t> w0{tw_hi[e0], tw_lo[e0]};
+            const mod::DW<uint64_t> w0q{twq_hi[e0], twq_lo[e0]};
+            const mod::DW<uint64_t> w1{tw_hi[e1], tw_lo[e1]};
+            const mod::DW<uint64_t> w1q{twq_hi[e1], twq_lo[e1]};
+            const mod::DW<uint64_t> wb{tw_hi[eb], tw_lo[eb]};
+            const mod::DW<uint64_t> wbq{twq_hi[eb], twq_lo[eb]};
+            for (size_t p = base; p < base + run; ++p) {
+                detail::forwardButterfly4LazyCore(q, q2, src_hi, src_lo,
+                                                  dst.hi, dst.lo, w0, w0q,
+                                                  w1, w1q, wb, wbq, p, h,
+                                                  last, algo);
+            }
+        }
+        src_hi = dst.hi;
+        src_lo = dst.lo;
+        target ^= 1;
+    }
+}
+
+/** Fused radix-4 inverse + the n^-1 Shoup scaling pass. */
+void
+inverseScalarLazy4(const NttPlan& plan, DConstSpan in, DSpan out,
+                   DSpan scratch, MulAlgo algo)
+{
+    const size_t h = plan.half();
+    const size_t h2 = h / 2;
+    const int m = plan.logn();
+    const mod::DW<uint64_t> q = mod::toDw(plan.modulus().value());
+    const mod::DW<uint64_t> q2 = mod::shl1Dw(q);
+    const uint64_t* tw_hi = plan.twiddleInvHi();
+    const uint64_t* tw_lo = plan.twiddleInvLo();
+    const uint64_t* twq_hi = plan.twiddleInvShoupHi();
+    const uint64_t* twq_lo = plan.twiddleInvShoupLo();
+
+    DSpan bufs[2] = {out, scratch};
+    const int passes = (m + 1) / 2;
+    int target = (passes % 2 == 1) ? 0 : 1;
+    const uint64_t* src_hi = in.hi;
+    const uint64_t* src_lo = in.lo;
+    int s = m - 1;
+    for (; s >= 1; s -= 2) {
+        const int sl = s - 1;
+        DSpan dst = bufs[target];
+        // Same run-split twiddle hoisting as the forward pass.
+        const size_t run = size_t{1} << sl;
+        for (size_t base = 0; base < h2; base += run) {
+            const size_t e0 = base, e1 = base + h2, eb = 2 * base;
+            const mod::DW<uint64_t> w0{tw_hi[e0], tw_lo[e0]};
+            const mod::DW<uint64_t> w0q{twq_hi[e0], twq_lo[e0]};
+            const mod::DW<uint64_t> w1{tw_hi[e1], tw_lo[e1]};
+            const mod::DW<uint64_t> w1q{twq_hi[e1], twq_lo[e1]};
+            const mod::DW<uint64_t> wb{tw_hi[eb], tw_lo[eb]};
+            const mod::DW<uint64_t> wbq{twq_hi[eb], twq_lo[eb]};
+            for (size_t p = base; p < base + run; ++p) {
+                detail::inverseButterfly4LazyCore(q, q2, src_hi, src_lo,
+                                                  dst.hi, dst.lo, w0, w0q,
+                                                  w1, w1q, wb, wbq, p, h,
+                                                  algo);
+            }
+        }
+        src_hi = dst.hi;
+        src_lo = dst.lo;
+        target ^= 1;
+    }
+    if (s == 0) {
+        DSpan dst = bufs[target];
+        for (size_t j = 0; j < h; ++j) {
+            detail::inverseButterflyLazyScalar(q, q2, src_hi, src_lo, dst.hi,
+                                               dst.lo, tw_hi, tw_lo, twq_hi,
+                                               twq_lo, j, h, 0, algo);
+        }
+    }
+
+    const mod::DW<uint64_t> dn = mod::toDw(plan.nInv());
+    const mod::DW<uint64_t> dnq = mod::toDw(plan.nInvShoup());
+    for (size_t i = 0; i < plan.n(); ++i) {
+        mod::DW<uint64_t> x{out.hi[i], out.lo[i]};
+        auto r = mod::condSubDw(mod::mulModShoup(x, dn, dnq, q, algo), q);
+        out.hi[i] = r.hi;
+        out.lo[i] = r.lo;
+    }
+}
+
 } // namespace
 
 void
 forwardScalar(const NttPlan& plan, DConstSpan in, DSpan out, DSpan scratch,
-              MulAlgo algo, Reduction red)
+              MulAlgo algo, Reduction red, StageFusion fusion)
 {
     detail::validateNttArgs(plan, in, out, scratch);
-    if (red == Reduction::ShoupLazy)
-        forwardScalarLazy(plan, in, out, scratch, algo);
-    else
+    if (red == Reduction::ShoupLazy) {
+        if (fusion == StageFusion::Radix4)
+            forwardScalarLazy4(plan, in, out, scratch, algo);
+        else
+            forwardScalarLazy(plan, in, out, scratch, algo);
+    } else {
         forwardScalarBarrett(plan, in, out, scratch, algo);
+    }
 }
 
 void
 inverseScalar(const NttPlan& plan, DConstSpan in, DSpan out, DSpan scratch,
-              MulAlgo algo, Reduction red)
+              MulAlgo algo, Reduction red, StageFusion fusion)
 {
     detail::validateNttArgs(plan, in, out, scratch);
-    if (red == Reduction::ShoupLazy)
-        inverseScalarLazy(plan, in, out, scratch, algo);
-    else
+    if (red == Reduction::ShoupLazy) {
+        if (fusion == StageFusion::Radix4)
+            inverseScalarLazy4(plan, in, out, scratch, algo);
+        else
+            inverseScalarLazy(plan, in, out, scratch, algo);
+    } else {
         inverseScalarBarrett(plan, in, out, scratch, algo);
+    }
 }
 
 void

@@ -78,6 +78,64 @@ loadStageTwiddles(const uint64_t* hi, const uint64_t* lo, size_t j, int s)
     return simd::loadDv<Isa>(th, tl, 0);
 }
 
+/**
+ * Second-layer twiddle load for the fused radix-4 pass over stage pair
+ * (s, s+1): butterfly p needs pow[stageTwiddlePair(s, p)] =
+ * pow[2*((p >> s) << s)]. A stride-2 gather at stage 0, a short step
+ * gather while the run length 2^s is under the lane count, one
+ * broadcast afterwards — the same three shapes as the first layer.
+ */
+template <class Isa>
+inline simd::DV<Isa>
+loadStageTwiddlesPair(const uint64_t* hi, const uint64_t* lo, size_t p, int s)
+{
+    if ((size_t{1} << s) >= Isa::kLanes) {
+        size_t e = NttPlan::stageTwiddlePair(s, p);
+        return simd::DV<Isa>{Isa::set1(hi[e]), Isa::set1(lo[e])};
+    }
+    alignas(64) uint64_t th[Isa::kLanes];
+    alignas(64) uint64_t tl[Isa::kLanes];
+    for (size_t i = 0; i < Isa::kLanes; ++i) {
+        size_t e = NttPlan::stageTwiddlePair(s, p + i);
+        th[i] = hi[e];
+        tl[i] = lo[e];
+    }
+    return simd::loadDv<Isa>(th, tl, 0);
+}
+
+/**
+ * 4-way interleave built from two rounds of the ISA's interleave2:
+ * lane p of (z0, z1, z2, z3) lands at memory positions 4p .. 4p+3 of
+ * the concatenated outputs (o0, o1, o2, o3) — the fused radix-4 store
+ * wiring y[4p+i] = zi.
+ */
+template <class Isa>
+inline void
+interleave4(typename Isa::V z0, typename Isa::V z1, typename Isa::V z2,
+            typename Isa::V z3, typename Isa::V& o0, typename Isa::V& o1,
+            typename Isa::V& o2, typename Isa::V& o3)
+{
+    typename Isa::V a0, a1, b0, b1;
+    Isa::interleave2(z0, z2, a0, a1);
+    Isa::interleave2(z1, z3, b0, b1);
+    Isa::interleave2(a0, b0, o0, o1);
+    Isa::interleave2(a1, b1, o2, o3);
+}
+
+/** Exact inverse of interleave4 (the fused radix-4 inverse load). */
+template <class Isa>
+inline void
+deinterleave4(typename Isa::V o0, typename Isa::V o1, typename Isa::V o2,
+              typename Isa::V o3, typename Isa::V& z0, typename Isa::V& z1,
+              typename Isa::V& z2, typename Isa::V& z3)
+{
+    typename Isa::V a0, a1, b0, b1;
+    Isa::deinterleave2(o0, o1, a0, b0);
+    Isa::deinterleave2(o2, o3, a1, b1);
+    Isa::deinterleave2(a0, a1, z0, z2);
+    Isa::deinterleave2(b0, b1, z1, z3);
+}
+
 /** Scalar butterfly tail shared by every backend (Barrett path). */
 inline void
 forwardButterflyScalar(const mod::Barrett<uint64_t>& br,
@@ -182,6 +240,186 @@ inverseButterflyLazyScalar(const mod::DW<uint64_t>& q,
     dst_lo[j] = x0.lo;
     dst_hi[j + h] = x1.hi;
     dst_lo[j + h] = x1.lo;
+}
+
+/**
+ * Twiddle-valued core of the fused forward butterfly p: reads x[p],
+ * x[p+h/2], x[p+h], x[p+3h/2], applies both radix-2 layers in registers
+ * with EXACTLY the arithmetic of two consecutive
+ * forwardButterflyLazyScalar stages (bit-identical to the radix-2
+ * path), and writes y[4p .. 4p+3]. [0, 2q) in/out, transients < 4q;
+ * canonical outputs when @p last. Callers that know a run of
+ * butterflies shares its three twiddles (run length 2^s) hoist the
+ * loads out of the loop — the compiler cannot, because the dst stores
+ * may alias the twiddle tables as far as it knows.
+ */
+inline void
+forwardButterfly4LazyCore(const mod::DW<uint64_t>& q,
+                          const mod::DW<uint64_t>& q2,
+                          const uint64_t* MQX_RESTRICT src_hi,
+                          const uint64_t* MQX_RESTRICT src_lo,
+                          uint64_t* MQX_RESTRICT dst_hi,
+                          uint64_t* MQX_RESTRICT dst_lo,
+                          const mod::DW<uint64_t>& w0,
+                          const mod::DW<uint64_t>& w0q,
+                          const mod::DW<uint64_t>& w1,
+                          const mod::DW<uint64_t>& w1q,
+                          const mod::DW<uint64_t>& wb,
+                          const mod::DW<uint64_t>& wbq, size_t p, size_t h,
+                          bool last, MulAlgo algo)
+{
+    const size_t h2 = h / 2;
+    mod::DW<uint64_t> a{src_hi[p], src_lo[p]};
+    mod::DW<uint64_t> b{src_hi[p + h2], src_lo[p + h2]};
+    mod::DW<uint64_t> c{src_hi[p + h], src_lo[p + h]};
+    mod::DW<uint64_t> d{src_hi[p + h + h2], src_lo[p + h + h2]};
+    mod::DW<uint64_t> t, r;
+    // First layer (stage s): butterflies p and p + h/2.
+    mod::addDw(a, c, t);
+    auto u0 = mod::condSubDw(t, q2);
+    mod::addDw(a, q2, r);
+    mod::subDw(r, c, r);
+    auto v0 = mod::mulModShoup(r, w0, w0q, q, algo);
+    mod::addDw(b, d, t);
+    auto u1 = mod::condSubDw(t, q2);
+    mod::addDw(b, q2, r);
+    mod::subDw(r, d, r);
+    auto v1 = mod::mulModShoup(r, w1, w1q, q, algo);
+    // Second layer (stage s+1): butterflies 2p and 2p+1 share pow[eb].
+    mod::addDw(u0, u1, t);
+    auto z0 = mod::condSubDw(t, q2);
+    mod::addDw(u0, q2, r);
+    mod::subDw(r, u1, r);
+    auto z1 = mod::mulModShoup(r, wb, wbq, q, algo);
+    mod::addDw(v0, v1, t);
+    auto z2 = mod::condSubDw(t, q2);
+    mod::addDw(v0, q2, r);
+    mod::subDw(r, v1, r);
+    auto z3 = mod::mulModShoup(r, wb, wbq, q, algo);
+    if (last) {
+        z0 = mod::condSubDw(z0, q);
+        z1 = mod::condSubDw(z1, q);
+        z2 = mod::condSubDw(z2, q);
+        z3 = mod::condSubDw(z3, q);
+    }
+    dst_hi[4 * p] = z0.hi;
+    dst_lo[4 * p] = z0.lo;
+    dst_hi[4 * p + 1] = z1.hi;
+    dst_lo[4 * p + 1] = z1.lo;
+    dst_hi[4 * p + 2] = z2.hi;
+    dst_lo[4 * p + 2] = z2.lo;
+    dst_hi[4 * p + 3] = z3.hi;
+    dst_lo[4 * p + 3] = z3.lo;
+}
+
+/**
+ * Scalar fused radix-4 forward butterfly p of stage pair (s, s+1):
+ * index computation + twiddle loads + the core above. Used by the SIMD
+ * kernels' tail loops (where runs may straddle the vector remainder).
+ */
+inline void
+forwardButterfly4LazyScalar(const mod::DW<uint64_t>& q,
+                            const mod::DW<uint64_t>& q2,
+                            const uint64_t* src_hi, const uint64_t* src_lo,
+                            uint64_t* dst_hi, uint64_t* dst_lo,
+                            const uint64_t* tw_hi, const uint64_t* tw_lo,
+                            const uint64_t* twq_hi, const uint64_t* twq_lo,
+                            size_t p, size_t h, int s, bool last,
+                            MulAlgo algo)
+{
+    const size_t h2 = h / 2;
+    const size_t e0 = NttPlan::stageTwiddleIndex(s, p);
+    const size_t e1 = e0 + h2;
+    const size_t eb = NttPlan::stageTwiddlePair(s, p);
+    mod::DW<uint64_t> w0{tw_hi[e0], tw_lo[e0]}, w0q{twq_hi[e0], twq_lo[e0]};
+    mod::DW<uint64_t> w1{tw_hi[e1], tw_lo[e1]}, w1q{twq_hi[e1], twq_lo[e1]};
+    mod::DW<uint64_t> wb{tw_hi[eb], tw_lo[eb]}, wbq{twq_hi[eb], twq_lo[eb]};
+    forwardButterfly4LazyCore(q, q2, src_hi, src_lo, dst_hi, dst_lo, w0, w0q,
+                              w1, w1q, wb, wbq, p, h, last, algo);
+}
+
+/** Twiddle-valued core of the fused inverse butterfly (see forward). */
+inline void
+inverseButterfly4LazyCore(const mod::DW<uint64_t>& q,
+                          const mod::DW<uint64_t>& q2,
+                          const uint64_t* MQX_RESTRICT src_hi,
+                          const uint64_t* MQX_RESTRICT src_lo,
+                          uint64_t* MQX_RESTRICT dst_hi,
+                          uint64_t* MQX_RESTRICT dst_lo,
+                          const mod::DW<uint64_t>& w0,
+                          const mod::DW<uint64_t>& w0q,
+                          const mod::DW<uint64_t>& w1,
+                          const mod::DW<uint64_t>& w1q,
+                          const mod::DW<uint64_t>& wb,
+                          const mod::DW<uint64_t>& wbq, size_t p, size_t h,
+                          MulAlgo algo)
+{
+    const size_t h2 = h / 2;
+    mod::DW<uint64_t> z0{src_hi[4 * p], src_lo[4 * p]};
+    mod::DW<uint64_t> z1{src_hi[4 * p + 1], src_lo[4 * p + 1]};
+    mod::DW<uint64_t> z2{src_hi[4 * p + 2], src_lo[4 * p + 2]};
+    mod::DW<uint64_t> z3{src_hi[4 * p + 3], src_lo[4 * p + 3]};
+    mod::DW<uint64_t> t, r;
+    // First layer (inverse stage s_lo + 1): butterflies 2p and 2p+1.
+    auto ta = mod::mulModShoup(z1, wb, wbq, q, algo);
+    mod::addDw(z0, ta, t);
+    auto y0 = mod::condSubDw(t, q2);
+    mod::addDw(z0, q2, r);
+    mod::subDw(r, ta, r);
+    auto yh0 = mod::condSubDw(r, q2);
+    auto tb = mod::mulModShoup(z3, wb, wbq, q, algo);
+    mod::addDw(z2, tb, t);
+    auto y1 = mod::condSubDw(t, q2);
+    mod::addDw(z2, q2, r);
+    mod::subDw(r, tb, r);
+    auto yh1 = mod::condSubDw(r, q2);
+    // Second layer (inverse stage s_lo): butterflies p and p + h/2.
+    auto t0 = mod::mulModShoup(y1, w0, w0q, q, algo);
+    mod::addDw(y0, t0, t);
+    auto x0 = mod::condSubDw(t, q2);
+    mod::addDw(y0, q2, r);
+    mod::subDw(r, t0, r);
+    auto x2 = mod::condSubDw(r, q2);
+    auto t1 = mod::mulModShoup(yh1, w1, w1q, q, algo);
+    mod::addDw(yh0, t1, t);
+    auto x1 = mod::condSubDw(t, q2);
+    mod::addDw(yh0, q2, r);
+    mod::subDw(r, t1, r);
+    auto x3 = mod::condSubDw(r, q2);
+    dst_hi[p] = x0.hi;
+    dst_lo[p] = x0.lo;
+    dst_hi[p + h2] = x1.hi;
+    dst_lo[p + h2] = x1.lo;
+    dst_hi[p + h] = x2.hi;
+    dst_lo[p + h] = x2.lo;
+    dst_hi[p + h + h2] = x3.hi;
+    dst_lo[p + h + h2] = x3.lo;
+}
+
+/**
+ * Scalar fused radix-4 inverse butterfly p of the inverse stage pair
+ * (s_lo + 1, s_lo): reads y[4p .. 4p+3], writes x[p], x[p+h/2],
+ * x[p+h], x[p+3h/2]. Mirrors two consecutive inverseButterflyLazyScalar
+ * stages exactly (bit-identical). @p tw/@p twq are the INVERSE tables.
+ */
+inline void
+inverseButterfly4LazyScalar(const mod::DW<uint64_t>& q,
+                            const mod::DW<uint64_t>& q2,
+                            const uint64_t* src_hi, const uint64_t* src_lo,
+                            uint64_t* dst_hi, uint64_t* dst_lo,
+                            const uint64_t* tw_hi, const uint64_t* tw_lo,
+                            const uint64_t* twq_hi, const uint64_t* twq_lo,
+                            size_t p, size_t h, int s_lo, MulAlgo algo)
+{
+    const size_t h2 = h / 2;
+    const size_t e0 = NttPlan::stageTwiddleIndex(s_lo, p);
+    const size_t e1 = e0 + h2;
+    const size_t eb = NttPlan::stageTwiddlePair(s_lo, p);
+    mod::DW<uint64_t> w0{tw_hi[e0], tw_lo[e0]}, w0q{twq_hi[e0], twq_lo[e0]};
+    mod::DW<uint64_t> w1{tw_hi[e1], tw_lo[e1]}, w1q{twq_hi[e1], twq_lo[e1]};
+    mod::DW<uint64_t> wb{tw_hi[eb], tw_lo[eb]}, wbq{twq_hi[eb], twq_lo[eb]};
+    inverseButterfly4LazyCore(q, q2, src_hi, src_lo, dst_hi, dst_lo, w0, w0q,
+                              w1, w1q, wb, wbq, p, h, algo);
 }
 
 inline void
@@ -445,6 +683,277 @@ peaseInverseLazyImpl(const NttPlan& plan, DConstSpan in, DSpan out,
 
     // Fused n^-1 scaling + canonicalization: one Shoup multiply into
     // [0, 2q) and one conditional subtract of q per element.
+    const U128 n_inv = plan.nInv();
+    const U128 n_inv_sh = plan.nInvShoup();
+    simd::DV<Isa> vninv{Isa::set1(n_inv.hi), Isa::set1(n_inv.lo)};
+    simd::DV<Isa> vninvq{Isa::set1(n_inv_sh.hi), Isa::set1(n_inv_sh.lo)};
+    size_t i = 0;
+    for (; i + Isa::kLanes <= plan.n(); i += Isa::kLanes) {
+        auto x = simd::loadDv<Isa>(out.hi, out.lo, i);
+        auto r = simd::mulModShoupV<Isa>(ctx, x, vninv, vninvq, algo);
+        r = simd::condSubDwV<Isa>(ctx, r, ctx.qh, ctx.ql);
+        simd::storeDv<Isa>(out.hi, out.lo, i, r);
+    }
+    const mod::DW<uint64_t> dn = mod::toDw(n_inv);
+    const mod::DW<uint64_t> dnq = mod::toDw(n_inv_sh);
+    for (; i < plan.n(); ++i) {
+        mod::DW<uint64_t> x{out.hi[i], out.lo[i]};
+        auto r = mod::condSubDw(mod::mulModShoup(x, dn, dnq, q, algo), q);
+        out.hi[i] = r.hi;
+        out.lo[i] = r.lo;
+    }
+}
+
+/**
+ * Forward Pease NTT with fused radix-4 passes, Shoup-lazy arithmetic.
+ * Each pass loads the operands of TWO consecutive stages once, applies
+ * both butterfly layers in registers, and stores once: ceil(logn/2)
+ * ping-pong sweeps instead of logn (a single radix-2 pass runs first
+ * when logn is odd). Arithmetic and ranges are exactly the radix-2 lazy
+ * path's, so the output is bit-identical to peaseForwardLazyImpl (and
+ * therefore to the Barrett path).
+ */
+template <class Isa>
+void
+peaseForward4LazyImpl(const NttPlan& plan, DConstSpan in, DSpan out,
+                      DSpan scratch, MulAlgo algo = MulAlgo::Schoolbook)
+{
+    detail::validateNttArgs(plan, in, out, scratch);
+    const size_t h = plan.half();
+    const size_t h2 = h / 2;
+    const int m = plan.logn();
+    const Modulus& mod = plan.modulus();
+    simd::ModCtx<Isa> ctx = simd::makeModCtx<Isa>(mod);
+    const mod::DW<uint64_t> q = mod::toDw(mod.value());
+    const mod::DW<uint64_t> q2 = mod::shl1Dw(q);
+    const uint64_t* tw_hi = plan.twiddleHi();
+    const uint64_t* tw_lo = plan.twiddleLo();
+    const uint64_t* twq_hi = plan.twiddleShoupHi();
+    const uint64_t* twq_lo = plan.twiddleShoupLo();
+
+    DSpan bufs[2] = {out, scratch};
+    const int passes = (m + 1) / 2;
+    int target = (passes % 2 == 1) ? 0 : 1;
+    const uint64_t* src_hi = in.hi;
+    const uint64_t* src_lo = in.lo;
+
+    int s = 0;
+    if (m % 2 == 1) {
+        // Odd logn: one radix-2 stage first (stage 0), fused pairs after.
+        const bool last = m == 1;
+        DSpan dst = bufs[target];
+        size_t j = 0;
+        for (; j + Isa::kLanes <= h; j += Isa::kLanes) {
+            auto a = simd::loadDv<Isa>(src_hi, src_lo, j);
+            auto b = simd::loadDv<Isa>(src_hi, src_lo, j + h);
+            auto w = detail::loadStageTwiddles<Isa>(tw_hi, tw_lo, j, 0);
+            auto wq = detail::loadStageTwiddles<Isa>(twq_hi, twq_lo, j, 0);
+            auto u = simd::addModLazyV<Isa>(ctx, a, b);
+            auto dd = simd::subModLazyRawV<Isa>(ctx, a, b);
+            auto v = simd::mulModShoupV<Isa>(ctx, dd, w, wq, algo);
+            if (last) {
+                u = simd::condSubDwV<Isa>(ctx, u, ctx.qh, ctx.ql);
+                v = simd::condSubDwV<Isa>(ctx, v, ctx.qh, ctx.ql);
+            }
+            typename Isa::V blk0, blk1;
+            Isa::interleave2(u.hi, v.hi, blk0, blk1);
+            Isa::storeu(dst.hi + 2 * j, blk0);
+            Isa::storeu(dst.hi + 2 * j + Isa::kLanes, blk1);
+            Isa::interleave2(u.lo, v.lo, blk0, blk1);
+            Isa::storeu(dst.lo + 2 * j, blk0);
+            Isa::storeu(dst.lo + 2 * j + Isa::kLanes, blk1);
+        }
+        for (; j < h; ++j) {
+            detail::forwardButterflyLazyScalar(q, q2, src_hi, src_lo, dst.hi,
+                                               dst.lo, tw_hi, tw_lo, twq_hi,
+                                               twq_lo, j, h, 0, last, algo);
+        }
+        src_hi = dst.hi;
+        src_lo = dst.lo;
+        target ^= 1;
+        s = 1;
+    }
+    for (; s + 1 < m; s += 2) {
+        const bool last = s + 2 == m;
+        DSpan dst = bufs[target];
+        size_t p = 0;
+        for (; p + Isa::kLanes <= h2; p += Isa::kLanes) {
+            // Live-range discipline: finish each first-layer butterfly
+            // before loading the next one's operands — the fused body
+            // otherwise overflows the vector register file.
+            auto a = simd::loadDv<Isa>(src_hi, src_lo, p);
+            auto c = simd::loadDv<Isa>(src_hi, src_lo, p + h);
+            auto w0 = detail::loadStageTwiddles<Isa>(tw_hi, tw_lo, p, s);
+            auto w0q = detail::loadStageTwiddles<Isa>(twq_hi, twq_lo, p, s);
+            auto u0 = simd::addModLazyV<Isa>(ctx, a, c);
+            auto v0 = simd::mulModShoupV<Isa>(
+                ctx, simd::subModLazyRawV<Isa>(ctx, a, c), w0, w0q, algo);
+            auto b = simd::loadDv<Isa>(src_hi, src_lo, p + h2);
+            auto d = simd::loadDv<Isa>(src_hi, src_lo, p + h + h2);
+            auto w1 =
+                detail::loadStageTwiddles<Isa>(tw_hi + h2, tw_lo + h2, p, s);
+            auto w1q = detail::loadStageTwiddles<Isa>(twq_hi + h2,
+                                                      twq_lo + h2, p, s);
+            auto u1 = simd::addModLazyV<Isa>(ctx, b, d);
+            auto v1 = simd::mulModShoupV<Isa>(
+                ctx, simd::subModLazyRawV<Isa>(ctx, b, d), w1, w1q, algo);
+            auto wb = detail::loadStageTwiddlesPair<Isa>(tw_hi, tw_lo, p, s);
+            auto wbq =
+                detail::loadStageTwiddlesPair<Isa>(twq_hi, twq_lo, p, s);
+            auto z0 = simd::addModLazyV<Isa>(ctx, u0, u1);
+            auto z1 = simd::mulModShoupV<Isa>(
+                ctx, simd::subModLazyRawV<Isa>(ctx, u0, u1), wb, wbq, algo);
+            auto z2 = simd::addModLazyV<Isa>(ctx, v0, v1);
+            auto z3 = simd::mulModShoupV<Isa>(
+                ctx, simd::subModLazyRawV<Isa>(ctx, v0, v1), wb, wbq, algo);
+            if (last) {
+                z0 = simd::condSubDwV<Isa>(ctx, z0, ctx.qh, ctx.ql);
+                z1 = simd::condSubDwV<Isa>(ctx, z1, ctx.qh, ctx.ql);
+                z2 = simd::condSubDwV<Isa>(ctx, z2, ctx.qh, ctx.ql);
+                z3 = simd::condSubDwV<Isa>(ctx, z3, ctx.qh, ctx.ql);
+            }
+            typename Isa::V o0, o1, o2, o3;
+            detail::interleave4<Isa>(z0.hi, z1.hi, z2.hi, z3.hi, o0, o1, o2,
+                                     o3);
+            Isa::storeu(dst.hi + 4 * p, o0);
+            Isa::storeu(dst.hi + 4 * p + Isa::kLanes, o1);
+            Isa::storeu(dst.hi + 4 * p + 2 * Isa::kLanes, o2);
+            Isa::storeu(dst.hi + 4 * p + 3 * Isa::kLanes, o3);
+            detail::interleave4<Isa>(z0.lo, z1.lo, z2.lo, z3.lo, o0, o1, o2,
+                                     o3);
+            Isa::storeu(dst.lo + 4 * p, o0);
+            Isa::storeu(dst.lo + 4 * p + Isa::kLanes, o1);
+            Isa::storeu(dst.lo + 4 * p + 2 * Isa::kLanes, o2);
+            Isa::storeu(dst.lo + 4 * p + 3 * Isa::kLanes, o3);
+        }
+        for (; p < h2; ++p) {
+            detail::forwardButterfly4LazyScalar(q, q2, src_hi, src_lo,
+                                                dst.hi, dst.lo, tw_hi, tw_lo,
+                                                twq_hi, twq_lo, p, h, s, last,
+                                                algo);
+        }
+        src_hi = dst.hi;
+        src_lo = dst.lo;
+        target ^= 1;
+    }
+}
+
+/**
+ * Inverse Pease NTT with fused radix-4 passes, Shoup-lazy arithmetic:
+ * stage pairs run high-to-low with a single radix-2 pass last when logn
+ * is odd, then the fused n^-1 scaling + canonicalization. Bit-identical
+ * to peaseInverseLazyImpl.
+ */
+template <class Isa>
+void
+peaseInverse4LazyImpl(const NttPlan& plan, DConstSpan in, DSpan out,
+                      DSpan scratch, MulAlgo algo = MulAlgo::Schoolbook)
+{
+    detail::validateNttArgs(plan, in, out, scratch);
+    const size_t h = plan.half();
+    const size_t h2 = h / 2;
+    const int m = plan.logn();
+    const Modulus& mod = plan.modulus();
+    simd::ModCtx<Isa> ctx = simd::makeModCtx<Isa>(mod);
+    const mod::DW<uint64_t> q = mod::toDw(mod.value());
+    const mod::DW<uint64_t> q2 = mod::shl1Dw(q);
+    const uint64_t* tw_hi = plan.twiddleInvHi();
+    const uint64_t* tw_lo = plan.twiddleInvLo();
+    const uint64_t* twq_hi = plan.twiddleInvShoupHi();
+    const uint64_t* twq_lo = plan.twiddleInvShoupLo();
+
+    DSpan bufs[2] = {out, scratch};
+    const int passes = (m + 1) / 2;
+    int target = (passes % 2 == 1) ? 0 : 1;
+    const uint64_t* src_hi = in.hi;
+    const uint64_t* src_lo = in.lo;
+
+    int s = m - 1;
+    for (; s >= 1; s -= 2) {
+        const int sl = s - 1; // pair (s, s-1), indexed by the low stage
+        DSpan dst = bufs[target];
+        size_t p = 0;
+        for (; p + Isa::kLanes <= h2; p += Isa::kLanes) {
+            auto i0h = Isa::loadu(src_hi + 4 * p);
+            auto i1h = Isa::loadu(src_hi + 4 * p + Isa::kLanes);
+            auto i2h = Isa::loadu(src_hi + 4 * p + 2 * Isa::kLanes);
+            auto i3h = Isa::loadu(src_hi + 4 * p + 3 * Isa::kLanes);
+            auto i0l = Isa::loadu(src_lo + 4 * p);
+            auto i1l = Isa::loadu(src_lo + 4 * p + Isa::kLanes);
+            auto i2l = Isa::loadu(src_lo + 4 * p + 2 * Isa::kLanes);
+            auto i3l = Isa::loadu(src_lo + 4 * p + 3 * Isa::kLanes);
+            simd::DV<Isa> z0, z1, z2, z3;
+            detail::deinterleave4<Isa>(i0h, i1h, i2h, i3h, z0.hi, z1.hi,
+                                       z2.hi, z3.hi);
+            detail::deinterleave4<Isa>(i0l, i1l, i2l, i3l, z0.lo, z1.lo,
+                                       z2.lo, z3.lo);
+            auto wb =
+                detail::loadStageTwiddlesPair<Isa>(tw_hi, tw_lo, p, sl);
+            auto wbq =
+                detail::loadStageTwiddlesPair<Isa>(twq_hi, twq_lo, p, sl);
+            // First layer (inverse stage s): butterflies 2p and 2p+1.
+            auto ta = simd::mulModShoupV<Isa>(ctx, z1, wb, wbq, algo);
+            auto y0 = simd::addModLazyV<Isa>(ctx, z0, ta);
+            auto yh0 = simd::subModLazyV<Isa>(ctx, z0, ta);
+            auto tb = simd::mulModShoupV<Isa>(ctx, z3, wb, wbq, algo);
+            auto y1 = simd::addModLazyV<Isa>(ctx, z2, tb);
+            auto yh1 = simd::subModLazyV<Isa>(ctx, z2, tb);
+            // Second layer (inverse stage s-1): butterflies p, p + h/2.
+            auto w0 = detail::loadStageTwiddles<Isa>(tw_hi, tw_lo, p, sl);
+            auto w0q = detail::loadStageTwiddles<Isa>(twq_hi, twq_lo, p, sl);
+            auto w1 = detail::loadStageTwiddles<Isa>(tw_hi + h2, tw_lo + h2,
+                                                     p, sl);
+            auto w1q = detail::loadStageTwiddles<Isa>(twq_hi + h2,
+                                                      twq_lo + h2, p, sl);
+            auto t0 = simd::mulModShoupV<Isa>(ctx, y1, w0, w0q, algo);
+            simd::storeDv<Isa>(dst.hi, dst.lo, p,
+                               simd::addModLazyV<Isa>(ctx, y0, t0));
+            simd::storeDv<Isa>(dst.hi, dst.lo, p + h,
+                               simd::subModLazyV<Isa>(ctx, y0, t0));
+            auto t1 = simd::mulModShoupV<Isa>(ctx, yh1, w1, w1q, algo);
+            simd::storeDv<Isa>(dst.hi, dst.lo, p + h2,
+                               simd::addModLazyV<Isa>(ctx, yh0, t1));
+            simd::storeDv<Isa>(dst.hi, dst.lo, p + h + h2,
+                               simd::subModLazyV<Isa>(ctx, yh0, t1));
+        }
+        for (; p < h2; ++p) {
+            detail::inverseButterfly4LazyScalar(q, q2, src_hi, src_lo,
+                                                dst.hi, dst.lo, tw_hi, tw_lo,
+                                                twq_hi, twq_lo, p, h, sl,
+                                                algo);
+        }
+        src_hi = dst.hi;
+        src_lo = dst.lo;
+        target ^= 1;
+    }
+    if (s == 0) {
+        // Odd logn: the leftover radix-2 inverse stage (stage 0).
+        DSpan dst = bufs[target];
+        size_t j = 0;
+        for (; j + Isa::kLanes <= h; j += Isa::kLanes) {
+            auto blk0h = Isa::loadu(src_hi + 2 * j);
+            auto blk1h = Isa::loadu(src_hi + 2 * j + Isa::kLanes);
+            auto blk0l = Isa::loadu(src_lo + 2 * j);
+            auto blk1l = Isa::loadu(src_lo + 2 * j + Isa::kLanes);
+            simd::DV<Isa> u, v;
+            Isa::deinterleave2(blk0h, blk1h, u.hi, v.hi);
+            Isa::deinterleave2(blk0l, blk1l, u.lo, v.lo);
+            auto w = detail::loadStageTwiddles<Isa>(tw_hi, tw_lo, j, 0);
+            auto wq = detail::loadStageTwiddles<Isa>(twq_hi, twq_lo, j, 0);
+            auto t = simd::mulModShoupV<Isa>(ctx, v, w, wq, algo);
+            auto x0 = simd::addModLazyV<Isa>(ctx, u, t);
+            auto x1 = simd::subModLazyV<Isa>(ctx, u, t);
+            simd::storeDv<Isa>(dst.hi, dst.lo, j, x0);
+            simd::storeDv<Isa>(dst.hi, dst.lo, j + h, x1);
+        }
+        for (; j < h; ++j) {
+            detail::inverseButterflyLazyScalar(q, q2, src_hi, src_lo, dst.hi,
+                                               dst.lo, tw_hi, tw_lo, twq_hi,
+                                               twq_lo, j, h, 0, algo);
+        }
+    }
+
+    // Fused n^-1 scaling + canonicalization (same as the radix-2 path).
     const U128 n_inv = plan.nInv();
     const U128 n_inv_sh = plan.nInvShoup();
     simd::DV<Isa> vninv{Isa::set1(n_inv.hi), Isa::set1(n_inv.lo)};

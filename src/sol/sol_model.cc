@@ -70,6 +70,13 @@ solRuntimeSingleCore(double t_measured_ns, double f_measured_ghz,
 }
 
 double
+dramFloorNs(size_t bytes, const CpuSpec& target)
+{
+    checkArg(target.mem_bw_gbs > 0.0, "dramFloorNs: no bandwidth in spec");
+    return static_cast<double>(bytes) / target.mem_bw_gbs;
+}
+
+double
 memoryBoundNsPerButterfly(const CpuSpec& target)
 {
     checkArg(target.mem_bw_gbs > 0.0, "memoryBound: no bandwidth in spec");

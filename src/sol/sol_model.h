@@ -71,5 +71,14 @@ double rooflineSolNsPerButterfly(double measured_ns_per_butterfly,
                                  double f_measured_ghz,
                                  const CpuSpec& target);
 
+/**
+ * Time floor (ns) to stream @p bytes through the target's aggregate
+ * DRAM bandwidth — the ceiling a whole transform cannot beat no matter
+ * how cheap its butterflies are. Pair with
+ * NttPlan::bytesSweptPerTransform() to turn the per-kernel sweep
+ * accounting into an absolute ns bound (1 GB/s = 1 byte/ns).
+ */
+double dramFloorNs(size_t bytes, const CpuSpec& target);
+
 } // namespace sol
 } // namespace mqx

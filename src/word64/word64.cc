@@ -100,9 +100,9 @@ Ntt64Plan::Ntt64Plan(uint64_t q, size_t n) : mod_(q), n_(n)
 // AVX-512 entries (word64_avx512.cc).
 namespace detail {
 void forward64Avx512(const Ntt64Plan&, const uint64_t*, uint64_t*, uint64_t*,
-                     Reduction);
+                     Reduction, StageFusion);
 void inverse64Avx512(const Ntt64Plan&, const uint64_t*, uint64_t*, uint64_t*,
-                     Reduction);
+                     Reduction, StageFusion);
 void vmul64Avx512(const Modulus64&, const uint64_t*, const uint64_t*,
                   uint64_t*, size_t);
 } // namespace detail
@@ -257,27 +257,143 @@ inverse64ScalarLazy(const Ntt64Plan& plan, const uint64_t* in, uint64_t* out,
     }
 }
 
+/** Scalar fused radix-4 forward (kLanes = 1 tail of the template). */
+void
+forward64ScalarLazy4(const Ntt64Plan& plan, const uint64_t* in,
+                     uint64_t* out, uint64_t* scratch)
+{
+    const size_t h = plan.half();
+    const size_t h2 = h / 2;
+    const int m = plan.logn();
+    const Modulus64& mod = plan.modulus();
+    const uint64_t q = mod.value();
+    const uint64_t q2 = 2 * q;
+    const uint64_t* tw = plan.twiddle();
+    const uint64_t* twq = plan.twiddleShoup();
+    uint64_t* bufs[2] = {out, scratch};
+    const int passes = (m + 1) / 2;
+    int target = (passes % 2 == 1) ? 0 : 1;
+    const uint64_t* src = in;
+    int s = 0;
+    if (m % 2 == 1) {
+        const bool last = m == 1;
+        uint64_t* dst = bufs[target];
+        for (size_t j = 0; j < h; ++j) {
+            uint64_t t = src[j] + src[j + h];
+            uint64_t u = t >= q2 ? t - q2 : t;
+            uint64_t v = mod.mulModShoup(src[j] + q2 - src[j + h], tw[j],
+                                         twq[j]);
+            if (last) {
+                u = u >= q ? u - q : u;
+                v = v >= q ? v - q : v;
+            }
+            dst[2 * j] = u;
+            dst[2 * j + 1] = v;
+        }
+        src = dst;
+        target ^= 1;
+        s = 1;
+    }
+    for (; s + 1 < m; s += 2) {
+        const bool last = s + 2 == m;
+        uint64_t* dst = bufs[target];
+        // Run-split twiddle hoisting, mirroring the double-word scalar
+        // kernel: the three twiddles are constant per 2^s-run and the
+        // compiler cannot hoist the loads past the dst stores.
+        const size_t run = size_t{1} << s;
+        for (size_t base = 0; base < h2; base += run) {
+            const size_t e0 = base, e1 = base + h2, eb = 2 * base;
+            const uint64_t w0 = tw[e0], w0q = twq[e0];
+            const uint64_t w1 = tw[e1], w1q = twq[e1];
+            const uint64_t wb = tw[eb], wbq = twq[eb];
+            for (size_t p = base; p < base + run; ++p)
+                forwardButterfly64Lazy4Core(mod, q, q2, src, dst, w0, w0q,
+                                            w1, w1q, wb, wbq, p, h, last);
+        }
+        src = dst;
+        target ^= 1;
+    }
+}
+
+/** Scalar fused radix-4 inverse + the n^-1 Shoup scaling pass. */
+void
+inverse64ScalarLazy4(const Ntt64Plan& plan, const uint64_t* in,
+                     uint64_t* out, uint64_t* scratch)
+{
+    const size_t h = plan.half();
+    const size_t h2 = h / 2;
+    const int m = plan.logn();
+    const Modulus64& mod = plan.modulus();
+    const uint64_t q = mod.value();
+    const uint64_t q2 = 2 * q;
+    const uint64_t* tw = plan.twiddleInv();
+    const uint64_t* twq = plan.twiddleInvShoup();
+    uint64_t* bufs[2] = {out, scratch};
+    const int passes = (m + 1) / 2;
+    int target = (passes % 2 == 1) ? 0 : 1;
+    const uint64_t* src = in;
+    int s = m - 1;
+    for (; s >= 1; s -= 2) {
+        const int sl = s - 1;
+        uint64_t* dst = bufs[target];
+        const size_t run = size_t{1} << sl;
+        for (size_t base = 0; base < h2; base += run) {
+            const size_t e0 = base, e1 = base + h2, eb = 2 * base;
+            const uint64_t w0 = tw[e0], w0q = twq[e0];
+            const uint64_t w1 = tw[e1], w1q = twq[e1];
+            const uint64_t wb = tw[eb], wbq = twq[eb];
+            for (size_t p = base; p < base + run; ++p)
+                inverseButterfly64Lazy4Core(mod, q2, src, dst, w0, w0q, w1,
+                                            w1q, wb, wbq, p, h);
+        }
+        src = dst;
+        target ^= 1;
+    }
+    if (s == 0) {
+        uint64_t* dst = bufs[target];
+        for (size_t j = 0; j < h; ++j) {
+            uint64_t u = src[2 * j];
+            uint64_t t = mod.mulModShoup(src[2 * j + 1], tw[j], twq[j]);
+            uint64_t s0 = u + t;
+            uint64_t s1 = u + q2 - t;
+            dst[j] = s0 >= q2 ? s0 - q2 : s0;
+            dst[j + h] = s1 >= q2 ? s1 - q2 : s1;
+        }
+    }
+    const uint64_t n_inv = plan.nInv();
+    const uint64_t n_inv_sh = plan.nInvShoup();
+    for (size_t i = 0; i < plan.n(); ++i) {
+        uint64_t r = mod.mulModShoup(out[i], n_inv, n_inv_sh);
+        out[i] = r >= q ? r - q : r;
+    }
+}
+
 } // namespace
 
 void
 forward64(const Ntt64Plan& plan, Backend backend, const uint64_t* in,
-          uint64_t* out, uint64_t* scratch, Reduction red)
+          uint64_t* out, uint64_t* scratch, Reduction red, StageFusion fusion)
 {
     validate(plan, in, out, scratch);
     const bool lazy = red == Reduction::ShoupLazy;
+    const bool fused = lazy && fusion == StageFusion::Radix4;
     switch (backend) {
       case Backend::Scalar:
-        return lazy ? forward64ScalarLazy(plan, in, out, scratch)
-                    : forward64Scalar(plan, in, out, scratch);
+        return fused ? forward64ScalarLazy4(plan, in, out, scratch)
+               : lazy ? forward64ScalarLazy(plan, in, out, scratch)
+                      : forward64Scalar(plan, in, out, scratch);
       case Backend::Portable:
-        return lazy
+        return fused ? forward64Lazy4Impl<simd::PortableIsa>(plan, in, out,
+                                                             scratch)
+               : lazy
                    ? forward64LazyImpl<simd::PortableIsa>(plan, in, out,
                                                           scratch)
                    : forward64Impl<simd::PortableIsa>(plan, in, out, scratch);
       case Backend::Avx512:
 #if MQX_BUILD_AVX512
         if (backendAvailable(Backend::Avx512))
-            return detail::forward64Avx512(plan, in, out, scratch, red);
+            return detail::forward64Avx512(plan, in, out, scratch, red,
+                                           fusion);
 #endif
         unsupported(backend);
       default:
@@ -287,23 +403,28 @@ forward64(const Ntt64Plan& plan, Backend backend, const uint64_t* in,
 
 void
 inverse64(const Ntt64Plan& plan, Backend backend, const uint64_t* in,
-          uint64_t* out, uint64_t* scratch, Reduction red)
+          uint64_t* out, uint64_t* scratch, Reduction red, StageFusion fusion)
 {
     validate(plan, in, out, scratch);
     const bool lazy = red == Reduction::ShoupLazy;
+    const bool fused = lazy && fusion == StageFusion::Radix4;
     switch (backend) {
       case Backend::Scalar:
-        return lazy ? inverse64ScalarLazy(plan, in, out, scratch)
-                    : inverse64Scalar(plan, in, out, scratch);
+        return fused ? inverse64ScalarLazy4(plan, in, out, scratch)
+               : lazy ? inverse64ScalarLazy(plan, in, out, scratch)
+                      : inverse64Scalar(plan, in, out, scratch);
       case Backend::Portable:
-        return lazy
+        return fused ? inverse64Lazy4Impl<simd::PortableIsa>(plan, in, out,
+                                                             scratch)
+               : lazy
                    ? inverse64LazyImpl<simd::PortableIsa>(plan, in, out,
                                                           scratch)
                    : inverse64Impl<simd::PortableIsa>(plan, in, out, scratch);
       case Backend::Avx512:
 #if MQX_BUILD_AVX512
         if (backendAvailable(Backend::Avx512))
-            return detail::inverse64Avx512(plan, in, out, scratch, red);
+            return detail::inverse64Avx512(plan, in, out, scratch, red,
+                                           fusion);
 #endif
         unsupported(backend);
       default:

@@ -143,6 +143,16 @@ class Ntt64Plan
         return (j >> stage) << stage;
     }
 
+    /**
+     * Shared second-layer index for fused radix-4 butterfly p of stage
+     * pair (s, s+1) — same scheme as NttPlan::stageTwiddlePair.
+     */
+    static size_t
+    stageTwiddlePair(int stage, size_t p)
+    {
+        return ((p >> stage) << stage) << 1;
+    }
+
     const uint64_t* twiddle() const { return fwd_.data(); }
     const uint64_t* twiddleShoup() const { return fwd_sh_.data(); }
     const uint64_t* twiddleInv() const { return inv_.data(); }
@@ -166,17 +176,21 @@ class Ntt64Plan
  * Forward Pease NTT (natural -> bit-reversed), single-word residues.
  * Supported backends: Scalar, Portable, Avx512 (single-word kernels are
  * provided for the tiers the comparison bench needs). Reduction selects
- * Shoup-lazy (default) or Barrett butterflies; results are
- * bit-identical.
+ * Shoup-lazy (default) or Barrett butterflies; StageFusion selects the
+ * fused radix-4 passes (default, ceil(logn/2) sweeps) or the radix-2
+ * stage loop. All combinations are bit-identical (Barrett always runs
+ * radix-2, mirroring the double-word stack).
  */
 void forward64(const Ntt64Plan& plan, Backend backend, const uint64_t* in,
                uint64_t* out, uint64_t* scratch,
-               Reduction red = Reduction::ShoupLazy);
+               Reduction red = Reduction::ShoupLazy,
+               StageFusion fusion = StageFusion::Radix4);
 
 /** Inverse Pease NTT (bit-reversed -> natural, scaled by n^-1). */
 void inverse64(const Ntt64Plan& plan, Backend backend, const uint64_t* in,
                uint64_t* out, uint64_t* scratch,
-               Reduction red = Reduction::ShoupLazy);
+               Reduction red = Reduction::ShoupLazy,
+               StageFusion fusion = StageFusion::Radix4);
 
 /** c[i] = a[i] * b[i] mod q, single-word batch. */
 void vmul64(Backend backend, const Modulus64& m, const uint64_t* a,

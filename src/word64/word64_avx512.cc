@@ -11,22 +11,30 @@ namespace detail {
 
 void
 forward64Avx512(const Ntt64Plan& plan, const uint64_t* in, uint64_t* out,
-                uint64_t* scratch, Reduction red)
+                uint64_t* scratch, Reduction red, StageFusion fusion)
 {
-    if (red == Reduction::ShoupLazy)
-        forward64LazyImpl<simd::Avx512Isa>(plan, in, out, scratch);
-    else
+    if (red == Reduction::ShoupLazy) {
+        if (fusion == StageFusion::Radix4)
+            forward64Lazy4Impl<simd::Avx512Isa>(plan, in, out, scratch);
+        else
+            forward64LazyImpl<simd::Avx512Isa>(plan, in, out, scratch);
+    } else {
         forward64Impl<simd::Avx512Isa>(plan, in, out, scratch);
+    }
 }
 
 void
 inverse64Avx512(const Ntt64Plan& plan, const uint64_t* in, uint64_t* out,
-                uint64_t* scratch, Reduction red)
+                uint64_t* scratch, Reduction red, StageFusion fusion)
 {
-    if (red == Reduction::ShoupLazy)
-        inverse64LazyImpl<simd::Avx512Isa>(plan, in, out, scratch);
-    else
+    if (red == Reduction::ShoupLazy) {
+        if (fusion == StageFusion::Radix4)
+            inverse64Lazy4Impl<simd::Avx512Isa>(plan, in, out, scratch);
+        else
+            inverse64LazyImpl<simd::Avx512Isa>(plan, in, out, scratch);
+    } else {
         inverse64Impl<simd::Avx512Isa>(plan, in, out, scratch);
+    }
 }
 
 void

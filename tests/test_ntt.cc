@@ -24,22 +24,26 @@ testPrime()
 std::vector<U128>
 runForward(const ntt::NttPlan& plan, Backend be, const std::vector<U128>& in,
            MulAlgo algo = MulAlgo::Schoolbook,
-           Reduction red = Reduction::ShoupLazy)
+           Reduction red = Reduction::ShoupLazy,
+           StageFusion fusion = StageFusion::Radix4)
 {
     ResidueVector vin = ResidueVector::fromU128(in);
     ResidueVector out(plan.n()), scratch(plan.n());
-    ntt::forward(plan, be, vin.span(), out.span(), scratch.span(), algo, red);
+    ntt::forward(plan, be, vin.span(), out.span(), scratch.span(), algo, red,
+                 fusion);
     return out.toU128();
 }
 
 std::vector<U128>
 runInverse(const ntt::NttPlan& plan, Backend be, const std::vector<U128>& in,
            MulAlgo algo = MulAlgo::Schoolbook,
-           Reduction red = Reduction::ShoupLazy)
+           Reduction red = Reduction::ShoupLazy,
+           StageFusion fusion = StageFusion::Radix4)
 {
     ResidueVector vin = ResidueVector::fromU128(in);
     ResidueVector out(plan.n()), scratch(plan.n());
-    ntt::inverse(plan, be, vin.span(), out.span(), scratch.span(), algo, red);
+    ntt::inverse(plan, be, vin.span(), out.span(), scratch.span(), algo, red,
+                 fusion);
     return out.toU128();
 }
 
@@ -308,6 +312,229 @@ TEST_P(NttBackend, WideModulusWorks)
 INSTANTIATE_TEST_SUITE_P(AllBackends, NttBackend,
                          testing::ValuesIn(test::availableCorrectBackends()),
                          test::backendParamName);
+
+TEST_P(NttBackend, Radix4BitIdenticalToRadix2)
+{
+    // Acceptance: the fused radix-4 passes must produce EXACTLY the
+    // radix-2 path's words on every compiled backend, for odd and even
+    // logn, under both reduction strategies (Barrett ignores the knob
+    // by design — the fused kernels are Shoup-lazy — so the comparison
+    // is trivially exact there, but the dispatch path is exercised).
+    Backend be = GetParam();
+    for (size_t n : {4u, 8u, 16u, 32u, 64u, 128u, 256u, 512u, 1024u, 2048u,
+                     4096u}) {
+        ntt::NttPlan plan(testPrime(), n, /*l2_budget=*/0);
+        auto input = randomResidues(n, testPrime().q, 7777 + n);
+        for (Reduction red : {Reduction::ShoupLazy, Reduction::Barrett}) {
+            auto fwd4 = runForward(plan, be, input, MulAlgo::Schoolbook, red,
+                                   StageFusion::Radix4);
+            auto fwd2 = runForward(plan, be, input, MulAlgo::Schoolbook, red,
+                                   StageFusion::Radix2);
+            EXPECT_EQ(fwd4, fwd2) << "forward n=" << n
+                                  << " backend=" << backendName(be);
+            auto inv4 = runInverse(plan, be, fwd2, MulAlgo::Schoolbook, red,
+                                   StageFusion::Radix4);
+            auto inv2 = runInverse(plan, be, fwd2, MulAlgo::Schoolbook, red,
+                                   StageFusion::Radix2);
+            EXPECT_EQ(inv4, inv2) << "inverse n=" << n
+                                  << " backend=" << backendName(be);
+            EXPECT_EQ(inv4, input) << "roundtrip n=" << n;
+        }
+    }
+}
+
+TEST_P(NttBackend, Radix4BitIdenticalOnWideModulus)
+{
+    // The 124-bit Barrett/lazy-headroom ceiling under stage fusion.
+    Backend be = GetParam();
+    const auto& prime = ntt::defaultBenchPrime();
+    for (size_t n : {128u, 256u}) { // odd and even logn
+        ntt::NttPlan plan(prime, n, /*l2_budget=*/0);
+        auto input = randomResidues(n, prime.q, 4242 + n);
+        auto fwd4 = runForward(plan, be, input, MulAlgo::Schoolbook,
+                               Reduction::ShoupLazy, StageFusion::Radix4);
+        EXPECT_EQ(fwd4, runForward(plan, be, input, MulAlgo::Schoolbook,
+                                   Reduction::ShoupLazy,
+                                   StageFusion::Radix2));
+        EXPECT_EQ(runInverse(plan, be, fwd4, MulAlgo::Schoolbook,
+                             Reduction::ShoupLazy, StageFusion::Radix4),
+                  input);
+    }
+}
+
+TEST(NttBlockedPlan, DecompositionAndAccounting)
+{
+    // A budget smaller than the working set forces the four-step
+    // decomposition; budget 0 disables it; the default budget keeps
+    // small transforms direct.
+    ntt::NttPlan direct(testPrime(), 256, /*l2_budget=*/0);
+    EXPECT_EQ(direct.blocked(), nullptr);
+    ntt::NttPlan small_default(testPrime(), 256);
+    EXPECT_EQ(small_default.blocked(), nullptr);
+
+    ntt::NttPlan blocked(testPrime(), 256, /*l2_budget=*/1024);
+    ASSERT_NE(blocked.blocked(), nullptr);
+    const auto* blk = blocked.blocked();
+    EXPECT_EQ(blk->n1 * blk->n2, 256u);
+    EXPECT_GE(blk->n1, blk->n2);
+    EXPECT_EQ(blk->col->n(), blk->n1);
+    EXPECT_EQ(blk->row->n(), blk->n2);
+    // Sub-plans carry the composing roots omega^n2 / omega^n1.
+    const Modulus& m = blocked.modulus();
+    EXPECT_EQ(blk->col->omega(),
+              m.pow(blocked.omega(), U128{blk->n2}));
+    EXPECT_EQ(blk->row->omega(),
+              m.pow(blocked.omega(), U128{blk->n1}));
+    // Sub-transforms never block recursively.
+    EXPECT_EQ(blk->col->blocked(), nullptr);
+    EXPECT_EQ(blk->row->blocked(), nullptr);
+    // twiddleBytes accounts the fixup tables (8 arrays of n words:
+    // value + companion, hi/lo, both directions) and both sub-plans on
+    // top of the direct plan's own tables.
+    EXPECT_EQ(blocked.twiddleBytes(),
+              direct.twiddleBytes() + 8u * 256 * sizeof(uint64_t) +
+                  blk->col->twiddleBytes() + blk->row->twiddleBytes());
+
+    // Swept-bytes model: radix-4 halves the sweeps, blocking caps them.
+    EXPECT_EQ(direct.bytesSweptPerTransform(StageFusion::Radix2),
+              32u * 256 * 8);
+    EXPECT_EQ(direct.bytesSweptPerTransform(StageFusion::Radix4),
+              32u * 256 * 4);
+    EXPECT_EQ(blocked.bytesSweptPerTransform(StageFusion::Radix4),
+              5u * 32 * 256);
+}
+
+TEST(NttBlockedPlan, ExplicitOmegaValidation)
+{
+    // The explicit-omega constructor rejects roots of the wrong order.
+    Modulus m(testPrime().q);
+    ntt::NttPlan base(testPrime(), 16);
+    EXPECT_NO_THROW(ntt::NttPlan(m, 16, base.omega(), size_t{0}));
+    // omega^2 has order 8, not 16.
+    EXPECT_THROW(ntt::NttPlan(m, 16, m.mul(base.omega(), base.omega()),
+                              size_t{0}),
+                 InvalidArgument);
+    EXPECT_THROW(ntt::NttPlan(m, 16, U128{1}, size_t{0}), InvalidArgument);
+}
+
+TEST(NttPlan, StageTwiddlePairIndexing)
+{
+    // The fused second layer's shared twiddle: butterflies 2p and 2p+1
+    // of stage s+1 both read pow[2 * ((p >> s) << s)].
+    ntt::NttPlan plan(testPrime(), 64);
+    for (int s = 0; s + 1 < plan.logn(); ++s) {
+        for (size_t p = 0; p < plan.n() / 4; ++p) {
+            size_t e = ntt::NttPlan::stageTwiddlePair(s, p);
+            EXPECT_EQ(e, ntt::NttPlan::stageTwiddleIndex(s + 1, 2 * p));
+            EXPECT_EQ(e, ntt::NttPlan::stageTwiddleIndex(s + 1, 2 * p + 1));
+            EXPECT_LT(e, plan.half());
+            // First-layer partner index stays in range too.
+            EXPECT_LT(ntt::NttPlan::stageTwiddleIndex(s, p) + plan.n() / 4,
+                      plan.half());
+        }
+    }
+}
+
+TEST_P(NttBackend, BlockedBitIdenticalToDirect)
+{
+    // Word-identical four-step decomposition on every compiled backend,
+    // odd and even logn, both reduction modes — at sizes small enough
+    // to keep the full matrix fast (the LargeN suite covers 2^16/2^17).
+    Backend be = GetParam();
+    for (size_t n : {64u, 128u, 256u, 1024u}) {
+        ntt::NttPlan direct(testPrime(), n, /*l2_budget=*/0);
+        ntt::NttPlan blocked(testPrime(), n, /*l2_budget=*/1024);
+        ASSERT_NE(blocked.blocked(), nullptr);
+        auto input = randomResidues(n, testPrime().q, 31 + n);
+        for (Reduction red : {Reduction::ShoupLazy, Reduction::Barrett}) {
+            auto fwd_d = runForward(direct, be, input, MulAlgo::Schoolbook,
+                                    red);
+            auto fwd_b = runForward(blocked, be, input, MulAlgo::Schoolbook,
+                                    red);
+            EXPECT_EQ(fwd_b, fwd_d) << "forward n=" << n
+                                    << " backend=" << backendName(be);
+            auto inv_d = runInverse(direct, be, fwd_d, MulAlgo::Schoolbook,
+                                    red);
+            auto inv_b = runInverse(blocked, be, fwd_d, MulAlgo::Schoolbook,
+                                    red);
+            EXPECT_EQ(inv_b, inv_d) << "inverse n=" << n
+                                    << " backend=" << backendName(be);
+            EXPECT_EQ(inv_b, input) << "roundtrip n=" << n;
+        }
+    }
+}
+
+TEST(NttLargeN, BlockedAndRadix4IdenticalAtRealFheSizes)
+{
+    // The raised size ceiling: n = 2^16 (even logn) and 2^17 (odd logn)
+    // — the realistic FHE sizes — on every compiled backend. Default
+    // plans at these sizes are blocked (48n > 1 MiB); compare against
+    // the forced-direct radix-2 path.
+    for (size_t n : {size_t{1} << 16, size_t{1} << 17}) {
+        ntt::NttPlan direct(testPrime(), n, /*l2_budget=*/0);
+        ntt::NttPlan blocked(testPrime(), n);
+        ASSERT_NE(blocked.blocked(), nullptr) << "n=" << n;
+        auto input = randomResidues(n, testPrime().q, 90000 + n);
+        for (Backend be : availableCorrectBackends()) {
+            SCOPED_TRACE(backendName(be));
+            auto fwd2 = runForward(direct, be, input, MulAlgo::Schoolbook,
+                                   Reduction::ShoupLazy,
+                                   StageFusion::Radix2);
+            auto fwd4 = runForward(direct, be, input, MulAlgo::Schoolbook,
+                                   Reduction::ShoupLazy,
+                                   StageFusion::Radix4);
+            auto fwdb = runForward(blocked, be, input);
+            EXPECT_EQ(fwd4, fwd2) << "radix4 fwd n=" << n;
+            EXPECT_EQ(fwdb, fwd2) << "blocked fwd n=" << n;
+            auto inv2 = runInverse(direct, be, fwd2, MulAlgo::Schoolbook,
+                                   Reduction::ShoupLazy,
+                                   StageFusion::Radix2);
+            auto inv4 = runInverse(direct, be, fwd2, MulAlgo::Schoolbook,
+                                   Reduction::ShoupLazy,
+                                   StageFusion::Radix4);
+            auto invb = runInverse(blocked, be, fwd2);
+            EXPECT_EQ(inv4, inv2) << "radix4 inv n=" << n;
+            EXPECT_EQ(invb, inv2) << "blocked inv n=" << n;
+            EXPECT_EQ(inv2, input) << "roundtrip n=" << n;
+        }
+    }
+}
+
+TEST(NttLargeN, BarrettAgreesAtN65536)
+{
+    // One Barrett pass at 2^16 keeps the (slow) ablation baseline
+    // honest at the blocked sizes without exploding the matrix.
+    const size_t n = size_t{1} << 16;
+    ntt::NttPlan direct(testPrime(), n, /*l2_budget=*/0);
+    ntt::NttPlan blocked(testPrime(), n);
+    auto input = randomResidues(n, testPrime().q, 1234);
+    Backend be = bestBackend();
+    auto fwd_barrett = runForward(direct, be, input, MulAlgo::Schoolbook,
+                                  Reduction::Barrett);
+    EXPECT_EQ(runForward(blocked, be, input, MulAlgo::Schoolbook,
+                         Reduction::Barrett),
+              fwd_barrett);
+    EXPECT_EQ(runForward(direct, be, input), fwd_barrett);
+    EXPECT_EQ(runInverse(blocked, be, fwd_barrett, MulAlgo::Schoolbook,
+                         Reduction::Barrett),
+              input);
+}
+
+TEST(NttLargeN, WideModulusCeilingAtN65536)
+{
+    // The 124-bit modulus at a blocked size: lazy headroom, Shoup
+    // companions, and the fixup tables all at the Barrett ceiling.
+    const size_t n = size_t{1} << 16;
+    const auto& prime = ntt::defaultBenchPrime();
+    ntt::NttPlan direct(prime, n, /*l2_budget=*/0);
+    ntt::NttPlan blocked(prime, n);
+    ASSERT_NE(blocked.blocked(), nullptr);
+    auto input = randomResidues(n, prime.q, 5678);
+    Backend be = bestBackend();
+    auto fwd_d = runForward(direct, be, input);
+    EXPECT_EQ(runForward(blocked, be, input), fwd_d);
+    EXPECT_EQ(runInverse(blocked, be, fwd_d), input);
+}
 
 TEST(NttMqxVariants, AllEmulatedVariantsMatchScalar)
 {

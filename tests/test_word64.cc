@@ -109,6 +109,34 @@ TEST_P(Word64Ntt, ShoupLazyBitIdenticalToBarrett)
     }
 }
 
+TEST_P(Word64Ntt, Radix4BitIdenticalToRadix2)
+{
+    // The single-word stack mirrors the double-word fused radix-4
+    // passes: odd and even logn, bit-identical words on every backend.
+    Backend be = GetParam();
+    if (!backendAvailable(be))
+        GTEST_SKIP() << "backend unavailable";
+    for (size_t n : {4u, 8u, 16u, 64u, 128u, 1024u, 2048u, 4096u}) {
+        w64::Ntt64Plan plan(testPrime64(), n);
+        SplitMix64 rng(0x464 + n);
+        std::vector<uint64_t> in(n), a(n), b(n), scratch(n);
+        for (auto& v : in)
+            v = rng.next() % testPrime64();
+        w64::forward64(plan, be, in.data(), a.data(), scratch.data(),
+                       Reduction::ShoupLazy, StageFusion::Radix4);
+        w64::forward64(plan, be, in.data(), b.data(), scratch.data(),
+                       Reduction::ShoupLazy, StageFusion::Radix2);
+        EXPECT_EQ(a, b) << "forward n=" << n << " " << backendName(be);
+        std::vector<uint64_t> ia(n), ib(n);
+        w64::inverse64(plan, be, a.data(), ia.data(), scratch.data(),
+                       Reduction::ShoupLazy, StageFusion::Radix4);
+        w64::inverse64(plan, be, a.data(), ib.data(), scratch.data(),
+                       Reduction::ShoupLazy, StageFusion::Radix2);
+        EXPECT_EQ(ia, ib) << "inverse n=" << n << " " << backendName(be);
+        EXPECT_EQ(ia, in) << "roundtrip n=" << n;
+    }
+}
+
 TEST(Word64Modulus, ShoupMulMatchesOracle)
 {
     w64::Modulus64 m(testPrime64());
