@@ -15,6 +15,7 @@
 #include "core/layout_metrics.h"
 #include "engine/engine.h"
 #include "rns/rns.h"
+#include "telemetry/telemetry.h"
 
 using namespace mqx;
 using namespace mqx::bench;
@@ -268,6 +269,48 @@ main()
         std::printf("the native rows must read 0/0: the steady-state kernel "
                     "path performs no AoS<->SoA\nconversions and no aligned "
                     "heap allocations (tests/test_layout.cc asserts it).\n\n");
+    }
+
+    // Telemetry overhead guard: the same warmed polymul with span
+    // recording on vs runtime-disabled, in one binary. The contract
+    // (README "Telemetry") is < 2% on kernel-sized ops — spans sit at
+    // phase granularity, so the two clock reads amortize over
+    // microseconds of transform work. The compile-time-OFF build is
+    // compared in CI; this scenario bounds the runtime layer.
+    {
+        const size_t channels = 4, tel_n = 4096;
+        rns::RnsBasis basis(124, 20, static_cast<int>(channels));
+        auto a = rns::randomPolynomial(basis, tel_n, 0x700);
+        auto b = rns::randomPolynomial(basis, tel_n, 0x800);
+        engine::Engine eng(be, 1); // serial: no pool noise in the delta
+        rns::RnsPolynomial sink(basis, tel_n);
+        eng.polymulNegacyclicInto(a, b, sink); // warm plans + workspaces
+
+        const int kTelReps = 20;
+        const bool was_enabled = telemetry::enabled();
+        telemetry::setEnabled(false);
+        uint64_t off_ns = bestOf(
+            kTelReps, [&] { eng.polymulNegacyclicInto(a, b, sink); });
+        telemetry::setEnabled(telemetry::compiledIn());
+        uint64_t on_ns = bestOf(
+            kTelReps, [&] { eng.polymulNegacyclicInto(a, b, sink); });
+        telemetry::setEnabled(was_enabled);
+
+        const double overhead =
+            100.0 * (static_cast<double>(on_ns) - static_cast<double>(off_ns)) /
+            static_cast<double>(off_ns);
+        TextTable tt("telemetry overhead: warmed polymul, n = " +
+                     std::to_string(tel_n) + ", " + std::to_string(channels) +
+                     " channels (serial engine)");
+        tt.setHeader({"recording", "ms", "overhead"});
+        tt.addRow({"disabled (runtime)", formatFixed(off_ns / 1e6, 3), "-"});
+        tt.addRow({telemetry::compiledIn() ? "enabled" : "compiled out",
+                   formatFixed(on_ns / 1e6, 3),
+                   formatFixed(overhead, 2) + "%"});
+        tt.print();
+        std::printf("guard: span overhead must stay < 2%% on kernel-sized "
+                    "ops%s\n\n",
+                    overhead < 2.0 ? " -- OK" : " -- EXCEEDED");
     }
 
     // Plan-cache effect: cold first call vs warm steady state.

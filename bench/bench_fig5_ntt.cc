@@ -16,6 +16,8 @@
 #include <fstream>
 #include <memory>
 
+#include "engine/thread_pool.h"
+
 using namespace mqx;
 using namespace mqx::bench;
 
@@ -94,6 +96,27 @@ runJsonMode(const char* path)
     os << "  \"unit\": \"ns_per_op\",\n";
     os << "  \"op\": \"forward+inverse\",\n";
     os << "  \"modulus_bits\": " << Modulus(prime.q).bits() << ",\n";
+    // Host metadata: which machine and build produced these numbers —
+    // the trajectory file is diffed across PRs, so "what ran this" must
+    // live next to the results. Brand strings come from CPUID; escape
+    // the two characters that could break the JSON string.
+    std::string cpu_brand = hostCpuFeatures().brand;
+    std::string cpu_escaped;
+    for (char ch : cpu_brand) {
+        if (ch == '"' || ch == '\\')
+            cpu_escaped += '\\';
+        cpu_escaped += ch;
+    }
+    os << "  \"cpu\": \"" << cpu_escaped << "\",\n";
+    os << "  \"threads\": " << engine::defaultThreadCount() << ",\n";
+    os << "  \"compiled_backends\": [\"Scalar\", \"Portable\"";
+#if MQX_BUILD_AVX2
+    os << ", \"AVX2\"";
+#endif
+#if MQX_BUILD_AVX512
+    os << ", \"AVX-512\", \"MQX\"";
+#endif
+    os << "],\n";
     os << "  \"results\": [\n";
 
     Backend best = bestBackend();

@@ -8,15 +8,22 @@
  * The counters are test/bench hooks, not a profiler: tests snapshot
  * them around a warmed-up op and assert the deltas are zero, and
  * bench_engine reports them per call to show what the SoA-native path
- * saves over the retained U128 adapter path. Relaxed atomics keep the
- * hooks free of ordering cost on the hot path (a counter bump is the
- * only overhead, and only where a conversion/allocation — the expensive
- * event — already happens).
+ * saves over the retained U128 adapter path.
+ *
+ * Since the telemetry subsystem landed these are thin wrappers over
+ * registry counters ("layout.from_u128" / "layout.to_u128" /
+ * "layout.aligned_allocs"), so the layout costs appear in the unified
+ * telemetry::snapshotJson() next to the span and pool accounting. The
+ * hot-path cost is unchanged — one relaxed atomic add on a per-thread
+ * shard, and only where a conversion/allocation (the expensive event)
+ * already happens. Counters are always compiled, even in
+ * MQX_TELEMETRY=OFF builds (only the span/histogram layer is gated).
  */
 #pragma once
 
-#include <atomic>
 #include <cstdint>
+
+#include "telemetry/telemetry.h"
 
 namespace mqx {
 namespace layout {
@@ -33,28 +40,46 @@ struct Metrics
 
 namespace detail {
 
-inline std::atomic<uint64_t> from_u128_count{0};
-inline std::atomic<uint64_t> to_u128_count{0};
-inline std::atomic<uint64_t> aligned_alloc_count{0};
+inline telemetry::Counter&
+fromU128Counter()
+{
+    static telemetry::Counter& c = telemetry::counter("layout.from_u128");
+    return c;
+}
+
+inline telemetry::Counter&
+toU128Counter()
+{
+    static telemetry::Counter& c = telemetry::counter("layout.to_u128");
+    return c;
+}
+
+inline telemetry::Counter&
+alignedAllocCounter()
+{
+    static telemetry::Counter& c =
+        telemetry::counter("layout.aligned_allocs");
+    return c;
+}
 
 } // namespace detail
 
 inline void
 noteFromU128()
 {
-    detail::from_u128_count.fetch_add(1, std::memory_order_relaxed);
+    detail::fromU128Counter().add(1);
 }
 
 inline void
 noteToU128()
 {
-    detail::to_u128_count.fetch_add(1, std::memory_order_relaxed);
+    detail::toU128Counter().add(1);
 }
 
 inline void
 noteAlignedAlloc()
 {
-    detail::aligned_alloc_count.fetch_add(1, std::memory_order_relaxed);
+    detail::alignedAllocCounter().add(1);
 }
 
 /** Current counter values (monotonic since process start or reset()). */
@@ -62,9 +87,9 @@ inline Metrics
 metrics()
 {
     return Metrics{
-        detail::from_u128_count.load(std::memory_order_relaxed),
-        detail::to_u128_count.load(std::memory_order_relaxed),
-        detail::aligned_alloc_count.load(std::memory_order_relaxed),
+        detail::fromU128Counter().value(),
+        detail::toU128Counter().value(),
+        detail::alignedAllocCounter().value(),
     };
 }
 
@@ -72,9 +97,9 @@ metrics()
 inline void
 reset()
 {
-    detail::from_u128_count.store(0, std::memory_order_relaxed);
-    detail::to_u128_count.store(0, std::memory_order_relaxed);
-    detail::aligned_alloc_count.store(0, std::memory_order_relaxed);
+    detail::fromU128Counter().reset();
+    detail::toU128Counter().reset();
+    detail::alignedAllocCounter().reset();
 }
 
 /** Delta between two snapshots (b taken after a). */

@@ -7,6 +7,7 @@
 #include <algorithm>
 
 #include "core/config.h"
+#include "telemetry/telemetry.h"
 
 namespace mqx {
 namespace engine {
@@ -31,6 +32,7 @@ void
 Engine::addInto(const rns::RnsPolynomial& a, const rns::RnsPolynomial& b,
                 rns::RnsPolynomial& c)
 {
+    MQX_SCOPED_SPAN(op_span, "engine.add");
     rns::detail::checkCompatible(a.basis(), a, b);
     rns::detail::checkForm(b, a.form(), "Engine::add");
     const rns::RnsBasis& basis = a.basis();
@@ -55,6 +57,7 @@ void
 Engine::mulInto(const rns::RnsPolynomial& a, const rns::RnsPolynomial& b,
                 rns::RnsPolynomial& c)
 {
+    MQX_SCOPED_SPAN(op_span, "engine.mul");
     rns::detail::checkCompatible(a.basis(), a, b);
     rns::detail::checkForm(b, a.form(), "Engine::mul");
     const rns::RnsBasis& basis = a.basis();
@@ -77,6 +80,7 @@ Engine::polymulNegacyclicInto(const rns::RnsPolynomial& a,
                               const rns::RnsPolynomial& b,
                               rns::RnsPolynomial& c)
 {
+    MQX_SCOPED_SPAN(op_span, "engine.polymul");
     rns::detail::checkCompatible(a.basis(), a, b);
     rns::detail::checkForm(a, rns::Form::Coeff, "Engine::polymulNegacyclic");
     rns::detail::checkForm(b, rns::Form::Coeff, "Engine::polymulNegacyclic");
@@ -103,6 +107,7 @@ Engine::polymulNegacyclic(const rns::RnsPolynomial& a,
 void
 Engine::toEvalInto(const rns::RnsPolynomial& a, rns::RnsPolynomial& c)
 {
+    MQX_SCOPED_SPAN(op_span, "engine.to_eval");
     rns::detail::checkForm(a, rns::Form::Coeff, "Engine::toEval");
     const rns::RnsBasis& basis = a.basis();
     rns::detail::checkDest(c, basis, a.n(), rns::Form::Eval,
@@ -126,6 +131,7 @@ Engine::toEval(const rns::RnsPolynomial& a)
 void
 Engine::toCoeffInto(const rns::RnsPolynomial& a, rns::RnsPolynomial& c)
 {
+    MQX_SCOPED_SPAN(op_span, "engine.to_coeff");
     rns::detail::checkForm(a, rns::Form::Eval, "Engine::toCoeff");
     const rns::RnsBasis& basis = a.basis();
     rns::detail::checkDest(c, basis, a.n(), rns::Form::Coeff,
@@ -150,6 +156,7 @@ void
 Engine::mulEvalInto(const rns::RnsPolynomial& a, const rns::RnsPolynomial& b,
                     rns::RnsPolynomial& c)
 {
+    MQX_SCOPED_SPAN(op_span, "engine.mul_eval");
     rns::detail::checkCompatible(a.basis(), a, b);
     rns::detail::checkForm(a, rns::Form::Eval, "Engine::mulEval");
     rns::detail::checkForm(b, rns::Form::Eval, "Engine::mulEval");
@@ -175,6 +182,7 @@ Engine::fmaBatchInto(
                                 const rns::RnsPolynomial*>>& products,
     rns::RnsPolynomial& c)
 {
+    MQX_SCOPED_SPAN(op_span, "engine.fma_batch");
     checkArg(!products.empty(), "Engine::fmaBatch: empty batch");
     for (const auto& [a, b] : products) {
         checkArg(a != nullptr && b != nullptr,
@@ -218,6 +226,7 @@ Engine::polymulNegacyclicBatch(
     const std::vector<std::pair<const rns::RnsPolynomial*,
                                 const rns::RnsPolynomial*>>& products)
 {
+    MQX_SCOPED_SPAN(op_span, "engine.polymul_batch");
     // Validate everything and lay out results before dispatch; the flat
     // (product, channel) index space keeps the pool saturated when
     // operands have fewer channels than there are threads.

@@ -7,8 +7,50 @@
 #include <chrono>
 #include <mutex>
 
+#include "telemetry/telemetry.h"
+
 namespace mqx {
 namespace engine {
+
+namespace {
+
+// Process-wide cache counters: every PlanCache instance feeds the same
+// ones so plan churn is visible in telemetry::snapshotJson().
+telemetry::Counter&
+hitsCounter()
+{
+    static telemetry::Counter& c = telemetry::counter("plancache.hits");
+    return c;
+}
+
+telemetry::Counter&
+missesCounter()
+{
+    static telemetry::Counter& c = telemetry::counter("plancache.misses");
+    return c;
+}
+
+telemetry::Counter&
+buildsCounter()
+{
+    static telemetry::Counter& c = telemetry::counter("plancache.builds");
+    return c;
+}
+
+} // namespace
+
+template <typename Build>
+auto
+PlanCache::timedBuild(Build build) -> decltype(build())
+{
+    MQX_SCOPED_SPAN(span, "plancache.build");
+    const uint64_t t0 = telemetry::nowNs();
+    auto value = build();
+    build_ns_.fetch_add(telemetry::nowNs() - t0, std::memory_order_relaxed);
+    builds_.fetch_add(1, std::memory_order_relaxed);
+    buildsCounter().add(1);
+    return value;
+}
 
 template <typename T, typename Build>
 std::shared_ptr<const T>
@@ -60,7 +102,9 @@ PlanCache::planUncounted(const Key& key, const U128& q)
 {
     bool hit = false;
     return lookupOrBuild(plans_, key, hit, [&] {
-        return std::make_shared<const ntt::NttPlan>(Modulus(q), key.n);
+        return timedBuild([&] {
+            return std::make_shared<const ntt::NttPlan>(Modulus(q), key.n);
+        });
     });
 }
 
@@ -70,9 +114,12 @@ PlanCache::get(const U128& q, size_t n)
     Key key{q.hi, q.lo, n};
     bool hit = false;
     auto plan = lookupOrBuild(plans_, key, hit, [&] {
-        return std::make_shared<const ntt::NttPlan>(Modulus(q), n);
+        return timedBuild([&] {
+            return std::make_shared<const ntt::NttPlan>(Modulus(q), n);
+        });
     });
     (hit ? hits_ : misses_).fetch_add(1, std::memory_order_relaxed);
+    (hit ? hitsCounter() : missesCounter()).add(1);
     return plan;
 }
 
@@ -82,10 +129,17 @@ PlanCache::getNegacyclic(const U128& q, size_t n)
     Key key{q.hi, q.lo, n};
     bool hit = false;
     auto tables = lookupOrBuild(negacyclic_, key, hit, [&] {
-        return std::make_shared<const ntt::NegacyclicTables>(
-            planUncounted(key, q));
+        // Resolve the underlying cyclic plan OUTSIDE the timed section:
+        // a plan miss is its own timedBuild, so build_ns never counts
+        // the same derivation twice.
+        auto plan = planUncounted(key, q);
+        return timedBuild([&] {
+            return std::make_shared<const ntt::NegacyclicTables>(
+                std::move(plan));
+        });
     });
     (hit ? hits_ : misses_).fetch_add(1, std::memory_order_relaxed);
+    (hit ? hitsCounter() : missesCounter()).add(1);
     return tables;
 }
 
@@ -144,6 +198,17 @@ uint64_t
 PlanCache::misses() const
 {
     return misses_.load(std::memory_order_relaxed);
+}
+
+PlanCache::Stats
+PlanCache::stats() const
+{
+    Stats s;
+    s.hits = hits_.load(std::memory_order_relaxed);
+    s.misses = misses_.load(std::memory_order_relaxed);
+    s.builds = builds_.load(std::memory_order_relaxed);
+    s.build_ns = build_ns_.load(std::memory_order_relaxed);
+    return s;
 }
 
 void

@@ -96,6 +96,26 @@ class PlanCache
     uint64_t hits() const;
     uint64_t misses() const;
 
+    /**
+     * Lookup and build accounting in one consistent-enough snapshot
+     * (relaxed reads; exact once the cache is quiescent). builds
+     * counts actual derivations — a miss that loses the insert race
+     * and waits on another thread's in-flight build is a miss but not
+     * a build, so builds <= misses, and a warm second lookup of the
+     * same key is one hit and zero new builds. build_ns is the total
+     * wall time spent inside derivations (twiddle/twist table math);
+     * the per-build latency distribution is the "plancache.build"
+     * telemetry span.
+     */
+    struct Stats
+    {
+        uint64_t hits = 0;
+        uint64_t misses = 0;
+        uint64_t builds = 0;
+        uint64_t build_ns = 0;
+    };
+    Stats stats() const;
+
     /** Drop every cached plan (outstanding shared_ptrs stay valid). */
     void clear();
 
@@ -151,11 +171,21 @@ class PlanCache
     std::shared_ptr<const ntt::NttPlan> planUncounted(const Key& key,
                                                       const U128& q);
 
+    /**
+     * Run @p build timed: bumps builds_/build_ns_ (and the global
+     * plancache telemetry counters + "plancache.build" span) around the
+     * derivation.
+     */
+    template <typename Build>
+    auto timedBuild(Build build) -> decltype(build());
+
     mutable std::shared_mutex mutex_;
     SlotMap<ntt::NttPlan> plans_;
     SlotMap<ntt::NegacyclicTables> negacyclic_;
     std::atomic<uint64_t> hits_{0};
     std::atomic<uint64_t> misses_{0};
+    std::atomic<uint64_t> builds_{0};
+    std::atomic<uint64_t> build_ns_{0};
 };
 
 } // namespace engine

@@ -20,6 +20,37 @@ namespace {
 // an over-large MQX_THREADS must not exhaust thread handles.
 constexpr size_t kMaxThreads = 512;
 
+// Process-wide scheduling counters (every pool feeds the same ones, so
+// the telemetry snapshot shows total scheduler activity). Interned
+// once; the registry guarantees the references stay valid forever.
+telemetry::Counter&
+tasksCounter()
+{
+    static telemetry::Counter& c = telemetry::counter("pool.tasks");
+    return c;
+}
+
+telemetry::Counter&
+stealsCounter()
+{
+    static telemetry::Counter& c = telemetry::counter("pool.steals");
+    return c;
+}
+
+telemetry::Counter&
+submittedCounter()
+{
+    static telemetry::Counter& c = telemetry::counter("pool.submitted");
+    return c;
+}
+
+telemetry::Counter&
+idleNsCounter()
+{
+    static telemetry::Counter& c = telemetry::counter("pool.idle_ns");
+    return c;
+}
+
 } // namespace
 
 size_t
@@ -45,10 +76,12 @@ ThreadPool::ThreadPool(size_t threads)
     // thread_count_ - 1 workers: parallelFor's caller always executes
     // tasks too, so N-way parallelism needs N-1 extra threads — a full
     // N would oversubscribe an N-core host by one compute thread.
-    workers_.reserve(thread_count_ - 1);
+    const size_t worker_count = thread_count_ - 1;
+    worker_counters_ = std::make_unique<WorkerCounters[]>(worker_count);
+    workers_.reserve(worker_count);
     try {
-        for (size_t i = 0; i + 1 < thread_count_; ++i)
-            workers_.emplace_back([this] { workerLoop(); });
+        for (size_t i = 0; i < worker_count; ++i)
+            workers_.emplace_back([this, i] { workerLoop(i); });
     } catch (...) {
         // Partial spawn (e.g. EAGAIN in a thread-limited container):
         // shut down the workers that did start, then surface the error
@@ -76,17 +109,63 @@ ThreadPool::~ThreadPool()
         w.join();
 }
 
-void
-ThreadPool::workerLoop()
+ThreadPool::Stats
+ThreadPool::stats() const
 {
+    Stats s;
+    const size_t worker_count = workers_.size();
+    s.worker_tasks.reserve(worker_count);
+    s.worker_idle_ns.reserve(worker_count);
+    for (size_t i = 0; i < worker_count; ++i) {
+        s.worker_tasks.push_back(
+            worker_counters_[i].tasks.load(std::memory_order_relaxed));
+        s.worker_idle_ns.push_back(
+            worker_counters_[i].idle_ns.load(std::memory_order_relaxed));
+    }
+    s.caller_tasks = caller_tasks_.load(std::memory_order_relaxed);
+    s.steals = steals_.load(std::memory_order_relaxed);
+    s.submitted = submitted_.load(std::memory_order_relaxed);
+    return s;
+}
+
+void
+ThreadPool::noteCallerTask(bool stolen)
+{
+    caller_tasks_.fetch_add(1, std::memory_order_relaxed);
+    tasksCounter().add(1);
+    if (stolen) {
+        steals_.fetch_add(1, std::memory_order_relaxed);
+        stealsCounter().add(1);
+    }
+}
+
+void
+ThreadPool::workerLoop(size_t worker_index)
+{
+    telemetry::setThreadName("pool-worker-" + std::to_string(worker_index));
+    WorkerCounters& wc = worker_counters_[worker_index];
     std::unique_lock<std::mutex> lock(mutex_);
     while (true) {
-        cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+        if (queue_.empty() && !stop_) {
+            // Blocked on an empty queue: the pool-overhead number the
+            // attribution report cites (workers waiting, not working).
+            const uint64_t t0 = telemetry::nowNs();
+            cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+            const uint64_t idle = telemetry::nowNs() - t0;
+            wc.idle_ns.fetch_add(idle, std::memory_order_relaxed);
+            idleNsCounter().add(idle);
+        }
         if (queue_.empty()) {
             if (stop_)
                 return;
             continue;
         }
+        // Attribute BEFORE executing: the task's future becomes ready
+        // the instant the body finishes, and a caller observing that
+        // future must already see the task counted — otherwise the
+        // quiescent-Stats invariant would race with the last bump.
+        wc.tasks.fetch_add(1, std::memory_order_relaxed);
+        tasksCounter().add(1);
         runOneTask(lock);
     }
 }
@@ -114,7 +193,12 @@ ThreadPool::submit(std::function<void()> task)
 {
     std::packaged_task<void()> packaged(std::move(task));
     std::future<void> future = packaged.get_future();
+    submitted_.fetch_add(1, std::memory_order_relaxed);
+    submittedCounter().add(1);
     if (serial()) {
+        // Count before running (see workerLoop): the future is ready as
+        // soon as packaged() returns, and Stats must already include it.
+        noteCallerTask(/*stolen=*/false);
         packaged();
         return future;
     }
@@ -132,12 +216,16 @@ ThreadPool::parallelFor(size_t begin, size_t end,
 {
     if (begin >= end)
         return;
+    const uint64_t count = static_cast<uint64_t>(end - begin);
+    submitted_.fetch_add(count, std::memory_order_relaxed);
+    submittedCounter().add(count);
     if (serial() || end - begin == 1) {
         // Same exception contract as the threaded path: every index
         // runs, then the first failure surfaces — so partial results
         // never depend on the pool width.
         std::exception_ptr first_error;
         for (size_t i = begin; i < end; ++i) {
+            noteCallerTask(/*stolen=*/false);
             try {
                 body(i);
             } catch (...) {
@@ -187,8 +275,15 @@ ThreadPool::parallelFor(size_t begin, size_t end,
             continue;
         }
         std::unique_lock<std::mutex> lock(mutex_);
-        if (runOneTask(lock))
+        if (!queue_.empty()) {
+            // Count the steal before the task body runs — its future
+            // may belong to another caller whose Stats read must not
+            // outrun this attribution.
+            noteCallerTask(/*stolen=*/true);
+            runOneTask(lock);
+            lock.unlock();
             continue; // stole something; re-check our futures
+        }
         lock.unlock();
         futures[next].wait(); // queue empty: task is on a worker
     }

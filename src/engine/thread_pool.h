@@ -14,17 +14,33 @@
  * threads at all; submit() and parallelFor() execute inline on the
  * calling thread, in index order — bit-identical to (indeed, the same
  * code path as) a plain sequential loop.
+ *
+ * Scheduling accounting: every task execution is attributed to exactly
+ * one executor — a worker thread (per-worker counter), or a caller
+ * thread running tasks inline (serial pool) or stealing from the queue
+ * while it waits in parallelFor. The per-pool Stats invariant
+ * `sum(worker_tasks) + caller_tasks == submitted` holds whenever the
+ * pool is quiescent, and the same events feed the process-wide
+ * telemetry counters (pool.tasks / pool.steals / pool.submitted /
+ * pool.idle_ns) so scheduler behaviour shows up in
+ * telemetry::snapshotJson() next to the kernel spans. Workers also
+ * name their trace lanes ("pool-worker-N"), which is what gives the
+ * Chrome trace export one swimlane per worker.
  */
 #pragma once
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "telemetry/telemetry.h"
 
 namespace mqx {
 namespace engine {
@@ -39,6 +55,35 @@ size_t defaultThreadCount();
 class ThreadPool
 {
   public:
+    /**
+     * Scheduling counters since construction. Consistent (the
+     * documented invariant holds exactly) once the pool is quiescent —
+     * no parallelFor in flight and every submitted future ready;
+     * mid-flight reads are approximate but tear-free.
+     */
+    struct Stats
+    {
+        /** Tasks executed by each worker thread (size threadCount()-1). */
+        std::vector<uint64_t> worker_tasks;
+        /** Nanoseconds each worker spent blocked on an empty queue. */
+        std::vector<uint64_t> worker_idle_ns;
+        /** Tasks executed on caller threads (inline serial + steals). */
+        uint64_t caller_tasks = 0;
+        /** Subset of caller_tasks stolen from the shared queue. */
+        uint64_t steals = 0;
+        /** Tasks handed to the pool (submit + parallelFor bodies). */
+        uint64_t submitted = 0;
+
+        uint64_t
+        executed() const
+        {
+            uint64_t total = caller_tasks;
+            for (uint64_t t : worker_tasks)
+                total += t;
+            return total;
+        }
+    };
+
     /**
      * @param threads worker count; 0 means defaultThreadCount(). A
      *                resolved count <= 1 yields the inline serial pool.
@@ -58,6 +103,9 @@ class ThreadPool
 
     /** True when no worker threads exist and tasks run on the caller. */
     bool serial() const { return workers_.empty(); }
+
+    /** Current scheduling counters (see Stats for the invariant). */
+    Stats stats() const;
 
     /**
      * Enqueue @p task. The future reports completion and rethrows any
@@ -82,11 +130,23 @@ class ThreadPool
                      const std::function<void(size_t)>& body);
 
   private:
-    void workerLoop();
+    /** Per-worker slots, cache-line padded (each has one writer). */
+    struct alignas(64) WorkerCounters
+    {
+        std::atomic<uint64_t> tasks{0};
+        std::atomic<uint64_t> idle_ns{0};
+    };
+
+    void workerLoop(size_t worker_index);
     bool runOneTask(std::unique_lock<std::mutex>& lock);
+    void noteCallerTask(bool stolen);
 
     size_t thread_count_ = 1;
     std::vector<std::thread> workers_;
+    std::unique_ptr<WorkerCounters[]> worker_counters_;
+    std::atomic<uint64_t> submitted_{0};
+    std::atomic<uint64_t> caller_tasks_{0};
+    std::atomic<uint64_t> steals_{0};
     std::deque<std::packaged_task<void()>> queue_;
     std::mutex mutex_;
     std::condition_variable cv_;

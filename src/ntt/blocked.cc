@@ -38,6 +38,7 @@
 #include "core/config.h"
 #include "ntt/ntt_backends.h"
 #include "ntt/pease_impl.h"
+#include "telemetry/telemetry.h"
 
 namespace mqx {
 namespace ntt {
@@ -126,36 +127,49 @@ blockedForward(const NttPlan& plan, const BlockedRoute& route, DConstSpan in,
     DSpan temp1 = subTransformTemp(n1);
 
     // 1. Columns become contiguous rows.
-    transposeSplit(in, scratch, n1, n2);
+    {
+        MQX_SCOPED_SPAN(phase_span, "ntt.blocked.transpose");
+        transposeSplit(in, scratch, n1, n2);
+    }
 
     // 2. Size-n1 transforms per row + streamed twiddle fixup (the fixup
     //    table layout matches this loop exactly; rows are still
     //    cache-hot from the transform when vmulShoup rewrites them).
-    for (size_t j2 = 0; j2 < n2; ++j2) {
-        const size_t off = j2 * n1;
-        DConstSpan src_row{scratch.hi + off, scratch.lo + off, n1};
-        DSpan dst_row{out.hi + off, out.lo + off, n1};
-        subForward(route, *blk->col, src_row, dst_row, temp1, algo, red,
-                   fusion);
-        DConstSpan fix{blk->fix_hi.data() + off, blk->fix_lo.data() + off,
-                       n1};
-        DConstSpan fixq{blk->fix_sh_hi.data() + off,
-                        blk->fix_sh_lo.data() + off, n1};
-        vmulShoup(route.backend, m, dst_row, fix, fixq, dst_row, algo);
+    {
+        MQX_SCOPED_SPAN(phase_span, "ntt.blocked.cols");
+        for (size_t j2 = 0; j2 < n2; ++j2) {
+            const size_t off = j2 * n1;
+            DConstSpan src_row{scratch.hi + off, scratch.lo + off, n1};
+            DSpan dst_row{out.hi + off, out.lo + off, n1};
+            subForward(route, *blk->col, src_row, dst_row, temp1, algo, red,
+                       fusion);
+            DConstSpan fix{blk->fix_hi.data() + off, blk->fix_lo.data() + off,
+                           n1};
+            DConstSpan fixq{blk->fix_sh_hi.data() + off,
+                            blk->fix_sh_lo.data() + off, n1};
+            MQX_SCOPED_SPAN(fixup_span, "ntt.blocked.fixup");
+            vmulShoup(route.backend, m, dst_row, fix, fixq, dst_row, algo);
+        }
     }
 
     // 3. Back to row-major over the final row index.
-    transposeSplit(out, scratch, n2, n1);
+    {
+        MQX_SCOPED_SPAN(phase_span, "ntt.blocked.transpose");
+        transposeSplit(out, scratch, n2, n1);
+    }
 
     // 4. Size-n2 transforms per row; bit-reversed row/column outputs
     //    compose into the direct transform's bit-reversed order.
     DSpan temp2{temp1.hi, temp1.lo, n2};
-    for (size_t r1 = 0; r1 < n1; ++r1) {
-        const size_t off = r1 * n2;
-        DConstSpan src_row{scratch.hi + off, scratch.lo + off, n2};
-        DSpan dst_row{out.hi + off, out.lo + off, n2};
-        subForward(route, *blk->row, src_row, dst_row, temp2, algo, red,
-                   fusion);
+    {
+        MQX_SCOPED_SPAN(phase_span, "ntt.blocked.rows");
+        for (size_t r1 = 0; r1 < n1; ++r1) {
+            const size_t off = r1 * n2;
+            DConstSpan src_row{scratch.hi + off, scratch.lo + off, n2};
+            DSpan dst_row{out.hi + off, out.lo + off, n2};
+            subForward(route, *blk->row, src_row, dst_row, temp2, algo, red,
+                       fusion);
+        }
     }
 }
 
@@ -175,34 +189,47 @@ blockedInverse(const NttPlan& plan, const BlockedRoute& route, DConstSpan in,
 
     // 1. Size-n2 inverse transforms per row (undoing forward step 4),
     //    then the inverse fixup omega^-(k1 * j2) while the row is hot.
-    for (size_t r1 = 0; r1 < n1; ++r1) {
-        const size_t off = r1 * n2;
-        DConstSpan src_row{in.hi + off, in.lo + off, n2};
-        DSpan dst_row{scratch.hi + off, scratch.lo + off, n2};
-        subInverse(route, *blk->row, src_row, dst_row, temp2, algo, red,
-                   fusion);
-        DConstSpan fix{blk->ifix_hi.data() + off, blk->ifix_lo.data() + off,
-                       n2};
-        DConstSpan fixq{blk->ifix_sh_hi.data() + off,
-                        blk->ifix_sh_lo.data() + off, n2};
-        vmulShoup(route.backend, m, dst_row, fix, fixq, dst_row, algo);
+    {
+        MQX_SCOPED_SPAN(phase_span, "ntt.blocked.rows");
+        for (size_t r1 = 0; r1 < n1; ++r1) {
+            const size_t off = r1 * n2;
+            DConstSpan src_row{in.hi + off, in.lo + off, n2};
+            DSpan dst_row{scratch.hi + off, scratch.lo + off, n2};
+            subInverse(route, *blk->row, src_row, dst_row, temp2, algo, red,
+                       fusion);
+            DConstSpan fix{blk->ifix_hi.data() + off,
+                           blk->ifix_lo.data() + off, n2};
+            DConstSpan fixq{blk->ifix_sh_hi.data() + off,
+                            blk->ifix_sh_lo.data() + off, n2};
+            MQX_SCOPED_SPAN(fixup_span, "ntt.blocked.fixup");
+            vmulShoup(route.backend, m, dst_row, fix, fixq, dst_row, algo);
+        }
     }
 
     // 2. Columns become contiguous rows.
-    transposeSplit(scratch, out, n1, n2);
+    {
+        MQX_SCOPED_SPAN(phase_span, "ntt.blocked.transpose");
+        transposeSplit(scratch, out, n1, n2);
+    }
 
     // 3. Size-n1 inverse transforms (undoing forward step 2); the
     //    composed n2^-1 * n1^-1 scaling equals the direct n^-1.
-    for (size_t j2 = 0; j2 < n2; ++j2) {
-        const size_t off = j2 * n1;
-        DConstSpan src_row{out.hi + off, out.lo + off, n1};
-        DSpan dst_row{scratch.hi + off, scratch.lo + off, n1};
-        subInverse(route, *blk->col, src_row, dst_row, temp1, algo, red,
-                   fusion);
+    {
+        MQX_SCOPED_SPAN(phase_span, "ntt.blocked.cols");
+        for (size_t j2 = 0; j2 < n2; ++j2) {
+            const size_t off = j2 * n1;
+            DConstSpan src_row{out.hi + off, out.lo + off, n1};
+            DSpan dst_row{scratch.hi + off, scratch.lo + off, n1};
+            subInverse(route, *blk->col, src_row, dst_row, temp1, algo, red,
+                       fusion);
+        }
     }
 
     // 4. Natural row-major order.
-    transposeSplit(scratch, out, n2, n1);
+    {
+        MQX_SCOPED_SPAN(phase_span, "ntt.blocked.transpose");
+        transposeSplit(scratch, out, n2, n1);
+    }
 }
 
 } // namespace detail

@@ -8,6 +8,7 @@
 
 #include "blas/blas.h"
 #include "ntt/reference_ntt.h"
+#include "telemetry/telemetry.h"
 
 namespace mqx {
 namespace ntt {
@@ -156,32 +157,42 @@ NegacyclicEngine::auxBuffer(size_t slot)
 void
 NegacyclicEngine::forward(DConstSpan in, DSpan out)
 {
+    MQX_SCOPED_SPAN(op_span, "negacyclic.forward");
     const NttPlan& plan = tables_->plan();
     checkSpans(in, out, plan.n(), "NegacyclicEngine::forward");
     // Twist then cyclic forward. The twist is a fixed-table multiply, so
     // it runs as a Shoup pass against the precomputed companions. `in`
     // is fully consumed by the twist pass into buf_a_, so out == in is
     // safe.
-    ntt::vmulShoup(backend_, plan.modulus(), in, tables_->twist().span(),
-                   tables_->twistShoup().span(), buf_a_.span());
+    {
+        MQX_SCOPED_SPAN(twist_span, "negacyclic.twist");
+        ntt::vmulShoup(backend_, plan.modulus(), in,
+                       tables_->twist().span(),
+                       tables_->twistShoup().span(), buf_a_.span());
+    }
     ntt::forward(plan, backend_, buf_a_.span(), out, scratch_.span());
 }
 
 void
 NegacyclicEngine::inverse(DConstSpan in, DSpan out)
 {
+    MQX_SCOPED_SPAN(op_span, "negacyclic.inverse");
     const NttPlan& plan = tables_->plan();
     checkSpans(in, out, plan.n(), "NegacyclicEngine::inverse");
     ntt::inverse(plan, backend_, in, buf_a_.span(), scratch_.span());
-    ntt::vmulShoup(backend_, plan.modulus(), buf_a_.span(),
-                   tables_->untwist().span(),
-                   tables_->untwistShoup().span(), out);
+    {
+        MQX_SCOPED_SPAN(untwist_span, "negacyclic.untwist");
+        ntt::vmulShoup(backend_, plan.modulus(), buf_a_.span(),
+                       tables_->untwist().span(),
+                       tables_->untwistShoup().span(), out);
+    }
 }
 
 void
 NegacyclicEngine::pointwiseMul(DConstSpan f_eval, DConstSpan g_eval,
                                DSpan out)
 {
+    MQX_SCOPED_SPAN(op_span, "negacyclic.pointwise");
     const NttPlan& plan = tables_->plan();
     checkSpans(f_eval, out, plan.n(), "NegacyclicEngine::pointwiseMul");
     checkSpans(g_eval, out, plan.n(), "NegacyclicEngine::pointwiseMul");
@@ -194,6 +205,7 @@ void
 NegacyclicEngine::pointwiseAccumulate(DSpan acc, DConstSpan f_eval,
                                       DConstSpan g_eval)
 {
+    MQX_SCOPED_SPAN(op_span, "negacyclic.pointwise_acc");
     const NttPlan& plan = tables_->plan();
     checkSpans(f_eval, acc, plan.n(), "NegacyclicEngine::pointwiseAccumulate");
     checkSpans(g_eval, acc, plan.n(), "NegacyclicEngine::pointwiseAccumulate");
@@ -206,6 +218,7 @@ NegacyclicEngine::pointwiseAccumulate(DSpan acc, DConstSpan f_eval,
 void
 NegacyclicEngine::polymul(DConstSpan f, DConstSpan g, DSpan out)
 {
+    MQX_SCOPED_SPAN(op_span, "negacyclic.polymul");
     const NttPlan& plan = tables_->plan();
     checkSpans(f, out, plan.n(), "NegacyclicEngine::polymul");
     checkSpans(g, out, plan.n(), "NegacyclicEngine::polymul");

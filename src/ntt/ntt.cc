@@ -6,6 +6,7 @@
 
 #include "core/config.h"
 #include "ntt/ntt_backends.h"
+#include "telemetry/telemetry.h"
 
 namespace mqx {
 namespace ntt {
@@ -52,6 +53,7 @@ void
 forward(const NttPlan& plan, Backend backend, DConstSpan in, DSpan out,
         DSpan scratch, MulAlgo algo, Reduction red, StageFusion fusion)
 {
+    MQX_SCOPED_SPAN(ntt_span, "ntt.forward");
     requireAvailable(backend);
     if (plan.blocked()) {
         detail::blockedForward(plan, makeRoute(backend), in, out, scratch,
@@ -104,6 +106,7 @@ void
 inverse(const NttPlan& plan, Backend backend, DConstSpan in, DSpan out,
         DSpan scratch, MulAlgo algo, Reduction red, StageFusion fusion)
 {
+    MQX_SCOPED_SPAN(ntt_span, "ntt.inverse");
     requireAvailable(backend);
     if (plan.blocked()) {
         detail::blockedInverse(plan, makeRoute(backend), in, out, scratch,

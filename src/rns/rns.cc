@@ -7,6 +7,7 @@
 #include "bench_util/rng.h"
 #include "blas/blas.h"
 #include "engine/engine.h"
+#include "telemetry/telemetry.h"
 
 namespace mqx {
 namespace rns {
@@ -240,6 +241,7 @@ polymulChannel(Backend backend, const RnsBasis& basis, size_t channel,
                const RnsPolynomial& a, const RnsPolynomial& b,
                RnsPolynomial& c)
 {
+    MQX_SCOPED_SPAN(ch_span, "rns.channel.polymul");
     auto lease = workspaces.acquire(
         tablesOrDerive(std::move(tables), basis, channel, a.n()), backend);
     lease.engine().polymul(a.channel(channel).span(),
@@ -253,6 +255,7 @@ toEvalChannel(Backend backend, const RnsBasis& basis, size_t channel,
               ntt::NegacyclicWorkspacePool& workspaces,
               const RnsPolynomial& a, RnsPolynomial& c)
 {
+    MQX_SCOPED_SPAN(ch_span, "rns.channel.to_eval");
     auto lease = workspaces.acquire(
         tablesOrDerive(std::move(tables), basis, channel, a.n()), backend);
     lease.engine().forward(a.channel(channel).span(),
@@ -265,6 +268,7 @@ toCoeffChannel(Backend backend, const RnsBasis& basis, size_t channel,
                ntt::NegacyclicWorkspacePool& workspaces,
                const RnsPolynomial& a, RnsPolynomial& c)
 {
+    MQX_SCOPED_SPAN(ch_span, "rns.channel.to_coeff");
     auto lease = workspaces.acquire(
         tablesOrDerive(std::move(tables), basis, channel, a.n()), backend);
     lease.engine().inverse(a.channel(channel).span(),
@@ -279,6 +283,7 @@ fmaChannel(Backend backend, const RnsBasis& basis, size_t channel,
                                        const RnsPolynomial*>>& products,
            RnsPolynomial& c)
 {
+    MQX_SCOPED_SPAN(ch_span, "rns.channel.fma");
     auto lease = workspaces.acquire(
         tablesOrDerive(std::move(tables), basis, channel, c.n()), backend);
     ntt::NegacyclicEngine& eng = lease.engine();

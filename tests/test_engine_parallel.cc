@@ -108,6 +108,83 @@ TEST(ThreadPool, ConcurrentParallelForBatchesAllComplete)
     }
 }
 
+TEST(ThreadPool, StatsAttributeEveryTaskExactlyOnce)
+{
+    // The Stats invariant: once the pool is quiescent, every submitted
+    // task was executed by exactly one executor — a worker or a caller
+    // (inline or stealing) — so the counters add up with no loss and no
+    // double count, even across concurrent batches.
+    engine::ThreadPool pool(4);
+    const int kCallers = 3;
+    const size_t kIndices = 64;
+    const int kRounds = 2;
+    std::atomic<uint64_t> ran{0};
+    std::vector<std::thread> callers;
+    for (int t = 0; t < kCallers; ++t) {
+        callers.emplace_back([&] {
+            for (int round = 0; round < kRounds; ++round) {
+                pool.parallelFor(0, kIndices, [&](size_t) {
+                    ran.fetch_add(1, std::memory_order_relaxed);
+                });
+            }
+        });
+    }
+    for (auto& c : callers)
+        c.join();
+    pool.submit([] {}).get();
+
+    const uint64_t expected =
+        static_cast<uint64_t>(kCallers) * kRounds * kIndices + 1;
+    EXPECT_EQ(ran.load() + 1, expected);
+    engine::ThreadPool::Stats s = pool.stats();
+    EXPECT_EQ(s.worker_tasks.size(), 3u); // threadCount() - 1 workers
+    EXPECT_EQ(s.submitted, expected);
+    EXPECT_EQ(s.executed(), s.submitted);
+    EXPECT_LE(s.steals, s.caller_tasks); // steals are caller-executed
+}
+
+TEST(ThreadPool, SerialPoolStatsCountInlineCallerTasks)
+{
+    engine::ThreadPool pool(1);
+    pool.submit([] {}).get();
+    pool.parallelFor(0, 5, [](size_t) {});
+    engine::ThreadPool::Stats s = pool.stats();
+    EXPECT_TRUE(s.worker_tasks.empty());
+    EXPECT_EQ(s.submitted, 6u);
+    EXPECT_EQ(s.caller_tasks, 6u);
+    EXPECT_EQ(s.steals, 0u); // inline runs are not steals
+    EXPECT_EQ(s.executed(), s.submitted);
+}
+
+TEST(PlanCache, StatsCountBuildsSeparatelyFromMisses)
+{
+    engine::PlanCache cache;
+    const auto& prime = testBasis().prime(0);
+    (void)cache.get(prime, 64);
+    engine::PlanCache::Stats cold = cache.stats();
+    EXPECT_EQ(cold.misses, 1u);
+    EXPECT_EQ(cold.builds, 1u);
+    EXPECT_GT(cold.build_ns, 0u);
+
+    // Warm second lookup: one hit, zero new builds, no new build time.
+    (void)cache.get(prime, 64);
+    engine::PlanCache::Stats warm = cache.stats();
+    EXPECT_EQ(warm.hits, 1u);
+    EXPECT_EQ(warm.misses, 1u);
+    EXPECT_EQ(warm.builds, 1u);
+    EXPECT_EQ(warm.build_ns, cold.build_ns);
+
+    // Negacyclic tables on a fresh key: the plan build and the twist
+    // build are timed separately (one get call, two derivations).
+    (void)cache.getNegacyclic(prime, 128);
+    engine::PlanCache::Stats after = cache.stats();
+    EXPECT_EQ(after.misses, 2u);
+    EXPECT_EQ(after.builds, 3u);
+    EXPECT_LE(after.builds, after.misses + cache.planCount() +
+                                cache.negacyclicCount());
+    EXPECT_GT(after.build_ns, warm.build_ns);
+}
+
 TEST(ThreadPool, DefaultThreadCountHonorsMqxThreadsEnv)
 {
     const char* old = std::getenv("MQX_THREADS");
