@@ -50,8 +50,14 @@ renderPressureTable(const std::string& title, const AnalysisResult& result)
 {
     TextTable table(title + " - resource pressure by instruction:");
     std::vector<std::string> header;
-    for (int p = 0; p < kNumPorts; ++p)
-        header.push_back("[" + std::to_string(p) + "]");
+    for (int p = 0; p < kNumPorts; ++p) {
+        // Built by append rather than operator+ chaining: GCC 12's
+        // -Wrestrict misfires on char*+string&& concatenation (PR105651).
+        std::string label = "[";
+        label += std::to_string(p);
+        label += ']';
+        header.push_back(std::move(label));
+    }
     header.push_back("Instructions:");
     table.setHeader(std::move(header));
     auto cell = [](double v) {

@@ -178,10 +178,8 @@ inverseScalarLazy(const NttPlan& plan, DConstSpan in, DSpan out,
     const mod::DW<uint64_t> dn = mod::toDw(plan.nInv());
     const mod::DW<uint64_t> dnq = mod::toDw(plan.nInvShoup());
     for (size_t i = 0; i < plan.n(); ++i) {
-        mod::DW<uint64_t> x{out.hi[i], out.lo[i]};
-        auto r = mod::condSubDw(mod::mulModShoup(x, dn, dnq, q, algo), q);
-        out.hi[i] = r.hi;
-        out.lo[i] = r.lo;
+        detail::mulShoupCanonElementScalar(q, out.hi, out.lo, out.hi, out.lo,
+                                           dn, dnq, i, algo);
     }
 }
 
@@ -304,10 +302,8 @@ inverseScalarLazy4(const NttPlan& plan, DConstSpan in, DSpan out,
     const mod::DW<uint64_t> dn = mod::toDw(plan.nInv());
     const mod::DW<uint64_t> dnq = mod::toDw(plan.nInvShoup());
     for (size_t i = 0; i < plan.n(); ++i) {
-        mod::DW<uint64_t> x{out.hi[i], out.lo[i]};
-        auto r = mod::condSubDw(mod::mulModShoup(x, dn, dnq, q, algo), q);
-        out.hi[i] = r.hi;
-        out.lo[i] = r.lo;
+        detail::mulShoupCanonElementScalar(q, out.hi, out.lo, out.hi, out.lo,
+                                           dn, dnq, i, algo);
     }
 }
 
@@ -351,12 +347,9 @@ vmulShoupScalar(const Modulus& m, DConstSpan a, DConstSpan t, DConstSpan tq,
              "vmulShoup: length mismatch");
     const mod::DW<uint64_t> q = mod::toDw(m.value());
     for (size_t i = 0; i < a.n; ++i) {
-        mod::DW<uint64_t> x{a.hi[i], a.lo[i]};
-        mod::DW<uint64_t> w{t.hi[i], t.lo[i]};
-        mod::DW<uint64_t> wq{tq.hi[i], tq.lo[i]};
-        auto r = mod::condSubDw(mod::mulModShoup(x, w, wq, q, algo), q);
-        c.hi[i] = r.hi;
-        c.lo[i] = r.lo;
+        detail::mulShoupCanonElementScalar(
+            q, a.hi, a.lo, c.hi, c.lo, mod::DW<uint64_t>{t.hi[i], t.lo[i]},
+            mod::DW<uint64_t>{tq.hi[i], tq.lo[i]}, i, algo);
     }
 }
 

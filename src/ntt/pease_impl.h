@@ -43,6 +43,9 @@
  */
 #pragma once
 
+#include <cstdio>
+
+#include "mod/range_checked.h"
 #include "ntt/plan.h"
 #include "simd/dw_kernels.h"
 
@@ -181,8 +184,18 @@ inverseButterflyScalar(const mod::Barrett<uint64_t>& br,
     dst_lo[j + h] = x1.lo;
 }
 
-/** Scalar lazy forward butterfly: [0,2q) in, [0,2q) out (canonical when
- *  @p last — the fused final-stage canonicalization). */
+/**
+ * Scalar lazy forward butterfly: [0,2q) in, [0,2q) out (canonical when
+ * @p last — the fused final-stage canonicalization).
+ *
+ * Templated over the range-contract arithmetic policy
+ * (mod/range_checked.h): the default instantiation is the production
+ * unchecked arithmetic (or the checked algebra under MQX_RANGE_AUDIT);
+ * the contract tests instantiate mod::CheckedLazyOps explicitly. All
+ * policies share this one source, so the checked kernels are
+ * bit-identical to the unchecked ones by construction.
+ */
+template <class A = mod::DefaultLazyOps>
 inline void
 forwardButterflyLazyScalar(const mod::DW<uint64_t>& q,
                            const mod::DW<uint64_t>& q2,
@@ -194,27 +207,25 @@ forwardButterflyLazyScalar(const mod::DW<uint64_t>& q,
                            MulAlgo algo)
 {
     size_t e = NttPlan::stageTwiddleIndex(s, j);
-    mod::DW<uint64_t> a{src_hi[j], src_lo[j]};
-    mod::DW<uint64_t> b{src_hi[j + h], src_lo[j + h]};
-    mod::DW<uint64_t> w{tw_hi[e], tw_lo[e]};
-    mod::DW<uint64_t> wq{twq_hi[e], twq_lo[e]};
-    mod::DW<uint64_t> t, d;
-    mod::addDw(a, b, t);                     // < 4q
-    auto u = mod::condSubDw(t, q2);          // [0, 2q)
-    mod::addDw(a, q2, d);
-    mod::subDw(d, b, d);                     // a - b + 2q in (0, 4q)
-    auto v = mod::mulModShoup(d, w, wq, q, algo); // [0, 2q)
+    auto a = A::load2q(src_hi, src_lo, j, q);
+    auto b = A::load2q(src_hi, src_lo, j + h, q);
+    auto w = A::twiddle(mod::DW<uint64_t>{tw_hi[e], tw_lo[e]}, q);
+    const mod::DW<uint64_t> wq{twq_hi[e], twq_lo[e]};
+    auto u = A::condSub2q(A::add(a, b, q), q2, q);       // [0, 2q)
+    auto v = A::mulShoup(A::subRaw(a, b, q2, q),         // a - b + 2q < 4q
+                         w, wq, q, algo);                // [0, 2q)
     if (last) {
-        u = mod::condSubDw(u, q);
-        v = mod::condSubDw(v, q);
+        A::store(dst_hi, dst_lo, 2 * j, A::canon(u, q));
+        A::store(dst_hi, dst_lo, 2 * j + 1, A::canon(v, q));
+    } else {
+        A::store(dst_hi, dst_lo, 2 * j, u);
+        A::store(dst_hi, dst_lo, 2 * j + 1, v);
     }
-    dst_hi[2 * j] = u.hi;
-    dst_lo[2 * j] = u.lo;
-    dst_hi[2 * j + 1] = v.hi;
-    dst_lo[2 * j + 1] = v.lo;
 }
 
-/** Scalar lazy inverse butterfly: [0,2q) in, [0,2q) out. */
+/** Scalar lazy inverse butterfly: [0,2q) in, [0,2q) out. Policy-
+ *  templated like forwardButterflyLazyScalar. */
+template <class A = mod::DefaultLazyOps>
 inline void
 inverseButterflyLazyScalar(const mod::DW<uint64_t>& q,
                            const mod::DW<uint64_t>& q2,
@@ -225,21 +236,15 @@ inverseButterflyLazyScalar(const mod::DW<uint64_t>& q,
                            size_t j, size_t h, int s, MulAlgo algo)
 {
     size_t e = NttPlan::stageTwiddleIndex(s, j);
-    mod::DW<uint64_t> u{src_hi[2 * j], src_lo[2 * j]};
-    mod::DW<uint64_t> v{src_hi[2 * j + 1], src_lo[2 * j + 1]};
-    mod::DW<uint64_t> w{tw_hi[e], tw_lo[e]};
-    mod::DW<uint64_t> wq{twq_hi[e], twq_lo[e]};
-    auto t = mod::mulModShoup(v, w, wq, q, algo); // [0, 2q)
-    mod::DW<uint64_t> s0, s1;
-    mod::addDw(u, t, s0);                         // < 4q
-    auto x0 = mod::condSubDw(s0, q2);             // [0, 2q)
-    mod::addDw(u, q2, s1);
-    mod::subDw(s1, t, s1);                        // u - t + 2q in (0, 4q)
-    auto x1 = mod::condSubDw(s1, q2);             // [0, 2q)
-    dst_hi[j] = x0.hi;
-    dst_lo[j] = x0.lo;
-    dst_hi[j + h] = x1.hi;
-    dst_lo[j + h] = x1.lo;
+    auto u = A::load2q(src_hi, src_lo, 2 * j, q);
+    auto v = A::load2q(src_hi, src_lo, 2 * j + 1, q);
+    auto w = A::twiddle(mod::DW<uint64_t>{tw_hi[e], tw_lo[e]}, q);
+    const mod::DW<uint64_t> wq{twq_hi[e], twq_lo[e]};
+    auto t = A::mulShoup(v, w, wq, q, algo);             // [0, 2q)
+    auto x0 = A::condSub2q(A::add(u, t, q), q2, q);      // [0, 2q)
+    auto x1 = A::condSub2q(A::subRaw(u, t, q2, q), q2, q);
+    A::store(dst_hi, dst_lo, j, x0);
+    A::store(dst_hi, dst_lo, j + h, x1);
 }
 
 /**
@@ -253,6 +258,7 @@ inverseButterflyLazyScalar(const mod::DW<uint64_t>& q,
  * loads out of the loop — the compiler cannot, because the dst stores
  * may alias the twiddle tables as far as it knows.
  */
+template <class A = mod::DefaultLazyOps>
 inline void
 forwardButterfly4LazyCore(const mod::DW<uint64_t>& q,
                           const mod::DW<uint64_t>& q2,
@@ -269,47 +275,34 @@ forwardButterfly4LazyCore(const mod::DW<uint64_t>& q,
                           bool last, MulAlgo algo)
 {
     const size_t h2 = h / 2;
-    mod::DW<uint64_t> a{src_hi[p], src_lo[p]};
-    mod::DW<uint64_t> b{src_hi[p + h2], src_lo[p + h2]};
-    mod::DW<uint64_t> c{src_hi[p + h], src_lo[p + h]};
-    mod::DW<uint64_t> d{src_hi[p + h + h2], src_lo[p + h + h2]};
-    mod::DW<uint64_t> t, r;
+    auto a = A::load2q(src_hi, src_lo, p, q);
+    auto b = A::load2q(src_hi, src_lo, p + h2, q);
+    auto c = A::load2q(src_hi, src_lo, p + h, q);
+    auto d = A::load2q(src_hi, src_lo, p + h + h2, q);
+    auto tw0 = A::twiddle(w0, q);
+    auto tw1 = A::twiddle(w1, q);
+    auto twb = A::twiddle(wb, q);
     // First layer (stage s): butterflies p and p + h/2.
-    mod::addDw(a, c, t);
-    auto u0 = mod::condSubDw(t, q2);
-    mod::addDw(a, q2, r);
-    mod::subDw(r, c, r);
-    auto v0 = mod::mulModShoup(r, w0, w0q, q, algo);
-    mod::addDw(b, d, t);
-    auto u1 = mod::condSubDw(t, q2);
-    mod::addDw(b, q2, r);
-    mod::subDw(r, d, r);
-    auto v1 = mod::mulModShoup(r, w1, w1q, q, algo);
+    auto u0 = A::condSub2q(A::add(a, c, q), q2, q);
+    auto v0 = A::mulShoup(A::subRaw(a, c, q2, q), tw0, w0q, q, algo);
+    auto u1 = A::condSub2q(A::add(b, d, q), q2, q);
+    auto v1 = A::mulShoup(A::subRaw(b, d, q2, q), tw1, w1q, q, algo);
     // Second layer (stage s+1): butterflies 2p and 2p+1 share pow[eb].
-    mod::addDw(u0, u1, t);
-    auto z0 = mod::condSubDw(t, q2);
-    mod::addDw(u0, q2, r);
-    mod::subDw(r, u1, r);
-    auto z1 = mod::mulModShoup(r, wb, wbq, q, algo);
-    mod::addDw(v0, v1, t);
-    auto z2 = mod::condSubDw(t, q2);
-    mod::addDw(v0, q2, r);
-    mod::subDw(r, v1, r);
-    auto z3 = mod::mulModShoup(r, wb, wbq, q, algo);
+    auto z0 = A::condSub2q(A::add(u0, u1, q), q2, q);
+    auto z1 = A::mulShoup(A::subRaw(u0, u1, q2, q), twb, wbq, q, algo);
+    auto z2 = A::condSub2q(A::add(v0, v1, q), q2, q);
+    auto z3 = A::mulShoup(A::subRaw(v0, v1, q2, q), twb, wbq, q, algo);
     if (last) {
-        z0 = mod::condSubDw(z0, q);
-        z1 = mod::condSubDw(z1, q);
-        z2 = mod::condSubDw(z2, q);
-        z3 = mod::condSubDw(z3, q);
+        A::store(dst_hi, dst_lo, 4 * p, A::canon(z0, q));
+        A::store(dst_hi, dst_lo, 4 * p + 1, A::canon(z1, q));
+        A::store(dst_hi, dst_lo, 4 * p + 2, A::canon(z2, q));
+        A::store(dst_hi, dst_lo, 4 * p + 3, A::canon(z3, q));
+    } else {
+        A::store(dst_hi, dst_lo, 4 * p, z0);
+        A::store(dst_hi, dst_lo, 4 * p + 1, z1);
+        A::store(dst_hi, dst_lo, 4 * p + 2, z2);
+        A::store(dst_hi, dst_lo, 4 * p + 3, z3);
     }
-    dst_hi[4 * p] = z0.hi;
-    dst_lo[4 * p] = z0.lo;
-    dst_hi[4 * p + 1] = z1.hi;
-    dst_lo[4 * p + 1] = z1.lo;
-    dst_hi[4 * p + 2] = z2.hi;
-    dst_lo[4 * p + 2] = z2.lo;
-    dst_hi[4 * p + 3] = z3.hi;
-    dst_lo[4 * p + 3] = z3.lo;
 }
 
 /**
@@ -339,6 +332,7 @@ forwardButterfly4LazyScalar(const mod::DW<uint64_t>& q,
 }
 
 /** Twiddle-valued core of the fused inverse butterfly (see forward). */
+template <class A = mod::DefaultLazyOps>
 inline void
 inverseButterfly4LazyCore(const mod::DW<uint64_t>& q,
                           const mod::DW<uint64_t>& q2,
@@ -355,45 +349,31 @@ inverseButterfly4LazyCore(const mod::DW<uint64_t>& q,
                           MulAlgo algo)
 {
     const size_t h2 = h / 2;
-    mod::DW<uint64_t> z0{src_hi[4 * p], src_lo[4 * p]};
-    mod::DW<uint64_t> z1{src_hi[4 * p + 1], src_lo[4 * p + 1]};
-    mod::DW<uint64_t> z2{src_hi[4 * p + 2], src_lo[4 * p + 2]};
-    mod::DW<uint64_t> z3{src_hi[4 * p + 3], src_lo[4 * p + 3]};
-    mod::DW<uint64_t> t, r;
+    auto z0 = A::load2q(src_hi, src_lo, 4 * p, q);
+    auto z1 = A::load2q(src_hi, src_lo, 4 * p + 1, q);
+    auto z2 = A::load2q(src_hi, src_lo, 4 * p + 2, q);
+    auto z3 = A::load2q(src_hi, src_lo, 4 * p + 3, q);
+    auto tw0 = A::twiddle(w0, q);
+    auto tw1 = A::twiddle(w1, q);
+    auto twb = A::twiddle(wb, q);
     // First layer (inverse stage s_lo + 1): butterflies 2p and 2p+1.
-    auto ta = mod::mulModShoup(z1, wb, wbq, q, algo);
-    mod::addDw(z0, ta, t);
-    auto y0 = mod::condSubDw(t, q2);
-    mod::addDw(z0, q2, r);
-    mod::subDw(r, ta, r);
-    auto yh0 = mod::condSubDw(r, q2);
-    auto tb = mod::mulModShoup(z3, wb, wbq, q, algo);
-    mod::addDw(z2, tb, t);
-    auto y1 = mod::condSubDw(t, q2);
-    mod::addDw(z2, q2, r);
-    mod::subDw(r, tb, r);
-    auto yh1 = mod::condSubDw(r, q2);
+    auto ta = A::mulShoup(z1, twb, wbq, q, algo);
+    auto y0 = A::condSub2q(A::add(z0, ta, q), q2, q);
+    auto yh0 = A::condSub2q(A::subRaw(z0, ta, q2, q), q2, q);
+    auto tb = A::mulShoup(z3, twb, wbq, q, algo);
+    auto y1 = A::condSub2q(A::add(z2, tb, q), q2, q);
+    auto yh1 = A::condSub2q(A::subRaw(z2, tb, q2, q), q2, q);
     // Second layer (inverse stage s_lo): butterflies p and p + h/2.
-    auto t0 = mod::mulModShoup(y1, w0, w0q, q, algo);
-    mod::addDw(y0, t0, t);
-    auto x0 = mod::condSubDw(t, q2);
-    mod::addDw(y0, q2, r);
-    mod::subDw(r, t0, r);
-    auto x2 = mod::condSubDw(r, q2);
-    auto t1 = mod::mulModShoup(yh1, w1, w1q, q, algo);
-    mod::addDw(yh0, t1, t);
-    auto x1 = mod::condSubDw(t, q2);
-    mod::addDw(yh0, q2, r);
-    mod::subDw(r, t1, r);
-    auto x3 = mod::condSubDw(r, q2);
-    dst_hi[p] = x0.hi;
-    dst_lo[p] = x0.lo;
-    dst_hi[p + h2] = x1.hi;
-    dst_lo[p + h2] = x1.lo;
-    dst_hi[p + h] = x2.hi;
-    dst_lo[p + h] = x2.lo;
-    dst_hi[p + h + h2] = x3.hi;
-    dst_lo[p + h + h2] = x3.lo;
+    auto t0 = A::mulShoup(y1, tw0, w0q, q, algo);
+    auto x0 = A::condSub2q(A::add(y0, t0, q), q2, q);
+    auto x2 = A::condSub2q(A::subRaw(y0, t0, q2, q), q2, q);
+    auto t1 = A::mulShoup(yh1, tw1, w1q, q, algo);
+    auto x1 = A::condSub2q(A::add(yh0, t1, q), q2, q);
+    auto x3 = A::condSub2q(A::subRaw(yh0, t1, q2, q), q2, q);
+    A::store(dst_hi, dst_lo, p, x0);
+    A::store(dst_hi, dst_lo, p + h2, x1);
+    A::store(dst_hi, dst_lo, p + h, x2);
+    A::store(dst_hi, dst_lo, p + h + h2, x3);
 }
 
 /**
@@ -422,11 +402,57 @@ inverseButterfly4LazyScalar(const mod::DW<uint64_t>& q,
                               w1, w1q, wb, wbq, p, h, algo);
 }
 
+/**
+ * One element of a canonicalizing Shoup multiply by a fixed canonical
+ * multiplicand: dst[i] = src[i] * w mod q in [0, q), for src[i] in
+ * [0, 2q). Shared by the scalar vmulShoup kernels (negacyclic
+ * twist/untwist — src canonical there) and the inverse NTT's fused
+ * n^-1 scaling pass (src in [0, 2q)). In-place (dst == src) is legal.
+ * Policy-templated like the butterflies.
+ */
+template <class A = mod::DefaultLazyOps>
+inline void
+mulShoupCanonElementScalar(const mod::DW<uint64_t>& q,
+                           const uint64_t* src_hi, const uint64_t* src_lo,
+                           uint64_t* dst_hi, uint64_t* dst_lo,
+                           const mod::DW<uint64_t>& w,
+                           const mod::DW<uint64_t>& wq, size_t i,
+                           MulAlgo algo)
+{
+    auto x = A::load2q(src_hi, src_lo, i, q);
+    auto r = A::canon(A::mulShoup(x, A::twiddle(w, q), wq, q, algo), q);
+    A::store(dst_hi, dst_lo, i, r);
+}
+
+/**
+ * Cold half of validateNttArgs: formats the offending buffer geometry
+ * (hi/lo base pointers and lengths, plus the plan's n) into the
+ * exception message. Out of line and noinline so the per-transform hot
+ * path pays only the comparisons, never the formatting.
+ */
+[[noreturn]] MQX_NO_INLINE inline void
+failNttArgs(const char* reason, const NttPlan& plan, DConstSpan in,
+            DConstSpan out, DConstSpan scratch)
+{
+    char buf[384];
+    std::snprintf(buf, sizeof buf,
+                  "%s (plan n=%zu; in hi=%p lo=%p n=%zu; "
+                  "out hi=%p lo=%p n=%zu; scratch hi=%p lo=%p n=%zu)",
+                  reason, plan.n(), static_cast<const void*>(in.hi),
+                  static_cast<const void*>(in.lo), in.n,
+                  static_cast<const void*>(out.hi),
+                  static_cast<const void*>(out.lo), out.n,
+                  static_cast<const void*>(scratch.hi),
+                  static_cast<const void*>(scratch.lo), scratch.n);
+    throw InvalidArgument(buf);
+}
+
 inline void
 validateNttArgs(const NttPlan& plan, DConstSpan in, DSpan out, DSpan scratch)
 {
-    checkArg(in.n == plan.n() && out.n == plan.n() && scratch.n == plan.n(),
-             "ntt: buffer sizes must equal the plan size");
+    if (in.n != plan.n() || out.n != plan.n() || scratch.n != plan.n())
+        failNttArgs("ntt: buffer sizes must equal the plan size", plan, in,
+                    out, scratch);
     // The ping-pong is out-of-place: reject ANY storage sharing between
     // the three buffers — identical spans, aliased lo arrays, and mixed
     // hi/lo overlap included (the span-overlap contract of the SoA
@@ -434,9 +460,10 @@ validateNttArgs(const NttPlan& plan, DConstSpan in, DSpan out, DSpan scratch)
     auto overlaps = [](DConstSpan a, DConstSpan b) {
         return sameSpan(a, b) || spansPartiallyOverlap(a, b);
     };
-    checkArg(!overlaps(in, out) && !overlaps(in, scratch) &&
-                 !overlaps(out, scratch),
-             "ntt: in/out/scratch must be distinct, non-overlapping buffers");
+    if (overlaps(in, out) || overlaps(in, scratch) || overlaps(out, scratch))
+        failNttArgs(
+            "ntt: in/out/scratch must be distinct, non-overlapping buffers",
+            plan, in, out, scratch);
 }
 
 } // namespace detail
@@ -697,10 +724,8 @@ peaseInverseLazyImpl(const NttPlan& plan, DConstSpan in, DSpan out,
     const mod::DW<uint64_t> dn = mod::toDw(n_inv);
     const mod::DW<uint64_t> dnq = mod::toDw(n_inv_sh);
     for (; i < plan.n(); ++i) {
-        mod::DW<uint64_t> x{out.hi[i], out.lo[i]};
-        auto r = mod::condSubDw(mod::mulModShoup(x, dn, dnq, q, algo), q);
-        out.hi[i] = r.hi;
-        out.lo[i] = r.lo;
+        detail::mulShoupCanonElementScalar(q, out.hi, out.lo, out.hi, out.lo,
+                                           dn, dnq, i, algo);
     }
 }
 
@@ -968,10 +993,8 @@ peaseInverse4LazyImpl(const NttPlan& plan, DConstSpan in, DSpan out,
     const mod::DW<uint64_t> dn = mod::toDw(n_inv);
     const mod::DW<uint64_t> dnq = mod::toDw(n_inv_sh);
     for (; i < plan.n(); ++i) {
-        mod::DW<uint64_t> x{out.hi[i], out.lo[i]};
-        auto r = mod::condSubDw(mod::mulModShoup(x, dn, dnq, q, algo), q);
-        out.hi[i] = r.hi;
-        out.lo[i] = r.lo;
+        detail::mulShoupCanonElementScalar(q, out.hi, out.lo, out.hi, out.lo,
+                                           dn, dnq, i, algo);
     }
 }
 
@@ -1001,12 +1024,9 @@ vmulShoupImpl(const Modulus& m, DConstSpan a, DConstSpan t, DConstSpan tq,
     }
     const mod::DW<uint64_t> q = mod::toDw(m.value());
     for (; i < a.n; ++i) {
-        mod::DW<uint64_t> x{a.hi[i], a.lo[i]};
-        mod::DW<uint64_t> w{t.hi[i], t.lo[i]};
-        mod::DW<uint64_t> wq{tq.hi[i], tq.lo[i]};
-        auto r = mod::condSubDw(mod::mulModShoup(x, w, wq, q, algo), q);
-        c.hi[i] = r.hi;
-        c.lo[i] = r.lo;
+        detail::mulShoupCanonElementScalar(
+            q, a.hi, a.lo, c.hi, c.lo, mod::DW<uint64_t>{t.hi[i], t.lo[i]},
+            mod::DW<uint64_t>{tq.hi[i], tq.lo[i]}, i, algo);
     }
 }
 

@@ -58,8 +58,12 @@ validationMapping(ValidationPair pair)
 }
 
 void
-runValidationNtt(ValidationPair pair, bool use_proxy, const ntt::NttPlan& plan,
-                 DConstSpan in, DSpan out, DSpan scratch)
+// All parameters after `pair` are consumed only inside the ISA-gated
+// blocks; a portable-only build preprocesses every use away.
+runValidationNtt(ValidationPair pair, [[maybe_unused]] bool use_proxy,
+                 [[maybe_unused]] const ntt::NttPlan& plan,
+                 [[maybe_unused]] DConstSpan in, [[maybe_unused]] DSpan out,
+                 [[maybe_unused]] DSpan scratch)
 {
     switch (pair) {
       case ValidationPair::Avx2WideningMul:

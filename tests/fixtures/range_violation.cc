@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Deliberate range-contract violation for the negative compile test.
+ *
+ * Compiled with `-fsyntax-only` by two ctest entries (see the
+ * "Negative compile tests" block in CMakeLists.txt):
+ *
+ *   range_contract_violation  -DMQX_VIOLATION=1  must FAIL (WILL_FAIL)
+ *   range_contract_control    -DMQX_VIOLATION=0  must pass (proves the
+ *                                                harness itself builds)
+ *
+ * The violating butterfly skips the condSubDw() reduction and feeds a
+ * [0, 4q) transient straight back into the next stage's sum, then
+ * multiplies by an unreduced stage operand instead of a canonical
+ * twiddle — both classic lazy-NTT wraparound bugs that Lazy<Bound>
+ * exists to reject at compile time.
+ */
+#include "mod/range_checked.h"
+
+namespace {
+
+using namespace mqx;
+using Dw = mod::DW<uint64_t>;
+
+/** The legal chain: one full lazy butterfly, types flowing correctly. */
+mod::Lazy<mod::Bound::Q>
+legalButterfly(const mod::Lazy<mod::Bound::TwoQ>& a,
+               const mod::Lazy<mod::Bound::TwoQ>& b,
+               const mod::Lazy<mod::Bound::Q>& w, const Dw& wq, const Dw& q2,
+               const Dw& q)
+{
+    auto u = mod::condSubDw(mod::addModLazy(a, b, q), q2, q);
+    auto v = mod::mulModShoup(mod::subModLazyRaw(a, b, q2, q), w, wq, q);
+    (void)v;
+    return mod::canonicalize(u, q);
+}
+
+#if MQX_VIOLATION
+
+mod::Lazy<mod::Bound::TwoQ>
+brokenButterfly(const mod::Lazy<mod::Bound::TwoQ>& a,
+                const mod::Lazy<mod::Bound::TwoQ>& b, const Dw& wq,
+                const Dw& q2, const Dw& q)
+{
+    // VIOLATION 1: transient (< 4q) fed back into the sum without the
+    // conditional subtract — overflows past 4q on real inputs.
+    auto t = mod::addModLazy(a, b, q); // Lazy<FourQ>
+    auto overflow = mod::addModLazy(t, b, q);
+    // VIOLATION 2: Shoup multiply by an unreduced stage operand — the
+    // precomputed-quotient form requires a canonical (< q) multiplicand.
+    return mod::mulModShoup(overflow, b, wq, q);
+}
+
+#endif
+
+} // namespace

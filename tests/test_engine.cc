@@ -85,10 +85,12 @@ TEST(Integration, BackendAvailabilityIsConsistent)
     EXPECT_TRUE(backendAvailable(Backend::Scalar));
     EXPECT_TRUE(backendAvailable(Backend::Portable));
     const CpuFeatures& f = hostCpuFeatures();
-    if (backendAvailable(Backend::Avx512))
+    if (backendAvailable(Backend::Avx512)) {
         EXPECT_TRUE(f.hasAvx512());
-    if (backendAvailable(Backend::Avx2))
+    }
+    if (backendAvailable(Backend::Avx2)) {
         EXPECT_TRUE(f.avx2);
+    }
     EXPECT_EQ(backendAvailable(Backend::MqxEmulate),
               backendAvailable(Backend::MqxPisa));
     // bestBackend is correct and available.

@@ -179,8 +179,9 @@ TEST(Dw64, AlgebraicProperties)
         EXPECT_EQ(m.mul(a, U128{1}), a);
         EXPECT_EQ(m.add(a, U128{0}), a);
         EXPECT_EQ(m.sub(m.add(a, b), b), a);
-        if (!a.isZero())
+        if (!a.isZero()) {
             EXPECT_EQ(m.mul(a, m.inverse(a)), U128{1});
+        }
     }
 }
 

@@ -6,6 +6,8 @@
  */
 #include <gtest/gtest.h>
 
+#include <cstdio>
+
 #include "ntt/ntt.h"
 #include "ntt/reference_ntt.h"
 #include "test_util.h"
@@ -605,6 +607,58 @@ TEST(NttErrors, RejectsLoAndMixedAliasing)
 
     // Fully distinct buffers still work.
     EXPECT_NO_THROW(ntt::forward(plan, Backend::Scalar, sa, sb, sc));
+}
+
+TEST(NttErrors, MessagesCarryBufferGeometry)
+{
+    // The validation error text names the offending pointers and
+    // lengths plus the plan's n, so a failing dispatch log identifies
+    // WHICH buffer is wrong without a debugger.
+    ntt::NttPlan plan(testPrime(), 16);
+    ResidueVector a(16), b(16), c(8);
+    try {
+        ntt::forward(plan, Backend::Scalar, a.span(), b.span(), c.span());
+        FAIL() << "size mismatch not rejected";
+    } catch (const InvalidArgument& e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("buffer sizes must equal the plan size"),
+                  std::string::npos)
+            << msg;
+        EXPECT_NE(msg.find("plan n=16"), std::string::npos) << msg;
+        // The offending scratch length and every buffer's base pointers
+        // are spelled out.
+        EXPECT_NE(msg.find("scratch hi="), std::string::npos) << msg;
+        EXPECT_NE(msg.find("n=8"), std::string::npos) << msg;
+        char ptr[32];
+        std::snprintf(ptr, sizeof ptr, "%p",
+                      static_cast<const void*>(a.span().hi));
+        EXPECT_NE(msg.find(ptr), std::string::npos) << msg;
+    }
+    try {
+        ntt::forward(plan, Backend::Scalar, a.span(), a.span(), b.span());
+        FAIL() << "aliasing not rejected";
+    } catch (const InvalidArgument& e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("distinct, non-overlapping"), std::string::npos)
+            << msg;
+        EXPECT_NE(msg.find("plan n=16"), std::string::npos) << msg;
+    }
+    // The scratch-aliasing rejection carries the same geometry report
+    // (out and scratch sharing one lo array).
+    ResidueVector d(16);
+    DSpan shared{d.span().hi, b.span().lo, 16};
+    try {
+        ntt::forward(plan, Backend::Scalar, a.span(), b.span(), shared);
+        FAIL() << "scratch aliasing not rejected";
+    } catch (const InvalidArgument& e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("distinct, non-overlapping"), std::string::npos)
+            << msg;
+        char ptr[32];
+        std::snprintf(ptr, sizeof ptr, "%p",
+                      static_cast<const void*>(b.span().lo));
+        EXPECT_NE(msg.find(ptr), std::string::npos) << msg;
+    }
 }
 
 TEST(NttOrdering, ForwardIsBitReversedReference)

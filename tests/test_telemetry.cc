@@ -218,8 +218,9 @@ TEST(Histogram, BucketIndexRoundTripsThroughBounds)
         Histogram::bucketBounds(idx, lo, hi);
         ASSERT_LE(lo, v) << "bucket " << idx;
         ASSERT_GE(hi, v) << "bucket " << idx;
-        if (v < Histogram::kSub)
+        if (v < Histogram::kSub) {
             ASSERT_EQ(lo, hi); // exact small values
+        }
     }
 
     // Adjacent buckets tile: upper(i) + 1 == lower(i + 1).
@@ -227,8 +228,9 @@ TEST(Histogram, BucketIndexRoundTripsThroughBounds)
     for (size_t i = 0; i < Histogram::kBuckets; ++i) {
         uint64_t lo = 0, hi = 0;
         Histogram::bucketBounds(i, lo, hi);
-        if (i > 0)
+        if (i > 0) {
             ASSERT_EQ(lo, prev_hi + 1) << "gap before bucket " << i;
+        }
         ASSERT_GE(hi, lo);
         prev_hi = hi;
         if (hi == UINT64_MAX)
@@ -400,8 +402,9 @@ TEST(Snapshot, JsonIsWellFormedAndContainsRegisteredNames)
     EXPECT_NE(json.find("\"layout.from_u128\""), std::string::npos);
     EXPECT_NE(json.find("\"counters\""), std::string::npos);
     EXPECT_NE(json.find("\"spans\""), std::string::npos);
-    if (telemetry::compiledIn())
+    if (telemetry::compiledIn()) {
         EXPECT_NE(json.find("\"test.snapshot.span\""), std::string::npos);
+    }
 }
 
 TEST(Snapshot, LayoutMetricsWrapperStillCounts)

@@ -1,0 +1,14 @@
+/** Fixture: an unaligned channel buffer in a residue-data layer. */
+#include <cstdint>
+#include <vector>
+
+namespace {
+
+void
+makeChannel()
+{
+    std::vector<uint64_t> buf(8); // aligned-alloc: bypasses the funnel
+    buf[0] = 1;
+}
+
+} // namespace

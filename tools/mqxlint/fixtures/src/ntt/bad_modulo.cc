@@ -1,0 +1,12 @@
+/** Fixture: runtime-divisor modulo in a hot-path directory. */
+
+namespace {
+
+unsigned long
+wrapIndex(unsigned long i, unsigned long n)
+{
+    unsigned long lane = i % 8; // literal divisor: clean (mask)
+    return (i + lane) % n;      // hot-modulo: runtime divisor
+}
+
+} // namespace

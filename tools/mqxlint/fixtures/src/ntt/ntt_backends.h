@@ -1,0 +1,20 @@
+/**
+ * Fixture backends header: three declarations in the scanned
+ * `namespace backends` region.
+ *  - forwardScalar: defined in ntt_scalar.cc with validation (clean).
+ *  - rawScalar: defined WITHOUT validation (fires dspan-validate once).
+ *  - missingScalar: never defined (fires backend-coverage once).
+ */
+#pragma once
+
+namespace mqx {
+namespace ntt {
+namespace backends {
+
+void forwardScalar(const NttPlan&, DConstSpan, DSpan, DSpan);
+void rawScalar(const NttPlan&, DConstSpan, DSpan);
+void missingScalar(const NttPlan&, DConstSpan, DSpan);
+
+} // namespace backends
+} // namespace ntt
+} // namespace mqx

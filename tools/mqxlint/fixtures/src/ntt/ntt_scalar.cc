@@ -1,0 +1,23 @@
+/** Fixture scalar TU: one validating entry point, one violating. */
+#include "ntt/ntt_backends.h"
+
+namespace mqx {
+namespace ntt {
+namespace backends {
+
+void
+forwardScalar(const NttPlan& plan, DConstSpan in, DSpan out, DSpan scratch)
+{
+    detail::validateNttArgs(plan, in, out, scratch);
+}
+
+void
+rawScalar(const NttPlan& plan, DConstSpan in, DSpan out)
+{
+    // dspan-validate: DSpan arguments used with no validation call.
+    out.hi[0] = in.hi[0];
+}
+
+} // namespace backends
+} // namespace ntt
+} // namespace mqx

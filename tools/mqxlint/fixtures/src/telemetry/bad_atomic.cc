@@ -1,0 +1,15 @@
+/** Fixture: one atomic op with an explicit order, one silent seq_cst. */
+#include <atomic>
+
+namespace {
+
+std::atomic<unsigned long long> counter{0};
+
+unsigned long long
+bump()
+{
+    counter.fetch_add(1, std::memory_order_relaxed); // explicit: clean
+    return counter.load(); // atomic-order: silent seq_cst
+}
+
+} // namespace
