@@ -16,6 +16,7 @@
 #include <fstream>
 #include <memory>
 
+#include "core/batch_layout.h"
 #include "engine/thread_pool.h"
 
 using namespace mqx;
@@ -48,6 +49,72 @@ measureFwdInvNs(Backend be, const ntt::NttPlan& plan, size_t n,
     // shared hosts, and the trajectory file must be comparable across
     // PRs run on different machines.
     return m.min_ns;
+}
+
+/**
+ * Batch scenario: k channels' fwd+inv through the interleaved batch
+ * kernels (packed layout, pack/unpack excluded from the timed region)
+ * vs k per-channel radix-2 transforms — the ROADMAP item 2 measurement.
+ * Returns {per_channel_ns, batch_ns} for one (backend, k, n).
+ */
+std::pair<double, double>
+measureBatchFwdInvNs(Backend be, const ntt::NttPlan& plan, size_t n, size_t k,
+                     int total, int kept)
+{
+    const size_t il = ntt::batchInterleave(be);
+    const BatchLayout layout(n, k, il);
+
+    std::vector<ResidueVector> lanes;
+    std::vector<DConstSpan> lane_spans;
+    for (size_t c = 0; c < k; ++c) {
+        lanes.push_back(ResidueVector::fromU128(
+            randomResidues(n, plan.modulus().value(), 0xba7c + 31 * c)));
+    }
+    for (auto& v : lanes)
+        lane_spans.push_back(v.span());
+
+    // Per-channel baseline: k independent fwd+inv pairs, radix-2
+    // Shoup-lazy (the same wiring the batch kernels run).
+    ResidueVector mid(n), out(n), scratch(n);
+    Measurement per = runProtocol(
+        [&] {
+            for (size_t c = 0; c < k; ++c) {
+                ntt::forward(plan, be, lane_spans[c], mid.span(),
+                             scratch.span(), MulAlgo::Schoolbook,
+                             Reduction::ShoupLazy, StageFusion::Radix2);
+                ntt::inverse(plan, be, mid.span(), out.span(), scratch.span(),
+                             MulAlgo::Schoolbook, Reduction::ShoupLazy,
+                             StageFusion::Radix2);
+            }
+        },
+        total, kept);
+
+    // Interleaved path: pack once outside the timed region (batch
+    // residency — the Engine reuses packed operands across stages), then
+    // sweep each group of il lanes with one batched fwd+inv.
+    ResidueVector packed_in(layout.totalWords()),
+        packed_mid(layout.totalWords()), packed_out(layout.totalWords()),
+        packed_scratch(layout.totalWords());
+    batch::packLanes(layout, lane_spans.data(), k, packed_in.span());
+    const size_t group_words = il * n;
+    Measurement bat = runProtocol(
+        [&] {
+            for (size_t g = 0; g < layout.groups(); ++g) {
+                const size_t off = g * group_words;
+                DSpan in{packed_in.span().hi + off, packed_in.span().lo + off,
+                         group_words};
+                DSpan gmid{packed_mid.span().hi + off,
+                           packed_mid.span().lo + off, group_words};
+                DSpan gout{packed_out.span().hi + off,
+                           packed_out.span().lo + off, group_words};
+                DSpan gscr{packed_scratch.span().hi + off,
+                           packed_scratch.span().lo + off, group_words};
+                ntt::forwardBatch(plan, be, il, in, gmid, gscr);
+                ntt::inverseBatch(plan, be, il, gmid, gout, gscr);
+            }
+        },
+        total, kept);
+    return {per.min_ns, bat.min_ns};
 }
 
 /** Pinned per-size iteration counts (total/kept) for the JSON mode. */
@@ -204,6 +271,68 @@ runJsonMode(const char* path)
         }
     }
     os << "\n  ],\n";
+
+    // Batch scenario (ROADMAP item 2): k channels swept by the
+    // interleaved kernels vs k per-channel transforms, at the FHE-core
+    // size n = 4096. effective_gbps counts useful lane bytes only
+    // (padding sweeps are the batch path's own overhead), and the DRAM
+    // floor is the paper's Fig. 5a machine — roofline context for the
+    // bytes-swept accounting.
+    os << "  \"batch\": [\n";
+    const size_t batch_n = 4096;
+    ntt::NttPlan batch_plan(prime, batch_n, /*l2_budget=*/0);
+    const size_t batch_swept =
+        batch_plan.bytesSweptPerTransform(StageFusion::Radix2);
+    double batch_speedup_k8 = 0.0;
+    Backend batch_best_backend = best;
+    first = true;
+    for (Backend be : backends) {
+        const size_t il = ntt::batchInterleave(be);
+        for (size_t k : {size_t{4}, size_t{8}, size_t{16}}) {
+            int total = 0, kept = 0;
+            pinnedIters(batch_n, total, kept);
+            auto [per_ns, bat_ns] = measureBatchFwdInvNs(
+                be, batch_plan, batch_n, k, total, kept);
+            const double speedup = bat_ns > 0.0 ? per_ns / bat_ns : 0.0;
+            // One op = k fwd+inv pairs = 2k transforms' worth of sweeps.
+            const double bytes =
+                2.0 * static_cast<double>(k) *
+                static_cast<double>(batch_swept);
+            const double gbps = bat_ns > 0.0 ? bytes / bat_ns : 0.0;
+            const double floor_ns = sol::dramFloorNs(
+                static_cast<size_t>(bytes), sol::intelXeon8352Y());
+            if (k == 8 &&
+                (be == Backend::Avx2 || be == Backend::Avx512) &&
+                speedup > batch_speedup_k8) {
+                batch_speedup_k8 = speedup;
+                batch_best_backend = be;
+            }
+            if (!first)
+                os << ",\n";
+            first = false;
+            os << "    {\"backend\": \"" << backendName(be)
+               << "\", \"n\": " << batch_n << ", \"k\": " << k
+               << ", \"il\": " << il
+               << ", \"per_channel_ns\": " << formatFixed(per_ns, 1)
+               << ", \"batch_ns\": " << formatFixed(bat_ns, 1)
+               << ", \"batch_speedup\": " << formatFixed(speedup, 3)
+               << ", \"effective_gbps\": " << formatFixed(gbps, 2)
+               << ", \"bytes_swept\": "
+               << static_cast<size_t>(bytes)
+               << ", \"dram_floor_ns_8352y\": " << formatFixed(floor_ns, 1)
+               << "}";
+            std::fprintf(stderr,
+                         "  batch %-10s n=%zu k=%2zu il=%zu per=%.0fns "
+                         "batch=%.0fns (%.2fx, %.1f GB/s)\n",
+                         backendName(be).c_str(), batch_n, k, il, per_ns,
+                         bat_ns, speedup, gbps);
+        }
+    }
+    os << "\n  ],\n";
+    os << "  \"batch_speedup_k8_n4096\": " << formatFixed(batch_speedup_k8, 3)
+       << ",\n";
+    os << "  \"batch_backend\": \"" << backendName(batch_best_backend)
+       << "\",\n";
     os << "  \"iters\": \"pinned (40/20 <=4096, 20/10 <=16384, 12/6 above), "
           "min of kept window\",\n";
     os << "  \"fastest_backend\": \"" << backendName(best) << "\",\n";

@@ -67,11 +67,20 @@ enum class Reduction
  * measurements and figure reproduction. The fused kernels are built on
  * the Shoup-lazy arithmetic; Reduction::Barrett (the ablation baseline)
  * always runs the radix-2 stage loop regardless of this knob.
+ *
+ * Auto (the public-API default) resolves to the measured-fastest shape
+ * for the (backend, n) pair via ntt::resolveStageFusion():
+ * BENCH_ntt.json shows fusion is a pure win on Scalar (~1.1-1.2x at
+ * every n) but slightly regresses the vector backends below the largest
+ * sizes (fused_speedup 0.93-0.99 at n <= 16384), where the extra
+ * shuffle work outweighs the saved sweeps. Backends never see Auto —
+ * the dispatcher resolves it first.
  */
 enum class StageFusion
 {
     Radix4, ///< two stages per sweep (default steady state)
     Radix2, ///< one stage per sweep (A/B baseline)
+    Auto,   ///< resolve per (backend, n) from the measured thresholds
 };
 
 /**

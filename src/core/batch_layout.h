@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Channel-major interleaved batch layout (ROADMAP item 2).
+ *
+ * The batch kernels run one butterfly sweep over MANY residue channels
+ * at once, so each stage's Shoup twiddle pair is loaded once and reused
+ * across the whole batch instead of once per channel. To keep every
+ * vector load contiguous, the split hi/lo channel vectors are packed
+ * into channel-major tiles of one cache line each (ParPar's packed
+ * multi-region layout, adapted to split 128-bit residues):
+ *
+ *     tile row r (elements 8r .. 8r+7 of every lane)
+ *     ┌────────────┬────────────┬─────┬──────────────┐
+ *     │ lane 0     │ lane 1     │ ... │ lane IL-1    │   × hi and lo
+ *     │ e 8r..8r+7 │ e 8r..8r+7 │     │  e 8r..8r+7  │
+ *     └────────────┴────────────┴─────┴──────────────┘
+ *       8 words      8 words            8 words
+ *
+ * Element e of lane c lives at flat word
+ *     index(e, c) = ((e/8)·IL + (c%IL))·8 + e%8     (+ group offset)
+ * so a vector load of kLanes ≤ 8 consecutive elements of one lane
+ * never crosses a lane boundary (every backend's kLanes divides 8).
+ * Lanes beyond a multiple of IL go to further groups of IL lanes; a
+ * final partial group is zero-padded so kernels always sweep whole
+ * tiles.
+ */
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+#include "core/config.h"
+#include "core/residue_span.h"
+
+namespace mqx {
+
+/** Geometry of one packed interleaved batch buffer. */
+struct BatchLayout
+{
+    /** Words per lane-tile: one 64-byte cache line of uint64_t. */
+    static constexpr size_t kTileWords = 8;
+
+    size_t n = 0;     ///< elements per lane (multiple of kTileWords)
+    size_t lanes = 0; ///< logical lanes packed (k; need not divide il)
+    size_t il = 0;    ///< interleave factor (lanes per tile group)
+
+    BatchLayout(size_t n_, size_t lanes_, size_t il_)
+        : n(n_), lanes(lanes_), il(il_)
+    {
+        checkArg(n_ > 0 && n_ % kTileWords == 0,
+                 "BatchLayout: n must be a positive multiple of 8");
+        checkArg(lanes_ > 0, "BatchLayout: need at least one lane");
+        checkArg(il_ > 0, "BatchLayout: interleave factor must be >= 1");
+    }
+
+    /** Tile groups of il lanes (the last may be partial → padded). */
+    size_t groups() const { return (lanes + il - 1) / il; }
+
+    /** Lanes including zero-padding up to a whole group. */
+    size_t paddedLanes() const { return groups() * il; }
+
+    /** Words per hi (or lo) array of the packed buffer. */
+    size_t totalWords() const { return paddedLanes() * n; }
+
+    /** Flat word index of element @p e of lane @p lane. */
+    size_t
+    index(size_t e, size_t lane) const
+    {
+        const size_t g = lane / il;
+        const size_t c = lane % il;
+        return g * il * n + ((e / kTileWords) * il + c) * kTileWords +
+               e % kTileWords;
+    }
+};
+
+namespace batch {
+
+/**
+ * Pack @p count channel spans (each layout.n elements, one per lane)
+ * into the interleaved buffer @p dst. Padding lanes are zeroed so the
+ * kernels can sweep them without reading garbage. Rejects any overlap
+ * between @p dst and a source span.
+ */
+inline void
+packLanes(const BatchLayout& layout, const DConstSpan* src, size_t count,
+          DSpan dst)
+{
+    checkArg(src != nullptr && count == layout.lanes,
+             "packLanes: source count must equal layout.lanes");
+    checkArg(dst.n == layout.totalWords(),
+             "packLanes: destination must be layout.totalWords() long");
+    for (size_t c = 0; c < count; ++c) {
+        checkArg(src[c].n == layout.n, "packLanes: lane length mismatch");
+        checkArg(!sameSpan(src[c], dst) && !spansPartiallyOverlap(src[c], dst),
+                 "packLanes: source lane overlaps destination");
+    }
+    const size_t w = BatchLayout::kTileWords;
+    for (size_t c = 0; c < layout.paddedLanes(); ++c) {
+        const size_t g = c / layout.il;
+        const size_t base = g * layout.il * layout.n + (c % layout.il) * w;
+        const size_t row = layout.il * w;
+        if (c >= count) {
+            for (size_t r = 0; r < layout.n / w; ++r) {
+                std::memset(dst.hi + base + r * row, 0, w * sizeof(uint64_t));
+                std::memset(dst.lo + base + r * row, 0, w * sizeof(uint64_t));
+            }
+            continue;
+        }
+        for (size_t r = 0; r < layout.n / w; ++r) {
+            std::memcpy(dst.hi + base + r * row, src[c].hi + r * w,
+                        w * sizeof(uint64_t));
+            std::memcpy(dst.lo + base + r * row, src[c].lo + r * w,
+                        w * sizeof(uint64_t));
+        }
+    }
+}
+
+/**
+ * Unpack @p count lanes of the interleaved buffer @p src back into
+ * per-channel spans (padding lanes are simply dropped). Rejects any
+ * overlap between @p src and a destination span.
+ */
+inline void
+unpackLanes(const BatchLayout& layout, DConstSpan src, DSpan* dst,
+            size_t count)
+{
+    checkArg(dst != nullptr && count == layout.lanes,
+             "unpackLanes: destination count must equal layout.lanes");
+    checkArg(src.n == layout.totalWords(),
+             "unpackLanes: source must be layout.totalWords() long");
+    for (size_t c = 0; c < count; ++c) {
+        checkArg(dst[c].n == layout.n, "unpackLanes: lane length mismatch");
+        checkArg(!sameSpan(src, dst[c]) && !spansPartiallyOverlap(src, dst[c]),
+                 "unpackLanes: destination lane overlaps source");
+    }
+    const size_t w = BatchLayout::kTileWords;
+    for (size_t c = 0; c < count; ++c) {
+        const size_t g = c / layout.il;
+        const size_t base = g * layout.il * layout.n + (c % layout.il) * w;
+        const size_t row = layout.il * w;
+        for (size_t r = 0; r < layout.n / w; ++r) {
+            std::memcpy(dst[c].hi + r * w, src.hi + base + r * row,
+                        w * sizeof(uint64_t));
+            std::memcpy(dst[c].lo + r * w, src.lo + base + r * row,
+                        w * sizeof(uint64_t));
+        }
+    }
+}
+
+} // namespace batch
+} // namespace mqx

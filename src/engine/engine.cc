@@ -197,11 +197,29 @@ Engine::fmaBatchInto(
     const rns::RnsBasis& basis = first.basis();
     rns::detail::checkDest(c, basis, first.n(), rns::Form::Coeff,
                            "Engine::fmaBatchInto");
+    // Interleaved-batch eligibility: enough all-Coeff products to fill
+    // at least one channel-major tile, on a batch-capable plan shape
+    // (direct, n >= 16 — shared by every channel since n is uniform).
+    const size_t il = ntt::batchInterleave(backend_);
+    bool all_coeff = true;
+    for (const auto& [a, b] : products) {
+        all_coeff = all_coeff && a->form() == rns::Form::Coeff &&
+                    b->form() == rns::Form::Coeff;
+    }
+    const bool batched =
+        all_coeff && products.size() >= il &&
+        ntt::batchSupported(
+            plan_cache_.getNegacyclic(basis.prime(0), first.n())->plan());
     pool_.parallelFor(0, basis.size(), [&](size_t i) {
-        rns::detail::fmaChannel(
-            backend_, basis, i,
-            plan_cache_.getNegacyclic(basis.prime(i), first.n()), workspaces_,
-            products, c);
+        auto tables = plan_cache_.getNegacyclic(basis.prime(i), first.n());
+        if (batched) {
+            rns::detail::fmaChannelBatched(backend_, basis, i,
+                                           std::move(tables), workspaces_,
+                                           products, il, c);
+        } else {
+            rns::detail::fmaChannel(backend_, basis, i, std::move(tables),
+                                    workspaces_, products, c);
+        }
     });
 }
 
@@ -244,6 +262,49 @@ Engine::polymulNegacyclicBatch(
                                "Engine::polymulNegacyclicBatch");
         results.emplace_back(a->basis(), a->n());
         first_task[p + 1] = first_task[p] + a->basis().size();
+    }
+
+    // Interleaved-batch eligibility: a uniform batch (one basis, one
+    // length) with at least one whole tile of il products, on a
+    // batch-capable plan shape. Mixed-basis batches keep the flat
+    // per-(product, channel) path below.
+    const rns::RnsPolynomial& first = *products.front().first;
+    const size_t il = ntt::batchInterleave(backend_);
+    bool uniform = true;
+    for (const auto& [a, b] : products) {
+        uniform = uniform && &a->basis() == &first.basis() &&
+                  a->n() == first.n();
+    }
+    if (uniform && products.size() >= il &&
+        ntt::batchSupported(
+            plan_cache_.getNegacyclic(first.basis().prime(0), first.n())
+                ->plan())) {
+        // Flat (channel, tile-or-remainder) task space: each whole tile
+        // of il products runs the interleaved kernels once; the k % il
+        // remainder products run per-channel. Still one flat
+        // parallelFor — tasks never nest.
+        const rns::RnsBasis& basis = first.basis();
+        const size_t tiles = products.size() / il;
+        const size_t rem = products.size() % il;
+        const size_t per_channel = tiles + rem;
+        pool_.parallelFor(0, basis.size() * per_channel, [&](size_t task) {
+            const size_t channel = task / per_channel;
+            const size_t slot = task % per_channel;
+            auto tables =
+                plan_cache_.getNegacyclic(basis.prime(channel), first.n());
+            if (slot < tiles) {
+                rns::detail::polymulChannelBatch(backend_, basis, channel,
+                                                 std::move(tables), products,
+                                                 slot * il, il, results);
+            } else {
+                const size_t p = tiles * il + (slot - tiles);
+                rns::detail::polymulChannel(backend_, basis, channel,
+                                            std::move(tables), workspaces_,
+                                            *products[p].first,
+                                            *products[p].second, results[p]);
+            }
+        });
+        return results;
     }
 
     pool_.parallelFor(0, first_task.back(), [&](size_t task) {

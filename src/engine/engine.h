@@ -135,6 +135,14 @@ class Engine
      * arithmetic makes the Coeff-form result bit-identical to summing k
      * polymulNegacyclic calls. @throws InvalidArgument on an empty
      * batch or mismatched operands.
+     *
+     * When every operand is Coeff form and the batch holds at least
+     * ntt::batchInterleave(backend()) products on a batch-capable plan,
+     * whole tiles of il products run their forward transforms through
+     * the interleaved batch kernels (core/batch_layout.h) — still
+     * bit-identical, since exact mod-q accumulation is
+     * order-independent and each lane's transform is word-identical to
+     * the per-channel kernel.
      */
     rns::RnsPolynomial fmaBatch(
         const std::vector<std::pair<const rns::RnsPolynomial*,
@@ -150,6 +158,12 @@ class Engine
      * the pool stays saturated even when individual operands have fewer
      * channels than there are threads. Thread-safe: multiple caller
      * threads may submit batches (and single ops) concurrently.
+     *
+     * Uniform batches (one basis, one length) of at least
+     * ntt::batchInterleave(backend()) products on a batch-capable plan
+     * dispatch whole tiles of il products through the interleaved batch
+     * kernels — one stage sweep serves il products per channel, with
+     * per-lane results word-identical to the per-channel path.
      */
     std::vector<rns::RnsPolynomial> polymulNegacyclicBatch(
         const std::vector<std::pair<const rns::RnsPolynomial*,

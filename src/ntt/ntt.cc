@@ -49,12 +49,31 @@ makeRoute(MqxVariant variant, bool pisa)
 
 } // namespace
 
+StageFusion
+resolveStageFusion(Backend backend, size_t n, StageFusion fusion)
+{
+    if (fusion != StageFusion::Auto)
+        return fusion;
+    // BENCH_ntt.json (committed): Scalar fused_speedup is 1.11-1.21x at
+    // every measured n, so it always fuses. Every vector/MQX tier
+    // measures 0.93-0.999 below n = 65536 (the shuffle-heavy fused
+    // bodies lose to the plain radix-2 sweeps while the working set is
+    // cache-resident) and is neutral at 65536, where fewer sweeps start
+    // to matter — so they keep radix-2 below that threshold.
+    if (backend == Backend::Scalar)
+        return StageFusion::Radix4;
+    constexpr size_t kVectorRadix4MinN = 65536;
+    return n >= kVectorRadix4MinN ? StageFusion::Radix4
+                                  : StageFusion::Radix2;
+}
+
 void
 forward(const NttPlan& plan, Backend backend, DConstSpan in, DSpan out,
         DSpan scratch, MulAlgo algo, Reduction red, StageFusion fusion)
 {
     MQX_SCOPED_SPAN(ntt_span, "ntt.forward");
     requireAvailable(backend);
+    fusion = resolveStageFusion(backend, plan.n(), fusion);
     if (plan.blocked()) {
         detail::blockedForward(plan, makeRoute(backend), in, out, scratch,
                                algo, red, fusion);
@@ -108,6 +127,7 @@ inverse(const NttPlan& plan, Backend backend, DConstSpan in, DSpan out,
 {
     MQX_SCOPED_SPAN(ntt_span, "ntt.inverse");
     requireAvailable(backend);
+    fusion = resolveStageFusion(backend, plan.n(), fusion);
     if (plan.blocked()) {
         detail::blockedInverse(plan, makeRoute(backend), in, out, scratch,
                                algo, red, fusion);
@@ -206,6 +226,8 @@ forwardMqx(const NttPlan& plan, MqxVariant variant, bool pisa, DConstSpan in,
            StageFusion fusion)
 {
     requireAvailable(Backend::MqxEmulate);
+    fusion = resolveStageFusion(pisa ? Backend::MqxPisa : Backend::MqxEmulate,
+                                plan.n(), fusion);
 #if MQX_BUILD_AVX512
     if (plan.blocked()) {
         detail::blockedForward(plan, makeRoute(variant, pisa), in, out,
@@ -234,6 +256,8 @@ inverseMqx(const NttPlan& plan, MqxVariant variant, bool pisa, DConstSpan in,
            StageFusion fusion)
 {
     requireAvailable(Backend::MqxEmulate);
+    fusion = resolveStageFusion(pisa ? Backend::MqxPisa : Backend::MqxEmulate,
+                                plan.n(), fusion);
 #if MQX_BUILD_AVX512
     if (plan.blocked()) {
         detail::blockedInverse(plan, makeRoute(variant, pisa), in, out,
@@ -254,6 +278,185 @@ inverseMqx(const NttPlan& plan, MqxVariant variant, bool pisa, DConstSpan in,
     (void)fusion;
     throw BackendUnavailable("MQX backend not compiled in");
 #endif
+}
+
+size_t
+batchInterleave(Backend backend)
+{
+    switch (backend) {
+      case Backend::Scalar:
+      case Backend::Portable:
+      case Backend::Avx2:
+        return 4;
+      case Backend::Avx512:
+      case Backend::MqxEmulate:
+      case Backend::MqxPisa:
+        return 8;
+    }
+    return 4;
+}
+
+bool
+batchSupported(const NttPlan& plan)
+{
+    return plan.blocked() == nullptr && plan.n() >= 16;
+}
+
+namespace {
+
+/** Shared batch accounting: spans plus the roofline-consistent sweep
+ *  counters (il lanes, each sweeping the radix-2 per-transform bytes). */
+void
+noteBatchSweep(const NttPlan& plan, size_t il)
+{
+    telemetry::counter("batch.channels_per_sweep").add(il);
+    telemetry::counter("batch.bytes_swept")
+        .add(il * plan.bytesSweptPerTransform(StageFusion::Radix2));
+}
+
+} // namespace
+
+void
+forwardBatch(const NttPlan& plan, Backend backend, size_t il, DConstSpan in,
+             DSpan out, DSpan scratch, MulAlgo algo)
+{
+    MQX_SCOPED_SPAN(ntt_span, "ntt.forward_batch");
+    requireAvailable(backend);
+    checkArg(batchSupported(plan),
+             "forwardBatch: plan not batch-eligible (blocked or too small)");
+    noteBatchSweep(plan, il);
+    switch (backend) {
+      case Backend::Scalar:
+        backends::forwardBatchScalar(plan, il, in, out, scratch, algo);
+        return;
+      case Backend::Portable:
+        backends::forwardBatchPortable(plan, il, in, out, scratch, algo);
+        return;
+      case Backend::Avx2:
+#if MQX_BUILD_AVX2
+        backends::forwardBatchAvx2(plan, il, in, out, scratch, algo);
+        return;
+#else
+        break;
+#endif
+      case Backend::Avx512:
+#if MQX_BUILD_AVX512
+        backends::forwardBatchAvx512(plan, il, in, out, scratch, algo);
+        return;
+#else
+        break;
+#endif
+      case Backend::MqxEmulate:
+#if MQX_BUILD_AVX512
+        backends::forwardBatchMqx(false, plan, il, in, out, scratch, algo);
+        return;
+#else
+        break;
+#endif
+      case Backend::MqxPisa:
+#if MQX_BUILD_AVX512
+        backends::forwardBatchMqx(true, plan, il, in, out, scratch, algo);
+        return;
+#else
+        break;
+#endif
+    }
+    throw BackendUnavailable("NTT backend not compiled in: " +
+                             backendName(backend));
+}
+
+void
+inverseBatch(const NttPlan& plan, Backend backend, size_t il, DConstSpan in,
+             DSpan out, DSpan scratch, MulAlgo algo)
+{
+    MQX_SCOPED_SPAN(ntt_span, "ntt.inverse_batch");
+    requireAvailable(backend);
+    checkArg(batchSupported(plan),
+             "inverseBatch: plan not batch-eligible (blocked or too small)");
+    noteBatchSweep(plan, il);
+    switch (backend) {
+      case Backend::Scalar:
+        backends::inverseBatchScalar(plan, il, in, out, scratch, algo);
+        return;
+      case Backend::Portable:
+        backends::inverseBatchPortable(plan, il, in, out, scratch, algo);
+        return;
+      case Backend::Avx2:
+#if MQX_BUILD_AVX2
+        backends::inverseBatchAvx2(plan, il, in, out, scratch, algo);
+        return;
+#else
+        break;
+#endif
+      case Backend::Avx512:
+#if MQX_BUILD_AVX512
+        backends::inverseBatchAvx512(plan, il, in, out, scratch, algo);
+        return;
+#else
+        break;
+#endif
+      case Backend::MqxEmulate:
+#if MQX_BUILD_AVX512
+        backends::inverseBatchMqx(false, plan, il, in, out, scratch, algo);
+        return;
+#else
+        break;
+#endif
+      case Backend::MqxPisa:
+#if MQX_BUILD_AVX512
+        backends::inverseBatchMqx(true, plan, il, in, out, scratch, algo);
+        return;
+#else
+        break;
+#endif
+    }
+    throw BackendUnavailable("NTT backend not compiled in: " +
+                             backendName(backend));
+}
+
+void
+vmulShoupBatch(Backend backend, const Modulus& m, size_t il, DConstSpan a,
+               DConstSpan t, DConstSpan tq, DSpan c, MulAlgo algo)
+{
+    requireAvailable(backend);
+    switch (backend) {
+      case Backend::Scalar:
+        backends::vmulShoupBatchScalar(m, il, a, t, tq, c, algo);
+        return;
+      case Backend::Portable:
+        backends::vmulShoupBatchPortable(m, il, a, t, tq, c, algo);
+        return;
+      case Backend::Avx2:
+#if MQX_BUILD_AVX2
+        backends::vmulShoupBatchAvx2(m, il, a, t, tq, c, algo);
+        return;
+#else
+        break;
+#endif
+      case Backend::Avx512:
+#if MQX_BUILD_AVX512
+        backends::vmulShoupBatchAvx512(m, il, a, t, tq, c, algo);
+        return;
+#else
+        break;
+#endif
+      case Backend::MqxEmulate:
+#if MQX_BUILD_AVX512
+        backends::vmulShoupBatchMqx(false, m, il, a, t, tq, c, algo);
+        return;
+#else
+        break;
+#endif
+      case Backend::MqxPisa:
+#if MQX_BUILD_AVX512
+        backends::vmulShoupBatchMqx(true, m, il, a, t, tq, c, algo);
+        return;
+#else
+        break;
+#endif
+    }
+    throw BackendUnavailable("NTT backend not compiled in: " +
+                             backendName(backend));
 }
 
 Engine::Engine(const NttPlan& plan, Backend backend)

@@ -28,10 +28,12 @@ namespace ntt {
  *                butterflies on the plan's Shoup twiddle companions;
  *                Reduction::Barrett keeps the paper's per-butterfly
  *                full reduction. Outputs are bit-identical.
- * @param fusion  StageFusion::Radix4 (default) fuses two Pease stages
- *                per ping-pong sweep; Radix2 keeps one stage per sweep
- *                (A/B baseline). Outputs are bit-identical; Barrett
- *                reduction always runs the radix-2 stage loop.
+ * @param fusion  StageFusion::Auto (default) picks the measured-fastest
+ *                shape per (backend, n) via resolveStageFusion();
+ *                Radix4 fuses two Pease stages per ping-pong sweep,
+ *                Radix2 keeps one stage per sweep (A/B baseline).
+ *                Outputs are bit-identical; Barrett reduction always
+ *                runs the radix-2 stage loop.
  *
  * Plans whose working set exceeds their L2 budget (plan.blocked())
  * dispatch through the four-step blocked driver: cache-resident
@@ -43,13 +45,23 @@ namespace ntt {
 void forward(const NttPlan& plan, Backend backend, DConstSpan in, DSpan out,
              DSpan scratch, MulAlgo algo = MulAlgo::Schoolbook,
              Reduction red = Reduction::ShoupLazy,
-             StageFusion fusion = StageFusion::Radix4);
+             StageFusion fusion = StageFusion::Auto);
 
 /** Inverse NTT (bit-reversed in, natural out, scaled by n^-1). */
 void inverse(const NttPlan& plan, Backend backend, DConstSpan in, DSpan out,
              DSpan scratch, MulAlgo algo = MulAlgo::Schoolbook,
              Reduction red = Reduction::ShoupLazy,
-             StageFusion fusion = StageFusion::Radix4);
+             StageFusion fusion = StageFusion::Auto);
+
+/**
+ * Resolve StageFusion::Auto to a concrete shape for (backend, n), from
+ * the committed BENCH_ntt.json measurements: Scalar fuses everywhere
+ * (fused_speedup 1.11-1.21x), while the vector/MQX tiers keep radix-2
+ * below n = 65536 (fused_speedup 0.93-0.999 there) and fuse at and
+ * above it. Radix4/Radix2 requests pass through unchanged; the backend
+ * entry points never see Auto.
+ */
+StageFusion resolveStageFusion(Backend backend, size_t n, StageFusion fusion);
 
 /**
  * Point-wise multiply by a fixed table with precomputed Shoup
@@ -79,14 +91,56 @@ void forwardMqx(const NttPlan& plan, MqxVariant variant, bool pisa,
                 DConstSpan in, DSpan out, DSpan scratch,
                 MulAlgo algo = MulAlgo::Schoolbook,
                 Reduction red = Reduction::ShoupLazy,
-                StageFusion fusion = StageFusion::Radix4);
+                StageFusion fusion = StageFusion::Auto);
 
 /** Inverse counterpart of forwardMqx. */
 void inverseMqx(const NttPlan& plan, MqxVariant variant, bool pisa,
                 DConstSpan in, DSpan out, DSpan scratch,
                 MulAlgo algo = MulAlgo::Schoolbook,
                 Reduction red = Reduction::ShoupLazy,
-                StageFusion fusion = StageFusion::Radix4);
+                StageFusion fusion = StageFusion::Auto);
+
+/**
+ * Interleave factor of the batch kernels for @p backend: how many
+ * residue channels one stage sweep serves (the IL knob of the
+ * channel-major tiled layout, core/batch_layout.h). 4 for the 4-lane
+ * AVX2 tier and the narrow scalar/portable tiers, 8 for the 8-lane
+ * AVX-512 and MQX tiers.
+ */
+size_t batchInterleave(Backend backend);
+
+/**
+ * True when @p plan is eligible for the interleaved batch kernels:
+ * a direct (non-blocked) plan of at least 16 points. Blocked plans keep
+ * the per-channel four-step driver — their sub-transforms are already
+ * cache-resident, which is the very win batching trades away.
+ */
+bool batchSupported(const NttPlan& plan);
+
+/**
+ * Forward NTT over @p il channels packed in the interleaved batch
+ * layout (batch::packLanes); buffers are il * plan.n() words per half.
+ * Always the radix-2 Shoup-lazy wiring, so each lane's output is
+ * word-identical to a per-channel forward() with any fusion/reduction.
+ * @throws InvalidArgument when !batchSupported(plan).
+ */
+void forwardBatch(const NttPlan& plan, Backend backend, size_t il,
+                  DConstSpan in, DSpan out, DSpan scratch,
+                  MulAlgo algo = MulAlgo::Schoolbook);
+
+/** Inverse counterpart of forwardBatch (includes the n^-1 pass). */
+void inverseBatch(const NttPlan& plan, Backend backend, size_t il,
+                  DConstSpan in, DSpan out, DSpan scratch,
+                  MulAlgo algo = MulAlgo::Schoolbook);
+
+/**
+ * Batched vmulShoup: the n-entry table t/tq multiplies all @p il packed
+ * lanes of @p a (il * t.n words per half); each table vector is loaded
+ * once per sweep position. c == a exact aliasing is legal.
+ */
+void vmulShoupBatch(Backend backend, const Modulus& m, size_t il,
+                    DConstSpan a, DConstSpan t, DConstSpan tq, DSpan c,
+                    MulAlgo algo = MulAlgo::Schoolbook);
 
 /**
  * Convenience wrapper owning the plan and work buffers. This is the

@@ -50,6 +50,27 @@ vmulShoupAvx512(const Modulus& m, DConstSpan a, DConstSpan t, DConstSpan tq,
     vmulShoupImpl<simd::Avx512Isa>(m, a, t, tq, c, algo);
 }
 
+void
+forwardBatchAvx512(const NttPlan& plan, size_t il, DConstSpan in, DSpan out,
+                   DSpan scratch, MulAlgo algo)
+{
+    peaseForwardBatchImpl<simd::Avx512Isa>(plan, il, in, out, scratch, algo);
+}
+
+void
+inverseBatchAvx512(const NttPlan& plan, size_t il, DConstSpan in, DSpan out,
+                   DSpan scratch, MulAlgo algo)
+{
+    peaseInverseBatchImpl<simd::Avx512Isa>(plan, il, in, out, scratch, algo);
+}
+
+void
+vmulShoupBatchAvx512(const Modulus& m, size_t il, DConstSpan a, DConstSpan t,
+                     DConstSpan tq, DSpan c, MulAlgo algo)
+{
+    vmulShoupBatchImpl<simd::Avx512Isa>(m, il, a, t, tq, c, algo);
+}
+
 } // namespace backends
 } // namespace ntt
 } // namespace mqx

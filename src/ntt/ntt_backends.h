@@ -48,6 +48,45 @@ void inverseMqxImpl(const NttPlan&, MqxVariant, bool pisa, DConstSpan, DSpan,
 void vmulShoupMqx(bool pisa, const Modulus&, DConstSpan, DConstSpan,
                   DConstSpan, DSpan, MulAlgo);
 
+// Interleaved batch entry points (ROADMAP item 2): buffers are
+// il * plan.n() words per half, packed by batch::packLanes. Always the
+// radix-2 Shoup-lazy wiring — word-identical per lane to every
+// per-channel variant.
+void forwardBatchScalar(const NttPlan&, size_t il, DConstSpan, DSpan, DSpan,
+                        MulAlgo);
+void inverseBatchScalar(const NttPlan&, size_t il, DConstSpan, DSpan, DSpan,
+                        MulAlgo);
+void vmulShoupBatchScalar(const Modulus&, size_t il, DConstSpan, DConstSpan,
+                          DConstSpan, DSpan, MulAlgo);
+
+void forwardBatchPortable(const NttPlan&, size_t il, DConstSpan, DSpan, DSpan,
+                          MulAlgo);
+void inverseBatchPortable(const NttPlan&, size_t il, DConstSpan, DSpan, DSpan,
+                          MulAlgo);
+void vmulShoupBatchPortable(const Modulus&, size_t il, DConstSpan, DConstSpan,
+                            DConstSpan, DSpan, MulAlgo);
+
+void forwardBatchAvx2(const NttPlan&, size_t il, DConstSpan, DSpan, DSpan,
+                      MulAlgo);
+void inverseBatchAvx2(const NttPlan&, size_t il, DConstSpan, DSpan, DSpan,
+                      MulAlgo);
+void vmulShoupBatchAvx2(const Modulus&, size_t il, DConstSpan, DConstSpan,
+                        DConstSpan, DSpan, MulAlgo);
+
+void forwardBatchAvx512(const NttPlan&, size_t il, DConstSpan, DSpan, DSpan,
+                        MulAlgo);
+void inverseBatchAvx512(const NttPlan&, size_t il, DConstSpan, DSpan, DSpan,
+                        MulAlgo);
+void vmulShoupBatchAvx512(const Modulus&, size_t il, DConstSpan, DConstSpan,
+                          DConstSpan, DSpan, MulAlgo);
+
+void forwardBatchMqx(bool pisa, const NttPlan&, size_t il, DConstSpan, DSpan,
+                     DSpan, MulAlgo);
+void inverseBatchMqx(bool pisa, const NttPlan&, size_t il, DConstSpan, DSpan,
+                     DSpan, MulAlgo);
+void vmulShoupBatchMqx(bool pisa, const Modulus&, size_t il, DConstSpan,
+                       DConstSpan, DConstSpan, DSpan, MulAlgo);
+
 } // namespace backends
 
 namespace detail {

@@ -153,6 +153,45 @@ vmulShoupMqx(bool pisa, const Modulus& m, DConstSpan a, DConstSpan t,
                                                           algo);
 }
 
+// The batch path models only the full MQX feature set (the Fig. 6
+// ablation variants stay per-channel; batching is orthogonal to the
+// instruction-mix study).
+void
+forwardBatchMqx(bool pisa, const NttPlan& plan, size_t il, DConstSpan in,
+                DSpan out, DSpan scratch, MulAlgo algo)
+{
+    if (pisa)
+        peaseForwardBatchImpl<MqxIsa<MqxMode::Pisa, kMqxFull>>(
+            plan, il, in, out, scratch, algo);
+    else
+        peaseForwardBatchImpl<MqxIsa<MqxMode::Emulate, kMqxFull>>(
+            plan, il, in, out, scratch, algo);
+}
+
+void
+inverseBatchMqx(bool pisa, const NttPlan& plan, size_t il, DConstSpan in,
+                DSpan out, DSpan scratch, MulAlgo algo)
+{
+    if (pisa)
+        peaseInverseBatchImpl<MqxIsa<MqxMode::Pisa, kMqxFull>>(
+            plan, il, in, out, scratch, algo);
+    else
+        peaseInverseBatchImpl<MqxIsa<MqxMode::Emulate, kMqxFull>>(
+            plan, il, in, out, scratch, algo);
+}
+
+void
+vmulShoupBatchMqx(bool pisa, const Modulus& m, size_t il, DConstSpan a,
+                  DConstSpan t, DConstSpan tq, DSpan c, MulAlgo algo)
+{
+    if (pisa)
+        vmulShoupBatchImpl<MqxIsa<MqxMode::Pisa, kMqxFull>>(m, il, a, t, tq,
+                                                            c, algo);
+    else
+        vmulShoupBatchImpl<MqxIsa<MqxMode::Emulate, kMqxFull>>(m, il, a, t,
+                                                               tq, c, algo);
+}
+
 } // namespace backends
 } // namespace ntt
 } // namespace mqx

@@ -51,6 +51,29 @@ vmulShoupPortable(const Modulus& m, DConstSpan a, DConstSpan t, DConstSpan tq,
     vmulShoupImpl<simd::PortableIsa>(m, a, t, tq, c, algo);
 }
 
+void
+forwardBatchPortable(const NttPlan& plan, size_t il, DConstSpan in, DSpan out,
+                     DSpan scratch, MulAlgo algo)
+{
+    peaseForwardBatchImpl<simd::PortableIsa>(plan, il, in, out, scratch,
+                                             algo);
+}
+
+void
+inverseBatchPortable(const NttPlan& plan, size_t il, DConstSpan in, DSpan out,
+                     DSpan scratch, MulAlgo algo)
+{
+    peaseInverseBatchImpl<simd::PortableIsa>(plan, il, in, out, scratch,
+                                             algo);
+}
+
+void
+vmulShoupBatchPortable(const Modulus& m, size_t il, DConstSpan a, DConstSpan t,
+                       DConstSpan tq, DSpan c, MulAlgo algo)
+{
+    vmulShoupBatchImpl<simd::PortableIsa>(m, il, a, t, tq, c, algo);
+}
+
 } // namespace backends
 } // namespace ntt
 } // namespace mqx

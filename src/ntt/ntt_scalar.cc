@@ -353,6 +353,27 @@ vmulShoupScalar(const Modulus& m, DConstSpan a, DConstSpan t, DConstSpan tq,
     }
 }
 
+void
+forwardBatchScalar(const NttPlan& plan, size_t il, DConstSpan in, DSpan out,
+                   DSpan scratch, MulAlgo algo)
+{
+    peaseForwardBatchScalarImpl(plan, il, in, out, scratch, algo);
+}
+
+void
+inverseBatchScalar(const NttPlan& plan, size_t il, DConstSpan in, DSpan out,
+                   DSpan scratch, MulAlgo algo)
+{
+    peaseInverseBatchScalarImpl(plan, il, in, out, scratch, algo);
+}
+
+void
+vmulShoupBatchScalar(const Modulus& m, size_t il, DConstSpan a, DConstSpan t,
+                     DConstSpan tq, DSpan c, MulAlgo algo)
+{
+    vmulShoupBatchScalarImpl(m, il, a, t, tq, c, algo);
+}
+
 } // namespace backends
 } // namespace ntt
 } // namespace mqx

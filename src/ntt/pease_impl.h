@@ -45,6 +45,8 @@
 
 #include <cstdio>
 
+#include "core/batch_layout.h"
+#include "core/prefetch.h"
 #include "mod/range_checked.h"
 #include "ntt/plan.h"
 #include "simd/dw_kernels.h"
@@ -1027,6 +1029,440 @@ vmulShoupImpl(const Modulus& m, DConstSpan a, DConstSpan t, DConstSpan tq,
         detail::mulShoupCanonElementScalar(
             q, a.hi, a.lo, c.hi, c.lo, mod::DW<uint64_t>{t.hi[i], t.lo[i]},
             mod::DW<uint64_t>{tq.hi[i], tq.lo[i]}, i, algo);
+    }
+}
+
+// ======================================================================
+// Interleaved batch kernels (ROADMAP item 2).
+//
+// One butterfly sweep serves IL residue channels at once over the
+// channel-major tiled layout of core/batch_layout.h: element e of lane
+// c lives at flat word batchIndex(e, c, il), so every vector load of
+// kLanes consecutive elements of one lane is contiguous (kLanes divides
+// the 8-word tile for every backend). Each stage's Shoup twiddle pair
+// is loaded ONCE per vector of butterflies and reused across all IL
+// lanes — the ParPar packed multi-region pattern — and the next
+// group-row of both read streams is prefetched through
+// core::prefetchNext. The per-lane arithmetic is EXACTLY the radix-2
+// Shoup-lazy sequence of peaseForward/InverseLazyImpl, so each lane's
+// output is word-identical to a per-channel transform.
+// ======================================================================
+
+namespace detail {
+
+/** Flat word index of element @p e of lane @p c in one IL-lane group. */
+MQX_FORCE_INLINE size_t
+batchIndex(size_t e, size_t c, size_t il)
+{
+    constexpr size_t w = BatchLayout::kTileWords; // power of two
+    return ((e / w) * il + c) * w + (e & (w - 1));
+}
+
+/** Batch flavour of validateNttArgs: buffers hold il lanes of plan.n()
+ *  elements each; same no-overlap contract between the three. */
+inline void
+validateBatchNttArgs(const NttPlan& plan, size_t il, DConstSpan in,
+                     DConstSpan out, DConstSpan scratch)
+{
+    checkArg(il >= 1 && il <= 64, "ntt batch: interleave factor out of range");
+    checkArg(plan.n() >= 2 * BatchLayout::kTileWords,
+             "ntt batch: plan size must be at least 16");
+    const size_t want = il * plan.n();
+    if (in.n != want || out.n != want || scratch.n != want)
+        failNttArgs("ntt batch: buffer sizes must equal il * plan size", plan,
+                    in, out, scratch);
+    auto overlaps = [](DConstSpan a, DConstSpan b) {
+        return sameSpan(a, b) || spansPartiallyOverlap(a, b);
+    };
+    if (overlaps(in, out) || overlaps(in, scratch) || overlaps(out, scratch))
+        failNttArgs("ntt batch: in/out/scratch must be distinct, "
+                    "non-overlapping buffers",
+                    plan, in, out, scratch);
+}
+
+/**
+ * Forward batch stage sweeps. IL = 0 instantiates the generic
+ * runtime-il loop; IL in {4, 8} lets the compiler unroll the lane loop
+ * around the hoisted twiddle registers (the knob values of
+ * batchInterleave()).
+ */
+template <class Isa, size_t IL>
+void
+peaseForwardBatchLazyCore(const NttPlan& plan, size_t il_rt, DConstSpan in,
+                          DSpan out, DSpan scratch, MulAlgo algo)
+{
+    const size_t il = IL ? IL : il_rt;
+    constexpr size_t w8 = BatchLayout::kTileWords;
+    const size_t h = plan.half();
+    const int m = plan.logn();
+    const Modulus& mod = plan.modulus();
+    simd::ModCtx<Isa> ctx = simd::makeModCtx<Isa>(mod);
+    const uint64_t* tw_hi = plan.twiddleHi();
+    const uint64_t* tw_lo = plan.twiddleLo();
+    const uint64_t* twq_hi = plan.twiddleShoupHi();
+    const uint64_t* twq_lo = plan.twiddleShoupLo();
+    const size_t pf = core::prefetchDistance() * il * w8;
+
+    DSpan bufs[2] = {out, scratch};
+    int target = (m % 2 == 1) ? 0 : 1;
+    const uint64_t* src_hi = in.hi;
+    const uint64_t* src_lo = in.lo;
+
+    for (int s = 0; s < m; ++s) {
+        const bool last = s == m - 1;
+        DSpan dst = bufs[target];
+        // h >= 8 and kLanes divides 8, so the lane loop has no tail.
+        for (size_t j = 0; j + Isa::kLanes <= h; j += Isa::kLanes) {
+            auto w = detail::loadStageTwiddles<Isa>(tw_hi, tw_lo, j, s);
+            auto wq = detail::loadStageTwiddles<Isa>(twq_hi, twq_lo, j, s);
+            const size_t ja = batchIndex(j, 0, il);
+            const size_t jb = batchIndex(j + h, 0, il);
+            const size_t jo0 = batchIndex(2 * j, 0, il);
+            const size_t jo1 = batchIndex(2 * j + Isa::kLanes, 0, il);
+            // One prefetch pair per read stream per group-row: the il
+            // lane rows behind it are contiguous, so the hardware
+            // streamer follows; issuing per lane was pure instruction
+            // overhead (measurably slower on 8-lane tiers).
+            if (pf && (j & (w8 - 1)) == 0) {
+                core::prefetchNext(src_hi, src_lo, ja, pf);
+                core::prefetchNext(src_hi, src_lo, jb, pf);
+            }
+            for (size_t c = 0; c < il; ++c) {
+                const size_t ia = ja + c * w8;
+                const size_t ib = jb + c * w8;
+                auto a = simd::loadDv<Isa>(src_hi, src_lo, ia);
+                auto b = simd::loadDv<Isa>(src_hi, src_lo, ib);
+                auto u = simd::addModLazyV<Isa>(ctx, a, b);
+                auto d = simd::subModLazyRawV<Isa>(ctx, a, b); // (0, 4q)
+                auto v = simd::mulModShoupV<Isa>(ctx, d, w, wq, algo);
+                if (last) {
+                    u = simd::condSubDwV<Isa>(ctx, u, ctx.qh, ctx.ql);
+                    v = simd::condSubDwV<Isa>(ctx, v, ctx.qh, ctx.ql);
+                }
+                typename Isa::V blk0, blk1;
+                Isa::interleave2(u.hi, v.hi, blk0, blk1);
+                Isa::storeu(dst.hi + jo0 + c * w8, blk0);
+                Isa::storeu(dst.hi + jo1 + c * w8, blk1);
+                Isa::interleave2(u.lo, v.lo, blk0, blk1);
+                Isa::storeu(dst.lo + jo0 + c * w8, blk0);
+                Isa::storeu(dst.lo + jo1 + c * w8, blk1);
+            }
+        }
+        src_hi = dst.hi;
+        src_lo = dst.lo;
+        target ^= 1;
+    }
+}
+
+/**
+ * Inverse batch stage sweeps. Unlike the per-channel kernel, the n^-1
+ * scaling + canonicalization is fused into the LAST stage sweep
+ * (s == 0) rather than run as a separate flat pass: the scaled outputs
+ * are the same values through the same mulModShoupV/condSubDwV ops, so
+ * per-lane words are unchanged, but the batch path saves one full
+ * read+write sweep over the il * n working set.
+ */
+template <class Isa, size_t IL>
+void
+peaseInverseBatchLazyCore(const NttPlan& plan, size_t il_rt, DConstSpan in,
+                          DSpan out, DSpan scratch, MulAlgo algo)
+{
+    const size_t il = IL ? IL : il_rt;
+    constexpr size_t w8 = BatchLayout::kTileWords;
+    const size_t h = plan.half();
+    const int m = plan.logn();
+    const Modulus& mod = plan.modulus();
+    simd::ModCtx<Isa> ctx = simd::makeModCtx<Isa>(mod);
+    const uint64_t* tw_hi = plan.twiddleInvHi();
+    const uint64_t* tw_lo = plan.twiddleInvLo();
+    const uint64_t* twq_hi = plan.twiddleInvShoupHi();
+    const uint64_t* twq_lo = plan.twiddleInvShoupLo();
+    const size_t pf = core::prefetchDistance() * il * w8;
+    const U128 n_inv = plan.nInv();
+    const U128 n_inv_sh = plan.nInvShoup();
+    const simd::DV<Isa> vninv{Isa::set1(n_inv.hi), Isa::set1(n_inv.lo)};
+    const simd::DV<Isa> vninvq{Isa::set1(n_inv_sh.hi),
+                               Isa::set1(n_inv_sh.lo)};
+
+    DSpan bufs[2] = {out, scratch};
+    int target = (m % 2 == 1) ? 0 : 1;
+    const uint64_t* src_hi = in.hi;
+    const uint64_t* src_lo = in.lo;
+
+    for (int s = m - 1; s >= 0; --s) {
+        const bool last = s == 0;
+        DSpan dst = bufs[target];
+        for (size_t j = 0; j + Isa::kLanes <= h; j += Isa::kLanes) {
+            auto w = detail::loadStageTwiddles<Isa>(tw_hi, tw_lo, j, s);
+            auto wq = detail::loadStageTwiddles<Isa>(twq_hi, twq_lo, j, s);
+            const size_t ji0 = batchIndex(2 * j, 0, il);
+            const size_t ji1 = batchIndex(2 * j + Isa::kLanes, 0, il);
+            const size_t jx0 = batchIndex(j, 0, il);
+            const size_t jx1 = batchIndex(j + h, 0, il);
+            // See the forward sweep: one prefetch pair per stream per
+            // group-row (the inverse reads two interleaved rows per j,
+            // hence the doubled lookahead).
+            if (pf && (j & (w8 - 1)) == 0) {
+                core::prefetchNext(src_hi, src_lo, ji0, 2 * pf);
+                core::prefetchNext(src_hi, src_lo, ji1, 2 * pf);
+            }
+            for (size_t c = 0; c < il; ++c) {
+                const size_t i0 = ji0 + c * w8;
+                const size_t i1 = ji1 + c * w8;
+                auto blk0h = Isa::loadu(src_hi + i0);
+                auto blk1h = Isa::loadu(src_hi + i1);
+                auto blk0l = Isa::loadu(src_lo + i0);
+                auto blk1l = Isa::loadu(src_lo + i1);
+                simd::DV<Isa> u, v;
+                Isa::deinterleave2(blk0h, blk1h, u.hi, v.hi);
+                Isa::deinterleave2(blk0l, blk1l, u.lo, v.lo);
+                auto t = simd::mulModShoupV<Isa>(ctx, v, w, wq, algo);
+                auto x0 = simd::addModLazyV<Isa>(ctx, u, t);
+                auto x1 = simd::subModLazyV<Isa>(ctx, u, t);
+                if (last) {
+                    x0 = simd::mulModShoupV<Isa>(ctx, x0, vninv, vninvq,
+                                                 algo);
+                    x0 = simd::condSubDwV<Isa>(ctx, x0, ctx.qh, ctx.ql);
+                    x1 = simd::mulModShoupV<Isa>(ctx, x1, vninv, vninvq,
+                                                 algo);
+                    x1 = simd::condSubDwV<Isa>(ctx, x1, ctx.qh, ctx.ql);
+                }
+                simd::storeDv<Isa>(dst.hi, dst.lo, jx0 + c * w8, x0);
+                simd::storeDv<Isa>(dst.hi, dst.lo, jx1 + c * w8, x1);
+            }
+        }
+        src_hi = dst.hi;
+        src_lo = dst.lo;
+        target ^= 1;
+    }
+
+    // Padding lanes entered as zeros and every op above maps zero to
+    // zero (0 * n^-1 = 0 canonical), so they leave as zeros too.
+}
+
+} // namespace detail
+
+/**
+ * Forward interleaved batch NTT: one call transforms il lanes packed by
+ * batch::packLanes (buffers are il * plan.n() words per half).
+ * Per-lane output is word-identical to peaseForwardLazyImpl — and so to
+ * every other per-channel fusion/reduction variant.
+ */
+template <class Isa>
+void
+peaseForwardBatchImpl(const NttPlan& plan, size_t il, DConstSpan in,
+                      DSpan out, DSpan scratch,
+                      MulAlgo algo = MulAlgo::Schoolbook)
+{
+    detail::validateBatchNttArgs(plan, il, in, out, scratch);
+    switch (il) {
+    case 4:
+        detail::peaseForwardBatchLazyCore<Isa, 4>(plan, il, in, out, scratch,
+                                                  algo);
+        break;
+    case 8:
+        detail::peaseForwardBatchLazyCore<Isa, 8>(plan, il, in, out, scratch,
+                                                  algo);
+        break;
+    default:
+        detail::peaseForwardBatchLazyCore<Isa, 0>(plan, il, in, out, scratch,
+                                                  algo);
+        break;
+    }
+}
+
+/** Inverse interleaved batch NTT (see peaseForwardBatchImpl). */
+template <class Isa>
+void
+peaseInverseBatchImpl(const NttPlan& plan, size_t il, DConstSpan in,
+                      DSpan out, DSpan scratch,
+                      MulAlgo algo = MulAlgo::Schoolbook)
+{
+    detail::validateBatchNttArgs(plan, il, in, out, scratch);
+    switch (il) {
+    case 4:
+        detail::peaseInverseBatchLazyCore<Isa, 4>(plan, il, in, out, scratch,
+                                                  algo);
+        break;
+    case 8:
+        detail::peaseInverseBatchLazyCore<Isa, 8>(plan, il, in, out, scratch,
+                                                  algo);
+        break;
+    default:
+        detail::peaseInverseBatchLazyCore<Isa, 0>(plan, il, in, out, scratch,
+                                                  algo);
+        break;
+    }
+}
+
+/**
+ * Batched vmulShoup: the n-entry table multiplies all il packed lanes,
+ * each table vector loaded once per sweep position. In-place (c == a)
+ * is legal, matching vmulShoupImpl.
+ */
+template <class Isa>
+void
+vmulShoupBatchImpl(const Modulus& m, size_t il, DConstSpan a, DConstSpan t,
+                   DConstSpan tq, DSpan c, MulAlgo algo = MulAlgo::Schoolbook)
+{
+    constexpr size_t w8 = BatchLayout::kTileWords;
+    checkArg(il >= 1 && il <= 64,
+             "vmulShoupBatch: interleave factor out of range");
+    checkArg(t.n == tq.n && (t.n & (w8 - 1)) == 0 && t.n > 0,
+             "vmulShoupBatch: table length must be a positive multiple of 8");
+    checkArg(a.n == il * t.n && c.n == a.n,
+             "vmulShoupBatch: data length must be il * table length");
+    simd::ModCtx<Isa> ctx = simd::makeModCtx<Isa>(m);
+    const size_t pf = core::prefetchDistance() * il * w8;
+    for (size_t i = 0; i + Isa::kLanes <= t.n; i += Isa::kLanes) {
+        auto w = simd::loadDv<Isa>(t.hi, t.lo, i);
+        auto wq = simd::loadDv<Isa>(tq.hi, tq.lo, i);
+        const size_t base = detail::batchIndex(i, 0, il);
+        const bool row0 = (i & (w8 - 1)) == 0;
+        for (size_t lane = 0; lane < il; ++lane) {
+            const size_t idx = base + lane * w8;
+            if (pf && row0)
+                core::prefetchNext(a.hi, a.lo, idx, pf);
+            auto x = simd::loadDv<Isa>(a.hi, a.lo, idx);
+            auto r = simd::mulModShoupV<Isa>(ctx, x, w, wq, algo);
+            r = simd::condSubDwV<Isa>(ctx, r, ctx.qh, ctx.ql);
+            simd::storeDv<Isa>(c.hi, c.lo, idx, r);
+        }
+    }
+}
+
+/**
+ * Scalar-backend batch kernels: the same tiled addressing driven by the
+ * native-128-bit lazy scalar ops (mod::DefaultLazyOps accepts arbitrary
+ * indices, so the packed index stands in for the linear one). Per-lane
+ * arithmetic mirrors forwardButterflyLazyScalar exactly.
+ */
+inline void
+peaseForwardBatchScalarImpl(const NttPlan& plan, size_t il, DConstSpan in,
+                            DSpan out, DSpan scratch,
+                            MulAlgo algo = MulAlgo::Schoolbook)
+{
+    using A = mod::DefaultLazyOps;
+    detail::validateBatchNttArgs(plan, il, in, out, scratch);
+    const size_t h = plan.half();
+    const int m = plan.logn();
+    const mod::DW<uint64_t> q = mod::toDw(plan.modulus().value());
+    const mod::DW<uint64_t> q2 = mod::shl1Dw(q);
+    const uint64_t* tw_hi = plan.twiddleHi();
+    const uint64_t* tw_lo = plan.twiddleLo();
+    const uint64_t* twq_hi = plan.twiddleShoupHi();
+    const uint64_t* twq_lo = plan.twiddleShoupLo();
+
+    DSpan bufs[2] = {out, scratch};
+    int target = (m % 2 == 1) ? 0 : 1;
+    const uint64_t* src_hi = in.hi;
+    const uint64_t* src_lo = in.lo;
+    for (int s = 0; s < m; ++s) {
+        const bool last = s == m - 1;
+        DSpan dst = bufs[target];
+        for (size_t j = 0; j < h; ++j) {
+            const size_t e = NttPlan::stageTwiddleIndex(s, j);
+            const auto w = A::twiddle(mod::DW<uint64_t>{tw_hi[e], tw_lo[e]},
+                                      q);
+            const mod::DW<uint64_t> wq{twq_hi[e], twq_lo[e]};
+            for (size_t c = 0; c < il; ++c) {
+                auto a = A::load2q(src_hi, src_lo,
+                                   detail::batchIndex(j, c, il), q);
+                auto b = A::load2q(src_hi, src_lo,
+                                   detail::batchIndex(j + h, c, il), q);
+                auto u = A::condSub2q(A::add(a, b, q), q2, q);
+                auto v = A::mulShoup(A::subRaw(a, b, q2, q), w, wq, q, algo);
+                if (last) {
+                    u = A::canon(u, q);
+                    v = A::canon(v, q);
+                }
+                A::store(dst.hi, dst.lo, detail::batchIndex(2 * j, c, il), u);
+                A::store(dst.hi, dst.lo, detail::batchIndex(2 * j + 1, c, il),
+                         v);
+            }
+        }
+        src_hi = dst.hi;
+        src_lo = dst.lo;
+        target ^= 1;
+    }
+}
+
+/** Scalar-backend inverse batch kernel + fused n^-1 pass. */
+inline void
+peaseInverseBatchScalarImpl(const NttPlan& plan, size_t il, DConstSpan in,
+                            DSpan out, DSpan scratch,
+                            MulAlgo algo = MulAlgo::Schoolbook)
+{
+    using A = mod::DefaultLazyOps;
+    detail::validateBatchNttArgs(plan, il, in, out, scratch);
+    const size_t h = plan.half();
+    const int m = plan.logn();
+    const mod::DW<uint64_t> q = mod::toDw(plan.modulus().value());
+    const mod::DW<uint64_t> q2 = mod::shl1Dw(q);
+    const uint64_t* tw_hi = plan.twiddleInvHi();
+    const uint64_t* tw_lo = plan.twiddleInvLo();
+    const uint64_t* twq_hi = plan.twiddleInvShoupHi();
+    const uint64_t* twq_lo = plan.twiddleInvShoupLo();
+
+    DSpan bufs[2] = {out, scratch};
+    int target = (m % 2 == 1) ? 0 : 1;
+    const uint64_t* src_hi = in.hi;
+    const uint64_t* src_lo = in.lo;
+    for (int s = m - 1; s >= 0; --s) {
+        DSpan dst = bufs[target];
+        for (size_t j = 0; j < h; ++j) {
+            const size_t e = NttPlan::stageTwiddleIndex(s, j);
+            const auto w = A::twiddle(mod::DW<uint64_t>{tw_hi[e], tw_lo[e]},
+                                      q);
+            const mod::DW<uint64_t> wq{twq_hi[e], twq_lo[e]};
+            for (size_t c = 0; c < il; ++c) {
+                auto u = A::load2q(src_hi, src_lo,
+                                   detail::batchIndex(2 * j, c, il), q);
+                auto v = A::load2q(src_hi, src_lo,
+                                   detail::batchIndex(2 * j + 1, c, il), q);
+                auto t = A::mulShoup(v, w, wq, q, algo);
+                auto x0 = A::condSub2q(A::add(u, t, q), q2, q);
+                auto x1 = A::condSub2q(A::subRaw(u, t, q2, q), q2, q);
+                A::store(dst.hi, dst.lo, detail::batchIndex(j, c, il), x0);
+                A::store(dst.hi, dst.lo, detail::batchIndex(j + h, c, il),
+                         x1);
+            }
+        }
+        src_hi = dst.hi;
+        src_lo = dst.lo;
+        target ^= 1;
+    }
+
+    const mod::DW<uint64_t> dn = mod::toDw(plan.nInv());
+    const mod::DW<uint64_t> dnq = mod::toDw(plan.nInvShoup());
+    for (size_t i = 0; i < il * plan.n(); ++i) {
+        detail::mulShoupCanonElementScalar(q, out.hi, out.lo, out.hi, out.lo,
+                                           dn, dnq, i, algo);
+    }
+}
+
+/** Scalar-backend batched vmulShoup (see vmulShoupBatchImpl). */
+inline void
+vmulShoupBatchScalarImpl(const Modulus& m, size_t il, DConstSpan a,
+                         DConstSpan t, DConstSpan tq, DSpan c,
+                         MulAlgo algo = MulAlgo::Schoolbook)
+{
+    constexpr size_t w8 = BatchLayout::kTileWords;
+    checkArg(il >= 1 && il <= 64,
+             "vmulShoupBatch: interleave factor out of range");
+    checkArg(t.n == tq.n && (t.n & (w8 - 1)) == 0 && t.n > 0,
+             "vmulShoupBatch: table length must be a positive multiple of 8");
+    checkArg(a.n == il * t.n && c.n == a.n,
+             "vmulShoupBatch: data length must be il * table length");
+    const mod::DW<uint64_t> q = mod::toDw(m.value());
+    for (size_t i = 0; i < t.n; ++i) {
+        const mod::DW<uint64_t> w{t.hi[i], t.lo[i]};
+        const mod::DW<uint64_t> wq{tq.hi[i], tq.lo[i]};
+        for (size_t lane = 0; lane < il; ++lane) {
+            const size_t idx = detail::batchIndex(i, lane, il);
+            detail::mulShoupCanonElementScalar(q, a.hi, a.lo, c.hi, c.lo, w,
+                                               wq, idx, algo);
+        }
     }
 }
 

@@ -6,6 +6,7 @@
 
 #include "bench_util/rng.h"
 #include "blas/blas.h"
+#include "core/batch_layout.h"
 #include "engine/engine.h"
 #include "telemetry/telemetry.h"
 
@@ -308,6 +309,174 @@ fmaChannel(Backend backend, const RnsBasis& basis, size_t channel,
     }
     // The whole sum pays this single inverse — the fusion the batch
     // exists for.
+    eng.inverse(acc.span(), c.channel(channel).span());
+}
+
+namespace {
+
+/**
+ * Thread-local staging for the interleaved batch pipelines: four packed
+ * il*n ping-pong buffers, a packed eval accumulator, per-lane unpack
+ * staging, and the span tables handed to pack/unpack. ensure()
+ * reallocates only when (il, n) changes, so steady-state batch calls
+ * never touch the heap.
+ */
+struct BatchScratch
+{
+    ResidueVector packed_a, packed_b, packed_c, packed_d, packed_acc;
+    std::vector<ResidueVector> lane_buf;
+    std::vector<DConstSpan> lane_src;
+    std::vector<DSpan> lane_dst;
+
+    void
+    ensure(size_t il, size_t n)
+    {
+        const size_t total = il * n;
+        packed_a.ensure(total);
+        packed_b.ensure(total);
+        packed_c.ensure(total);
+        packed_d.ensure(total);
+        if (lane_buf.size() != il)
+            lane_buf.resize(il);
+        for (auto& v : lane_buf)
+            v.ensure(n);
+        lane_src.resize(il);
+        lane_dst.resize(il);
+    }
+};
+
+BatchScratch&
+batchScratch()
+{
+    thread_local BatchScratch scratch;
+    return scratch;
+}
+
+/**
+ * Pack this channel's spans of @p il consecutive operands (starting at
+ * product @p p0, side selected by @p second), twist them, and
+ * batch-forward the whole tile into @p out, clobbering @p packed and
+ * @p scratch.
+ */
+void
+packTwistForward(Backend backend, const Modulus& m,
+                 const ntt::NegacyclicTables& tables,
+                 const BatchLayout& layout, size_t channel,
+                 const std::vector<std::pair<const RnsPolynomial*,
+                                             const RnsPolynomial*>>& products,
+                 size_t p0, bool second, std::vector<DConstSpan>& src,
+                 ResidueVector& packed, ResidueVector& out,
+                 ResidueVector& scratch)
+{
+    const size_t il = layout.il;
+    for (size_t lane = 0; lane < il; ++lane) {
+        const auto& pair = products[p0 + lane];
+        const RnsPolynomial& p = second ? *pair.second : *pair.first;
+        src[lane] = p.channel(channel).span();
+    }
+    batch::packLanes(layout, src.data(), il, packed.span());
+    ntt::vmulShoupBatch(backend, m, il, packed.span(), tables.twist().span(),
+                        tables.twistShoup().span(), packed.span());
+    ntt::forwardBatch(tables.plan(), backend, il, packed.span(), out.span(),
+                      scratch.span());
+}
+
+} // namespace
+
+void
+polymulChannelBatch(Backend backend, const RnsBasis& basis, size_t channel,
+                    std::shared_ptr<const ntt::NegacyclicTables> tables,
+                    const std::vector<std::pair<const RnsPolynomial*,
+                                                const RnsPolynomial*>>&
+                        products,
+                    size_t p0, size_t il, std::vector<RnsPolynomial>& results)
+{
+    MQX_SCOPED_SPAN(ch_span, "rns.channel.polymul_batch");
+    const size_t n = results[p0].n();
+    const Modulus& m = basis.modulus(channel);
+    const BatchLayout layout(n, il, il);
+    BatchScratch& s = batchScratch();
+    s.ensure(il, n);
+
+    packTwistForward(backend, m, *tables, layout, channel, products, p0,
+                     /*second=*/false, s.lane_src, s.packed_a, s.packed_b,
+                     s.packed_c);
+    packTwistForward(backend, m, *tables, layout, channel, products, p0,
+                     /*second=*/true, s.lane_src, s.packed_a, s.packed_c,
+                     s.packed_d);
+    // Point-wise product over the whole packed tile: the layout is a
+    // per-lane permutation, and vmul is element-wise, so one flat call
+    // multiplies every lane at once.
+    blas::vmul(backend, m, s.packed_b.span(), s.packed_c.span(),
+               s.packed_b.span());
+    ntt::inverseBatch(tables->plan(), backend, il, s.packed_b.span(),
+                      s.packed_a.span(), s.packed_c.span());
+    ntt::vmulShoupBatch(backend, m, il, s.packed_a.span(),
+                        tables->untwist().span(),
+                        tables->untwistShoup().span(), s.packed_a.span());
+    for (size_t lane = 0; lane < il; ++lane)
+        s.lane_dst[lane] = results[p0 + lane].channel(channel).span();
+    batch::unpackLanes(layout, s.packed_a.span(), s.lane_dst.data(), il);
+}
+
+void
+fmaChannelBatched(Backend backend, const RnsBasis& basis, size_t channel,
+                  std::shared_ptr<const ntt::NegacyclicTables> tables,
+                  ntt::NegacyclicWorkspacePool& workspaces,
+                  const std::vector<std::pair<const RnsPolynomial*,
+                                              const RnsPolynomial*>>& products,
+                  size_t il, RnsPolynomial& c)
+{
+    MQX_SCOPED_SPAN(ch_span, "rns.channel.fma_batch");
+    auto lease = workspaces.acquire(tables, backend);
+    ntt::NegacyclicEngine& eng = lease.engine();
+    const size_t n = c.n();
+    const Modulus& m = basis.modulus(channel);
+    const size_t tiles = products.size() / il;
+    const BatchLayout layout(n, il, il);
+    BatchScratch& s = batchScratch();
+    s.ensure(il, n);
+
+    ResidueVector& acc = eng.auxBuffer(0);
+    acc.zero();
+    s.packed_acc.ensure(il * n);
+    s.packed_acc.zero();
+    for (size_t t = 0; t < tiles; ++t) {
+        const size_t p0 = t * il;
+        packTwistForward(backend, m, *tables, layout, channel, products, p0,
+                         /*second=*/false, s.lane_src, s.packed_a, s.packed_b,
+                         s.packed_c);
+        packTwistForward(backend, m, *tables, layout, channel, products, p0,
+                         /*second=*/true, s.lane_src, s.packed_a, s.packed_c,
+                         s.packed_d);
+        blas::vmul(backend, m, s.packed_b.span(), s.packed_c.span(),
+                   s.packed_b.span());
+        blas::vadd(backend, m, s.packed_acc.span(), s.packed_b.span(),
+                   s.packed_acc.span());
+    }
+    if (tiles > 0) {
+        // Fold the packed per-lane partial sums into the channel
+        // accumulator. Exact mod-q addition is order-independent, so
+        // this regrouping leaves the final sum bit-identical to the
+        // per-product fmaChannel path.
+        for (size_t lane = 0; lane < il; ++lane)
+            s.lane_dst[lane] = s.lane_buf[lane].span();
+        batch::unpackLanes(layout, s.packed_acc.span(), s.lane_dst.data(),
+                           il);
+        for (size_t lane = 0; lane < il; ++lane)
+            blas::vadd(backend, m, acc.span(), s.lane_buf[lane].span(),
+                       acc.span());
+    }
+    // Remainder products (k % il) take the classic per-product
+    // transform-domain accumulate.
+    ResidueVector& fa = eng.auxBuffer(1);
+    ResidueVector& fb = eng.auxBuffer(2);
+    for (size_t p = tiles * il; p < products.size(); ++p) {
+        eng.forward(products[p].first->channel(channel).span(), fa.span());
+        eng.forward(products[p].second->channel(channel).span(), fb.span());
+        eng.pointwiseAccumulate(acc.span(), fa.span(), fb.span());
+    }
+    // One inverse for the whole batch, exactly as fmaChannel.
     eng.inverse(acc.span(), c.channel(channel).span());
 }
 

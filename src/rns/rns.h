@@ -350,6 +350,40 @@ void fmaChannel(Backend backend, const RnsBasis& basis, size_t channel,
                                             const RnsPolynomial*>>& products,
                 RnsPolynomial& c);
 
+/**
+ * One channel-tile of the interleaved-batch negacyclic product: packs
+ * this channel's spans of products [p0, p0 + il) into the channel-major
+ * batch layout (core/batch_layout.h), runs twist + forward + point-wise
+ * + inverse + untwist ONCE across all il lanes with the batched kernels
+ * (ntt::forwardBatch et al.), and unpacks into results[p0 .. p0 + il).
+ * Per-lane word-identical to il polymulChannel calls. @p tables must be
+ * non-null and batch-eligible (ntt::batchSupported). Packing staging is
+ * thread-local and recycled, so steady-state calls are allocation-free.
+ */
+void polymulChannelBatch(
+    Backend backend, const RnsBasis& basis, size_t channel,
+    std::shared_ptr<const ntt::NegacyclicTables> tables,
+    const std::vector<std::pair<const RnsPolynomial*,
+                                const RnsPolynomial*>>& products,
+    size_t p0, size_t il, std::vector<RnsPolynomial>& results);
+
+/**
+ * Interleaved-batch flavour of fmaChannel for uniform all-Coeff
+ * batches: whole tiles of il products run their forwards through the
+ * batched kernels and accumulate point-wise in the packed layout; the
+ * lane partial sums are then folded into the channel accumulator, any
+ * k % il remainder products take the classic per-product path, and the
+ * whole sum still pays ONE inverse transform. Exact mod-q accumulation
+ * is order-independent, so the result is bit-identical to fmaChannel.
+ */
+void fmaChannelBatched(
+    Backend backend, const RnsBasis& basis, size_t channel,
+    std::shared_ptr<const ntt::NegacyclicTables> tables,
+    ntt::NegacyclicWorkspacePool& workspaces,
+    const std::vector<std::pair<const RnsPolynomial*,
+                                const RnsPolynomial*>>& products,
+    size_t il, RnsPolynomial& c);
+
 /** Shared operand validation (same basis, same length). */
 void checkCompatible(const RnsBasis& basis, const RnsPolynomial& a,
                      const RnsPolynomial& b);

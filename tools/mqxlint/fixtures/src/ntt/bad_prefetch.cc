@@ -1,0 +1,7 @@
+// prefetch-hygiene fixture: a raw prefetch intrinsic outside the
+// sanctioned core/prefetch.h funnel (must fire exactly once).
+void
+badPrefetch(const unsigned long* p)
+{
+    __builtin_prefetch(p + 64, 0, 3);
+}

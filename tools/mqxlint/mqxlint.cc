@@ -29,6 +29,11 @@
  *                     directories (ntt, blas, simd, word64) — modular
  *                     arithmetic belongs to src/mod/'s Barrett/Shoup
  *                     pipelines, not hardware division.
+ *   prefetch-hygiene  no raw `_mm_prefetch` / `__builtin_prefetch`
+ *                     outside core/prefetch.h — the prefetch policy
+ *                     (hint level, lookahead distance) lives in the
+ *                     sanctioned prefetchRead/prefetchNext helpers,
+ *                     mirroring the aligned-alloc funnel.
  *
  * Usage:
  *   mqxlint --repo-root <dir> [--allowlist <file>] [--fix-dry-run]
@@ -242,6 +247,7 @@ class Linter
         ruleAtomicOrder();
         ruleAlignedAlloc();
         ruleHotModulo();
+        rulePrefetchHygiene();
         std::sort(diags_.begin(), diags_.end(),
                   [](const Diagnostic& a, const Diagnostic& b) {
                       return std::tie(a.file, a.line, a.rule) <
@@ -625,6 +631,33 @@ class Linter
         }
     }
 
+    void
+    rulePrefetchHygiene()
+    {
+        const char* kIntrinsics[] = {"_mm_prefetch", "__builtin_prefetch"};
+        for (const auto& f : files_) {
+            if (f.rel == "src/core/prefetch.h")
+                continue;
+            for (const char* tok : kIntrinsics) {
+                const size_t len = std::string(tok).size();
+                size_t pos = 0;
+                while ((pos = f.code.find(tok, pos)) != std::string::npos) {
+                    bool word =
+                        (pos == 0 || !isIdentChar(f.code[pos - 1])) &&
+                        (pos + len >= f.code.size() ||
+                         !isIdentChar(f.code[pos + len]));
+                    if (word)
+                        report(f, lineOf(f.code, pos), "prefetch-hygiene",
+                               std::string("raw ") + tok +
+                                   " outside core/prefetch.h; use the "
+                                   "sanctioned prefetchRead/prefetchNext "
+                                   "helpers");
+                    pos += len;
+                }
+            }
+        }
+    }
+
     fs::path root_;
     std::vector<AllowEntry> allow_;
     std::vector<SourceFile> files_;
@@ -682,7 +715,8 @@ int
 selfTest(const fs::path& fixtures)
 {
     const char* kRules[] = {"backend-coverage", "dspan-validate",
-                            "atomic-order", "aligned-alloc", "hot-modulo"};
+                            "atomic-order",     "aligned-alloc",
+                            "hot-modulo",       "prefetch-hygiene"};
     // Pass 1: no allowlist — every rule fires exactly once.
     auto diags = Linter(fixtures, {}).run();
     printDiags(diags, false);
