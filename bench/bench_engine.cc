@@ -10,6 +10,7 @@
  * the seed's sequential RnsKernels path; speedups are relative to it.
  */
 #include <algorithm>
+#include <cstring>
 
 #include "bench_common.h"
 #include "core/layout_metrics.h"
@@ -39,8 +40,22 @@ bestOf(int reps, Fn&& fn)
 } // namespace
 
 int
-main()
+main(int argc, char** argv)
 {
+    // --robust-json <path>: also emit the verification-overhead scenario
+    // as JSON (committed as BENCH_robust.json). Argless runs (the CI
+    // verify legs) just print the tables.
+    const char* robust_json = nullptr;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--robust-json") == 0 && i + 1 < argc) {
+            robust_json = argv[++i];
+        } else {
+            std::fprintf(stderr,
+                         "usage: bench_engine [--robust-json <path>]\n");
+            return 2;
+        }
+    }
+
     printHostHeader("Engine scaling: RNS channel fan-out across threads");
 
     Backend be = bestBackend();
@@ -311,6 +326,93 @@ main()
         std::printf("guard: span overhead must stay < 2%% on kernel-sized "
                     "ops%s\n\n",
                     overhead < 2.0 ? " -- OK" : " -- EXCEEDED");
+    }
+
+    // Verification overhead (ISSUE 9): the same warmed polymul under
+    // VerifyPolicy Off / Sample(1-in-8) / Always. The Freivalds check is
+    // one pointwise vmul against a cached powers-of-r table plus a
+    // horizontal mod-sum per operand — O(n) against the O(n log n)
+    // pipeline it guards — so the sampled policy must stay under the 2%
+    // contract (README "Robustness & fault injection"). Sampled cost
+    // lands on every 8th call, so each rep times a 16-call block and
+    // reports per-call averages.
+    {
+        const size_t channels = 8, ver_n = 4096;
+        const uint32_t period = 8;
+        rns::RnsBasis basis(124, 20, static_cast<int>(channels));
+        auto a = rns::randomPolynomial(basis, ver_n, 0x900);
+        auto b = rns::randomPolynomial(basis, ver_n, 0xa00);
+        const int kCalls = 16, kVerReps = 5;
+
+        auto perCallNs = [&](robust::VerifyPolicy policy) {
+            engine::EngineOptions opts;
+            opts.backend = be;
+            opts.threads = 1; // serial: no pool noise in the delta
+            opts.verify.policy = policy;
+            opts.verify.sample_period = period;
+            engine::Engine eng(opts);
+            rns::RnsPolynomial sink(basis, ver_n);
+            eng.polymulNegacyclicInto(a, b, sink); // warm plans + tables
+            uint64_t block = bestOf(kVerReps, [&] {
+                for (int i = 0; i < kCalls; ++i)
+                    eng.polymulNegacyclicInto(a, b, sink);
+            });
+            return block / static_cast<uint64_t>(kCalls);
+        };
+
+        const uint64_t off_ns = perCallNs(robust::VerifyPolicy::Off);
+        const uint64_t sample_ns = perCallNs(robust::VerifyPolicy::Sample);
+        const uint64_t always_ns = perCallNs(robust::VerifyPolicy::Always);
+        auto pct = [&](uint64_t ns) {
+            return 100.0 *
+                   (static_cast<double>(ns) - static_cast<double>(off_ns)) /
+                   static_cast<double>(off_ns);
+        };
+
+        TextTable vt("Freivalds verification overhead: warmed polymul, n = " +
+                     std::to_string(ver_n) + ", " + std::to_string(channels) +
+                     " channels (serial engine)");
+        vt.setHeader({"policy", "us/call", "overhead"});
+        vt.addRow({"off", formatFixed(off_ns / 1e3, 1), "-"});
+        vt.addRow({"sample 1-in-" + std::to_string(period),
+                   formatFixed(sample_ns / 1e3, 1),
+                   formatFixed(pct(sample_ns), 2) + "%"});
+        vt.addRow({"always", formatFixed(always_ns / 1e3, 1),
+                   formatFixed(pct(always_ns), 2) + "%"});
+        vt.print();
+        std::printf("guard: sampled-policy overhead must stay < 2%%%s\n\n",
+                    pct(sample_ns) < 2.0 ? " -- OK" : " -- EXCEEDED");
+
+        if (robust_json) {
+            FILE* out = std::fopen(robust_json, "w");
+            if (!out) {
+                std::fprintf(stderr, "cannot write %s\n", robust_json);
+                return 1;
+            }
+            std::fprintf(
+                out,
+                "{\n"
+                "  \"scenario\": \"polymul_verification_overhead\",\n"
+                "  \"backend\": \"%s\",\n"
+                "  \"n\": %zu,\n"
+                "  \"channels\": %zu,\n"
+                "  \"sample_period\": %u,\n"
+                "  \"calls_per_rep\": %d,\n"
+                "  \"off_ns_per_call\": %llu,\n"
+                "  \"sample_ns_per_call\": %llu,\n"
+                "  \"always_ns_per_call\": %llu,\n"
+                "  \"sample_overhead_pct\": %.3f,\n"
+                "  \"always_overhead_pct\": %.3f,\n"
+                "  \"sample_within_2pct\": %s\n"
+                "}\n",
+                backendName(be).c_str(), ver_n, channels, period, kCalls,
+                static_cast<unsigned long long>(off_ns),
+                static_cast<unsigned long long>(sample_ns),
+                static_cast<unsigned long long>(always_ns), pct(sample_ns),
+                pct(always_ns), pct(sample_ns) < 2.0 ? "true" : "false");
+            std::fclose(out);
+            std::fprintf(stderr, "wrote %s\n", robust_json);
+        }
     }
 
     // Plan-cache effect: cold first call vs warm steady state.

@@ -33,6 +33,7 @@
 #endif
 
 #include "core/config.h"
+#include "core/env.h"
 
 namespace mqx {
 namespace core {
@@ -58,21 +59,17 @@ prefetchRead(const void* p)
 /**
  * Lookahead distance in group-rows (one group-row = IL tiles = the
  * words one batch sweep consumes before advancing), from
- * `MQX_PREFETCH_DIST`. Clamped to [0, 64]; 0 disables prefetching.
+ * `MQX_PREFETCH_DIST`. Valid range [0, 64]; 0 disables prefetching.
+ * Malformed or out-of-range values fall back to the tuned default of 2
+ * with a one-time `env.fallback.MQX_PREFETCH_DIST` telemetry note
+ * (core/env.h), read once on first use.
  */
 inline size_t
 prefetchDistance()
 {
-    static const size_t dist = [] {
-        const char* env = std::getenv("MQX_PREFETCH_DIST");
-        if (!env || !*env)
-            return size_t{2};
-        char* end = nullptr;
-        long v = std::strtol(env, &end, 10);
-        if (end == env || v < 0)
-            return size_t{2};
-        return v > 64 ? size_t{64} : static_cast<size_t>(v);
-    }();
+    static const size_t dist = static_cast<size_t>(
+        envUint("MQX_PREFETCH_DIST", /*fallback=*/2, /*min_ok=*/0,
+                /*max_ok=*/64));
     return dist;
 }
 

@@ -1,12 +1,20 @@
 /**
  * @file
- * Engine facade implementation: batched RNS channel dispatch.
+ * Engine facade implementation: batched RNS channel dispatch, with the
+ * robustness plumbing (robust/) threaded through every op — optional
+ * cancellation checkpoints at task boundaries, policy-driven Freivalds
+ * verification with repair-through-the-serial-path, and a fallback from
+ * the interleaved batch kernels to the per-channel path on injected
+ * batch failures.
  */
 #include "engine/engine.h"
 
 #include <algorithm>
+#include <exception>
+#include <memory>
 
 #include "core/config.h"
+#include "robust/status.h"
 #include "telemetry/telemetry.h"
 
 namespace mqx {
@@ -21,25 +29,215 @@ requireAvailable(Backend backend)
     return backend;
 }
 
+// Process-wide robustness counters; every Engine instance feeds the
+// same ones so verification and recovery activity is visible in
+// telemetry::snapshotJson() regardless of which engine did the work.
+telemetry::Counter&
+verifyChecks()
+{
+    static telemetry::Counter& c = telemetry::counter("verify.checks");
+    return c;
+}
+
+telemetry::Counter&
+verifyFailures()
+{
+    static telemetry::Counter& c = telemetry::counter("verify.failures");
+    return c;
+}
+
+telemetry::Counter&
+robustRetries()
+{
+    static telemetry::Counter& c = telemetry::counter("robust.retries");
+    return c;
+}
+
+telemetry::Counter&
+robustRepairs()
+{
+    static telemetry::Counter& c = telemetry::counter("robust.repairs");
+    return c;
+}
+
+telemetry::Counter&
+robustFailures()
+{
+    static telemetry::Counter& c = telemetry::counter("robust.failures");
+    return c;
+}
+
+telemetry::Counter&
+batchFallbacks()
+{
+    static telemetry::Counter& c =
+        telemetry::counter("robust.batch_fallbacks");
+    return c;
+}
+
+/**
+ * Whether a StatusError escaping a batch kernel should propagate
+ * instead of falling back to the serial path: cancellation and
+ * corruption verdicts are about the op, not the kernel, and must reach
+ * the caller. An injected kernel fault (FaultInjected) is exactly the
+ * failure the fallback exists for.
+ */
+bool
+propagateFromBatchKernel(const robust::StatusError& e)
+{
+    return e.status().code() != robust::StatusCode::FaultInjected;
+}
+
 } // namespace
 
 Engine::Engine(EngineOptions options)
-    : backend_(requireAvailable(options.backend)), pool_(options.threads)
+    : backend_(requireAvailable(options.backend)), verify_(options.verify),
+      pool_(options.threads)
 {
+}
+
+bool
+Engine::shouldVerify(uint64_t seq) const
+{
+    switch (verify_.policy) {
+    case robust::VerifyPolicy::Off:
+        return false;
+    case robust::VerifyPolicy::Always:
+        return true;
+    case robust::VerifyPolicy::Sample:
+        return verify_.sample_period <= 1 ||
+               seq % verify_.sample_period == 0;
+    }
+    return false;
+}
+
+void
+Engine::verifyRepairPolymul(
+    const rns::RnsBasis& basis, size_t channel,
+    const std::shared_ptr<const ntt::NegacyclicTables>& tables,
+    const rns::RnsPolynomial& a, const rns::RnsPolynomial& b,
+    rns::RnsPolynomial& c)
+{
+    const Modulus& m = basis.modulus(channel);
+    verifyChecks().add(1);
+    if (robust::checkNegacyclicPolymul(
+            backend_, m, tables->psi(), a.channel(channel).span(),
+            b.channel(channel).span(), c.channel(channel).span(),
+            verify_.seed))
+        return;
+    verifyFailures().add(1);
+    // The channel failed the evaluation identity: recompute it through
+    // the fault-free serial path (no pools, no fault points) and
+    // re-check. The repair is a full recomputation, so re-checking at
+    // the same cached point is sound — a correct product always passes.
+    for (size_t attempt = 0; attempt < verify_.max_retries; ++attempt) {
+        robustRetries().add(1);
+        rns::detail::polymulChannelUnfaulted(backend_, basis, channel,
+                                             tables, a, b, c);
+        if (robust::checkNegacyclicPolymul(
+                backend_, m, tables->psi(), a.channel(channel).span(),
+                b.channel(channel).span(), c.channel(channel).span(),
+                verify_.seed)) {
+            robustRepairs().add(1);
+            return;
+        }
+    }
+    robustFailures().add(1);
+    robust::throwStatus(
+        robust::StatusCode::DataCorruption,
+        "Engine::polymulNegacyclic: a channel failed Freivalds "
+        "verification after every repair retry");
+}
+
+void
+Engine::verifyRepairFma(
+    const rns::RnsBasis& basis, size_t channel,
+    const std::shared_ptr<const ntt::NegacyclicTables>& tables,
+    const std::vector<std::pair<const rns::RnsPolynomial*,
+                                const rns::RnsPolynomial*>>& products,
+    rns::RnsPolynomial& c)
+{
+    const Modulus& m = basis.modulus(channel);
+    std::vector<std::pair<DConstSpan, DConstSpan>> spans;
+    spans.reserve(products.size());
+    for (const auto& [a, b] : products) {
+        spans.emplace_back(a->channel(channel).span(),
+                           b->channel(channel).span());
+    }
+    verifyChecks().add(1);
+    if (robust::checkNegacyclicFma(backend_, m, tables->psi(), spans,
+                                   c.channel(channel).span(), verify_.seed))
+        return;
+    verifyFailures().add(1);
+    for (size_t attempt = 0; attempt < verify_.max_retries; ++attempt) {
+        robustRetries().add(1);
+        rns::detail::fmaChannelUnfaulted(backend_, basis, channel, tables,
+                                         products, c);
+        if (robust::checkNegacyclicFma(backend_, m, tables->psi(), spans,
+                                       c.channel(channel).span(),
+                                       verify_.seed)) {
+            robustRepairs().add(1);
+            return;
+        }
+    }
+    robustFailures().add(1);
+    robust::throwStatus(robust::StatusCode::DataCorruption,
+                        "Engine::fmaBatch: a channel failed Freivalds "
+                        "verification after every repair retry");
+}
+
+void
+Engine::verifyRepairAdd(const rns::RnsBasis& basis, size_t channel,
+                        const rns::RnsPolynomial& a,
+                        const rns::RnsPolynomial& b, rns::RnsPolynomial& c)
+{
+    const Modulus& m = basis.modulus(channel);
+    verifyChecks().add(1);
+    if (robust::checkAddDigest(m, a.channel(channel).span(),
+                               b.channel(channel).span(),
+                               c.channel(channel).span()))
+        return;
+    verifyFailures().add(1);
+    for (size_t attempt = 0; attempt < verify_.max_retries; ++attempt) {
+        robustRetries().add(1);
+        rns::detail::addChannelUnfaulted(backend_, basis, channel, a, b, c);
+        if (robust::checkAddDigest(m, a.channel(channel).span(),
+                                   b.channel(channel).span(),
+                                   c.channel(channel).span())) {
+            robustRepairs().add(1);
+            return;
+        }
+    }
+    robustFailures().add(1);
+    robust::throwStatus(robust::StatusCode::DataCorruption,
+                        "Engine::add: a channel failed the guard digest "
+                        "after every repair retry");
 }
 
 void
 Engine::addInto(const rns::RnsPolynomial& a, const rns::RnsPolynomial& b,
-                rns::RnsPolynomial& c)
+                rns::RnsPolynomial& c, const robust::CancelToken* cancel)
 {
     MQX_SCOPED_SPAN(op_span, "engine.add");
+    if (cancel)
+        cancel->checkpoint("Engine::add");
     rns::detail::checkCompatible(a.basis(), a, b);
     rns::detail::checkForm(b, a.form(), "Engine::add");
     const rns::RnsBasis& basis = a.basis();
     rns::detail::checkDest(c, basis, a.n(), a.form(), "Engine::addInto");
-    pool_.parallelFor(0, basis.size(), [&](size_t i) {
-        rns::detail::addChannel(backend_, basis, i, a, b, c);
-    });
+    const uint64_t seq = op_seq_.fetch_add(1, std::memory_order_relaxed);
+    // The guard digest only holds for out-of-place sums: with c aliasing
+    // an operand the inputs are gone by check time.
+    const bool check = verify_.guard_digest && shouldVerify(seq) &&
+                       &c != &a && &c != &b;
+    pool_.parallelFor(
+        0, basis.size(),
+        [&](size_t i) {
+            rns::detail::addChannel(backend_, basis, i, a, b, c);
+            if (check)
+                verifyRepairAdd(basis, i, a, b, c);
+        },
+        cancel);
 }
 
 rns::RnsPolynomial
@@ -55,16 +253,21 @@ Engine::add(const rns::RnsPolynomial& a, const rns::RnsPolynomial& b)
 
 void
 Engine::mulInto(const rns::RnsPolynomial& a, const rns::RnsPolynomial& b,
-                rns::RnsPolynomial& c)
+                rns::RnsPolynomial& c, const robust::CancelToken* cancel)
 {
     MQX_SCOPED_SPAN(op_span, "engine.mul");
+    if (cancel)
+        cancel->checkpoint("Engine::mul");
     rns::detail::checkCompatible(a.basis(), a, b);
     rns::detail::checkForm(b, a.form(), "Engine::mul");
     const rns::RnsBasis& basis = a.basis();
     rns::detail::checkDest(c, basis, a.n(), a.form(), "Engine::mulInto");
-    pool_.parallelFor(0, basis.size(), [&](size_t i) {
-        rns::detail::mulChannel(backend_, basis, i, a, b, c);
-    });
+    pool_.parallelFor(
+        0, basis.size(),
+        [&](size_t i) {
+            rns::detail::mulChannel(backend_, basis, i, a, b, c);
+        },
+        cancel);
 }
 
 rns::RnsPolynomial
@@ -78,21 +281,32 @@ Engine::mul(const rns::RnsPolynomial& a, const rns::RnsPolynomial& b)
 void
 Engine::polymulNegacyclicInto(const rns::RnsPolynomial& a,
                               const rns::RnsPolynomial& b,
-                              rns::RnsPolynomial& c)
+                              rns::RnsPolynomial& c,
+                              const robust::CancelToken* cancel)
 {
     MQX_SCOPED_SPAN(op_span, "engine.polymul");
+    if (cancel)
+        cancel->checkpoint("Engine::polymulNegacyclic");
     rns::detail::checkCompatible(a.basis(), a, b);
     rns::detail::checkForm(a, rns::Form::Coeff, "Engine::polymulNegacyclic");
     rns::detail::checkForm(b, rns::Form::Coeff, "Engine::polymulNegacyclic");
     const rns::RnsBasis& basis = a.basis();
     rns::detail::checkDest(c, basis, a.n(), rns::Form::Coeff,
                            "Engine::polymulNegacyclicInto");
-    pool_.parallelFor(0, basis.size(), [&](size_t i) {
-        rns::detail::polymulChannel(
-            backend_, basis, i,
-            plan_cache_.getNegacyclic(basis.prime(i), a.n()), workspaces_, a,
-            b, c);
-    });
+    const uint64_t seq = op_seq_.fetch_add(1, std::memory_order_relaxed);
+    // Freivalds needs the operands intact after the product, so skip
+    // the check when the destination aliases one.
+    const bool check = shouldVerify(seq) && &c != &a && &c != &b;
+    pool_.parallelFor(
+        0, basis.size(),
+        [&](size_t i) {
+            auto tables = plan_cache_.getNegacyclic(basis.prime(i), a.n());
+            rns::detail::polymulChannel(backend_, basis, i, tables,
+                                        workspaces_, a, b, c, cancel);
+            if (check)
+                verifyRepairPolymul(basis, i, tables, a, b, c);
+        },
+        cancel);
 }
 
 rns::RnsPolynomial
@@ -105,19 +319,25 @@ Engine::polymulNegacyclic(const rns::RnsPolynomial& a,
 }
 
 void
-Engine::toEvalInto(const rns::RnsPolynomial& a, rns::RnsPolynomial& c)
+Engine::toEvalInto(const rns::RnsPolynomial& a, rns::RnsPolynomial& c,
+                   const robust::CancelToken* cancel)
 {
     MQX_SCOPED_SPAN(op_span, "engine.to_eval");
+    if (cancel)
+        cancel->checkpoint("Engine::toEval");
     rns::detail::checkForm(a, rns::Form::Coeff, "Engine::toEval");
     const rns::RnsBasis& basis = a.basis();
     rns::detail::checkDest(c, basis, a.n(), rns::Form::Eval,
                            "Engine::toEvalInto");
-    pool_.parallelFor(0, basis.size(), [&](size_t i) {
-        rns::detail::toEvalChannel(
-            backend_, basis, i,
-            plan_cache_.getNegacyclic(basis.prime(i), a.n()), workspaces_, a,
-            c);
-    });
+    pool_.parallelFor(
+        0, basis.size(),
+        [&](size_t i) {
+            rns::detail::toEvalChannel(
+                backend_, basis, i,
+                plan_cache_.getNegacyclic(basis.prime(i), a.n()), workspaces_,
+                a, c);
+        },
+        cancel);
 }
 
 rns::RnsPolynomial
@@ -129,19 +349,25 @@ Engine::toEval(const rns::RnsPolynomial& a)
 }
 
 void
-Engine::toCoeffInto(const rns::RnsPolynomial& a, rns::RnsPolynomial& c)
+Engine::toCoeffInto(const rns::RnsPolynomial& a, rns::RnsPolynomial& c,
+                    const robust::CancelToken* cancel)
 {
     MQX_SCOPED_SPAN(op_span, "engine.to_coeff");
+    if (cancel)
+        cancel->checkpoint("Engine::toCoeff");
     rns::detail::checkForm(a, rns::Form::Eval, "Engine::toCoeff");
     const rns::RnsBasis& basis = a.basis();
     rns::detail::checkDest(c, basis, a.n(), rns::Form::Coeff,
                            "Engine::toCoeffInto");
-    pool_.parallelFor(0, basis.size(), [&](size_t i) {
-        rns::detail::toCoeffChannel(
-            backend_, basis, i,
-            plan_cache_.getNegacyclic(basis.prime(i), a.n()), workspaces_, a,
-            c);
-    });
+    pool_.parallelFor(
+        0, basis.size(),
+        [&](size_t i) {
+            rns::detail::toCoeffChannel(
+                backend_, basis, i,
+                plan_cache_.getNegacyclic(basis.prime(i), a.n()), workspaces_,
+                a, c);
+        },
+        cancel);
 }
 
 rns::RnsPolynomial
@@ -154,18 +380,23 @@ Engine::toCoeff(const rns::RnsPolynomial& a)
 
 void
 Engine::mulEvalInto(const rns::RnsPolynomial& a, const rns::RnsPolynomial& b,
-                    rns::RnsPolynomial& c)
+                    rns::RnsPolynomial& c, const robust::CancelToken* cancel)
 {
     MQX_SCOPED_SPAN(op_span, "engine.mul_eval");
+    if (cancel)
+        cancel->checkpoint("Engine::mulEval");
     rns::detail::checkCompatible(a.basis(), a, b);
     rns::detail::checkForm(a, rns::Form::Eval, "Engine::mulEval");
     rns::detail::checkForm(b, rns::Form::Eval, "Engine::mulEval");
     const rns::RnsBasis& basis = a.basis();
     rns::detail::checkDest(c, basis, a.n(), rns::Form::Eval,
                            "Engine::mulEvalInto");
-    pool_.parallelFor(0, basis.size(), [&](size_t i) {
-        rns::detail::mulChannel(backend_, basis, i, a, b, c);
-    });
+    pool_.parallelFor(
+        0, basis.size(),
+        [&](size_t i) {
+            rns::detail::mulChannel(backend_, basis, i, a, b, c);
+        },
+        cancel);
 }
 
 rns::RnsPolynomial
@@ -180,9 +411,11 @@ void
 Engine::fmaBatchInto(
     const std::vector<std::pair<const rns::RnsPolynomial*,
                                 const rns::RnsPolynomial*>>& products,
-    rns::RnsPolynomial& c)
+    rns::RnsPolynomial& c, const robust::CancelToken* cancel)
 {
     MQX_SCOPED_SPAN(op_span, "engine.fma_batch");
+    if (cancel)
+        cancel->checkpoint("Engine::fmaBatch");
     checkArg(!products.empty(), "Engine::fmaBatch: empty batch");
     for (const auto& [a, b] : products) {
         checkArg(a != nullptr && b != nullptr,
@@ -202,25 +435,52 @@ Engine::fmaBatchInto(
     // (direct, n >= 16 — shared by every channel since n is uniform).
     const size_t il = ntt::batchInterleave(backend_);
     bool all_coeff = true;
+    bool aliased = false;
     for (const auto& [a, b] : products) {
         all_coeff = all_coeff && a->form() == rns::Form::Coeff &&
                     b->form() == rns::Form::Coeff;
+        aliased = aliased || a == &c || b == &c;
     }
     const bool batched =
         all_coeff && products.size() >= il &&
         ntt::batchSupported(
             plan_cache_.getNegacyclic(basis.prime(0), first.n())->plan());
-    pool_.parallelFor(0, basis.size(), [&](size_t i) {
-        auto tables = plan_cache_.getNegacyclic(basis.prime(i), first.n());
-        if (batched) {
-            rns::detail::fmaChannelBatched(backend_, basis, i,
-                                           std::move(tables), workspaces_,
-                                           products, il, c);
-        } else {
-            rns::detail::fmaChannel(backend_, basis, i, std::move(tables),
-                                    workspaces_, products, c);
-        }
-    });
+    const uint64_t seq = op_seq_.fetch_add(1, std::memory_order_relaxed);
+    // The Freivalds dot-product identity evaluates the Coeff operands
+    // at the check point, so it needs an all-Coeff, non-aliased batch.
+    const bool check = shouldVerify(seq) && all_coeff && !aliased;
+    pool_.parallelFor(
+        0, basis.size(),
+        [&](size_t i) {
+            auto tables =
+                plan_cache_.getNegacyclic(basis.prime(i), first.n());
+            if (batched) {
+                try {
+                    rns::detail::fmaChannelBatched(backend_, basis, i,
+                                                   tables, workspaces_,
+                                                   products, il, c);
+                } catch (const robust::StatusError& e) {
+                    if (propagateFromBatchKernel(e))
+                        throw;
+                    // Injected batch-kernel failure: recompute this
+                    // channel through the fault-free serial path so one
+                    // broken tile can't sink the whole op.
+                    batchFallbacks().add(1);
+                    rns::detail::fmaChannelUnfaulted(backend_, basis, i,
+                                                     tables, products, c);
+                } catch (const std::exception&) {
+                    batchFallbacks().add(1);
+                    rns::detail::fmaChannelUnfaulted(backend_, basis, i,
+                                                     tables, products, c);
+                }
+            } else {
+                rns::detail::fmaChannel(backend_, basis, i, tables,
+                                        workspaces_, products, c, cancel);
+            }
+            if (check)
+                verifyRepairFma(basis, i, tables, products, c);
+        },
+        cancel);
 }
 
 rns::RnsPolynomial
@@ -242,9 +502,12 @@ Engine::fmaBatch(
 std::vector<rns::RnsPolynomial>
 Engine::polymulNegacyclicBatch(
     const std::vector<std::pair<const rns::RnsPolynomial*,
-                                const rns::RnsPolynomial*>>& products)
+                                const rns::RnsPolynomial*>>& products,
+    const robust::CancelToken* cancel)
 {
     MQX_SCOPED_SPAN(op_span, "engine.polymul_batch");
+    if (cancel)
+        cancel->checkpoint("Engine::polymulNegacyclicBatch");
     // Validate everything and lay out results before dispatch; the flat
     // (product, channel) index space keeps the pool saturated when
     // operands have fewer channels than there are threads.
@@ -263,6 +526,10 @@ Engine::polymulNegacyclicBatch(
         results.emplace_back(a->basis(), a->n());
         first_task[p + 1] = first_task[p] + a->basis().size();
     }
+    // One sequence draw covers the whole batch: destinations are
+    // freshly constructed above, so aliasing can't occur.
+    const uint64_t seq = op_seq_.fetch_add(1, std::memory_order_relaxed);
+    const bool check = shouldVerify(seq);
 
     // Interleaved-batch eligibility: a uniform batch (one basis, one
     // length) with at least one whole tile of il products, on a
@@ -287,39 +554,82 @@ Engine::polymulNegacyclicBatch(
         const size_t tiles = products.size() / il;
         const size_t rem = products.size() % il;
         const size_t per_channel = tiles + rem;
-        pool_.parallelFor(0, basis.size() * per_channel, [&](size_t task) {
-            const size_t channel = task / per_channel;
-            const size_t slot = task % per_channel;
-            auto tables =
-                plan_cache_.getNegacyclic(basis.prime(channel), first.n());
-            if (slot < tiles) {
-                rns::detail::polymulChannelBatch(backend_, basis, channel,
-                                                 std::move(tables), products,
-                                                 slot * il, il, results);
-            } else {
-                const size_t p = tiles * il + (slot - tiles);
-                rns::detail::polymulChannel(backend_, basis, channel,
-                                            std::move(tables), workspaces_,
+        pool_.parallelFor(
+            0, basis.size() * per_channel,
+            [&](size_t task) {
+                const size_t channel = task / per_channel;
+                const size_t slot = task % per_channel;
+                auto tables = plan_cache_.getNegacyclic(
+                    basis.prime(channel), first.n());
+                if (slot < tiles) {
+                    const size_t p0 = slot * il;
+                    // Injected batch-kernel failure: redo every lane of
+                    // this tile through the serial path.
+                    auto redoTile = [&] {
+                        batchFallbacks().add(1);
+                        for (size_t p = p0; p < p0 + il; ++p) {
+                            rns::detail::polymulChannelUnfaulted(
+                                backend_, basis, channel, tables,
+                                *products[p].first, *products[p].second,
+                                results[p]);
+                        }
+                    };
+                    try {
+                        rns::detail::polymulChannelBatch(
+                            backend_, basis, channel, tables, products, p0,
+                            il, results);
+                    } catch (const robust::StatusError& e) {
+                        if (propagateFromBatchKernel(e))
+                            throw;
+                        redoTile();
+                    } catch (const std::exception&) {
+                        redoTile();
+                    }
+                    if (check) {
+                        for (size_t p = p0; p < p0 + il; ++p) {
+                            verifyRepairPolymul(basis, channel, tables,
+                                                *products[p].first,
+                                                *products[p].second,
+                                                results[p]);
+                        }
+                    }
+                } else {
+                    const size_t p = tiles * il + (slot - tiles);
+                    rns::detail::polymulChannel(
+                        backend_, basis, channel, tables, workspaces_,
+                        *products[p].first, *products[p].second, results[p],
+                        cancel);
+                    if (check)
+                        verifyRepairPolymul(basis, channel, tables,
                                             *products[p].first,
                                             *products[p].second, results[p]);
-            }
-        });
+                }
+            },
+            cancel);
         return results;
     }
 
-    pool_.parallelFor(0, first_task.back(), [&](size_t task) {
-        // Binary search for the product this flat index belongs to.
-        size_t p = static_cast<size_t>(
-            std::upper_bound(first_task.begin(), first_task.end(), task) -
-            first_task.begin() - 1);
-        size_t channel = task - first_task[p];
-        const rns::RnsPolynomial& a = *products[p].first;
-        const rns::RnsPolynomial& b = *products[p].second;
-        rns::detail::polymulChannel(
-            backend_, a.basis(), channel,
-            plan_cache_.getNegacyclic(a.basis().prime(channel), a.n()),
-            workspaces_, a, b, results[p]);
-    });
+    pool_.parallelFor(
+        0, first_task.back(),
+        [&](size_t task) {
+            // Binary search for the product this flat index belongs to.
+            size_t p = static_cast<size_t>(
+                std::upper_bound(first_task.begin(), first_task.end(),
+                                 task) -
+                first_task.begin() - 1);
+            size_t channel = task - first_task[p];
+            const rns::RnsPolynomial& a = *products[p].first;
+            const rns::RnsPolynomial& b = *products[p].second;
+            auto tables =
+                plan_cache_.getNegacyclic(a.basis().prime(channel), a.n());
+            rns::detail::polymulChannel(backend_, a.basis(), channel, tables,
+                                        workspaces_, a, b, results[p],
+                                        cancel);
+            if (check)
+                verifyRepairPolymul(a.basis(), channel, tables, a, b,
+                                    results[p]);
+        },
+        cancel);
     return results;
 }
 

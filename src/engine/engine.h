@@ -18,7 +18,9 @@
  */
 #pragma once
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <utility>
 #include <vector>
 
@@ -26,6 +28,8 @@
 #include "engine/plan_cache.h"
 #include "engine/thread_pool.h"
 #include "rns/rns.h"
+#include "robust/cancel.h"
+#include "robust/verify.h"
 
 namespace mqx {
 namespace engine {
@@ -36,6 +40,15 @@ struct EngineOptions
     Backend backend = bestBackend();
     /** Pool width; 0 = MQX_THREADS env, else hardware concurrency. */
     size_t threads = 0;
+    /**
+     * Integrity verification (robust/verify.h): with a non-Off policy,
+     * checked ops run a Freivalds evaluation identity per channel after
+     * the kernels and transparently recompute failing channels through
+     * the serial per-channel path (bounded retries, then
+     * robust::StatusError with DataCorruption). Off by default: zero
+     * overhead.
+     */
+    robust::VerifyOptions verify;
 };
 
 class Engine
@@ -44,7 +57,7 @@ class Engine
     explicit Engine(EngineOptions options);
     Engine() : Engine(EngineOptions{}) {}
     Engine(Backend backend, size_t threads = 0)
-        : Engine(EngineOptions{backend, threads})
+        : Engine(EngineOptions{backend, threads, {}})
     {
     }
 
@@ -67,12 +80,23 @@ class Engine
      */
     ntt::NegacyclicWorkspacePool& workspacePool() { return workspaces_; }
 
+    /** Verification policy this engine runs with (EngineOptions). */
+    const robust::VerifyOptions& verifyOptions() const { return verify_; }
+
     /**
      * Every operation below has a value-returning convenience form and
      * an `*Into` form writing into a caller-preallocated destination
      * (matching basis/length, constructed in the result form). The Into
      * forms are the allocation-free steady-state path; the value forms
      * simply construct the destination and delegate.
+     *
+     * Cancellation: the *Into forms (and polymulNegacyclicBatch) take
+     * an optional robust::CancelToken. When supplied, it is checked on
+     * entry, at every pool task boundary, and between NTT stages of
+     * transform-bearing channels; a tripped token (explicit cancel or
+     * expired deadline) aborts the op with robust::StatusError, with
+     * all workspace leases released and the pool consistent. The
+     * destination's contents are unspecified after an abort.
      */
 
     /**
@@ -83,13 +107,15 @@ class Engine
     rns::RnsPolynomial add(const rns::RnsPolynomial& a,
                            const rns::RnsPolynomial& b);
     void addInto(const rns::RnsPolynomial& a, const rns::RnsPolynomial& b,
-                 rns::RnsPolynomial& c);
+                 rns::RnsPolynomial& c,
+                 const robust::CancelToken* cancel = nullptr);
 
     /** c = a .* b (point-wise; same-form operands), channels fanned out. */
     rns::RnsPolynomial mul(const rns::RnsPolynomial& a,
                            const rns::RnsPolynomial& b);
     void mulInto(const rns::RnsPolynomial& a, const rns::RnsPolynomial& b,
-                 rns::RnsPolynomial& c);
+                 rns::RnsPolynomial& c,
+                 const robust::CancelToken* cancel = nullptr);
 
     /**
      * a * b mod (x^n + 1, Q) for Coeff-form operands: each channel runs
@@ -101,7 +127,8 @@ class Engine
                                          const rns::RnsPolynomial& b);
     void polymulNegacyclicInto(const rns::RnsPolynomial& a,
                                const rns::RnsPolynomial& b,
-                               rns::RnsPolynomial& c);
+                               rns::RnsPolynomial& c,
+                               const robust::CancelToken* cancel = nullptr);
 
     /**
      * Forward every channel into Eval form (cached NegacyclicTables,
@@ -111,11 +138,13 @@ class Engine
      * toCoeff at the end. @throws InvalidArgument unless Coeff form.
      */
     rns::RnsPolynomial toEval(const rns::RnsPolynomial& a);
-    void toEvalInto(const rns::RnsPolynomial& a, rns::RnsPolynomial& c);
+    void toEvalInto(const rns::RnsPolynomial& a, rns::RnsPolynomial& c,
+                    const robust::CancelToken* cancel = nullptr);
 
     /** Inverse of toEval. @throws InvalidArgument unless Eval form. */
     rns::RnsPolynomial toCoeff(const rns::RnsPolynomial& a);
-    void toCoeffInto(const rns::RnsPolynomial& a, rns::RnsPolynomial& c);
+    void toCoeffInto(const rns::RnsPolynomial& a, rns::RnsPolynomial& c,
+                     const robust::CancelToken* cancel = nullptr);
 
     /**
      * Negacyclic ring product of two Eval-form operands: one point-wise
@@ -124,7 +153,8 @@ class Engine
     rns::RnsPolynomial mulEval(const rns::RnsPolynomial& a,
                                const rns::RnsPolynomial& b);
     void mulEvalInto(const rns::RnsPolynomial& a, const rns::RnsPolynomial& b,
-                     rns::RnsPolynomial& c);
+                     rns::RnsPolynomial& c,
+                     const robust::CancelToken* cancel = nullptr);
 
     /**
      * Fused dot product sum_i a_i * b_i mod (x^n + 1, Q), one channel
@@ -150,7 +180,7 @@ class Engine
     void fmaBatchInto(
         const std::vector<std::pair<const rns::RnsPolynomial*,
                                     const rns::RnsPolynomial*>>& products,
-        rns::RnsPolynomial& c);
+        rns::RnsPolynomial& c, const robust::CancelToken* cancel = nullptr);
 
     /**
      * Run many independent negacyclic products concurrently. All
@@ -167,13 +197,43 @@ class Engine
      */
     std::vector<rns::RnsPolynomial> polymulNegacyclicBatch(
         const std::vector<std::pair<const rns::RnsPolynomial*,
-                                    const rns::RnsPolynomial*>>& products);
+                                    const rns::RnsPolynomial*>>& products,
+        const robust::CancelToken* cancel = nullptr);
 
   private:
+    /** True for ops whose sequence number the policy says to check. */
+    bool shouldVerify(uint64_t seq) const;
+
+    /**
+     * Check-and-repair helpers: run the Freivalds (or digest) identity
+     * on one finished channel; on mismatch recompute it through the
+     * fault-free serial path up to verify_.max_retries times, then
+     * surface DataCorruption. All checks of one (q, n) shape share the
+     * cached evaluation point for verify_.seed — the point where any
+     * single flipped word is detected deterministically.
+     */
+    void verifyRepairPolymul(
+        const rns::RnsBasis& basis, size_t channel,
+        const std::shared_ptr<const ntt::NegacyclicTables>& tables,
+        const rns::RnsPolynomial& a, const rns::RnsPolynomial& b,
+        rns::RnsPolynomial& c);
+    void verifyRepairFma(
+        const rns::RnsBasis& basis, size_t channel,
+        const std::shared_ptr<const ntt::NegacyclicTables>& tables,
+        const std::vector<std::pair<const rns::RnsPolynomial*,
+                                    const rns::RnsPolynomial*>>& products,
+        rns::RnsPolynomial& c);
+    void verifyRepairAdd(const rns::RnsBasis& basis, size_t channel,
+                         const rns::RnsPolynomial& a,
+                         const rns::RnsPolynomial& b, rns::RnsPolynomial& c);
+
     Backend backend_;
+    robust::VerifyOptions verify_;
     ThreadPool pool_;
     PlanCache plan_cache_;
     ntt::NegacyclicWorkspacePool workspaces_;
+    /** Op sequence for the Sample verification policy. */
+    std::atomic<uint64_t> op_seq_{0};
 };
 
 } // namespace engine

@@ -7,6 +7,7 @@
 #include <chrono>
 #include <mutex>
 
+#include "robust/fault_injection.h"
 #include "telemetry/telemetry.h"
 
 namespace mqx {
@@ -115,6 +116,10 @@ PlanCache::get(const U128& q, size_t n)
     bool hit = false;
     auto plan = lookupOrBuild(plans_, key, hit, [&] {
         return timedBuild([&] {
+            // Inside the builder: an injected failure exercises the
+            // failed-slot-erase path (the miss is NOT cached, so the
+            // next caller rebuilds cleanly).
+            MQX_FAULT_POINT("plan_cache.alloc");
             return std::make_shared<const ntt::NttPlan>(Modulus(q), n);
         });
     });
@@ -134,6 +139,7 @@ PlanCache::getNegacyclic(const U128& q, size_t n)
         // the same derivation twice.
         auto plan = planUncounted(key, q);
         return timedBuild([&] {
+            MQX_FAULT_POINT("plan_cache.alloc");
             return std::make_shared<const ntt::NegacyclicTables>(
                 std::move(plan));
         });

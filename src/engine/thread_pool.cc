@@ -10,6 +10,9 @@
 #include <exception>
 #include <string>
 
+#include "core/env.h"
+#include "robust/fault_injection.h"
+
 namespace mqx {
 namespace engine {
 
@@ -51,19 +54,34 @@ idleNsCounter()
     return c;
 }
 
+telemetry::Counter&
+skippedCounter()
+{
+    static telemetry::Counter& c = telemetry::counter("pool.skipped");
+    return c;
+}
+
+/** Shared flags coordinating one parallelFor call's drain-on-failure. */
+struct DrainState {
+    /** Set on first task failure or cancellation: siblings skip. */
+    std::atomic<bool> abort{false};
+    /** Set only by the cancellation path (failure takes precedence). */
+    std::atomic<bool> cancelled{false};
+};
+
 } // namespace
 
 size_t
 defaultThreadCount()
 {
-    if (const char* env = std::getenv("MQX_THREADS")) {
-        char* end = nullptr;
-        long v = std::strtol(env, &end, 10);
-        if (end != env && *end == '\0' && v > 0)
-            return std::min(static_cast<size_t>(v), kMaxThreads);
-    }
-    unsigned hw = std::thread::hardware_concurrency();
-    return hw > 0 ? hw : 1;
+    const unsigned hw = std::thread::hardware_concurrency();
+    const uint64_t fallback = hw > 0 ? hw : 1;
+    // The pool ctor re-clamps to kMaxThreads, so a large-but-valid
+    // MQX_THREADS stays a clamp while garbage/0/negative/overflow fall
+    // back to the hardware default with a telemetry note (core/env.h).
+    return std::min(static_cast<size_t>(core::envUint("MQX_THREADS", fallback,
+                                                      /*min_ok=*/1)),
+                    kMaxThreads);
 }
 
 ThreadPool::ThreadPool(size_t threads)
@@ -125,6 +143,7 @@ ThreadPool::stats() const
     s.caller_tasks = caller_tasks_.load(std::memory_order_relaxed);
     s.steals = steals_.load(std::memory_order_relaxed);
     s.submitted = submitted_.load(std::memory_order_relaxed);
+    s.skipped = skipped_.load(std::memory_order_relaxed);
     return s;
 }
 
@@ -212,7 +231,8 @@ ThreadPool::submit(std::function<void()> task)
 
 void
 ThreadPool::parallelFor(size_t begin, size_t end,
-                        const std::function<void(size_t)>& body)
+                        const std::function<void(size_t)>& body,
+                        const robust::CancelToken* cancel)
 {
     if (begin >= end)
         return;
@@ -220,30 +240,75 @@ ThreadPool::parallelFor(size_t begin, size_t end,
     submitted_.fetch_add(count, std::memory_order_relaxed);
     submittedCounter().add(count);
     if (serial() || end - begin == 1) {
-        // Same exception contract as the threaded path: every index
-        // runs, then the first failure surfaces — so partial results
-        // never depend on the pool width.
+        // Same contract as the threaded path: once one index fails (or
+        // the token trips) the rest drain as counted no-ops, then the
+        // first failure surfaces — so partial results never depend on
+        // the pool width.
         std::exception_ptr first_error;
+        bool cancelled = false;
+        uint64_t skipped = 0;
         for (size_t i = begin; i < end; ++i) {
             noteCallerTask(/*stolen=*/false);
+            if (first_error || cancelled) {
+                ++skipped;
+                continue;
+            }
+            if (cancel && cancel->cancelled()) {
+                cancelled = true;
+                ++skipped;
+                continue;
+            }
             try {
+                MQX_FAULT_POINT("thread_pool.task");
                 body(i);
             } catch (...) {
-                if (!first_error)
-                    first_error = std::current_exception();
+                first_error = std::current_exception();
             }
+        }
+        if (skipped != 0) {
+            skipped_.fetch_add(skipped, std::memory_order_relaxed);
+            skippedCounter().add(skipped);
         }
         if (first_error)
             std::rethrow_exception(first_error);
+        if (cancelled)
+            throw robust::StatusError(cancel->status());
         return;
     }
+
+    // Shared by this call's task wrappers only; safe on the stack
+    // because every future is harvested before parallelFor returns, so
+    // no wrapper can outlive it. Per-call state means one caller's
+    // failure never drains another caller's tasks.
+    DrainState drain;
+    auto runTask = [this, &body, &drain, cancel](size_t i) {
+        if (drain.abort.load(std::memory_order_acquire)) {
+            skipped_.fetch_add(1, std::memory_order_relaxed);
+            skippedCounter().add(1);
+            return;
+        }
+        if (cancel && cancel->cancelled()) {
+            drain.cancelled.store(true, std::memory_order_relaxed);
+            drain.abort.store(true, std::memory_order_release);
+            skipped_.fetch_add(1, std::memory_order_relaxed);
+            skippedCounter().add(1);
+            return;
+        }
+        try {
+            MQX_FAULT_POINT("thread_pool.task");
+            body(i);
+        } catch (...) {
+            drain.abort.store(true, std::memory_order_release);
+            throw; // lands in this task's future; rethrown below
+        }
+    };
 
     std::vector<std::future<void>> futures;
     futures.reserve(end - begin);
     {
         std::lock_guard<std::mutex> lock(mutex_);
         for (size_t i = begin; i < end; ++i) {
-            std::packaged_task<void()> task([&body, i] { body(i); });
+            std::packaged_task<void()> task([&runTask, i] { runTask(i); });
             futures.push_back(task.get_future());
             queue_.push_back(std::move(task));
         }
@@ -289,6 +354,8 @@ ThreadPool::parallelFor(size_t begin, size_t end,
     }
     if (first_error)
         std::rethrow_exception(first_error);
+    if (drain.cancelled.load(std::memory_order_acquire))
+        throw robust::StatusError(cancel->status());
 }
 
 } // namespace engine

@@ -40,6 +40,7 @@
 #include <thread>
 #include <vector>
 
+#include "robust/cancel.h"
 #include "telemetry/telemetry.h"
 
 namespace mqx {
@@ -49,6 +50,10 @@ namespace engine {
  * Worker thread count for pools created with threads == 0: the
  * MQX_THREADS environment variable when set to a positive integer,
  * otherwise std::thread::hardware_concurrency() (at least 1).
+ * Hardened parsing (core/env.h): garbage, 0, negative, or overflowing
+ * values fall back to hardware_concurrency() with a one-time
+ * `env.fallback.MQX_THREADS` telemetry note — a typoed knob degrades
+ * to the default instead of UB or a surprise clamp.
  */
 size_t defaultThreadCount();
 
@@ -73,6 +78,16 @@ class ThreadPool
         uint64_t steals = 0;
         /** Tasks handed to the pool (submit + parallelFor bodies). */
         uint64_t submitted = 0;
+        /**
+         * parallelFor bodies that were drained as no-ops after a
+         * sibling task failed or the call's CancelToken tripped. A
+         * skipped task still counts toward worker_tasks/caller_tasks
+         * (its no-op wrapper runs on some executor), so the
+         * sum(worker_tasks) + caller_tasks == submitted invariant is
+         * unchanged; `skipped` says how many of those executions did
+         * no useful work.
+         */
+        uint64_t skipped = 0;
 
         uint64_t
         executed() const
@@ -121,13 +136,29 @@ class ThreadPool
      * until the first time the queue drains — so under concurrent batch
      * submission a caller neither sits idle while its tasks wait behind
      * another batch nor keeps chewing through foreign backlogs after
-     * its own results are done. Rethrows the first exception (all tasks
-     * are still completed first — @p body never outlives a running
-     * task). Safe to call from several external threads concurrently;
-     * must not be called from inside a pool task.
+     * its own results are done.
+     *
+     * Failure semantics: once any task of THIS call throws, the call's
+     * remaining tasks are drained as cheap no-ops (a checked flag per
+     * call; counted in Stats::skipped) instead of running to
+     * completion, every future is still harvested (so @p body never
+     * outlives the call), and then the first exception is rethrown.
+     * Tasks already running when the failure happens do complete;
+     * other concurrent parallelFor calls are unaffected.
+     *
+     * Cancellation: when @p cancel is non-null it is polled at every
+     * task boundary. Once cancelled (explicitly or by deadline), not-
+     * yet-started tasks drain as no-ops and the call throws
+     * robust::StatusError with the token's status — unless a task
+     * failure was observed first, which takes precedence. The token is
+     * only read during the call; the caller keeps ownership.
+     *
+     * Safe to call from several external threads concurrently; must
+     * not be called from inside a pool task.
      */
     void parallelFor(size_t begin, size_t end,
-                     const std::function<void(size_t)>& body);
+                     const std::function<void(size_t)>& body,
+                     const robust::CancelToken* cancel = nullptr);
 
   private:
     /** Per-worker slots, cache-line padded (each has one writer). */
@@ -147,6 +178,7 @@ class ThreadPool
     std::atomic<uint64_t> submitted_{0};
     std::atomic<uint64_t> caller_tasks_{0};
     std::atomic<uint64_t> steals_{0};
+    std::atomic<uint64_t> skipped_{0};
     std::deque<std::packaged_task<void()>> queue_;
     std::mutex mutex_;
     std::condition_variable cv_;

@@ -8,6 +8,7 @@
 
 #include "blas/blas.h"
 #include "ntt/reference_ntt.h"
+#include "robust/fault_injection.h"
 #include "telemetry/telemetry.h"
 
 namespace mqx {
@@ -299,6 +300,10 @@ NegacyclicWorkspacePool::Lease
 NegacyclicWorkspacePool::acquire(
     std::shared_ptr<const NegacyclicTables> tables, Backend backend)
 {
+    // Before any accounting: an injected acquire failure must leave
+    // leasedCount() untouched, or the balance tests would blame the
+    // pool for a lease that never existed.
+    MQX_FAULT_POINT("workspace_pool.acquire");
     std::unique_ptr<NegacyclicEngine> engine;
     {
         std::lock_guard<std::mutex> lock(mutex_);
@@ -313,6 +318,8 @@ NegacyclicWorkspacePool::acquire(
         engine = std::make_unique<NegacyclicEngine>(std::move(tables),
                                                     backend);
     }
+    leased_.fetch_add(1, std::memory_order_acq_rel);
+    total_leases_.fetch_add(1, std::memory_order_relaxed);
     return Lease(this, std::move(engine));
 }
 
@@ -326,8 +333,11 @@ NegacyclicWorkspacePool::idleCount() const
 void
 NegacyclicWorkspacePool::release(std::unique_ptr<NegacyclicEngine> engine)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
-    free_.push_back(std::move(engine));
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        free_.push_back(std::move(engine));
+    }
+    leased_.fetch_sub(1, std::memory_order_acq_rel);
 }
 
 void

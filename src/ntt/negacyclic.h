@@ -31,6 +31,8 @@
 #pragma once
 
 #include <array>
+#include <atomic>
+#include <cstdint>
 #include <memory>
 #include <mutex>
 #include <vector>
@@ -249,11 +251,31 @@ class NegacyclicWorkspacePool
     /** Idle workspaces currently available for reuse (tests). */
     size_t idleCount() const;
 
+    /**
+     * Leases currently outstanding (acquired, not yet returned). Zero
+     * whenever no op is in flight — the balance the fault-injection
+     * tests assert after randomized failure runs: leases are returned
+     * by RAII unwind, so an exception anywhere mid-pipeline can
+     * neither leak nor double-return one.
+     */
+    size_t leasedCount() const
+    {
+        return leased_.load(std::memory_order_acquire);
+    }
+
+    /** Total successful acquire() calls since construction. */
+    uint64_t totalLeases() const
+    {
+        return total_leases_.load(std::memory_order_relaxed);
+    }
+
   private:
     void release(std::unique_ptr<NegacyclicEngine> engine);
 
     mutable std::mutex mutex_;
     std::vector<std::unique_ptr<NegacyclicEngine>> free_;
+    std::atomic<size_t> leased_{0};
+    std::atomic<uint64_t> total_leases_{0};
 };
 
 /**

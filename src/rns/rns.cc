@@ -8,6 +8,8 @@
 #include "blas/blas.h"
 #include "core/batch_layout.h"
 #include "engine/engine.h"
+#include "robust/cancel.h"
+#include "robust/fault_injection.h"
 #include "telemetry/telemetry.h"
 
 namespace mqx {
@@ -210,6 +212,16 @@ addChannel(Backend backend, const RnsBasis& basis, size_t channel,
     // Channel spans go straight to the backend — no repack, no scratch.
     blas::vadd(backend, basis.modulus(channel), a.channel(channel).span(),
                b.channel(channel).span(), c.channel(channel).span());
+    MQX_FAULT_POINT_DATA("rns.add.out", c.channel(channel).span());
+}
+
+void
+addChannelUnfaulted(Backend backend, const RnsBasis& basis, size_t channel,
+                    const RnsPolynomial& a, const RnsPolynomial& b,
+                    RnsPolynomial& c)
+{
+    blas::vadd(backend, basis.modulus(channel), a.channel(channel).span(),
+               b.channel(channel).span(), c.channel(channel).span());
 }
 
 void
@@ -240,14 +252,47 @@ polymulChannel(Backend backend, const RnsBasis& basis, size_t channel,
                std::shared_ptr<const ntt::NegacyclicTables> tables,
                ntt::NegacyclicWorkspacePool& workspaces,
                const RnsPolynomial& a, const RnsPolynomial& b,
-               RnsPolynomial& c)
+               RnsPolynomial& c, const robust::CancelToken* cancel)
 {
     MQX_SCOPED_SPAN(ch_span, "rns.channel.polymul");
     auto lease = workspaces.acquire(
         tablesOrDerive(std::move(tables), basis, channel, a.n()), backend);
-    lease.engine().polymul(a.channel(channel).span(),
-                           b.channel(channel).span(),
-                           c.channel(channel).span());
+    ntt::NegacyclicEngine& eng = lease.engine();
+    DConstSpan fa_in = a.channel(channel).span();
+    DConstSpan fb_in = b.channel(channel).span();
+    DSpan out = c.channel(channel).span();
+    if (cancel) {
+        // Staged pipeline with a checkpoint at every stage boundary: a
+        // deadline that trips mid-op aborts within one NTT stage, and
+        // the lease is returned by RAII unwind. Stage math is the same
+        // primitives eng.polymul fuses, so the result is bit-identical
+        // — only the abort granularity differs.
+        ResidueVector& fa = eng.auxBuffer(1);
+        ResidueVector& fb = eng.auxBuffer(2);
+        cancel->checkpoint("rns.polymul.forward");
+        eng.forward(fa_in, fa.span());
+        eng.forward(fb_in, fb.span());
+        cancel->checkpoint("rns.polymul.pointwise");
+        eng.pointwiseMul(fa.span(), fb.span(), fa.span());
+        cancel->checkpoint("rns.polymul.inverse");
+        eng.inverse(fa.span(), out);
+    } else {
+        eng.polymul(fa_in, fb_in, out);
+    }
+    MQX_FAULT_POINT_DATA("rns.polymul.out", out);
+}
+
+void
+polymulChannelUnfaulted(Backend backend, const RnsBasis& basis,
+                        size_t channel,
+                        std::shared_ptr<const ntt::NegacyclicTables> tables,
+                        const RnsPolynomial& a, const RnsPolynomial& b,
+                        RnsPolynomial& c)
+{
+    ntt::NegacyclicEngine eng(
+        tablesOrDerive(std::move(tables), basis, channel, a.n()), backend);
+    eng.polymul(a.channel(channel).span(), b.channel(channel).span(),
+                c.channel(channel).span());
 }
 
 void
@@ -276,25 +321,28 @@ toCoeffChannel(Backend backend, const RnsBasis& basis, size_t channel,
                            c.channel(channel).span());
 }
 
+namespace {
+
+/**
+ * The fmaChannel math on an already-bound engine: accumulator and eval
+ * staging live in the workspace (a warmed-up lease hands them back
+ * sized, so the whole batch is heap-free). Shared by the pool-leased
+ * fast path and the no-pool recovery path; a non-null @p cancel is
+ * polled between products and before the final inverse.
+ */
 void
-fmaChannel(Backend backend, const RnsBasis& basis, size_t channel,
-           std::shared_ptr<const ntt::NegacyclicTables> tables,
-           ntt::NegacyclicWorkspacePool& workspaces,
-           const std::vector<std::pair<const RnsPolynomial*,
-                                       const RnsPolynomial*>>& products,
-           RnsPolynomial& c)
+fmaChannelBody(ntt::NegacyclicEngine& eng, size_t channel,
+               const std::vector<std::pair<const RnsPolynomial*,
+                                           const RnsPolynomial*>>& products,
+               RnsPolynomial& c, const robust::CancelToken* cancel)
 {
-    MQX_SCOPED_SPAN(ch_span, "rns.channel.fma");
-    auto lease = workspaces.acquire(
-        tablesOrDerive(std::move(tables), basis, channel, c.n()), backend);
-    ntt::NegacyclicEngine& eng = lease.engine();
-    // Accumulator and eval staging live in the workspace: a warmed-up
-    // lease hands them back sized, so the whole batch is heap-free.
     ResidueVector& acc = eng.auxBuffer(0);
     ResidueVector& fa = eng.auxBuffer(1);
     ResidueVector& fb = eng.auxBuffer(2);
     acc.zero();
     for (const auto& [a, b] : products) {
+        if (cancel)
+            cancel->checkpoint("rns.fma.accumulate");
         DConstSpan ea = a->channel(channel).span();
         DConstSpan eb = b->channel(channel).span();
         if (a->form() == Form::Coeff) {
@@ -307,9 +355,41 @@ fmaChannel(Backend backend, const RnsBasis& basis, size_t channel,
         }
         eng.pointwiseAccumulate(acc.span(), ea, eb);
     }
+    if (cancel)
+        cancel->checkpoint("rns.fma.inverse");
     // The whole sum pays this single inverse — the fusion the batch
     // exists for.
     eng.inverse(acc.span(), c.channel(channel).span());
+}
+
+} // namespace
+
+void
+fmaChannel(Backend backend, const RnsBasis& basis, size_t channel,
+           std::shared_ptr<const ntt::NegacyclicTables> tables,
+           ntt::NegacyclicWorkspacePool& workspaces,
+           const std::vector<std::pair<const RnsPolynomial*,
+                                       const RnsPolynomial*>>& products,
+           RnsPolynomial& c, const robust::CancelToken* cancel)
+{
+    MQX_SCOPED_SPAN(ch_span, "rns.channel.fma");
+    auto lease = workspaces.acquire(
+        tablesOrDerive(std::move(tables), basis, channel, c.n()), backend);
+    fmaChannelBody(lease.engine(), channel, products, c, cancel);
+    MQX_FAULT_POINT_DATA("rns.fma.out", c.channel(channel).span());
+}
+
+void
+fmaChannelUnfaulted(Backend backend, const RnsBasis& basis, size_t channel,
+                    std::shared_ptr<const ntt::NegacyclicTables> tables,
+                    const std::vector<std::pair<const RnsPolynomial*,
+                                                const RnsPolynomial*>>&
+                        products,
+                    RnsPolynomial& c)
+{
+    ntt::NegacyclicEngine eng(
+        tablesOrDerive(std::move(tables), basis, channel, c.n()), backend);
+    fmaChannelBody(eng, channel, products, c, nullptr);
 }
 
 namespace {
@@ -327,6 +407,8 @@ struct BatchScratch
     std::vector<ResidueVector> lane_buf;
     std::vector<DConstSpan> lane_src;
     std::vector<DSpan> lane_dst;
+    /** Guarded by BatchScratchLease; nested leasing is a bug. */
+    bool in_use = false;
 
     void
     ensure(size_t il, size_t n)
@@ -353,6 +435,33 @@ batchScratch()
 }
 
 /**
+ * RAII lease over the thread-local BatchScratch: sizes it for (il, n)
+ * and marks it busy for this scope. The destructor clears the flag on
+ * every exit path, so an exception (injected or real) mid-batch can
+ * never leave the scratch latched busy; a nested lease — which would
+ * clobber live packed buffers — throws instead of corrupting them.
+ */
+class BatchScratchLease
+{
+  public:
+    BatchScratchLease(size_t il, size_t n) : s_(batchScratch())
+    {
+        checkArg(!s_.in_use,
+                 "BatchScratch: nested lease on one thread");
+        s_.in_use = true;
+        s_.ensure(il, n);
+    }
+    ~BatchScratchLease() { s_.in_use = false; }
+    BatchScratchLease(const BatchScratchLease&) = delete;
+    BatchScratchLease& operator=(const BatchScratchLease&) = delete;
+
+    BatchScratch* operator->() { return &s_; }
+
+  private:
+    BatchScratch& s_;
+};
+
+/**
  * Pack this channel's spans of @p il consecutive operands (starting at
  * product @p p0, side selected by @p second), twist them, and
  * batch-forward the whole tile into @p out, clobbering @p packed and
@@ -368,6 +477,7 @@ packTwistForward(Backend backend, const Modulus& m,
                  ResidueVector& packed, ResidueVector& out,
                  ResidueVector& scratch)
 {
+    MQX_FAULT_POINT("rns.batch.pack");
     const size_t il = layout.il;
     for (size_t lane = 0; lane < il; ++lane) {
         const auto& pair = products[p0 + lane];
@@ -395,28 +505,30 @@ polymulChannelBatch(Backend backend, const RnsBasis& basis, size_t channel,
     const size_t n = results[p0].n();
     const Modulus& m = basis.modulus(channel);
     const BatchLayout layout(n, il, il);
-    BatchScratch& s = batchScratch();
-    s.ensure(il, n);
+    BatchScratchLease s(il, n);
 
     packTwistForward(backend, m, *tables, layout, channel, products, p0,
-                     /*second=*/false, s.lane_src, s.packed_a, s.packed_b,
-                     s.packed_c);
+                     /*second=*/false, s->lane_src, s->packed_a, s->packed_b,
+                     s->packed_c);
     packTwistForward(backend, m, *tables, layout, channel, products, p0,
-                     /*second=*/true, s.lane_src, s.packed_a, s.packed_c,
-                     s.packed_d);
+                     /*second=*/true, s->lane_src, s->packed_a, s->packed_c,
+                     s->packed_d);
     // Point-wise product over the whole packed tile: the layout is a
     // per-lane permutation, and vmul is element-wise, so one flat call
     // multiplies every lane at once.
-    blas::vmul(backend, m, s.packed_b.span(), s.packed_c.span(),
-               s.packed_b.span());
-    ntt::inverseBatch(tables->plan(), backend, il, s.packed_b.span(),
-                      s.packed_a.span(), s.packed_c.span());
-    ntt::vmulShoupBatch(backend, m, il, s.packed_a.span(),
+    blas::vmul(backend, m, s->packed_b.span(), s->packed_c.span(),
+               s->packed_b.span());
+    ntt::inverseBatch(tables->plan(), backend, il, s->packed_b.span(),
+                      s->packed_a.span(), s->packed_c.span());
+    ntt::vmulShoupBatch(backend, m, il, s->packed_a.span(),
                         tables->untwist().span(),
-                        tables->untwistShoup().span(), s.packed_a.span());
+                        tables->untwistShoup().span(), s->packed_a.span());
+    MQX_FAULT_POINT("rns.batch.unpack");
     for (size_t lane = 0; lane < il; ++lane)
-        s.lane_dst[lane] = results[p0 + lane].channel(channel).span();
-    batch::unpackLanes(layout, s.packed_a.span(), s.lane_dst.data(), il);
+        s->lane_dst[lane] = results[p0 + lane].channel(channel).span();
+    batch::unpackLanes(layout, s->packed_a.span(), s->lane_dst.data(), il);
+    for (size_t lane = 0; lane < il; ++lane)
+        MQX_FAULT_POINT_DATA("rns.batch.out", s->lane_dst[lane]);
 }
 
 void
@@ -434,37 +546,37 @@ fmaChannelBatched(Backend backend, const RnsBasis& basis, size_t channel,
     const Modulus& m = basis.modulus(channel);
     const size_t tiles = products.size() / il;
     const BatchLayout layout(n, il, il);
-    BatchScratch& s = batchScratch();
-    s.ensure(il, n);
+    BatchScratchLease s(il, n);
 
     ResidueVector& acc = eng.auxBuffer(0);
     acc.zero();
-    s.packed_acc.ensure(il * n);
-    s.packed_acc.zero();
+    s->packed_acc.ensure(il * n);
+    s->packed_acc.zero();
     for (size_t t = 0; t < tiles; ++t) {
         const size_t p0 = t * il;
         packTwistForward(backend, m, *tables, layout, channel, products, p0,
-                         /*second=*/false, s.lane_src, s.packed_a, s.packed_b,
-                         s.packed_c);
+                         /*second=*/false, s->lane_src, s->packed_a,
+                         s->packed_b, s->packed_c);
         packTwistForward(backend, m, *tables, layout, channel, products, p0,
-                         /*second=*/true, s.lane_src, s.packed_a, s.packed_c,
-                         s.packed_d);
-        blas::vmul(backend, m, s.packed_b.span(), s.packed_c.span(),
-                   s.packed_b.span());
-        blas::vadd(backend, m, s.packed_acc.span(), s.packed_b.span(),
-                   s.packed_acc.span());
+                         /*second=*/true, s->lane_src, s->packed_a,
+                         s->packed_c, s->packed_d);
+        blas::vmul(backend, m, s->packed_b.span(), s->packed_c.span(),
+                   s->packed_b.span());
+        blas::vadd(backend, m, s->packed_acc.span(), s->packed_b.span(),
+                   s->packed_acc.span());
     }
     if (tiles > 0) {
         // Fold the packed per-lane partial sums into the channel
         // accumulator. Exact mod-q addition is order-independent, so
         // this regrouping leaves the final sum bit-identical to the
         // per-product fmaChannel path.
+        MQX_FAULT_POINT("rns.batch.unpack");
         for (size_t lane = 0; lane < il; ++lane)
-            s.lane_dst[lane] = s.lane_buf[lane].span();
-        batch::unpackLanes(layout, s.packed_acc.span(), s.lane_dst.data(),
+            s->lane_dst[lane] = s->lane_buf[lane].span();
+        batch::unpackLanes(layout, s->packed_acc.span(), s->lane_dst.data(),
                            il);
         for (size_t lane = 0; lane < il; ++lane)
-            blas::vadd(backend, m, acc.span(), s.lane_buf[lane].span(),
+            blas::vadd(backend, m, acc.span(), s->lane_buf[lane].span(),
                        acc.span());
     }
     // Remainder products (k % il) take the classic per-product
@@ -478,6 +590,7 @@ fmaChannelBatched(Backend backend, const RnsBasis& basis, size_t channel,
     }
     // One inverse for the whole batch, exactly as fmaChannel.
     eng.inverse(acc.span(), c.channel(channel).span());
+    MQX_FAULT_POINT_DATA("rns.fma.out", c.channel(channel).span());
 }
 
 } // namespace detail

@@ -32,6 +32,12 @@
 #include "ntt/prime.h"
 
 namespace mqx {
+namespace robust {
+class CancelToken;
+} // namespace robust
+} // namespace mqx
+
+namespace mqx {
 
 namespace engine {
 class Engine;
@@ -317,13 +323,30 @@ void mulChannel(Backend backend, const RnsBasis& basis, size_t channel,
 /**
  * One channel of the negacyclic product. @p tables holds the cached
  * plan + twist tables for (q_channel, n); pass nullptr to derive them
- * on the spot (a cacheless path).
+ * on the spot (a cacheless path). A non-null @p cancel switches the
+ * body to the staged pipeline (forward → pointwise → inverse with a
+ * cancellation checkpoint at every stage boundary), so a tripped
+ * deadline aborts within one NTT stage; the null fast path is the
+ * fused eng.polymul call, unchanged.
  */
 void polymulChannel(Backend backend, const RnsBasis& basis, size_t channel,
                     std::shared_ptr<const ntt::NegacyclicTables> tables,
                     ntt::NegacyclicWorkspacePool& workspaces,
                     const RnsPolynomial& a, const RnsPolynomial& b,
-                    RnsPolynomial& c);
+                    RnsPolynomial& c,
+                    const robust::CancelToken* cancel = nullptr);
+
+/**
+ * Recovery flavour of polymulChannel: identical math, but it passes no
+ * fault points and leases nothing from shared pools (a private engine
+ * is built on the spot), so an armed FaultPlan can never re-corrupt a
+ * repair. Allocation-heavy by design — only the verify-retry path
+ * calls it.
+ */
+void polymulChannelUnfaulted(
+    Backend backend, const RnsBasis& basis, size_t channel,
+    std::shared_ptr<const ntt::NegacyclicTables> tables,
+    const RnsPolynomial& a, const RnsPolynomial& b, RnsPolynomial& c);
 
 /** One channel of the forward (Coeff -> Eval) conversion. */
 void toEvalChannel(Backend backend, const RnsBasis& basis, size_t channel,
@@ -348,7 +371,21 @@ void fmaChannel(Backend backend, const RnsBasis& basis, size_t channel,
                 ntt::NegacyclicWorkspacePool& workspaces,
                 const std::vector<std::pair<const RnsPolynomial*,
                                             const RnsPolynomial*>>& products,
-                RnsPolynomial& c);
+                RnsPolynomial& c,
+                const robust::CancelToken* cancel = nullptr);
+
+/** Recovery flavour of fmaChannel (see polymulChannelUnfaulted). */
+void fmaChannelUnfaulted(
+    Backend backend, const RnsBasis& basis, size_t channel,
+    std::shared_ptr<const ntt::NegacyclicTables> tables,
+    const std::vector<std::pair<const RnsPolynomial*,
+                                const RnsPolynomial*>>& products,
+    RnsPolynomial& c);
+
+/** Recovery flavour of addChannel (no fault points; for digest repair). */
+void addChannelUnfaulted(Backend backend, const RnsBasis& basis,
+                         size_t channel, const RnsPolynomial& a,
+                         const RnsPolynomial& b, RnsPolynomial& c);
 
 /**
  * One channel-tile of the interleaved-batch negacyclic product: packs

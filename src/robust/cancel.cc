@@ -1,0 +1,89 @@
+#include "robust/cancel.h"
+
+#include <string>
+
+#include "telemetry/telemetry.h"
+
+namespace mqx {
+namespace robust {
+
+namespace {
+
+telemetry::Counter&
+cancelRequestsCounter()
+{
+    static telemetry::Counter& c = telemetry::counter("cancel.requests");
+    return c;
+}
+
+telemetry::Counter&
+deadlineMissesCounter()
+{
+    static telemetry::Counter& c = telemetry::counter("cancel.deadline_misses");
+    return c;
+}
+
+} // namespace
+
+CancelToken::CancelToken() : state_(std::make_shared<State>()) {}
+
+CancelToken
+CancelToken::withDeadlineNs(uint64_t budget_ns)
+{
+    CancelToken token;
+    token.state_->deadline_ns = telemetry::nowNs() + budget_ns;
+    return token;
+}
+
+void
+CancelToken::requestCancel() const
+{
+    uint8_t expected = 0;
+    if (state_->code.compare_exchange_strong(
+            expected, static_cast<uint8_t>(StatusCode::Cancelled),
+            std::memory_order_acq_rel, std::memory_order_acquire)) {
+        cancelRequestsCounter().add(1);
+    }
+}
+
+bool
+CancelToken::cancelled() const
+{
+    if (state_->code.load(std::memory_order_acquire) != 0)
+        return true;
+    if (state_->deadline_ns != 0 && telemetry::nowNs() >= state_->deadline_ns) {
+        uint8_t expected = 0;
+        if (state_->code.compare_exchange_strong(
+                expected, static_cast<uint8_t>(StatusCode::DeadlineExceeded),
+                std::memory_order_acq_rel, std::memory_order_acquire)) {
+            deadlineMissesCounter().add(1);
+        }
+        return true;
+    }
+    return false;
+}
+
+Status
+CancelToken::status() const
+{
+    if (!cancelled())
+        return Status();
+    const auto code = static_cast<StatusCode>(
+        state_->code.load(std::memory_order_acquire));
+    if (code == StatusCode::DeadlineExceeded)
+        return Status(code, "deadline exceeded");
+    return Status(code, "operation cancelled");
+}
+
+void
+CancelToken::checkpoint(const char* where) const
+{
+    if (!cancelled())
+        return;
+    Status s = status();
+    throw StatusError(
+        Status(s.code(), s.message() + " at " + std::string(where)));
+}
+
+} // namespace robust
+} // namespace mqx

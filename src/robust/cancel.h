@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Cooperative cancellation + deadlines for engine pipelines (ISSUE 9).
+ *
+ * A CancelToken is a cheap, copyable handle to shared cancellation
+ * state. Producers call requestCancel() (or construct the token with a
+ * deadline); consumers poll cancelled() at natural boundaries — the
+ * ThreadPool checks before dispatching each parallelFor task, and the
+ * staged polymul/fma channel bodies check between NTT stages
+ * (forward → pointwise → inverse) — so a deadline that expires
+ * mid-pipeline aborts within one stage rather than running the op to
+ * completion. Abort is by exception (`StatusError` with Cancelled or
+ * DeadlineExceeded), so RAII workspace leases unwind and the pool stays
+ * consistent.
+ *
+ * Deadlines use telemetry::nowNs() (steady clock). The first observer
+ * of an expired deadline latches the state to DeadlineExceeded and
+ * bumps the `cancel.deadline_misses` counter exactly once; explicit
+ * requestCancel() bumps `cancel.requests`. Polling a token with neither
+ * a cancel request nor a deadline is one relaxed atomic load.
+ */
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+#include "robust/status.h"
+
+namespace mqx {
+namespace robust {
+
+class CancelToken
+{
+  public:
+    /** Token that never expires on its own; cancel via requestCancel(). */
+    CancelToken();
+
+    /** Token that trips @p budget_ns from now (telemetry::nowNs units). */
+    static CancelToken withDeadlineNs(uint64_t budget_ns);
+
+    /** Latch the token to Cancelled (idempotent, thread-safe). */
+    void requestCancel() const;
+
+    /**
+     * True once cancelled or past the deadline. The expiry check is
+     * lazy: the first caller to observe it latches DeadlineExceeded.
+     */
+    bool cancelled() const;
+
+    /** OK while live; Cancelled / DeadlineExceeded once tripped. */
+    Status status() const;
+
+    /**
+     * Throw StatusError(status()) when cancelled; no-op otherwise.
+     * @p where names the pipeline stage for the error message.
+     */
+    void checkpoint(const char* where) const;
+
+    bool hasDeadline() const { return state_->deadline_ns != 0; }
+
+  private:
+    struct State {
+        /** 0 = live, else the uint8_t value of the tripped StatusCode. */
+        std::atomic<uint8_t> code{0};
+        /** Absolute telemetry::nowNs() deadline; 0 = none. */
+        uint64_t deadline_ns = 0;
+    };
+
+    std::shared_ptr<State> state_;
+};
+
+} // namespace robust
+} // namespace mqx

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Typed error taxonomy for engine operations (ISSUE 9, ROADMAP item 1).
+ *
+ * The async polymul server needs to distinguish "caller gave up"
+ * (Cancelled / DeadlineExceeded — drop the request), "kernel output
+ * failed an integrity check and could not be repaired" (DataCorruption
+ * — page someone), and "transient resource pressure"
+ * (ResourceExhausted — retry with backoff). A bare std::runtime_error
+ * collapses all of those into one catch block, so engine entry points
+ * surface failures as `StatusError` carrying a `Status` with one of the
+ * codes below. `Status` itself is a cheap value type usable on
+ * non-throwing paths (the planned server's response codes).
+ */
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace mqx {
+namespace robust {
+
+enum class StatusCode : uint8_t {
+    Ok = 0,
+    /** Caller requested cancellation via CancelToken::requestCancel(). */
+    Cancelled,
+    /** A CancelToken deadline expired while the operation was in flight. */
+    DeadlineExceeded,
+    /** An integrity check failed and bounded retries did not repair it. */
+    DataCorruption,
+    /** Allocation or pool capacity failure (maps std::bad_alloc). */
+    ResourceExhausted,
+    /** A fault-injection point fired (test builds only). */
+    FaultInjected,
+    /** Invariant violation that is a bug in mqx itself. */
+    Internal,
+};
+
+inline const char*
+statusCodeName(StatusCode code)
+{
+    switch (code) {
+    case StatusCode::Ok:
+        return "OK";
+    case StatusCode::Cancelled:
+        return "CANCELLED";
+    case StatusCode::DeadlineExceeded:
+        return "DEADLINE_EXCEEDED";
+    case StatusCode::DataCorruption:
+        return "DATA_CORRUPTION";
+    case StatusCode::ResourceExhausted:
+        return "RESOURCE_EXHAUSTED";
+    case StatusCode::FaultInjected:
+        return "FAULT_INJECTED";
+    case StatusCode::Internal:
+        return "INTERNAL";
+    }
+    return "UNKNOWN";
+}
+
+/** Value-type result code + human-readable detail. */
+class Status
+{
+  public:
+    Status() = default;
+    Status(StatusCode code, std::string message)
+        : code_(code), message_(std::move(message))
+    {
+    }
+
+    bool ok() const { return code_ == StatusCode::Ok; }
+    StatusCode code() const { return code_; }
+    const std::string& message() const { return message_; }
+
+    std::string
+    toString() const
+    {
+        if (ok())
+            return "OK";
+        return std::string(statusCodeName(code_)) + ": " + message_;
+    }
+
+  private:
+    StatusCode code_ = StatusCode::Ok;
+    std::string message_;
+};
+
+/**
+ * Exception carrier for a non-OK Status. Derives from
+ * std::runtime_error so existing catch sites keep working; new code
+ * should catch StatusError first and branch on status().code().
+ */
+class StatusError : public std::runtime_error
+{
+  public:
+    explicit StatusError(Status status)
+        : std::runtime_error(status.toString()), status_(std::move(status))
+    {
+    }
+
+    const Status& status() const { return status_; }
+
+  private:
+    Status status_;
+};
+
+[[noreturn]] inline void
+throwStatus(StatusCode code, std::string message)
+{
+    throw StatusError(Status(code, std::move(message)));
+}
+
+} // namespace robust
+} // namespace mqx

@@ -1,0 +1,169 @@
+#include "robust/verify.h"
+
+#include <map>
+#include <mutex>
+#include <tuple>
+
+#include "bench_util/rng.h"
+#include "blas/blas.h"
+#include "core/config.h"
+
+namespace mqx {
+namespace robust {
+
+const char*
+verifyPolicyName(VerifyPolicy policy)
+{
+    switch (policy) {
+    case VerifyPolicy::Off:
+        return "off";
+    case VerifyPolicy::Sample:
+        return "sample";
+    case VerifyPolicy::Always:
+        return "always";
+    }
+    return "unknown";
+}
+
+namespace {
+
+using EvalKey = std::tuple<uint64_t, uint64_t, size_t, uint64_t>;
+
+std::mutex&
+cacheMutex()
+{
+    static std::mutex m;
+    return m;
+}
+
+std::map<EvalKey, std::shared_ptr<const EvalPoint>>&
+evalCache()
+{
+    static auto& cache =
+        *new std::map<EvalKey, std::shared_ptr<const EvalPoint>>();
+    return cache;
+}
+
+/** Per-thread vmul destination so checks allocate only on growth. */
+ResidueVector&
+evalScratch(size_t n)
+{
+    thread_local ResidueVector scratch;
+    scratch.ensure(n);
+    return scratch;
+}
+
+/**
+ * Horizontal mod-q sum of a span. The hot loop is branch-free native
+ * adds: each lane accumulates mod 2^64 with a carry count, so the exact
+ * span sum is
+ *     lo_sum + 2^64·(lo_carry + hi_sum) + 2^128·hi_carry,
+ * folded mod q with O(1) modular ops at the end. Corrupted words may
+ * lie anywhere in [0, 2^128) — the raw sum absorbs them and the final
+ * reduction is exact regardless.
+ */
+U128
+modSum(const Modulus& m, DConstSpan p)
+{
+    uint64_t lo_sum = 0, lo_carry = 0, hi_sum = 0, hi_carry = 0;
+    for (size_t i = 0; i < p.n; ++i) {
+        lo_sum += p.lo[i];
+        lo_carry += lo_sum < p.lo[i] ? 1 : 0;
+        hi_sum += p.hi[i];
+        hi_carry += hi_sum < p.hi[i] ? 1 : 0;
+    }
+    // mid = lo_carry + hi_sum is the 2^64 coefficient; it can itself
+    // wrap one bit past 64, so carry it into a U128 before reducing.
+    const uint64_t mid_lo = lo_carry + hi_sum;
+    const uint64_t mid_hi = mid_lo < hi_sum ? 1 : 0;
+    const U128 t64 = m.reduce(U128::fromParts(1, 0)); // 2^64 mod q
+    const U128 t128 = m.mul(t64, t64);                // 2^128 mod q
+    U128 acc = m.reduce(U128::fromParts(mid_hi, mid_lo));
+    acc = m.mul(acc, t64);
+    acc = m.add(acc, m.reduce(U128::fromParts(0, lo_sum)));
+    return m.add(acc, m.mul(m.reduce(U128::fromParts(0, hi_carry)), t128));
+}
+
+} // namespace
+
+std::shared_ptr<const EvalPoint>
+evalPointFor(const Modulus& m, const U128& psi, size_t n, uint64_t seed)
+{
+    checkArg(n > 0, "evalPointFor: empty channel");
+    const EvalKey key{m.value().hi, m.value().lo, n, seed};
+    {
+        std::lock_guard<std::mutex> lock(cacheMutex());
+        auto it = evalCache().find(key);
+        if (it != evalCache().end())
+            return it->second;
+    }
+    // Build outside the lock; a racing duplicate build is harmless.
+    auto pt = std::make_shared<EvalPoint>();
+    SplitMix64 rng(seed ^ m.value().hi ^ m.value().lo ^
+                   (static_cast<uint64_t>(n) * 0x9e3779b97f4a7c15ull));
+    const uint64_t j = rng.next() % n;
+    pt->r = m.pow(psi, U128::fromParts(0, 2 * j + 1));
+    pt->powers.ensure(n);
+    U128 power = U128::fromParts(0, 1);
+    for (size_t i = 0; i < n; ++i) {
+        pt->powers.set(i, power);
+        power = m.mul(power, pt->r);
+    }
+    std::lock_guard<std::mutex> lock(cacheMutex());
+    auto [it, inserted] = evalCache().emplace(key, std::move(pt));
+    (void)inserted;
+    return it->second;
+}
+
+U128
+evalAt(Backend backend, const Modulus& m, DConstSpan p, const EvalPoint& pt)
+{
+    checkArg(p.n == pt.powers.size(), "evalAt: length mismatch");
+    ResidueVector& scratch = evalScratch(p.n);
+    blas::vmul(backend, m, p, pt.powers.span(), scratch.span());
+    return modSum(m, scratch.span());
+}
+
+bool
+checkNegacyclicPolymul(Backend backend, const Modulus& m, const U128& psi,
+                       DConstSpan a, DConstSpan b, DConstSpan c,
+                       uint64_t seed)
+{
+    auto pt = evalPointFor(m, psi, a.n, seed);
+    const U128 ea = evalAt(backend, m, a, *pt);
+    const U128 eb = evalAt(backend, m, b, *pt);
+    const U128 ec = evalAt(backend, m, c, *pt);
+    return m.mul(ea, eb) == ec;
+}
+
+bool
+checkNegacyclicFma(
+    Backend backend, const Modulus& m, const U128& psi,
+    const std::vector<std::pair<DConstSpan, DConstSpan>>& products,
+    DConstSpan c, uint64_t seed)
+{
+    auto pt = evalPointFor(m, psi, c.n, seed);
+    U128 acc = U128::fromParts(0, 0);
+    for (const auto& [a, b] : products) {
+        const U128 ea = evalAt(backend, m, a, *pt);
+        const U128 eb = evalAt(backend, m, b, *pt);
+        acc = m.add(acc, m.mul(ea, eb));
+    }
+    return acc == evalAt(backend, m, c, *pt);
+}
+
+U128
+channelDigest(const Modulus& m, DConstSpan p)
+{
+    return modSum(m, p);
+}
+
+bool
+checkAddDigest(const Modulus& m, DConstSpan a, DConstSpan b, DConstSpan c)
+{
+    return channelDigest(m, c) ==
+           m.add(channelDigest(m, a), channelDigest(m, b));
+}
+
+} // namespace robust
+} // namespace mqx

@@ -1,0 +1,14 @@
+// catch-swallow fixture: a catch (...) handler that neither rethrows
+// nor converts the failure into the robust::Status taxonomy — the
+// error vanishes and the caller believes the call succeeded.
+void mightThrow();
+
+void
+badCatch()
+{
+    try {
+        mightThrow();
+    } catch (...) {
+        // swallowed: no rethrow, no conversion
+    }
+}

@@ -248,6 +248,7 @@ class Linter
         ruleAlignedAlloc();
         ruleHotModulo();
         rulePrefetchHygiene();
+        ruleCatchSwallow();
         std::sort(diags_.begin(), diags_.end(),
                   [](const Diagnostic& a, const Diagnostic& b) {
                       return std::tie(a.file, a.line, a.rule) <
@@ -658,6 +659,62 @@ class Linter
         }
     }
 
+    /**
+     * `catch (...)` blocks that neither rethrow nor convert the failure
+     * into the robust::Status taxonomy swallow errors silently — the
+     * exact failure mode the fault-injection tests exist to catch.
+     * Sanctioned shapes carry a `throw` (rethrow / translate) or a
+     * `Status` (taxonomy conversion) token in the handler body;
+     * deferred-rethrow funnels that stash std::current_exception() for
+     * a later rethrow outside the block go on the allowlist with a
+     * justifying comment.
+     */
+    void
+    ruleCatchSwallow()
+    {
+        for (const auto& f : files_) {
+            size_t pos = 0;
+            while ((pos = f.code.find("catch", pos)) != std::string::npos) {
+                const size_t kw = pos;
+                pos += 5;
+                bool word = (kw == 0 || !isIdentChar(f.code[kw - 1])) &&
+                            (pos >= f.code.size() ||
+                             !isIdentChar(f.code[pos]));
+                if (!word)
+                    continue;
+                size_t open = pos;
+                while (open < f.code.size() &&
+                       std::isspace(
+                           static_cast<unsigned char>(f.code[open])))
+                    ++open;
+                if (open >= f.code.size() || f.code[open] != '(')
+                    continue;
+                size_t close = matchParen(f.code, open);
+                if (close == std::string::npos)
+                    continue;
+                // Typed handlers name what they expect and routinely
+                // translate it; only the catch-all form is audited.
+                if (f.code.substr(open, close - open).find("...") ==
+                    std::string::npos)
+                    continue;
+                size_t bopen = f.code.find('{', close);
+                size_t bclose = bopen == std::string::npos
+                                    ? std::string::npos
+                                    : matchBrace(f.code, bopen);
+                if (bclose == std::string::npos)
+                    continue;
+                std::string body =
+                    f.code.substr(bopen, bclose - bopen);
+                if (body.find("throw") == std::string::npos &&
+                    body.find("Status") == std::string::npos)
+                    report(f, lineOf(f.code, kw), "catch-swallow",
+                           "catch (...) that neither rethrows nor "
+                           "converts to robust::Status swallows the "
+                           "failure");
+            }
+        }
+    }
+
     fs::path root_;
     std::vector<AllowEntry> allow_;
     std::vector<SourceFile> files_;
@@ -716,7 +773,8 @@ selfTest(const fs::path& fixtures)
 {
     const char* kRules[] = {"backend-coverage", "dspan-validate",
                             "atomic-order",     "aligned-alloc",
-                            "hot-modulo",       "prefetch-hygiene"};
+                            "hot-modulo",       "prefetch-hygiene",
+                            "catch-swallow"};
     // Pass 1: no allowlist — every rule fires exactly once.
     auto diags = Linter(fixtures, {}).run();
     printDiags(diags, false);
