@@ -92,7 +92,7 @@ propagateFromBatchKernel(const robust::StatusError& e)
 
 Engine::Engine(EngineOptions options)
     : backend_(requireAvailable(options.backend)), verify_(options.verify),
-      pool_(options.threads)
+      pool_(options.threads), workspaces_(options.max_workspaces)
 {
 }
 

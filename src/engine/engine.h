@@ -49,6 +49,13 @@ struct EngineOptions
      * overhead.
      */
     robust::VerifyOptions verify;
+    /**
+     * Cap on live negacyclic workspace engines; 0 = unbounded
+     * (default, the library behaviour). The service layer bounds this
+     * so overload waits on the pool — cancel-aware — instead of
+     * growing workspace memory without limit.
+     */
+    size_t max_workspaces = 0;
 };
 
 class Engine

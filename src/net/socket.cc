@@ -1,0 +1,261 @@
+/**
+ * @file
+ * POSIX socket implementation — the tree's only raw-socket file (see
+ * socket.h and the mqxlint net-hygiene rule).
+ */
+#include "net/socket.h"
+
+#include <cerrno>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "robust/fault_injection.h"
+#include "telemetry/telemetry.h"
+
+namespace mqx {
+namespace net {
+
+namespace {
+
+robust::Status
+errnoStatus(const char* what, int err)
+{
+    // Transient kernel-side pressure retries cleanly; anything else is
+    // a hard transport failure the caller maps to a dropped session.
+    const robust::StatusCode code =
+        (err == ECONNREFUSED || err == ECONNRESET || err == EPIPE ||
+         err == EAGAIN || err == ENOBUFS || err == EMFILE ||
+         err == ENFILE)
+            ? robust::StatusCode::ResourceExhausted
+            : robust::StatusCode::Internal;
+    return robust::Status(code, std::string(what) + ": " +
+                                    std::strerror(err));
+}
+
+/** poll() one fd for @p events; returns ready(>0), timeout(0), err(<0). */
+int
+pollOne(int fd, short events, int timeout_ms)
+{
+    struct pollfd pfd;
+    pfd.fd = fd;
+    pfd.events = events;
+    pfd.revents = 0;
+    for (;;) {
+        const int rc = ::poll(&pfd, 1, timeout_ms);
+        if (rc < 0 && errno == EINTR)
+            continue;
+        return rc;
+    }
+}
+
+} // namespace
+
+IoResult
+Socket::readSome(uint8_t* buf, size_t cap, int timeout_ms)
+{
+    IoResult r;
+    if (fd_ < 0) {
+        r.status = robust::Status(robust::StatusCode::Internal,
+                                  "readSome: closed socket");
+        return r;
+    }
+    const int rc = pollOne(fd_, POLLIN, timeout_ms);
+    if (rc == 0) {
+        r.timed_out = true;
+        return r;
+    }
+    if (rc < 0) {
+        r.status = errnoStatus("poll", errno);
+        return r;
+    }
+    for (;;) {
+        const ssize_t got = ::recv(fd_, buf, cap, MSG_DONTWAIT);
+        if (got > 0) {
+            size_t eff = static_cast<size_t>(got);
+            // May flip a bit (garbage frame) or shrink eff (short
+            // read) under an installed plan; inert otherwise.
+            MQX_FAULT_POINT_BYTES("net.read", buf, &eff);
+            r.bytes = eff;
+            return r;
+        }
+        if (got == 0) {
+            r.eof = true;
+            return r;
+        }
+        if (errno == EINTR)
+            continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) {
+            // poll() said readable but the data evaporated (spurious
+            // wakeup); report a clean timeout tick.
+            r.timed_out = true;
+            return r;
+        }
+        r.status = errnoStatus("recv", errno);
+        return r;
+    }
+}
+
+robust::Status
+Socket::writeAll(const uint8_t* data, size_t len, int timeout_ms)
+{
+    if (fd_ < 0)
+        return robust::Status(robust::StatusCode::Internal,
+                              "writeAll: closed socket");
+#if MQX_FAULT_INJECTION_ENABLED
+    // Byte faults need a mutable view; copy only in fault builds so
+    // the regular path stays zero-overhead.
+    std::vector<uint8_t> shadow(data, data + len);
+    size_t eff = shadow.size();
+    MQX_FAULT_POINT_BYTES("net.write", shadow.data(), &eff);
+    data = shadow.data();
+    len = eff; // a ShortRead fire turns this into a torn write
+#endif
+    const uint64_t start_ns = telemetry::nowNs();
+    const uint64_t budget_ns =
+        static_cast<uint64_t>(timeout_ms) * 1000000ull;
+    size_t sent = 0;
+    while (sent < len) {
+        const uint64_t elapsed = telemetry::nowNs() - start_ns;
+        if (elapsed >= budget_ns)
+            return robust::Status(robust::StatusCode::DeadlineExceeded,
+                                  "writeAll: stalled write timed out");
+        const int remaining_ms =
+            static_cast<int>((budget_ns - elapsed) / 1000000ull) + 1;
+        const int rc = pollOne(fd_, POLLOUT, remaining_ms);
+        if (rc == 0)
+            continue; // deadline re-checked at loop head
+        if (rc < 0)
+            return errnoStatus("poll", errno);
+        const ssize_t put = ::send(fd_, data + sent, len - sent,
+                                   MSG_DONTWAIT | MSG_NOSIGNAL);
+        if (put > 0) {
+            sent += static_cast<size_t>(put);
+            continue;
+        }
+        if (put < 0 &&
+            (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK))
+            continue;
+        return errnoStatus("send", errno);
+    }
+    return robust::Status();
+}
+
+void
+Socket::shutdownBoth()
+{
+    if (fd_ >= 0)
+        ::shutdown(fd_, SHUT_RDWR);
+}
+
+void
+Socket::closeNow()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+robust::Status
+ListenSocket::listenLoopback(uint16_t port, ListenSocket& out)
+{
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        return errnoStatus("socket", errno);
+    Socket guard(fd); // closes fd on every early return below
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    struct sockaddr_in addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::bind(fd, reinterpret_cast<struct sockaddr*>(&addr),
+               sizeof(addr)) < 0)
+        return errnoStatus("bind", errno);
+    if (::listen(fd, 64) < 0)
+        return errnoStatus("listen", errno);
+    socklen_t addrlen = sizeof(addr);
+    if (::getsockname(fd, reinterpret_cast<struct sockaddr*>(&addr),
+                      &addrlen) < 0)
+        return errnoStatus("getsockname", errno);
+    out.closeNow();
+    out.fd_ = guard.release();
+    out.port_ = ntohs(addr.sin_port);
+    return robust::Status();
+}
+
+robust::Status
+ListenSocket::acceptOne(int timeout_ms, Socket& out, bool& timed_out)
+{
+    timed_out = false;
+    if (fd_ < 0)
+        return robust::Status(robust::StatusCode::Internal,
+                              "acceptOne: closed listener");
+    const int rc = pollOne(fd_, POLLIN, timeout_ms);
+    if (rc == 0) {
+        timed_out = true;
+        return robust::Status();
+    }
+    if (rc < 0)
+        return errnoStatus("poll", errno);
+    // Chaos hook: an armed Throw here simulates accept-path failure
+    // (fd exhaustion, interrupt storms) without real resource abuse.
+    MQX_FAULT_POINT("net.accept");
+    const int fd = ::accept(fd_, nullptr, nullptr);
+    if (fd < 0) {
+        if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR ||
+            errno == ECONNABORTED) {
+            timed_out = true;
+            return robust::Status();
+        }
+        return errnoStatus("accept", errno);
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    out = Socket(fd);
+    return robust::Status();
+}
+
+void
+ListenSocket::closeNow()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+        port_ = 0;
+    }
+}
+
+robust::Status
+connectLoopback(uint16_t port, int timeout_ms, Socket& out)
+{
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        return errnoStatus("socket", errno);
+    Socket sock(fd);
+    struct sockaddr_in addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
+                  sizeof(addr)) < 0)
+        return errnoStatus("connect", errno);
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    (void)timeout_ms; // loopback connect is immediate or refused
+    out = std::move(sock);
+    return robust::Status();
+}
+
+} // namespace net
+} // namespace mqx

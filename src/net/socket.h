@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Minimal RAII POSIX socket layer for the polymul service (ISSUE 10).
+ *
+ * This is the ONLY file in the tree allowed to touch raw socket
+ * syscalls (enforced by the mqxlint `net-hygiene` rule): everything
+ * above it speaks Status-returning reads/writes with explicit
+ * timeouts. Every blocking primitive is poll-guarded — there is no
+ * unbounded recv/send anywhere — so a stalled or malicious peer costs
+ * one timeout tick, never a hung thread.
+ *
+ * Scope: loopback only (the server binds 127.0.0.1). The service is an
+ * in-process/colocated boundary for the engine, not an internet-facing
+ * endpoint; TLS, auth, and address configuration are out of scope.
+ *
+ * Fault points (fault-injection builds): `net.accept` (control) fires
+ * on the accept path; `net.read` / `net.write` are byte points that
+ * can flip bits or truncate lengths, turning torn frames and short
+ * writes into deterministic, seeded chaos instead of flakes.
+ */
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "robust/status.h"
+
+namespace mqx {
+namespace net {
+
+/** Outcome of one bounded read attempt. */
+struct IoResult {
+    robust::Status status; ///< non-OK only on hard socket errors
+    size_t bytes = 0;      ///< bytes read (0 on timeout/eof)
+    bool timed_out = false;
+    bool eof = false; ///< orderly peer shutdown
+};
+
+/** RAII connected-socket handle; move-only. */
+class Socket
+{
+  public:
+    Socket() = default;
+    explicit Socket(int fd) : fd_(fd) {}
+    ~Socket() { closeNow(); }
+
+    Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+    Socket&
+    operator=(Socket&& other) noexcept
+    {
+        if (this != &other) {
+            closeNow();
+            fd_ = other.fd_;
+            other.fd_ = -1;
+        }
+        return *this;
+    }
+    Socket(const Socket&) = delete;
+    Socket& operator=(const Socket&) = delete;
+
+    bool valid() const { return fd_ >= 0; }
+    int fd() const { return fd_; }
+
+    /**
+     * Read up to @p cap bytes, waiting at most @p timeout_ms for data.
+     * Returns bytes=0 with timed_out (no data in time) or eof (peer
+     * closed); a non-OK status means the connection is unusable.
+     */
+    IoResult readSome(uint8_t* buf, size_t cap, int timeout_ms);
+
+    /**
+     * Write all @p len bytes, poll-guarding every chunk; fails with
+     * DeadlineExceeded when @p timeout_ms elapses before completion
+     * (the stalled-write guard) or ResourceExhausted/Internal on
+     * socket errors.
+     */
+    robust::Status writeAll(const uint8_t* data, size_t len,
+                            int timeout_ms);
+
+    /** Shut down both directions (unblocks a peer mid-read). */
+    void shutdownBoth();
+
+    void closeNow();
+
+    /** Give up ownership of the fd without closing it. */
+    int
+    release()
+    {
+        const int fd = fd_;
+        fd_ = -1;
+        return fd;
+    }
+
+  private:
+    int fd_ = -1;
+};
+
+/** RAII loopback listener; move-only. */
+class ListenSocket
+{
+  public:
+    ListenSocket() = default;
+    ~ListenSocket() { closeNow(); }
+    ListenSocket(ListenSocket&& other) noexcept
+        : fd_(other.fd_), port_(other.port_)
+    {
+        other.fd_ = -1;
+        other.port_ = 0;
+    }
+    ListenSocket& operator=(ListenSocket&&) = delete;
+    ListenSocket(const ListenSocket&) = delete;
+    ListenSocket& operator=(const ListenSocket&) = delete;
+
+    /**
+     * Bind 127.0.0.1:@p port (0 = kernel-assigned, read back via
+     * port()) and listen.
+     */
+    static robust::Status listenLoopback(uint16_t port, ListenSocket& out);
+
+    bool valid() const { return fd_ >= 0; }
+    uint16_t port() const { return port_; }
+
+    /**
+     * Accept one connection, waiting at most @p timeout_ms.
+     * timed_out=true with an OK status means "no one knocked".
+     */
+    robust::Status acceptOne(int timeout_ms, Socket& out, bool& timed_out);
+
+    void closeNow();
+
+  private:
+    int fd_ = -1;
+    uint16_t port_ = 0;
+};
+
+/** Connect to 127.0.0.1:@p port (bounded by @p timeout_ms). */
+robust::Status connectLoopback(uint16_t port, int timeout_ms, Socket& out);
+
+} // namespace net
+} // namespace mqx

@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Length-prefixed binary wire protocol for the polymul service
+ * (ISSUE 10 tentpole; ROADMAP item 1).
+ *
+ * Every message is one frame: an 8-byte header
+ *
+ *     [u32 magic 'MQXS'] [u32 body_len]
+ *
+ * followed by body_len bytes of body. All integers are little-endian.
+ *
+ * Request body:
+ *
+ *     u8  msg_type (= 1)         u8  op (OpKind)
+ *     u16 version (= kWireVersion)
+ *     u64 request_id             u64 deadline_ns (relative budget, 0=none)
+ *     u32 bits  u32 two_adicity  u32 channels(k)  u32 n  u32 operand_count
+ *     payload: operand_count x k x n x (u64 lo, u64 hi)  residues
+ *
+ * Response body:
+ *
+ *     u8  msg_type (= 2)         u8  status_code (robust::StatusCode)
+ *     u16 version
+ *     u64 request_id
+ *     u32 message_len            message_len bytes of detail text
+ *     u32 bits  u32 two_adicity  u32 channels  u32 n
+ *     payload: channels x n x (u64 lo, u64 hi)   (all-zero dims on error)
+ *
+ * Decoding is defensive by contract: every decoder is bounds-checked
+ * against the received length, validates shape caps BEFORE computing
+ * payload sizes (so a hostile header cannot overflow a size
+ * multiplication), and returns a robust::Status — it never throws on
+ * malformed input and never reads past the supplied buffer. The frame
+ * fuzz test (tests/test_net_frame.cc) feeds every split point and
+ * seeded mutations of valid frames through this layer under ASan.
+ */
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/residue_span.h"
+#include "robust/status.h"
+
+namespace mqx {
+namespace rns {
+class RnsBasis;
+}
+
+namespace net {
+
+/** 'M' 'Q' 'X' 'S' little-endian. */
+constexpr uint32_t kFrameMagic = 0x5358514Du;
+constexpr uint16_t kWireVersion = 1;
+constexpr size_t kHeaderBytes = 8;
+
+/** Shape caps: reject before any size arithmetic can overflow. */
+constexpr uint32_t kMaxN = 1u << 20;
+constexpr uint32_t kMaxChannels = 64;
+constexpr uint32_t kMaxOperands = 256;
+constexpr uint32_t kMaxMessageBytes = 4096;
+/** Hard cap on a frame body; larger headers are a protocol error. */
+constexpr uint32_t kMaxBodyBytes = 1u << 28;
+
+enum class MsgType : uint8_t {
+    Request = 1,
+    Response = 2,
+};
+
+enum class OpKind : uint8_t {
+    /** c = a * b mod (x^n + 1, Q); exactly 2 operands. */
+    Polymul = 1,
+    /** c = sum a_i * b_i; even operand count >= 2, pairs in order. */
+    Fma = 2,
+    /** c = a + b; exactly 2 operands. */
+    Add = 3,
+};
+
+/** The (bits, two_adicity, channels) triple naming a deterministic
+ *  RnsBasis — the server rebuilds/caches the basis from this spec. */
+struct BasisSpec {
+    uint32_t bits = 0;
+    uint32_t two_adicity = 0;
+    uint32_t channels = 0;
+
+    bool
+    operator==(const BasisSpec& o) const
+    {
+        return bits == o.bits && two_adicity == o.two_adicity &&
+               channels == o.channels;
+    }
+};
+
+struct Request {
+    OpKind op = OpKind::Polymul;
+    uint64_t request_id = 0;
+    /** Relative latency budget in ns; 0 = no deadline. */
+    uint64_t deadline_ns = 0;
+    BasisSpec basis;
+    uint32_t n = 0;
+    /** operand_count * basis.channels vectors, each of length n;
+     *  operand o's channel c lives at index o * channels + c. */
+    std::vector<ResidueVector> operands;
+
+    size_t operandCount() const
+    {
+        return basis.channels ? operands.size() / basis.channels : 0;
+    }
+};
+
+struct Response {
+    robust::StatusCode code = robust::StatusCode::Ok;
+    uint64_t request_id = 0;
+    std::string message;
+    BasisSpec basis;
+    uint32_t n = 0;
+    /** basis.channels vectors of length n; empty on error. */
+    std::vector<ResidueVector> channels;
+};
+
+/** Serialize a full frame (header + body). */
+std::vector<uint8_t> encodeRequestFrame(const Request& req);
+std::vector<uint8_t> encodeResponseFrame(const Response& resp);
+
+/**
+ * Parse a frame BODY (header already stripped by FrameReader).
+ * Returns InvalidArgument on any malformed input; @p out is
+ * unspecified on failure. Never throws, never over-reads.
+ */
+robust::Status decodeRequest(const uint8_t* body, size_t len, Request& out);
+robust::Status decodeResponse(const uint8_t* body, size_t len, Response& out);
+
+/**
+ * Check every residue of every operand against its channel modulus;
+ * InvalidArgument when any residue >= q_c. (Decoding checks shape;
+ * this checks values, and needs the server's basis.)
+ */
+robust::Status validateResidues(const Request& req,
+                                const rns::RnsBasis& basis);
+
+/**
+ * Incremental frame extractor for a byte stream that may arrive torn
+ * at arbitrary boundaries. feed() appends raw bytes; next() yields one
+ * complete frame body at a time. A bad magic or oversize length is a
+ * hard protocol error: next() returns Error and the reader stays
+ * poisoned (the connection must be dropped — framing is lost).
+ */
+class FrameReader
+{
+  public:
+    enum class Next {
+        NeedMore, ///< no complete frame buffered yet
+        Frame,    ///< one body extracted into the out-param
+        Error,    ///< protocol violation; see error()
+    };
+
+    void feed(const uint8_t* data, size_t len);
+
+    /** Extract the next complete frame body, if any. */
+    Next next(std::vector<uint8_t>& body);
+
+    const robust::Status& error() const { return error_; }
+
+    /** Bytes buffered but not yet consumed (tests). */
+    size_t buffered() const { return buf_.size() - pos_; }
+
+  private:
+    std::vector<uint8_t> buf_;
+    size_t pos_ = 0;
+    robust::Status error_;
+    bool poisoned_ = false;
+};
+
+} // namespace net
+} // namespace mqx

@@ -4,10 +4,12 @@
  */
 #include "ntt/negacyclic.h"
 
+#include <chrono>
 #include <utility>
 
 #include "blas/blas.h"
 #include "ntt/reference_ntt.h"
+#include "robust/cancel.h"
 #include "robust/fault_injection.h"
 #include "telemetry/telemetry.h"
 
@@ -298,25 +300,51 @@ NegacyclicWorkspacePool::Lease::~Lease()
 
 NegacyclicWorkspacePool::Lease
 NegacyclicWorkspacePool::acquire(
-    std::shared_ptr<const NegacyclicTables> tables, Backend backend)
+    std::shared_ptr<const NegacyclicTables> tables, Backend backend,
+    const robust::CancelToken* cancel)
 {
     // Before any accounting: an injected acquire failure must leave
     // leasedCount() untouched, or the balance tests would blame the
     // pool for a lease that never existed.
     MQX_FAULT_POINT("workspace_pool.acquire");
     std::unique_ptr<NegacyclicEngine> engine;
+    bool fresh = false;
     {
-        std::lock_guard<std::mutex> lock(mutex_);
-        if (!free_.empty()) {
-            engine = std::move(free_.back());
-            free_.pop_back();
+        std::unique_lock<std::mutex> lock(mutex_);
+        for (;;) {
+            if (!free_.empty()) {
+                engine = std::move(free_.back());
+                free_.pop_back();
+                break;
+            }
+            if (max_workspaces_ == 0 || live_ < max_workspaces_) {
+                ++live_; // claim the slot before unlocking to construct
+                fresh = true;
+                break;
+            }
+            // Saturated: wait for a lease to return. Poll the token at
+            // 1 ms so a cancellation/deadline that lands mid-wait
+            // unblocks promptly instead of when the pool next drains.
+            if (cancel) {
+                cancel->checkpoint("workspace_pool.acquire");
+                available_cv_.wait_for(lock, std::chrono::milliseconds(1));
+            } else {
+                available_cv_.wait(lock);
+            }
         }
     }
-    if (engine) {
-        engine->rebind(std::move(tables), backend);
+    if (fresh) {
+        try {
+            engine = std::make_unique<NegacyclicEngine>(std::move(tables),
+                                                        backend);
+        } catch (...) {
+            std::lock_guard<std::mutex> lock(mutex_);
+            --live_; // slot never materialized; let waiters retry
+            available_cv_.notify_one();
+            throw;
+        }
     } else {
-        engine = std::make_unique<NegacyclicEngine>(std::move(tables),
-                                                    backend);
+        engine->rebind(std::move(tables), backend);
     }
     leased_.fetch_add(1, std::memory_order_acq_rel);
     total_leases_.fetch_add(1, std::memory_order_relaxed);
@@ -338,6 +366,7 @@ NegacyclicWorkspacePool::release(std::unique_ptr<NegacyclicEngine> engine)
         free_.push_back(std::move(engine));
     }
     leased_.fetch_sub(1, std::memory_order_acq_rel);
+    available_cv_.notify_one();
 }
 
 void

@@ -32,6 +32,7 @@
 
 #include <array>
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -41,6 +42,10 @@
 #include "ntt/ntt.h"
 
 namespace mqx {
+namespace robust {
+class CancelToken;
+} // namespace robust
+
 namespace ntt {
 
 /**
@@ -204,6 +209,13 @@ class NegacyclicEngine
  * in steady state a channel op costs a mutex lock and a pointer pop
  * instead of four length-n buffer allocations. The lease returns the
  * engine on destruction.
+ *
+ * An optional capacity bound (max_workspaces > 0) caps total live
+ * engines; at the cap, acquire() WAITS for a lease to return instead
+ * of allocating — the service layer's memory ceiling under overload.
+ * A waiting acquire consults its CancelToken before and while blocked
+ * (1 ms poll), so a cancelled or deadline-blown request unblocks with
+ * Cancelled/DeadlineExceeded instead of sitting on a contended pool.
  */
 class NegacyclicWorkspacePool
 {
@@ -236,20 +248,31 @@ class NegacyclicWorkspacePool
         std::unique_ptr<NegacyclicEngine> engine_;
     };
 
-    NegacyclicWorkspacePool() = default;
+    /** @p max_workspaces caps live engines; 0 = unbounded (default). */
+    explicit NegacyclicWorkspacePool(size_t max_workspaces = 0)
+        : max_workspaces_(max_workspaces)
+    {
+    }
     NegacyclicWorkspacePool(const NegacyclicWorkspacePool&) = delete;
     NegacyclicWorkspacePool& operator=(const NegacyclicWorkspacePool&) =
         delete;
 
     /**
      * Lease a workspace engine rebound to @p tables / @p backend.
-     * Thread-safe; the pool must outlive every lease.
+     * Thread-safe; the pool must outlive every lease. When the pool is
+     * bounded and every workspace is leased, blocks until one returns;
+     * a non-null @p cancel is checked before and during the wait and a
+     * cancelled/expired token throws StatusError (no lease taken).
      */
     Lease acquire(std::shared_ptr<const NegacyclicTables> tables,
-                  Backend backend);
+                  Backend backend,
+                  const robust::CancelToken* cancel = nullptr);
 
     /** Idle workspaces currently available for reuse (tests). */
     size_t idleCount() const;
+
+    /** Configured capacity; 0 = unbounded. */
+    size_t capacity() const { return max_workspaces_; }
 
     /**
      * Leases currently outstanding (acquired, not yet returned). Zero
@@ -273,7 +296,10 @@ class NegacyclicWorkspacePool
     void release(std::unique_ptr<NegacyclicEngine> engine);
 
     mutable std::mutex mutex_;
+    std::condition_variable available_cv_;
     std::vector<std::unique_ptr<NegacyclicEngine>> free_;
+    size_t max_workspaces_ = 0; ///< 0 = unbounded
+    size_t live_ = 0;           ///< engines in existence, guarded by mutex_
     std::atomic<size_t> leased_{0};
     std::atomic<uint64_t> total_leases_{0};
 };

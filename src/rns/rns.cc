@@ -256,7 +256,8 @@ polymulChannel(Backend backend, const RnsBasis& basis, size_t channel,
 {
     MQX_SCOPED_SPAN(ch_span, "rns.channel.polymul");
     auto lease = workspaces.acquire(
-        tablesOrDerive(std::move(tables), basis, channel, a.n()), backend);
+        tablesOrDerive(std::move(tables), basis, channel, a.n()), backend,
+        cancel);
     ntt::NegacyclicEngine& eng = lease.engine();
     DConstSpan fa_in = a.channel(channel).span();
     DConstSpan fb_in = b.channel(channel).span();
@@ -374,7 +375,8 @@ fmaChannel(Backend backend, const RnsBasis& basis, size_t channel,
 {
     MQX_SCOPED_SPAN(ch_span, "rns.channel.fma");
     auto lease = workspaces.acquire(
-        tablesOrDerive(std::move(tables), basis, channel, c.n()), backend);
+        tablesOrDerive(std::move(tables), basis, channel, c.n()), backend,
+        cancel);
     fmaChannelBody(lease.engine(), channel, products, c, cancel);
     MQX_FAULT_POINT_DATA("rns.fma.out", c.channel(channel).span());
 }

@@ -55,6 +55,8 @@ faultActionName(FaultAction action)
         return "stall";
     case FaultAction::FlipBit:
         return "flip_bit";
+    case FaultAction::ShortRead:
+        return "short_read";
     }
     return "unknown";
 }
@@ -77,6 +79,38 @@ namespace {
 
 /** The installed plan; null when no ScopedFaultInjection is live. */
 std::atomic<ActivePlan*> g_active{nullptr};
+
+/**
+ * Threads currently inside a fault point. Pinned BEFORE the g_active
+ * load, so any thread holding a plan pointer keeps this nonzero until
+ * it is done; ~ScopedFaultInjection clears g_active and then waits for
+ * zero before freeing the plan. A pin after the clear sees null and
+ * unpins without touching the plan. seq_cst pairs with the destructor's
+ * store-then-load: without it the g_active load could hoist above the
+ * pin (or the destructor's count read above its clear) and the plan
+ * could be freed mid-use.
+ */
+std::atomic<uint64_t> g_readers{0};
+
+/** RAII pin; survives the Throw/BadAlloc exits out of a fault point. */
+struct PlanPin {
+    ActivePlan* plan;
+
+    PlanPin()
+    {
+        g_readers.fetch_add(1, std::memory_order_seq_cst);
+        plan = g_active.load(std::memory_order_seq_cst);
+        if (!plan)
+            g_readers.fetch_sub(1, std::memory_order_release);
+    }
+    ~PlanPin()
+    {
+        if (plan)
+            g_readers.fetch_sub(1, std::memory_order_release);
+    }
+    PlanPin(const PlanPin&) = delete;
+    PlanPin& operator=(const PlanPin&) = delete;
+};
 
 /**
  * Decide whether hit number @p hit of @p e fires, claiming a slot
@@ -120,7 +154,8 @@ throwFor(FaultAction action, const std::string& point)
 void
 faultHit(const char* point)
 {
-    ActivePlan* plan = g_active.load(std::memory_order_acquire);
+    PlanPin pin;
+    ActivePlan* plan = pin.plan;
     if (!plan)
         return;
     auto it = plan->entries.find(std::string_view(point));
@@ -128,8 +163,9 @@ faultHit(const char* point)
         return;
     Entry& e = it->second;
     const uint64_t hit = e.hits.fetch_add(1, std::memory_order_relaxed);
-    // FlipBit needs a data span; at a control point it stays inert.
-    if (e.spec.action == FaultAction::FlipBit)
+    // FlipBit/ShortRead need a buffer; at a control point they stay inert.
+    if (e.spec.action == FaultAction::FlipBit ||
+        e.spec.action == FaultAction::ShortRead)
         return;
     SplitMix64 rng(0);
     if (!claimFire(*plan, e, hit, rng))
@@ -145,7 +181,8 @@ faultHit(const char* point)
 void
 faultHitData(const char* point, DSpan data)
 {
-    ActivePlan* plan = g_active.load(std::memory_order_acquire);
+    PlanPin pin;
+    ActivePlan* plan = pin.plan;
     if (!plan)
         return;
     auto it = plan->entries.find(std::string_view(point));
@@ -153,6 +190,10 @@ faultHitData(const char* point, DSpan data)
         return;
     Entry& e = it->second;
     const uint64_t hit = e.hits.fetch_add(1, std::memory_order_relaxed);
+    // ShortRead needs a length to shrink; at a residue data point it is
+    // inert (hit counted, never fires), like FlipBit at control points.
+    if (e.spec.action == FaultAction::ShortRead)
+        return;
     SplitMix64 rng(0);
     if (!claimFire(*plan, e, hit, rng))
         return;
@@ -165,6 +206,50 @@ faultHitData(const char* point, DSpan data)
         const uint64_t bit = rng.next() % 64;
         uint64_t* lane = word < data.n ? data.lo : data.hi;
         lane[word % data.n] ^= uint64_t{1} << bit;
+        return;
+    }
+    case FaultAction::Stall:
+        std::this_thread::sleep_for(
+            std::chrono::nanoseconds(e.spec.stall_ns));
+        return;
+    case FaultAction::ShortRead:
+        return; // unreachable (filtered above); keeps the switch total
+    case FaultAction::Throw:
+    case FaultAction::BadAlloc:
+        throwFor(e.spec.action, it->first);
+    }
+}
+
+void
+faultHitBytes(const char* point, unsigned char* data, size_t* len)
+{
+    PlanPin pin;
+    ActivePlan* plan = pin.plan;
+    if (!plan)
+        return;
+    auto it = plan->entries.find(std::string_view(point));
+    if (it == plan->entries.end())
+        return;
+    Entry& e = it->second;
+    const uint64_t hit = e.hits.fetch_add(1, std::memory_order_relaxed);
+    SplitMix64 rng(0);
+    if (!claimFire(*plan, e, hit, rng))
+        return;
+    switch (e.spec.action) {
+    case FaultAction::FlipBit: {
+        if (*len == 0)
+            return;
+        const uint64_t byte = rng.next() % *len;
+        data[byte] ^= static_cast<unsigned char>(
+            1u << (rng.next() % 8));
+        return;
+    }
+    case FaultAction::ShortRead: {
+        // Truncate to a seeded strict prefix: the peer sees a torn
+        // frame (write side) or the decoder a partial one (read side).
+        if (*len == 0)
+            return;
+        *len = static_cast<size_t>(rng.next() % *len);
         return;
     }
     case FaultAction::Stall:
@@ -199,7 +284,13 @@ ScopedFaultInjection::ScopedFaultInjection(FaultPlan plan) : state_(nullptr)
 
 ScopedFaultInjection::~ScopedFaultInjection()
 {
-    detail::g_active.store(nullptr, std::memory_order_release);
+    // Disarm, then drain: a fault point that pinned before the clear
+    // may still hold the plan pointer; freeing it out from under that
+    // thread is a use-after-free. The wait is bounded by the longest
+    // single fault action (a Stall sleeps stall_ns at most).
+    detail::g_active.store(nullptr, std::memory_order_seq_cst);
+    while (detail::g_readers.load(std::memory_order_acquire) != 0)
+        std::this_thread::yield();
     delete state_;
 }
 

@@ -15,6 +15,16 @@
  * `rns.batch.pack`. Data points name the buffer they may corrupt:
  * `rns.polymul.out`, `rns.batch.out`, `rns.fma.out`, `rns.add.out`.
  *
+ * The service layer (src/net/) adds BYTE points via
+ * MQX_FAULT_POINT_BYTES("name", data, &len): `net.accept` (control),
+ * `net.read` / `net.write` / `net.frame` (byte buffers). Byte points
+ * accept two extra actions — FlipBit corrupts one seeded bit of the
+ * buffer (torn/garbage frames), ShortRead truncates the length to a
+ * seeded prefix (short reads, torn writes) — so socket-level chaos
+ * (disconnects, stalled writes, slow-loris partial frames) replays
+ * deterministically from a plan seed instead of depending on kernel
+ * buffer timing.
+ *
  * Determinism: whether a hit fires is a pure function of
  * (plan seed, point name, per-point hit index) — no wall clock, no
  * global RNG — so a workload replayed with the same seed on one thread
@@ -48,6 +58,9 @@ enum class FaultAction : uint8_t {
     /** Flip one seeded bit of the span at a data point; ignored (hit
      *  counted, never fires) at non-data points. */
     FlipBit,
+    /** Truncate a byte point's length to a seeded prefix (short
+     *  read / torn write); ignored at non-byte points. */
+    ShortRead,
 };
 
 const char* faultActionName(FaultAction action);
@@ -113,6 +126,8 @@ struct ActivePlan;
 /** Fault-point entry hooks (called by the macros; never call directly). */
 void faultHit(const char* point);
 void faultHitData(const char* point, DSpan data);
+/** Byte-buffer flavour (src/net/): may flip bits in data or shrink *len. */
+void faultHitBytes(const char* point, unsigned char* data, size_t* len);
 
 } // namespace detail
 
@@ -159,7 +174,11 @@ faultInjectionCompiledIn()
 #define MQX_FAULT_POINT(name) ::mqx::robust::detail::faultHit(name)
 #define MQX_FAULT_POINT_DATA(name, span)                                      \
     ::mqx::robust::detail::faultHitData(name, span)
+#define MQX_FAULT_POINT_BYTES(name, data, len_ptr)                            \
+    ::mqx::robust::detail::faultHitBytes(                                     \
+        name, reinterpret_cast<unsigned char*>(data), len_ptr)
 #else
 #define MQX_FAULT_POINT(name) ((void)0)
 #define MQX_FAULT_POINT_DATA(name, span) ((void)0)
+#define MQX_FAULT_POINT_BYTES(name, data, len_ptr) ((void)0)
 #endif

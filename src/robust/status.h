@@ -36,6 +36,13 @@ enum class StatusCode : uint8_t {
     FaultInjected,
     /** Invariant violation that is a bug in mqx itself. */
     Internal,
+    /**
+     * The caller's request is malformed (bad shape, residues >= q,
+     * unsupported wire version). Maps mqx::InvalidArgument at the
+     * service boundary; never retryable — resending the same bytes
+     * cannot succeed.
+     */
+    InvalidArgument,
 };
 
 inline const char*
@@ -56,8 +63,24 @@ statusCodeName(StatusCode code)
         return "FAULT_INJECTED";
     case StatusCode::Internal:
         return "INTERNAL";
+    case StatusCode::InvalidArgument:
+        return "INVALID_ARGUMENT";
     }
     return "UNKNOWN";
+}
+
+/**
+ * True for codes a client may retry with backoff: transient resource
+ * pressure (ResourceExhausted) and injected test faults (FaultInjected —
+ * transient by construction). Cancelled/DeadlineExceeded mean the
+ * request's budget is gone, DataCorruption needs a human, Internal is a
+ * bug, and InvalidArgument will fail identically every time.
+ */
+inline bool
+statusRetryable(StatusCode code)
+{
+    return code == StatusCode::ResourceExhausted ||
+           code == StatusCode::FaultInjected;
 }
 
 /** Value-type result code + human-readable detail. */

@@ -1,0 +1,323 @@
+/**
+ * @file
+ * Wire-codec fuzz tests (ISSUE 10 satellite): the frame parser must
+ * survive every split point of valid frames, seeded random mutations,
+ * truncations, bad magics, and hostile lengths — returning Status
+ * errors, never throwing raw exceptions and never over-reading (this
+ * file is part of the ASan/UBSan CI leg precisely to catch the
+ * latter).
+ */
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "bench_util/rng.h"
+#include "net/client.h"
+#include "net/wire.h"
+#include "rns/rns.h"
+#include "test_util.h"
+
+namespace mqx {
+namespace {
+
+const rns::RnsBasis&
+testBasis()
+{
+    static rns::RnsBasis basis(40, 8, 2);
+    return basis;
+}
+
+constexpr net::BasisSpec kSpec{40, 8, 2};
+
+net::Request
+sampleRequest(uint64_t seed, size_t n = 16)
+{
+    rns::RnsPolynomial a = rns::randomPolynomial(testBasis(), n, seed);
+    rns::RnsPolynomial b = rns::randomPolynomial(testBasis(), n, seed + 1);
+    return net::Client::makePolymul(a, b, kSpec, /*request_id=*/seed,
+                                    /*deadline_ns=*/0);
+}
+
+void
+expectRequestsEqual(const net::Request& x, const net::Request& y)
+{
+    EXPECT_EQ(x.op, y.op);
+    EXPECT_EQ(x.request_id, y.request_id);
+    EXPECT_EQ(x.deadline_ns, y.deadline_ns);
+    EXPECT_TRUE(x.basis == y.basis);
+    EXPECT_EQ(x.n, y.n);
+    ASSERT_EQ(x.operands.size(), y.operands.size());
+    for (size_t i = 0; i < x.operands.size(); ++i)
+        EXPECT_EQ(x.operands[i], y.operands[i]) << "operand " << i;
+}
+
+/** Feed a whole byte string and pull out every complete frame body. */
+std::vector<std::vector<uint8_t>>
+framesOf(net::FrameReader& reader, const std::vector<uint8_t>& bytes)
+{
+    reader.feed(bytes.data(), bytes.size());
+    std::vector<std::vector<uint8_t>> out;
+    std::vector<uint8_t> body;
+    while (reader.next(body) == net::FrameReader::Next::Frame)
+        out.push_back(body);
+    return out;
+}
+
+TEST(NetFrame, RequestRoundTrip)
+{
+    net::Request req = sampleRequest(7);
+    std::vector<uint8_t> frame = net::encodeRequestFrame(req);
+    net::FrameReader reader;
+    auto bodies = framesOf(reader, frame);
+    ASSERT_EQ(bodies.size(), 1u);
+    net::Request decoded;
+    ASSERT_TRUE(
+        net::decodeRequest(bodies[0].data(), bodies[0].size(), decoded)
+            .ok());
+    expectRequestsEqual(req, decoded);
+}
+
+TEST(NetFrame, ResponseRoundTrip)
+{
+    net::Response resp;
+    resp.code = robust::StatusCode::Ok;
+    resp.request_id = 42;
+    resp.basis = kSpec;
+    resp.n = 8;
+    resp.channels.resize(2);
+    SplitMix64 rng(3);
+    for (ResidueVector& v : resp.channels) {
+        v.ensure(8);
+        for (size_t i = 0; i < 8; ++i)
+            v.set(i, U128::fromParts(0, rng.next() % 1000));
+    }
+    std::vector<uint8_t> frame = net::encodeResponseFrame(resp);
+    net::FrameReader reader;
+    auto bodies = framesOf(reader, frame);
+    ASSERT_EQ(bodies.size(), 1u);
+    net::Response decoded;
+    ASSERT_TRUE(
+        net::decodeResponse(bodies[0].data(), bodies[0].size(), decoded)
+            .ok());
+    EXPECT_EQ(decoded.code, resp.code);
+    EXPECT_EQ(decoded.request_id, resp.request_id);
+    EXPECT_EQ(decoded.n, resp.n);
+    ASSERT_EQ(decoded.channels.size(), resp.channels.size());
+    for (size_t i = 0; i < resp.channels.size(); ++i)
+        EXPECT_EQ(decoded.channels[i], resp.channels[i]);
+}
+
+TEST(NetFrame, ErrorResponseRoundTrip)
+{
+    net::Response resp;
+    resp.code = robust::StatusCode::ResourceExhausted;
+    resp.request_id = 9;
+    resp.message = "admission queue full";
+    std::vector<uint8_t> frame = net::encodeResponseFrame(resp);
+    net::FrameReader reader;
+    auto bodies = framesOf(reader, frame);
+    ASSERT_EQ(bodies.size(), 1u);
+    net::Response decoded;
+    ASSERT_TRUE(
+        net::decodeResponse(bodies[0].data(), bodies[0].size(), decoded)
+            .ok());
+    EXPECT_EQ(decoded.code, robust::StatusCode::ResourceExhausted);
+    EXPECT_EQ(decoded.message, "admission queue full");
+    EXPECT_TRUE(decoded.channels.empty());
+}
+
+// Every split point of a valid frame must reassemble identically: the
+// reader may never mis-parse a frame because bytes arrived torn.
+TEST(NetFrame, EverySplitPointReassembles)
+{
+    net::Request req = sampleRequest(11, /*n=*/8);
+    std::vector<uint8_t> frame = net::encodeRequestFrame(req);
+    for (size_t split = 0; split <= frame.size(); ++split) {
+        net::FrameReader reader;
+        reader.feed(frame.data(), split);
+        std::vector<uint8_t> body;
+        if (split < frame.size()) {
+            ASSERT_EQ(reader.next(body), net::FrameReader::Next::NeedMore)
+                << "split " << split;
+        }
+        reader.feed(frame.data() + split, frame.size() - split);
+        ASSERT_EQ(reader.next(body), net::FrameReader::Next::Frame)
+            << "split " << split;
+        net::Request decoded;
+        ASSERT_TRUE(
+            net::decodeRequest(body.data(), body.size(), decoded).ok());
+        EXPECT_EQ(decoded.request_id, req.request_id);
+        ASSERT_EQ(reader.next(body), net::FrameReader::Next::NeedMore);
+    }
+}
+
+TEST(NetFrame, BackToBackFramesInOneFeed)
+{
+    net::Request r1 = sampleRequest(21, 8);
+    net::Request r2 = sampleRequest(22, 8);
+    std::vector<uint8_t> bytes = net::encodeRequestFrame(r1);
+    std::vector<uint8_t> f2 = net::encodeRequestFrame(r2);
+    bytes.insert(bytes.end(), f2.begin(), f2.end());
+    net::FrameReader reader;
+    auto bodies = framesOf(reader, bytes);
+    ASSERT_EQ(bodies.size(), 2u);
+    net::Request d1, d2;
+    ASSERT_TRUE(
+        net::decodeRequest(bodies[0].data(), bodies[0].size(), d1).ok());
+    ASSERT_TRUE(
+        net::decodeRequest(bodies[1].data(), bodies[1].size(), d2).ok());
+    EXPECT_EQ(d1.request_id, 21u);
+    EXPECT_EQ(d2.request_id, 22u);
+}
+
+TEST(NetFrame, BadMagicPoisonsReader)
+{
+    std::vector<uint8_t> bytes(16, 0xAB);
+    net::FrameReader reader;
+    reader.feed(bytes.data(), bytes.size());
+    std::vector<uint8_t> body;
+    EXPECT_EQ(reader.next(body), net::FrameReader::Next::Error);
+    EXPECT_EQ(reader.error().code(),
+              robust::StatusCode::InvalidArgument);
+    // Poisoned: further feeds stay errors.
+    reader.feed(bytes.data(), bytes.size());
+    EXPECT_EQ(reader.next(body), net::FrameReader::Next::Error);
+}
+
+TEST(NetFrame, OversizeLengthRejected)
+{
+    net::Request req = sampleRequest(31, 8);
+    std::vector<uint8_t> frame = net::encodeRequestFrame(req);
+    // Patch body_len beyond the cap.
+    const uint32_t huge = net::kMaxBodyBytes + 1;
+    std::memcpy(frame.data() + 4, &huge, 4);
+    net::FrameReader reader;
+    reader.feed(frame.data(), frame.size());
+    std::vector<uint8_t> body;
+    EXPECT_EQ(reader.next(body), net::FrameReader::Next::Error);
+}
+
+TEST(NetFrame, DecodeRejectsHostileShapes)
+{
+    net::Request req = sampleRequest(41, 8);
+    std::vector<uint8_t> frame = net::encodeRequestFrame(req);
+    const uint8_t* body = frame.data() + net::kHeaderBytes;
+    const size_t body_len = frame.size() - net::kHeaderBytes;
+    net::Request out;
+
+    // Truncations at every prefix length: error, never a crash/over-read.
+    for (size_t len = 0; len < body_len; ++len) {
+        net::Request t;
+        EXPECT_FALSE(net::decodeRequest(body, len, t).ok())
+            << "prefix " << len;
+    }
+    // Trailing garbage after a valid payload.
+    {
+        std::vector<uint8_t> fat(body, body + body_len);
+        fat.push_back(0);
+        EXPECT_FALSE(net::decodeRequest(fat.data(), fat.size(), out).ok());
+    }
+    // Header-field corruption: n, channels, operand count out of range.
+    auto patched = [&](size_t offset, uint32_t value) {
+        std::vector<uint8_t> mut(body, body + body_len);
+        std::memcpy(mut.data() + offset, &value, 4);
+        return net::decodeRequest(mut.data(), mut.size(), out);
+    };
+    // Body layout: type(1) op(1) ver(2) id(8) deadline(8) = 20 bytes,
+    // then bits, two_adicity, channels, n, operand_count.
+    EXPECT_FALSE(patched(20, 200).ok());                  // bits > 124
+    EXPECT_FALSE(patched(28, 0).ok());                    // channels = 0
+    EXPECT_FALSE(patched(28, net::kMaxChannels + 1).ok());
+    EXPECT_FALSE(patched(32, 0).ok());                    // n = 0
+    EXPECT_FALSE(patched(32, net::kMaxN + 1).ok());       // n > cap
+    EXPECT_FALSE(patched(36, 0).ok());                    // operands = 0
+    EXPECT_FALSE(patched(36, 3).ok());  // polymul needs exactly 2
+    EXPECT_FALSE(patched(36, net::kMaxOperands + 2).ok());
+}
+
+TEST(NetFrame, DecodeRejectsBadTypeOpVersion)
+{
+    net::Request req = sampleRequest(51, 8);
+    std::vector<uint8_t> frame = net::encodeRequestFrame(req);
+    std::vector<uint8_t> body(frame.begin() + net::kHeaderBytes,
+                              frame.end());
+    net::Request out;
+    {
+        std::vector<uint8_t> m = body;
+        m[0] = 9; // not a request
+        EXPECT_FALSE(net::decodeRequest(m.data(), m.size(), out).ok());
+    }
+    {
+        std::vector<uint8_t> m = body;
+        m[1] = 0; // unknown op
+        EXPECT_FALSE(net::decodeRequest(m.data(), m.size(), out).ok());
+    }
+    {
+        std::vector<uint8_t> m = body;
+        m[2] = 0xFF; // wrong version
+        m[3] = 0xFF;
+        EXPECT_FALSE(net::decodeRequest(m.data(), m.size(), out).ok());
+    }
+}
+
+// Seeded random corruption: any single- or multi-byte mutation of a
+// valid frame must be handled without throwing — the reader either
+// errors, waits for more bytes, or yields a frame whose decode
+// verdict is a Status. ASan/UBSan guard the "no over-read" half.
+TEST(NetFrame, SeededMutationFuzz)
+{
+    net::Request req = sampleRequest(61, 16);
+    const std::vector<uint8_t> frame = net::encodeRequestFrame(req);
+    SplitMix64 rng(0xF00D);
+    for (int trial = 0; trial < 2000; ++trial) {
+        std::vector<uint8_t> mut = frame;
+        const size_t flips = 1 + rng.next() % 4;
+        for (size_t f = 0; f < flips; ++f)
+            mut[rng.next() % mut.size()] ^=
+                static_cast<uint8_t>(1 + rng.next() % 255);
+        // Also sometimes truncate.
+        if (rng.next() % 4 == 0)
+            mut.resize(1 + rng.next() % mut.size());
+        net::FrameReader reader;
+        reader.feed(mut.data(), mut.size());
+        std::vector<uint8_t> body;
+        for (int hops = 0; hops < 8; ++hops) {
+            net::FrameReader::Next next = reader.next(body);
+            if (next != net::FrameReader::Next::Frame)
+                break;
+            net::Request out;
+            robust::Status s =
+                net::decodeRequest(body.data(), body.size(), out);
+            (void)s; // any verdict is fine; not throwing/over-reading is
+                     // the contract
+        }
+    }
+}
+
+TEST(NetFrame, ValidateResiduesCatchesOversizeValues)
+{
+    net::Request req = sampleRequest(71, 8);
+    EXPECT_TRUE(net::validateResidues(req, testBasis()).ok());
+    // Plant a residue >= q in channel 1 of operand 0.
+    req.operands[1].set(3, testBasis().modulus(1).value());
+    robust::Status s = net::validateResidues(req, testBasis());
+    EXPECT_FALSE(s.ok());
+    EXPECT_EQ(s.code(), robust::StatusCode::InvalidArgument);
+}
+
+TEST(NetFrame, ReaderCompactsConsumedPrefix)
+{
+    net::Request req = sampleRequest(81, 8);
+    const std::vector<uint8_t> frame = net::encodeRequestFrame(req);
+    net::FrameReader reader;
+    std::vector<uint8_t> body;
+    for (int i = 0; i < 200; ++i) {
+        reader.feed(frame.data(), frame.size());
+        ASSERT_EQ(reader.next(body), net::FrameReader::Next::Frame);
+    }
+    EXPECT_EQ(reader.buffered(), 0u);
+}
+
+} // namespace
+} // namespace mqx

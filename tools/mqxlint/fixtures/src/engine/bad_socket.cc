@@ -1,0 +1,19 @@
+/**
+ * Fixture for the net-hygiene rule: a raw global-qualified POSIX
+ * socket syscall outside the src/net/ funnel. Must fire exactly once.
+ */
+#include <cstddef>
+
+namespace mqx {
+namespace engine {
+
+long
+drainDiagnosticsPort(int fd, unsigned char* buf, std::size_t cap)
+{
+    // BAD: raw syscall; socket I/O goes through net::Socket::readSome,
+    // which owns the poll guard and the errno -> Status mapping.
+    return ::recv(fd, buf, cap, 0);
+}
+
+} // namespace engine
+} // namespace mqx

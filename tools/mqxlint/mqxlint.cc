@@ -34,6 +34,13 @@
  *                     (hint level, lookahead distance) lives in the
  *                     sanctioned prefetchRead/prefetchNext helpers,
  *                     mirroring the aligned-alloc funnel.
+ *   net-hygiene       raw global-qualified POSIX socket syscalls
+ *                     (`::socket(`, `::recv(`, ...) outside src/net/ —
+ *                     socket I/O goes through net::Socket, which owns
+ *                     fd lifetime, errno->Status mapping, and the
+ *                     fault-injection points. Inside src/net/, every
+ *                     blocking-capable syscall must sit in a function
+ *                     with a poll/timeout guard.
  *
  * Usage:
  *   mqxlint --repo-root <dir> [--allowlist <file>] [--fix-dry-run]
@@ -249,6 +256,7 @@ class Linter
         ruleHotModulo();
         rulePrefetchHygiene();
         ruleCatchSwallow();
+        ruleNetHygiene();
         std::sort(diags_.begin(), diags_.end(),
                   [](const Diagnostic& a, const Diagnostic& b) {
                       return std::tie(a.file, a.line, a.rule) <
@@ -715,6 +723,84 @@ class Linter
         }
     }
 
+    /**
+     * POSIX socket hygiene. (a) Raw global-qualified socket syscalls
+     * belong to src/net/ — the rest of the tree talks to peers through
+     * net::Socket, which owns fd lifetime, errno->Status mapping, and
+     * the net.* fault-injection points. (b) Inside src/net/, every
+     * blocking-capable syscall (`::recv(`, `::accept(`, `::connect(`)
+     * must sit in a function that polls first (`::poll(` or the
+     * pollOne funnel) so no service thread can park forever on a dead
+     * peer; sanctioned exceptions go on the allowlist with a
+     * justifying comment.
+     */
+    void
+    ruleNetHygiene()
+    {
+        const char* kSyscalls[] = {"::socket(", "::accept(", "::connect(",
+                                   "::bind(",   "::listen(", "::recv(",
+                                   "::send(",   "::shutdown("};
+        const char* kBlocking[] = {"::recv(", "::accept(", "::connect("};
+        for (const auto& f : files_) {
+            if (f.rel.rfind("src/net/", 0) != 0) {
+                for (const char* tok : kSyscalls) {
+                    const size_t len = std::string(tok).size();
+                    size_t pos = 0;
+                    while ((pos = f.code.find(tok, pos)) !=
+                           std::string::npos) {
+                        // `std::bind(` / `Foo::send(` qualify with an
+                        // identifier before the `::`; raw syscalls do
+                        // not.
+                        if (pos == 0 || (!isIdentChar(f.code[pos - 1]) &&
+                                         f.code[pos - 1] != ':'))
+                            report(f, lineOf(f.code, pos), "net-hygiene",
+                                   std::string("raw ") + tok +
+                                       "...) outside src/net/; route "
+                                       "socket I/O through net::Socket");
+                        pos += len;
+                    }
+                }
+                continue;
+            }
+            // (b) poll-guard audit inside the funnel itself.
+            for (const char* tok : kBlocking) {
+                const size_t len = std::string(tok).size();
+                size_t pos = 0;
+                while ((pos = f.code.find(tok, pos)) !=
+                       std::string::npos) {
+                    if ((pos == 0 || (!isIdentChar(f.code[pos - 1]) &&
+                                      f.code[pos - 1] != ':')) &&
+                        !polledFunction(f.code, pos))
+                        report(f, lineOf(f.code, pos), "net-hygiene",
+                               std::string("blocking ") + tok +
+                                   "...) without a poll/timeout guard in "
+                                   "the enclosing function");
+                    pos += len;
+                }
+            }
+        }
+    }
+
+    /**
+     * True if the function body containing @p pos has a poll call.
+     * Project style opens every function body with a column-0 `{`, so
+     * the enclosing body is the brace region started by the nearest
+     * preceding `\n{`.
+     */
+    static bool
+    polledFunction(const std::string& code, size_t pos)
+    {
+        const size_t open = code.rfind("\n{", pos);
+        if (open == std::string::npos)
+            return false;
+        const size_t close = matchBrace(code, open + 1);
+        if (close == std::string::npos || close < pos)
+            return false;
+        const std::string body = code.substr(open, close - open);
+        return body.find("::poll(") != std::string::npos ||
+               body.find("pollOne(") != std::string::npos;
+    }
+
     fs::path root_;
     std::vector<AllowEntry> allow_;
     std::vector<SourceFile> files_;
@@ -774,7 +860,7 @@ selfTest(const fs::path& fixtures)
     const char* kRules[] = {"backend-coverage", "dspan-validate",
                             "atomic-order",     "aligned-alloc",
                             "hot-modulo",       "prefetch-hygiene",
-                            "catch-swallow"};
+                            "catch-swallow",    "net-hygiene"};
     // Pass 1: no allowlist — every rule fires exactly once.
     auto diags = Linter(fixtures, {}).run();
     printDiags(diags, false);
